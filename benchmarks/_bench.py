@@ -1,0 +1,26 @@
+"""Shared helpers for the reproduction benchmarks."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+#: Down-scaling divisor used by all benchmark grids: large enough to be
+#: work-dominated (where the calibrated cost model is valid), small
+#: enough that the full suite stays laptop-sized.
+BENCH_SCALE_DIV = 64
+
+#: Reduced RGG sweep (same 2x progression as the paper's scales 15-24).
+BENCH_RGG_SCALES = list(range(10, 18))
+
+OUT_DIR = Path(__file__).resolve().parent / "out"
+
+
+def write_artifact(directory: Path, name: str, text: str) -> None:
+    """Persist a rendered table/figure so the run leaves artifacts."""
+    (directory / name).write_text(text + "\n")
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark timer (the
+    simulations are deterministic, so repeated rounds add nothing)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

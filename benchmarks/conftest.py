@@ -1,0 +1,20 @@
+"""Benchmark-suite fixtures.
+
+Every benchmark regenerates one of the paper's tables or figures,
+writes the rendered artifact under ``benchmarks/out/``, asserts the
+paper's qualitative shape, and times the regeneration once.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from _bench import OUT_DIR
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR

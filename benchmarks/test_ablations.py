@@ -1,0 +1,266 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+* ``ablate.minmax`` — §IV-B1: the min-max double independent set
+  "reduces the coloring time almost by half";
+* ``ablate.hash_size`` — §IV-B2: the hash-table size is "inversely
+  related to the number of conflicts" and shaves colors;
+* ``ablate.masking`` — §III-A1: masked vxm avoids work, unmasked pays;
+* ``ablate.ordering`` — §VI future work: on power-law graphs a
+  largest-degree-first priority beats random priorities on quality;
+* ``ablate.gm`` — §VI future work: Gebremedhin-Manne speculative
+  coloring versus the independent-set family.
+"""
+
+import pytest
+
+from repro.core.gb_coloring import graphblas_is_coloring
+from repro.core.gm import gebremedhin_manne_coloring
+from repro.core.gr_hash import gunrock_hash_coloring
+from repro.core.gr_is import gunrock_is_coloring
+from repro.core.jones_plassmann import jones_plassmann_coloring
+from repro.core.validate import is_valid_coloring
+from repro.graph.generators import barabasi_albert, rmat
+from repro.harness import datasets as ds
+from repro.harness.report import format_table
+
+from _bench import BENCH_SCALE_DIV, once, write_artifact
+
+
+@pytest.fixture(scope="module")
+def g3():
+    return ds.load("G3_circuit", scale_div=BENCH_SCALE_DIV, seed=0)
+
+
+def test_ablate_minmax(benchmark, g3, artifact_dir):
+    """Min-max vs single-set independent set (Table II's key step)."""
+    def run():
+        mm = gunrock_is_coloring(g3, rng=1, min_max=True)
+        single = gunrock_is_coloring(g3, rng=1, min_max=False)
+        return mm, single
+
+    mm, single = once(benchmark, run)
+    ratio = single.sim_ms / mm.sim_ms
+    write_artifact(
+        artifact_dir,
+        "ablate_minmax.txt",
+        format_table(
+            [
+                {"variant": "single-set", "sim_ms": round(single.sim_ms, 4),
+                 "iterations": single.iterations, "colors": single.num_colors},
+                {"variant": "min-max", "sim_ms": round(mm.sim_ms, 4),
+                 "iterations": mm.iterations, "colors": mm.num_colors},
+            ],
+            title=f"ablate.minmax (speedup {ratio:.2f}x; paper: 1.67x)",
+        ),
+    )
+    assert 1.3 < ratio < 2.4  # "almost by half"
+    assert mm.iterations < single.iterations
+
+
+def test_ablate_hash_size(benchmark, g3, artifact_dir):
+    """Sweep the per-vertex hash-table size 0..8 (§IV-B2)."""
+    sizes = [0, 1, 2, 4, 8]
+
+    def run():
+        return {
+            h: gunrock_hash_coloring(g3, rng=1, hash_size=h) for h in sizes
+        }
+
+    results = once(benchmark, run)
+    rows = [
+        {
+            "hash_size": h,
+            "colors": r.num_colors,
+            "iterations": r.iterations,
+            "sim_ms": round(r.sim_ms, 4),
+        }
+        for h, r in results.items()
+    ]
+    write_artifact(
+        artifact_dir,
+        "ablate_hash_size.txt",
+        format_table(rows, title="ablate.hash_size (G3_circuit analogue)"),
+    )
+    for r in results.values():
+        assert is_valid_coloring(g3, r.colors)
+    # A real table must not be worse on quality than no table at all,
+    # and the paper's "reduce the total number of colors by 1 or 2"
+    # shows up between h=0 and the largest table.
+    assert results[8].num_colors <= results[0].num_colors
+
+
+def test_ablate_masking(benchmark, g3, artifact_dir):
+    """Masked vs unmasked GrB_vxm work (§III-A1)."""
+    def run():
+        masked = graphblas_is_coloring(g3, rng=1, masked=True)
+        unmasked = graphblas_is_coloring(g3, rng=1, masked=False)
+        return masked, unmasked
+
+    masked, unmasked = once(benchmark, run)
+    assert masked.colors.tolist() == unmasked.colors.tolist()
+    ratio = unmasked.sim_ms / masked.sim_ms
+    write_artifact(
+        artifact_dir,
+        "ablate_masking.txt",
+        format_table(
+            [
+                {"variant": "masked", "sim_ms": round(masked.sim_ms, 4)},
+                {"variant": "unmasked", "sim_ms": round(unmasked.sim_ms, 4)},
+            ],
+            title=f"ablate.masking (unmasked pays {ratio:.2f}x)",
+        ),
+    )
+    assert ratio > 1.5  # masking is a real work saver on this mesh
+
+
+def test_ablate_ordering_powerlaw(benchmark, artifact_dir):
+    """§VI: 'With power law graphs, it is possible that a random weight
+    initialization would perform worse than largest-degree first.'
+    Confirmed: LDF priorities use fewer colors on BA and R-MAT graphs."""
+    ba = barabasi_albert(3000, 4, rng=2)
+    rm = rmat(11, edge_factor=8, rng=2)
+
+    def run():
+        out = {}
+        for name, g in (("barabasi_albert", ba), ("rmat", rm)):
+            rand = jones_plassmann_coloring(g, rng=7)
+            ldf = jones_plassmann_coloring(g, priorities=g.degrees)
+            out[name] = (rand, ldf)
+        return out
+
+    results = once(benchmark, run)
+    rows = []
+    for name, (rand, ldf) in results.items():
+        rows.append(
+            {
+                "graph": name,
+                "random colors": rand.num_colors,
+                "ldf colors": ldf.num_colors,
+                "random rounds": rand.iterations,
+                "ldf rounds": ldf.iterations,
+            }
+        )
+    write_artifact(
+        artifact_dir,
+        "ablate_ordering.txt",
+        format_table(rows, title="ablate.ordering (power-law graphs, §VI)"),
+    )
+    for name, (rand, ldf) in results.items():
+        assert ldf.num_colors <= rand.num_colors, name
+
+
+def test_ablate_gebremedhin_manne(benchmark, g3, artifact_dir):
+    """§VI: compare the speculative-greedy family (CPU Gebremedhin-
+    Manne, GPU Deveci-style) and the RLF quality reference against the
+    independent-set family."""
+    from repro.core.rlf import rlf_coloring
+    from repro.core.speculative import speculative_gpu_coloring
+
+    def run():
+        return {
+            "cpu.gm[t=8]": gebremedhin_manne_coloring(g3, rng=1, num_threads=8),
+            "gpu.speculative": speculative_gpu_coloring(g3, rng=1),
+            "cpu.rlf": rlf_coloring(g3),
+            "gunrock.is": gunrock_is_coloring(g3, rng=1),
+        }
+
+    results = once(benchmark, run)
+    write_artifact(
+        artifact_dir,
+        "ablate_gm.txt",
+        format_table(
+            [
+                {"impl": k, "colors": r.num_colors,
+                 "sim_ms": round(r.sim_ms, 4)}
+                for k, r in results.items()
+            ],
+            title="ablate.gm (greedy-family vs independent-set family)",
+        ),
+    )
+    # The greedy family wins on quality (its appeal, §II-B / §VI) while
+    # the GPU IS formulation wins on modeled time; the GPU speculative
+    # port closes most of the time gap at greedy-class quality.
+    assert results["cpu.gm[t=8]"].num_colors <= results["gunrock.is"].num_colors
+    assert results["gpu.speculative"].num_colors <= results["gunrock.is"].num_colors
+    assert results["cpu.rlf"].num_colors <= results["gpu.speculative"].num_colors
+    assert results["gunrock.is"].sim_ms < results["cpu.gm[t=8]"].sim_ms
+    assert results["gpu.speculative"].sim_ms < results["cpu.gm[t=8]"].sim_ms
+
+
+def test_ablate_whatif_segmented_reduce(benchmark, g3, artifact_dir):
+    """Counterfactual: how cheap would segmented reduction have to get
+    for Advance-Reduce to tie min-max IS?  The answer quantifies §V-B's
+    'the bottleneck of the AR implementation is the segmented
+    reduction' — the tie requires an implausible improvement."""
+    from repro.harness.whatif import find_crossover, sweep_device_constant
+    from repro.gpusim.device import K40C
+
+    def run():
+        rows = sweep_device_constant(
+            g3,
+            ["gunrock.ar", "gunrock.is"],
+            "segment_ns",
+            [0.0, 15.0, 50.0, 150.0],
+        )
+        tie = find_crossover(
+            g3, "gunrock.ar", "gunrock.is", "segment_ns", 0.0, 150.0
+        )
+        return rows, tie
+
+    rows, tie = once(benchmark, run)
+    write_artifact(
+        artifact_dir,
+        "ablate_whatif_ar.txt",
+        format_table(
+            rows,
+            title=(
+                "ablate.whatif: AR vs min-max IS under cheaper segmented "
+                f"reduce (tie at segment_ns ≈ {tie})"
+            ),
+        ),
+    )
+    # Even with a FREE segmented reduce, AR cannot tie min-max: it still
+    # pays one color per iteration, frontier materialization, and two
+    # syncs — so no crossover exists in the bracket.
+    assert tie is None
+    free = rows[0]
+    assert free["gunrock.ar ms"] > free["gunrock.is ms"]
+
+
+def test_ablate_balance(benchmark, g3, artifact_dir):
+    """Post-processing ablation: class rebalancing tightens the
+    chromatic schedule of the IS-family colorings without adding
+    colors — the scheduling payoff of [1] quantified."""
+    from repro.core.balance import rebalance_coloring
+    from repro.core.metrics import coloring_metrics
+    from repro.core.registry import run_algorithm
+
+    def run():
+        rows = []
+        for algo in ("naumov.jpl", "gunrock.is", "graphblas.mis"):
+            r = run_algorithm(algo, g3, rng=1)
+            b = rebalance_coloring(g3, r)
+            m0, m1 = coloring_metrics(r), coloring_metrics(b)
+            rows.append(
+                {
+                    "Implementation": algo,
+                    "colors": m0.num_colors,
+                    "imbalance before": round(m0.imbalance, 2),
+                    "imbalance after": round(m1.imbalance, 2),
+                    "largest before": m0.largest_class,
+                    "largest after": m1.largest_class,
+                }
+            )
+        return rows
+
+    rows = once(benchmark, run)
+    write_artifact(
+        artifact_dir,
+        "ablate_balance.txt",
+        format_table(rows, title="ablate.balance (class rebalancing)"),
+    )
+    for r in rows:
+        assert r["imbalance after"] <= r["imbalance before"] + 1e-9, r
+    # IS-family classes shrink geometrically; rebalancing must bite.
+    jpl = rows[0]
+    assert jpl["imbalance after"] < jpl["imbalance before"]

@@ -1,0 +1,69 @@
+"""Benchmark: regenerate Figure 2 (time-quality tradeoff scatter).
+
+For both frameworks, the more expensive implementation must deliver
+fewer colors on (nearly) every dataset — the paper's tradeoff panels:
+Gunrock IS vs Hash (2a) and GraphBLAST IS vs MIS (2b).
+"""
+
+import pytest
+
+from repro.harness.figures import fig2_series
+from repro.harness.report import format_table, to_csv
+
+from _bench import BENCH_SCALE_DIV, once, write_artifact
+
+
+@pytest.fixture(scope="module")
+def series():
+    return fig2_series(scale_div=BENCH_SCALE_DIV, repetitions=3, seed=0)
+
+
+def test_fig2_scatter(benchmark, artifact_dir):
+    result = once(
+        benchmark,
+        lambda: fig2_series(scale_div=BENCH_SCALE_DIV, repetitions=1, seed=0),
+    )
+    for key, title in (
+        ("gunrock", "Figure 2a: Gunrock time-quality tradeoff"),
+        ("graphblast", "Figure 2b: GraphBLAST time-quality tradeoff"),
+    ):
+        write_artifact(
+            artifact_dir, f"fig2_{key}.txt", format_table(result[key], title=title)
+        )
+        write_artifact(artifact_dir, f"fig2_{key}.csv", to_csv(result[key]))
+    assert len(result["gunrock"]) == 24  # 12 datasets x 2 impls
+
+
+def _tradeoff(points, cheap, rich):
+    """Fraction of datasets where the expensive variant (rich) costs
+    more time and uses no more colors."""
+    by = {}
+    for p in points:
+        by.setdefault(p["Dataset"], {})[p["Implementation"]] = p
+    wins = slower = 0
+    for ds, impls in by.items():
+        if impls[rich]["Runtime (ms)"] > impls[cheap]["Runtime (ms)"]:
+            slower += 1
+        if impls[rich]["Colors"] <= impls[cheap]["Colors"]:
+            wins += 1
+    return slower / len(by), wins / len(by)
+
+
+def test_gunrock_tradeoff(benchmark, series):
+    slower, better = once(
+        benchmark, lambda: _tradeoff(series["gunrock"], "gunrock.is", "gunrock.hash")
+    )
+    # Hash is slower everywhere and at least matches IS colors nearly
+    # everywhere (Fig. 2a).
+    assert slower == 1.0
+    assert better >= 0.8
+
+
+def test_graphblast_tradeoff(benchmark, series):
+    slower, better = once(
+        benchmark,
+        lambda: _tradeoff(series["graphblast"], "graphblas.is", "graphblas.mis"),
+    )
+    # MIS is slower and strictly better on colors everywhere (Fig. 2b).
+    assert slower == 1.0
+    assert better == 1.0

@@ -1,0 +1,81 @@
+"""Benchmark: regenerate Figure 3 (RGG scaling, all four panels).
+
+The sweep runs the same 2x vertex progression as the paper's
+rgg_n_2_{15..24} at laptop scale.  Asserted shapes (§V-E):
+
+* runtime grows with scale for both frameworks (panels a, b);
+* Gunrock wins decisively at the small end (lower overhead);
+* GraphBLAST closes the gap as scale (and RGG average degree) grows —
+  the paper's crossover "beyond scale 23 and 24" maps to the top of our
+  sweep;
+* color counts grow slowly, with Gunrock ≈ paper's 1.14x advantage
+  (panels c, d).
+"""
+
+import pytest
+
+from repro.harness.figures import fig3_series
+from repro.harness.report import format_table, geomean, to_csv
+
+from _bench import BENCH_RGG_SCALES, once, write_artifact
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return fig3_series(scales=BENCH_RGG_SCALES, repetitions=1, seed=0)
+
+
+def _split(rows):
+    gun = {r["Scale"]: r for r in rows if r["Implementation"] == "gunrock.is"}
+    gb = {r["Scale"]: r for r in rows if r["Implementation"] == "graphblas.is"}
+    return gun, gb
+
+
+def test_fig3_sweep(benchmark, artifact_dir):
+    result = once(
+        benchmark, lambda: fig3_series(scales=BENCH_RGG_SCALES[:4], repetitions=1, seed=0)
+    )
+    assert len(result) == 8
+
+
+def test_fig3_artifacts(benchmark, rows, artifact_dir):
+    text = once(
+        benchmark,
+        lambda: format_table(
+            rows, title="Figure 3: RGG scaling (runtime & colors vs n, m)"
+        ),
+    )
+    write_artifact(artifact_dir, "fig3.txt", text)
+    write_artifact(artifact_dir, "fig3.csv", to_csv(rows))
+
+
+def test_runtime_monotone_in_scale(benchmark, rows):
+    gun, gb = once(benchmark, lambda: _split(rows))
+    scales = sorted(gun)
+    for series in (gun, gb):
+        times = [series[s]["Runtime (ms)"] for s in scales]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+
+def test_gunrock_lower_overhead_small_scale(benchmark, rows):
+    gun, gb = once(benchmark, lambda: _split(rows))
+    smallest = min(gun)
+    ratio = gb[smallest]["Runtime (ms)"] / gun[smallest]["Runtime (ms)"]
+    assert ratio > 2.0  # "Gunrock does better for smaller graphs"
+
+
+def test_graphblast_closes_gap_at_scale(benchmark, rows):
+    gun, gb = once(benchmark, lambda: _split(rows))
+    scales = sorted(gun)
+    first = gb[scales[0]]["Runtime (ms)"] / gun[scales[0]]["Runtime (ms)"]
+    last = gb[scales[-1]]["Runtime (ms)"] / gun[scales[-1]]["Runtime (ms)"]
+    assert last < first / 2.5  # the gap collapses across the sweep
+    assert last < 1.15  # ... to parity-or-better at the top
+
+def test_rgg_color_ratio(benchmark, rows):
+    gun, gb = once(benchmark, lambda: _split(rows))
+    ratio = geomean(
+        gb[s]["Colors"] / gun[s]["Colors"] for s in gun
+    )
+    # Paper: Gunrock needs 1.14x fewer colors on RGG.
+    assert 0.95 < ratio < 1.35

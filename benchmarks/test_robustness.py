@@ -1,0 +1,132 @@
+"""Robustness benchmarks beyond the paper's headline artifacts.
+
+* **Ladder-everywhere**: the Table II optimization ordering
+  (AR > hash > ±atomics > min-max) must hold on every real-world
+  dataset, not just G3_circuit — the claim is about mechanisms, so it
+  should not be dataset-specific.
+* **Seed sensitivity**: the paper averages 10 runs; here we quantify
+  what that averaging hides — relative spread of colors and modeled
+  runtime across seeds stays small for every implementation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.registry import run_algorithm
+from repro.harness import datasets as ds
+from repro.harness.report import format_table
+from repro.harness.runner import run_cell
+
+from _bench import BENCH_SCALE_DIV, once, write_artifact
+
+LADDER_DATASETS = [
+    "offshore",
+    "parabolic_fem",
+    "ecology2",
+    "G3_circuit",
+    "thermomech_dK",
+    "ASIC_320ks",
+    "cage13",
+    "atmosmodd",
+]
+
+
+def test_ladder_holds_on_every_dataset(benchmark, artifact_dir):
+    def run():
+        rows = []
+        for name in LADDER_DATASETS:
+            g = ds.load(name, scale_div=BENCH_SCALE_DIV, seed=0)
+            times = {
+                algo: run_cell(g, algo, repetitions=1, seed=0).sim_ms
+                for algo in (
+                    "gunrock.ar",
+                    "gunrock.hash",
+                    "gunrock.is_single",
+                    "gunrock.is",
+                )
+            }
+            rows.append({"Dataset": name, **{k: round(v, 4) for k, v in times.items()}})
+        return rows
+
+    rows = once(benchmark, run)
+    write_artifact(
+        artifact_dir,
+        "robustness_ladder.txt",
+        format_table(rows, title="Table II ordering across datasets"),
+    )
+    for r in rows:
+        assert r["gunrock.ar"] > r["gunrock.hash"], r["Dataset"]
+        assert r["gunrock.hash"] > r["gunrock.is"], r["Dataset"]
+        assert r["gunrock.is_single"] > r["gunrock.is"], r["Dataset"]
+
+
+SEED_ALGOS = [
+    "gunrock.is",
+    "gunrock.hash",
+    "graphblas.is",
+    "graphblas.mis",
+    "naumov.jpl",
+    "naumov.cc",
+]
+
+
+def test_seed_sensitivity(benchmark, artifact_dir):
+    """Colors and modeled runtime vary mildly across 8 seeds — the
+    averaging the paper applies (10 runs) is stabilizing noise, not
+    hiding mode changes."""
+    g = ds.load("G3_circuit", scale_div=BENCH_SCALE_DIV, seed=0)
+
+    def run():
+        rows = []
+        for algo in SEED_ALGOS:
+            colors, times = [], []
+            for s in range(8):
+                r = run_algorithm(algo, g, rng=1000 + s)
+                colors.append(r.num_colors)
+                times.append(r.sim_ms)
+            rows.append(
+                {
+                    "Implementation": algo,
+                    "colors mean": round(float(np.mean(colors)), 2),
+                    "colors std": round(float(np.std(colors)), 2),
+                    "ms mean": round(float(np.mean(times)), 4),
+                    "ms rel-std": round(float(np.std(times) / np.mean(times)), 3),
+                }
+            )
+        return rows
+
+    rows = once(benchmark, run)
+    write_artifact(
+        artifact_dir,
+        "robustness_seeds.txt",
+        format_table(rows, title="Seed sensitivity (8 seeds, G3_circuit)"),
+    )
+    for r in rows:
+        assert r["ms rel-std"] < 0.25, r
+        assert r["colors std"] <= max(2.5, 0.2 * r["colors mean"]), r
+
+
+def test_ladder_stable_across_scales(benchmark, artifact_dir):
+    """The Table II ordering is not an artifact of the benchmark's
+    down-scaling: it holds at 2x finer and 2x coarser divisors too."""
+    def run():
+        rows = []
+        for div in (128, 64, 32):
+            g = ds.load("G3_circuit", scale_div=div, seed=0)
+            row = {"scale_div": div, "vertices": g.num_vertices}
+            for algo in ("gunrock.ar", "gunrock.hash", "gunrock.is_single", "gunrock.is"):
+                row[algo] = round(
+                    run_cell(g, algo, repetitions=1, seed=0).sim_ms, 4
+                )
+            rows.append(row)
+        return rows
+
+    rows = once(benchmark, run)
+    write_artifact(
+        artifact_dir,
+        "robustness_scales.txt",
+        format_table(rows, title="Table II ordering across scale divisors"),
+    )
+    for r in rows:
+        assert r["gunrock.ar"] > r["gunrock.hash"] > r["gunrock.is"], r
+        assert r["gunrock.is_single"] > r["gunrock.is"], r

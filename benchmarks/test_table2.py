@@ -1,0 +1,61 @@
+"""Benchmark: regenerate Table II (Gunrock optimization ladder).
+
+One benchmark per ladder row on the G3_circuit analogue, plus a shape
+check of the whole ladder against the paper's measurements:
+
+    Baseline (Advance-Reduce)          656 ms      —
+    Hash Color                        17.21 ms   38.11x
+    Independent Set with Atomics      13.67 ms    1.26x
+    Independent Set without Atomics   11.15 ms    1.23x
+    Min-Max Independent Set            6.68 ms    1.67x
+"""
+
+import pytest
+
+from repro.harness import datasets as ds
+from repro.harness.report import format_table, to_csv
+from repro.harness.runner import run_cell
+from repro.harness.tables import TABLE2_LADDER, table2_rows
+
+from _bench import BENCH_SCALE_DIV, once, write_artifact
+
+
+@pytest.mark.parametrize("label,algo", TABLE2_LADDER)
+def test_table2_row(benchmark, label, algo):
+    """Time each ladder variant individually (wall clock of the
+    simulation; the reproduced metric is the simulated ms)."""
+    benchmark.group = "table2"
+    graph = ds.load("G3_circuit", scale_div=BENCH_SCALE_DIV, seed=0)
+    cell = once(
+        benchmark, lambda: run_cell(graph, algo, repetitions=1, seed=0)
+    )
+    benchmark.extra_info["sim_ms"] = round(cell.sim_ms, 4)
+    benchmark.extra_info["colors"] = cell.colors
+    assert cell.valid
+
+
+def test_table2_ladder_shape(benchmark, artifact_dir):
+    rows = once(
+        benchmark,
+        lambda: table2_rows(scale_div=BENCH_SCALE_DIV, repetitions=3, seed=0),
+    )
+    text = format_table(
+        rows, title="Table II: Gunrock optimization impact (G3_circuit)"
+    )
+    write_artifact(artifact_dir, "table2.txt", text)
+    write_artifact(artifact_dir, "table2.csv", to_csv(rows))
+
+    ms = {r["Optimization"]: r["Performance (ms)"] for r in rows}
+    ar = ms["Baseline (Advance-Reduce)"]
+    hsh = ms["Hash Color"]
+    at = ms["Independent Set with Atomics"]
+    single = ms["Independent Set without Atomics"]
+    mm = ms["Min-Max Independent Set"]
+    # The paper's ordering holds row for row...
+    assert ar > hsh > at > single > mm
+    # ...and the headline magnitudes land in band (paper: 98x, 2.6x,
+    # 1.23x, 1.67x).
+    assert 40 < ar / mm < 250
+    assert 1.8 < hsh / mm < 5.0
+    assert 1.05 < at / single < 1.6
+    assert 1.3 < single / mm < 2.4

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Chromatic scheduling: deterministic parallel Gauss–Seidel smoothing.
+
+The paper's introduction motivates coloring with "the deterministic
+scheduling of dynamic computations" [1]: color the data graph, then
+update same-colored vertices in parallel, one color class per round.
+Gauss–Seidel-style smoothing on a grid is the canonical example — the
+red/black checkerboard is literally a 2-coloring.
+
+This script colors a 2-D grid with the paper's GraphBLAS MIS
+implementation, builds the schedule, runs a Jacobi-like averaging sweep
+through it, and shows (a) the result is deterministic and (b) fewer
+colors ⇒ fewer synchronization rounds.
+
+Run:  python examples/chromatic_scheduling.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import run_algorithm
+from repro.apps import build_schedule
+from repro.graph.generators import grid2d
+
+
+def averaging_update(state, ids, graph):
+    """New value of each vertex = mean of itself and its neighbors."""
+    out = np.empty(len(ids))
+    for k, v in enumerate(ids):  # ids within a round are independent
+        nbrs = graph.neighbors(v)
+        out[k] = (state[v] + state[nbrs].sum()) / (1 + len(nbrs))
+    return out
+
+
+def main() -> None:
+    graph = grid2d(64, 64)
+    rng = np.random.default_rng(7)
+    heat = rng.random(graph.num_vertices) * 100.0
+
+    for algo in ("graphblas.mis", "gunrock.hash", "naumov.cc"):
+        result = run_algorithm(algo, graph, rng=3)
+        schedule = build_schedule(graph, result)
+        schedule.verify()
+        smoothed = schedule.execute(heat, averaging_update)
+        again = schedule.execute(heat, averaging_update)
+        assert np.array_equal(smoothed, again), "schedule must be deterministic"
+        print(
+            f"{algo:14s}: {schedule.num_rounds:3d} rounds "
+            f"(barriers per sweep), avg parallelism "
+            f"{schedule.avg_parallelism:8.1f} vertices/round, "
+            f"residual {np.abs(smoothed - heat).mean():.3f}"
+        )
+    print()
+    print(
+        "Fewer colors means fewer global barriers per smoothing sweep —\n"
+        "exactly why the paper optimizes color count, not just runtime."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Sparse Jacobian compression ("What color is your Jacobian?" [9]).
+
+Coloring the column intersection graph of a sparse Jacobian groups
+structurally orthogonal columns; one finite-difference evaluation per
+*color* (instead of per column) recovers the whole matrix.  This script
+builds the Jacobian pattern of a 1-D PDE stencil and a random sparse
+system, compresses with three of the paper's colorings, and verifies
+exact reconstruction.
+
+Run:  python examples/jacobian_compression.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.apps import compress_jacobian, reconstruct_jacobian
+
+
+def tridiagonal_pattern(n: int):
+    """Jacobian sparsity of a 1-D 3-point stencil."""
+    main = np.ones(n)
+    return sparse.diags(
+        [main[:-1], main, main[:-1]], offsets=[-1, 0, 1], format="csr"
+    )
+
+
+def random_pattern(rows: int, cols: int, nnz_per_row: int, seed: int):
+    rng = np.random.default_rng(seed)
+    r = np.repeat(np.arange(rows), nnz_per_row)
+    c = rng.integers(0, cols, size=len(r))
+    return sparse.csr_matrix((np.ones(len(r)), (r, c)), shape=(rows, cols))
+
+
+def demo(name: str, pattern, algorithm: str) -> None:
+    rng = np.random.default_rng(11)
+    dense = pattern.toarray() * rng.random(pattern.shape)
+    jac = sparse.csr_matrix(dense)
+
+    seed_matrix, coloring, cig = compress_jacobian(
+        pattern, algorithm=algorithm, rng=5
+    )
+    compressed = jac @ seed_matrix  # k directional derivatives
+    recovered = reconstruct_jacobian(pattern, compressed, coloring)
+    exact = np.allclose(recovered, dense)
+    n_cols = pattern.shape[1]
+    print(
+        f"{name:22s} {algorithm:16s} columns={n_cols:5d} "
+        f"colors={coloring.num_colors:4d} "
+        f"evaluations saved={n_cols - coloring.num_colors:5d} "
+        f"exact={exact}"
+    )
+    assert exact
+
+
+def main() -> None:
+    tri = tridiagonal_pattern(500)
+    rnd = random_pattern(400, 300, nnz_per_row=4, seed=3)
+    for algo in ("graphblas.mis", "gunrock.is", "cpu.greedy_sl"):
+        demo("tridiagonal-500", tri, algo)
+    for algo in ("graphblas.mis", "gunrock.hash"):
+        demo("random-400x300", rnd, algo)
+    print()
+    print(
+        "A tridiagonal Jacobian compresses to ~3 evaluations regardless of\n"
+        "size; better colorings (graphblas.mis) save the most evaluations\n"
+        "on irregular patterns."
+    )
+
+
+if __name__ == "__main__":
+    main()

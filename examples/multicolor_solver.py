@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Multicolor Gauss–Seidel: coloring as a parallel-preconditioner tool.
+
+The paper's comparator (Naumov et al.) was built to parallelize
+incomplete-LU and Gauss–Seidel: color the matrix graph, then relax each
+color class simultaneously.  This script solves a 2-D Poisson system
+three ways — sequential Gauss–Seidel, and multicolor Gauss–Seidel under
+two different colorings — and shows that (a) convergence matches the
+sequential method, and (b) fewer colors means fewer parallel steps
+(barriers) per sweep.
+
+Run:  python examples/multicolor_solver.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro import run_algorithm
+from repro.apps import (
+    gauss_seidel_reference,
+    matrix_graph,
+    multicolor_gauss_seidel,
+)
+
+
+def poisson2d(side: int):
+    """Standard 5-point Laplacian on a side×side grid."""
+    main = 4.0 * np.ones(side * side)
+    off1 = -np.ones(side * side - 1)
+    off1[np.arange(1, side * side) % side == 0] = 0  # no wrap across rows
+    offs = -np.ones(side * side - side)
+    return sparse.diags(
+        [offs, off1, main, off1, offs],
+        offsets=[-side, -1, 0, 1, side],
+        format="csr",
+    )
+
+
+def main() -> None:
+    side = 24
+    A = poisson2d(side)
+    rng = np.random.default_rng(0)
+    x_true = rng.random(A.shape[0])
+    b = A @ x_true
+
+    x_ref, hist_ref = gauss_seidel_reference(A, b, sweeps=60)
+    print(f"sequential GS:   residual {hist_ref[-1]:.3e} after {len(hist_ref)} sweeps")
+
+    g = matrix_graph(A)
+    for algo in ("graphblas.mis", "naumov.cc"):
+        coloring = run_algorithm(algo, g, rng=1)
+        x, hist = multicolor_gauss_seidel(A, b, coloring, sweeps=60)
+        print(
+            f"multicolor GS ({algo:13s}): residual {hist[-1]:.3e}, "
+            f"{coloring.num_colors:2d} parallel steps/sweep, "
+            f"error vs truth {np.linalg.norm(x - x_true):.3e}"
+        )
+    print()
+    print(
+        "Both colorings converge like sequential Gauss-Seidel, but the\n"
+        "MIS coloring needs far fewer barriers per sweep than the\n"
+        "color-hungry CC coloring — the paper's quality metric, made\n"
+        "concrete."
+    )
+
+
+if __name__ == "__main__":
+    main()

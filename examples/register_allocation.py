@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Register allocation via interference-graph coloring (Chaitin [2]).
+
+Simulates a straight-line program: each virtual register is live over
+an interval; overlapping intervals interfere.  Coloring the
+interference graph assigns physical registers; a register budget forces
+spills, chosen highest-degree-first.
+
+Run:  python examples/register_allocation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps import allocate_registers, live_ranges_to_interference
+
+
+def synthetic_program(num_vars: int, length: int, seed: int):
+    """Random live intervals with a mix of short and long-lived values."""
+    rng = np.random.default_rng(seed)
+    starts = rng.integers(0, length, size=num_vars)
+    spans = np.where(
+        rng.random(num_vars) < 0.15,
+        rng.integers(length // 4, length // 2, size=num_vars),  # long-lived
+        rng.integers(1, length // 16, size=num_vars),  # temporaries
+    )
+    return starts, starts + spans
+
+
+def main() -> None:
+    starts, ends = synthetic_program(num_vars=400, length=1000, seed=9)
+    g = live_ranges_to_interference(starts, ends)
+    print(f"interference graph: {g}")
+
+    # Unbounded: how many registers does this code want?
+    for algo in ("cpu.greedy_sl", "graphblas.mis", "gunrock.is"):
+        alloc = allocate_registers(g, algorithm=algo, rng=2)
+        print(f"  {algo:16s} needs {alloc.num_registers:3d} registers, no spills")
+
+    # Interval-graph bound: max overlap depth = minimum possible.
+    events = np.zeros(int(ends.max()) + 2, dtype=np.int64)
+    np.add.at(events, starts, 1)
+    np.add.at(events, ends, -1)
+    print(f"  optimal (max live depth): {np.cumsum(events).max()}")
+    print()
+
+    # Bounded: force spills with a small register file.
+    for budget in (32, 24, 16):
+        alloc = allocate_registers(
+            g, max_registers=budget, algorithm="cpu.greedy_sl", rng=2
+        )
+        print(
+            f"  budget {budget:3d}: used {alloc.num_registers:3d} registers, "
+            f"spilled {alloc.spill_count:3d} values"
+        )
+    print()
+    print(
+        "smallest-degree-last greedy (the ordering §II-B singles out)\n"
+        "is optimal on interval graphs, matching the max-live-depth bound."
+    )
+
+
+if __name__ == "__main__":
+    main()

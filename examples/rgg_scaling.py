@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Reproduce the paper's Figure 3 scaling study at your own scale.
+
+Sweeps DIMACS10-style random geometric graphs across doubling scales
+and prints runtime and color count for the best Gunrock and GraphBLAST
+implementations (both independent-set, per §V-E), showing the paper's
+crossover: "Gunrock does better for smaller graphs, which indicates
+that it has lower overhead. GraphBLAS begins to do better beyond
+scale 23 and 24" — in our down-scaled universe the crossover lands near
+the top of the default sweep.
+
+Run:  python examples/rgg_scaling.py [--min-scale 10 --max-scale 16]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.harness.figures import fig3_series
+from repro.harness.report import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--min-scale", type=int, default=10)
+    parser.add_argument("--max-scale", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+    scales = list(range(args.min_scale, args.max_scale + 1))
+
+    rows = fig3_series(scales=scales, seed=args.seed, repetitions=1)
+    print(format_table(rows, title="Figure 3: RGG scaling sweep"))
+    print()
+
+    gun = {r["Scale"]: r for r in rows if r["Implementation"] == "gunrock.is"}
+    gb = {r["Scale"]: r for r in rows if r["Implementation"] == "graphblas.is"}
+    crossed = [s for s in scales if gb[s]["Runtime (ms)"] < gun[s]["Runtime (ms)"]]
+    if crossed:
+        print(f"GraphBLAST overtakes Gunrock from scale {crossed[0]} onward.")
+    else:
+        print(
+            "No crossover inside this sweep — extend --max-scale to see\n"
+            "GraphBLAST's load-balanced vxm overtake the serial loop as\n"
+            "average degree grows."
+        )
+
+
+if __name__ == "__main__":
+    main()

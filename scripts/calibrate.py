@@ -1,0 +1,81 @@
+"""Calibration report: every headline ratio of the paper vs our model.
+
+Run after any change to the cost-model constants in
+``repro/gpusim/device.py``; the printed deltas say which constant to
+nudge.  Once the shapes match, the constants are frozen and the full
+benchmark suite reproduces Figures 1–3 and both tables from them.
+
+The headline targets and bands live in
+``repro.harness.calibration.HEADLINE_TARGETS``; this script prints that
+library's evaluation plus the Figure 3 sweep the targets don't cover.
+
+Usage::
+
+    python scripts/calibrate.py [--scale-div 64] [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.harness.calibration import check_headlines
+from repro.harness.figures import fig3_series
+from repro.harness.report import geomean
+
+QUICK_DATASETS = [
+    "offshore",
+    "af_shell3",
+    "parabolic_fem",
+    "ecology2",
+    "G3_circuit",
+    "FEM_3D_thermal2",
+    "thermomech_dK",
+    "ASIC_320ks",
+    "cage13",
+]
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--scale-div", type=int, default=64)
+    ap.add_argument("--quick", action="store_true")
+    ap.add_argument("--reps", type=int, default=1)
+    args = ap.parse_args()
+
+    results = check_headlines(
+        scale_div=args.scale_div,
+        repetitions=args.reps,
+        datasets=QUICK_DATASETS if args.quick else None,
+    )
+    print("== Headline targets (Table II + Figure 1) ==")
+    all_ok = True
+    for r in results:
+        flag = "ok " if r.ok else "OUT"
+        all_ok &= r.ok
+        print(
+            f"  [{flag}] {r.key:38s} paper={r.paper_value:<8g} "
+            f"ours={r.measured:8.3f}  band=[{r.band[0]:g}, {r.band[1]:g}]  "
+            f"({r.source})"
+        )
+    print(f"  => {'ALL IN BAND' if all_ok else 'SOME TARGETS OUT OF BAND'}")
+
+    if not args.quick:
+        print("== Figure 3 RGG sweep ==")
+        rows3 = fig3_series(repetitions=1)
+        gun = {r["Scale"]: r for r in rows3 if r["Implementation"] == "gunrock.is"}
+        gb = {r["Scale"]: r for r in rows3 if r["Implementation"] == "graphblas.is"}
+        scales = sorted(gun)
+        for s in scales:
+            print(
+                f"  scale {s:2d}  n={gun[s]['Vertices']:>8}  "
+                f"gunrock {gun[s]['Runtime (ms)']:9.4f} ms / {gun[s]['Colors']:5.1f} c   "
+                f"graphblast {gb[s]['Runtime (ms)']:9.4f} ms / {gb[s]['Colors']:5.1f} c"
+            )
+        color_ratio = geomean(gb[s]["Colors"] / gun[s]["Colors"] for s in scales)
+        print(
+            f"  graphblast/gunrock RGG color ratio: paper=1.14 ours={color_ratio:.3f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+This environment has setuptools but no ``wheel`` package, so PEP-517
+editable installs (which must build a wheel) fail.  This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` take the
+legacy ``setup.py develop`` path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

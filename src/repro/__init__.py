@@ -1,0 +1,65 @@
+"""repro — reproduction of "Graph Coloring on the GPU" (Osama et al., 2019).
+
+Parallel graph-coloring algorithms expressed in two GPU abstractions —
+a data-centric (Gunrock-style) framework and a linear-algebra
+(GraphBLAS) framework — executing bit-exactly on the host while a
+calibrated bulk-synchronous cost model reproduces the paper's
+performance landscape.
+
+Quickstart::
+
+    from repro import generate_dataset, run_algorithm, is_valid_coloring
+
+    g = generate_dataset("G3_circuit", scale_div=64, rng=0)
+    result = run_algorithm("gunrock.is", g, rng=0)
+    assert is_valid_coloring(g, result.colors)
+    print(result.summary())
+
+Subpackages
+-----------
+``repro.graph``
+    CSR graph substrate: builders, generators, I/O, statistics.
+``repro.graphblas``
+    From-scratch GraphBLAS subset (vectors, matrices, semirings, masks).
+``repro.gunrock``
+    Data-centric frontier framework (advance / compute / neighbor-reduce).
+``repro.gpusim``
+    The bulk-synchronous GPU performance model.
+``repro.core``
+    The coloring algorithms themselves.
+``repro.harness``
+    Experiment runner regenerating every table and figure of the paper.
+``repro.apps``
+    Downstream applications (chromatic scheduling, Jacobian compression,
+    register allocation).
+"""
+
+from .core import (
+    ALGORITHMS,
+    ColoringResult,
+    FIGURE1_ALGORITHMS,
+    algorithm_names,
+    assert_valid_coloring,
+    get_algorithm,
+    is_valid_coloring,
+    run_algorithm,
+)
+from .graph import CSRGraph, from_edges
+from .graph.generators.suitesparse import generate as generate_dataset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "CSRGraph",
+    "from_edges",
+    "ColoringResult",
+    "is_valid_coloring",
+    "assert_valid_coloring",
+    "run_algorithm",
+    "get_algorithm",
+    "algorithm_names",
+    "ALGORITHMS",
+    "FIGURE1_ALGORITHMS",
+    "generate_dataset",
+]

@@ -1,0 +1,46 @@
+"""Downstream applications of graph coloring (the paper's motivation).
+
+* :mod:`.scheduling` — chromatic scheduling of data-graph computations;
+* :mod:`.jacobian` — sparse Jacobian compression (structurally
+  orthogonal column groups);
+* :mod:`.register_alloc` — register allocation on interference graphs;
+* :mod:`.sudoku` — Sudoku as precolored exact coloring;
+* :mod:`.linear_solver` — multicolor Gauss–Seidel relaxation.
+"""
+
+from .linear_solver import (
+    gauss_seidel_reference,
+    matrix_graph,
+    multicolor_gauss_seidel,
+)
+from .sudoku import (
+    board_to_precoloring,
+    coloring_to_board,
+    solve_sudoku,
+    sudoku_graph,
+)
+from .jacobian import (
+    column_intersection_graph,
+    compress_jacobian,
+    reconstruct_jacobian,
+)
+from .register_alloc import Allocation, allocate_registers, live_ranges_to_interference
+from .scheduling import ChromaticSchedule, build_schedule
+
+__all__ = [
+    "ChromaticSchedule",
+    "build_schedule",
+    "column_intersection_graph",
+    "compress_jacobian",
+    "reconstruct_jacobian",
+    "Allocation",
+    "allocate_registers",
+    "live_ranges_to_interference",
+    "sudoku_graph",
+    "solve_sudoku",
+    "board_to_precoloring",
+    "coloring_to_board",
+    "matrix_graph",
+    "multicolor_gauss_seidel",
+    "gauss_seidel_reference",
+]

@@ -1,0 +1,100 @@
+"""Sparse Jacobian compression via graph coloring.
+
+The paper cites "approximating sparse Jacobians and Hessians that
+arise during automatic differentiation" [8, 9] as a driving
+application: columns of a sparse Jacobian that share no row can be
+estimated with a single function evaluation (one seed vector), so the
+number of evaluations equals the number of colors of the *column
+intersection graph* — two columns are adjacent iff some row has a
+nonzero in both.
+
+:func:`column_intersection_graph` builds that graph from a sparsity
+pattern; :func:`compress_jacobian` produces the seed matrix and
+:func:`reconstruct_jacobian` recovers the full Jacobian from compressed
+products, which the tests verify bit-exactly for arbitrary patterns.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from .._rng import RngLike
+from ..core.registry import run_algorithm
+from ..core.result import ColoringResult
+from ..errors import ReproError
+from ..graph.build import from_edges
+from ..graph.csr import CSRGraph
+
+__all__ = [
+    "column_intersection_graph",
+    "compress_jacobian",
+    "reconstruct_jacobian",
+]
+
+
+def column_intersection_graph(pattern) -> CSRGraph:
+    """The column intersection graph of a sparse 0/1 pattern.
+
+    ``pattern`` is any scipy sparse matrix or dense array; columns u, v
+    are joined when they share a nonzero row.  (This equals the
+    adjacency of ``AᵀA``'s off-diagonal pattern.)
+    """
+    from scipy import sparse
+
+    mat = sparse.csc_matrix(pattern)
+    mat.data[:] = 1
+    gram = (mat.T @ mat).tocoo()
+    keep = gram.row != gram.col
+    edges = np.column_stack(
+        [gram.row[keep].astype(np.int64), gram.col[keep].astype(np.int64)]
+    )
+    return from_edges(edges, num_vertices=mat.shape[1], name="column_intersection")
+
+
+def compress_jacobian(
+    pattern,
+    *,
+    algorithm: str = "graphblas.mis",
+    rng: RngLike = None,
+) -> Tuple[np.ndarray, ColoringResult, CSRGraph]:
+    """Color the column intersection graph and build the seed matrix.
+
+    Returns ``(seed, coloring, cig)`` where ``seed`` is the n×k matrix
+    whose k columns are the sums of structurally orthogonal Jacobian
+    columns: evaluating ``J @ seed`` costs k directional derivatives
+    instead of n.
+    """
+    cig = column_intersection_graph(pattern)
+    coloring = run_algorithm(algorithm, cig, rng=rng)
+    norm = coloring.normalized()
+    k = coloring.num_colors
+    n = cig.num_vertices
+    seed = np.zeros((n, k))
+    seed[np.arange(n), norm - 1] = 1.0
+    return seed, coloring, cig
+
+
+def reconstruct_jacobian(
+    pattern,
+    compressed: np.ndarray,
+    coloring: ColoringResult,
+) -> np.ndarray:
+    """Recover the dense Jacobian from ``J @ seed``.
+
+    Because same-colored columns are structurally orthogonal, every
+    nonzero J[i, j] appears unaliased in ``compressed[i, color(j)-1]``.
+    """
+    from scipy import sparse
+
+    mat = sparse.coo_matrix(pattern)
+    norm = coloring.normalized()
+    if compressed.shape[1] != coloring.num_colors:
+        raise ReproError(
+            "compressed width must equal the coloring's color count"
+        )
+    out = np.zeros(mat.shape)
+    rows, cols = mat.row, mat.col
+    out[rows, cols] = compressed[rows, norm[cols] - 1]
+    return out

@@ -1,0 +1,110 @@
+"""Multicolor Gauss–Seidel relaxation (the paper's citations [3, 4]).
+
+Naumov et al.'s csrcolor — the paper's comparator — exists to
+parallelize incomplete-LU and Gauss–Seidel preconditioners: if the
+unknowns of ``Ax = b`` are colored so that no two coupled unknowns
+share a color, then within a color class the Gauss–Seidel updates are
+independent and can run in parallel; the sweep becomes ``num_colors``
+bulk-synchronous steps instead of ``n`` sequential ones.
+
+:func:`multicolor_gauss_seidel` runs that relaxation given any
+:class:`~repro.core.result.ColoringResult` of the matrix graph;
+:func:`matrix_graph` extracts the graph; fewer colors ⇒ fewer barriers
+per sweep, which is precisely why the paper optimizes color count.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.result import ColoringResult
+from ..core.validate import assert_valid_coloring
+from ..errors import ReproError
+from ..graph.build import from_scipy
+from ..graph.csr import CSRGraph
+
+__all__ = ["matrix_graph", "multicolor_gauss_seidel", "gauss_seidel_reference"]
+
+
+def matrix_graph(A) -> CSRGraph:
+    """The adjacency graph of a (structurally symmetric) sparse matrix:
+    vertices = unknowns, edges = symmetrized off-diagonal couplings."""
+    return from_scipy(A, name="matrix_graph")
+
+
+def _check_system(A, b):
+    from scipy import sparse
+
+    A = sparse.csr_matrix(A)
+    b = np.asarray(b, dtype=np.float64)
+    if A.shape[0] != A.shape[1]:
+        raise ReproError("A must be square")
+    if b.shape != (A.shape[0],):
+        raise ReproError("b must be a vector matching A")
+    diag = A.diagonal()
+    if (diag == 0).any():
+        raise ReproError("Gauss-Seidel requires a nonzero diagonal")
+    return A, b, diag
+
+
+def multicolor_gauss_seidel(
+    A,
+    b,
+    coloring: ColoringResult,
+    *,
+    sweeps: int = 50,
+    x0: Optional[np.ndarray] = None,
+    tol: float = 0.0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Gauss–Seidel with color-parallel updates.
+
+    Per sweep, color classes are relaxed in color order; within a class
+    all unknowns update simultaneously from the latest values — valid
+    because the coloring guarantees no intra-class coupling, so the
+    result is *identical* to some sequential Gauss–Seidel ordering.
+
+    Returns ``(x, residual_history)``; stops early when the 2-norm
+    residual drops below ``tol`` (0 disables).
+    """
+    A, b, diag = _check_system(A, b)
+    graph = matrix_graph(A)
+    assert_valid_coloring(graph, coloring.colors)
+    norm = coloring.normalized()
+    classes = [
+        np.flatnonzero(norm == c) for c in range(1, coloring.num_colors + 1)
+    ]
+    x = np.zeros_like(b) if x0 is None else np.array(x0, dtype=np.float64)
+    history = []
+    for _ in range(sweeps):
+        for cls in classes:
+            # x_cls = (b_cls - offdiag_row @ x) / diag_cls, simultaneous.
+            rows = A[cls]
+            x[cls] += (b[cls] - rows @ x) / diag[cls]
+        res = float(np.linalg.norm(b - A @ x))
+        history.append(res)
+        if tol and res < tol:
+            break
+    return x, np.asarray(history)
+
+
+def gauss_seidel_reference(
+    A,
+    b,
+    *,
+    sweeps: int = 50,
+    x0: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Plain sequential Gauss–Seidel (natural order), for comparison."""
+    A, b, diag = _check_system(A, b)
+    n = len(b)
+    x = np.zeros_like(b) if x0 is None else np.array(x0, dtype=np.float64)
+    indptr, indices, data = A.indptr, A.indices, A.data
+    history = []
+    for _ in range(sweeps):
+        for i in range(n):
+            row = slice(indptr[i], indptr[i + 1])
+            x[i] += (b[i] - data[row] @ x[indices[row]]) / diag[i]
+        history.append(float(np.linalg.norm(b - A @ x)))
+    return x, np.asarray(history)

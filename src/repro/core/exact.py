@@ -1,0 +1,156 @@
+"""Exact graph coloring (branch-and-bound) and chromatic number.
+
+The parallel heuristics in this package trade optimality for speed; the
+paper's application list, however, includes problems that need *exact*
+colorings with side constraints — Sudoku solving [6] and exam
+timetabling [5].  This module provides a DSATUR-ordered backtracking
+solver with:
+
+* an optional hard color budget (``max_colors``);
+* support for *precolored* vertices (Sudoku givens, fixed exam slots);
+* :func:`chromatic_number` via iterative deepening, which also gives
+  the test suite an optimality oracle on small graphs.
+
+Exponential worst case, by nature; intended for graphs up to a few
+hundred vertices or highly constrained instances (Sudoku's 729-clue
+structure solves in milliseconds).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import ColoringError
+from ..graph.csr import CSRGraph
+from .result import ColoringResult
+from .validate import is_valid_coloring
+
+__all__ = ["exact_coloring", "chromatic_number"]
+
+
+def exact_coloring(
+    graph: CSRGraph,
+    max_colors: int,
+    *,
+    precolored: Optional[Dict[int, int]] = None,
+    max_nodes: int = 5_000_000,
+) -> Optional[ColoringResult]:
+    """Find a proper coloring with at most ``max_colors`` colors.
+
+    ``precolored`` maps vertex → color (1-based) for fixed assignments.
+    Returns ``None`` when no such coloring exists; raises
+    :class:`ColoringError` if the search exceeds ``max_nodes``
+    branch-and-bound nodes (instance too hard) or the precoloring is
+    itself inconsistent.
+    """
+    n = graph.num_vertices
+    if max_colors < 0:
+        raise ColoringError("max_colors must be non-negative")
+    colors = np.zeros(n, dtype=np.int64)
+    if precolored:
+        for v, c in precolored.items():
+            if not 0 <= v < n:
+                raise ColoringError(f"precolored vertex {v} out of range")
+            if not 1 <= c <= max_colors:
+                raise ColoringError(
+                    f"precolored color {c} outside [1, {max_colors}]"
+                )
+            colors[v] = c
+        if not is_valid_coloring(graph, colors, allow_uncolored=True):
+            raise ColoringError("precoloring already conflicts")
+    if n == 0:
+        return ColoringResult(colors=colors, algorithm="exact", graph_name=graph.name)
+    if (colors == 0).any() and max_colors == 0:
+        return None
+
+    offsets, indices = graph.offsets, graph.indices
+    degrees = graph.degrees
+    # forbidden[v][c-1]: number of neighbors of v currently colored c.
+    forbidden = np.zeros((n, max_colors), dtype=np.int32)
+    uncolored = colors == 0
+    for v in np.flatnonzero(~uncolored):
+        nbrs = indices[offsets[v] : offsets[v + 1]]
+        forbidden[nbrs, colors[v] - 1] += 1
+
+    nodes = 0
+
+    def saturation(v: int) -> int:
+        return int((forbidden[v] > 0).sum())
+
+    def pick() -> int:
+        """DSATUR rule: most saturated uncolored vertex, ties by degree."""
+        cand = np.flatnonzero(uncolored)
+        sat = (forbidden[cand] > 0).sum(axis=1)
+        best = np.lexsort((-degrees[cand], -sat))[0]
+        return int(cand[best])
+
+    def assign(v: int, c: int) -> None:
+        colors[v] = c
+        uncolored[v] = False
+        forbidden[indices[offsets[v] : offsets[v + 1]], c - 1] += 1
+
+    def unassign(v: int, c: int) -> None:
+        colors[v] = 0
+        uncolored[v] = True
+        forbidden[indices[offsets[v] : offsets[v + 1]], c - 1] -= 1
+
+    def solve() -> bool:
+        nonlocal nodes
+        nodes += 1
+        if nodes > max_nodes:
+            raise ColoringError(
+                f"exact search exceeded {max_nodes} nodes; instance too hard"
+            )
+        if not uncolored.any():
+            return True
+        v = pick()
+        free = np.flatnonzero(forbidden[v] == 0) + 1
+        if len(free) == 0:
+            return False
+        # Symmetry breaking: only try one *new* color beyond those
+        # already in use (all unused colors are interchangeable).
+        used_max = int(colors.max(initial=0))
+        tried_new = False
+        for c in free:
+            if c > used_max:
+                if tried_new:
+                    break
+                tried_new = True
+            assign(v, int(c))
+            if solve():
+                return True
+            unassign(v, int(c))
+        return False
+
+    if not solve():
+        return None
+    return ColoringResult(
+        colors=colors.copy(),
+        algorithm="exact",
+        graph_name=graph.name,
+        iterations=nodes,
+    )
+
+
+def chromatic_number(graph: CSRGraph, *, max_nodes: int = 5_000_000) -> int:
+    """The chromatic number χ(G), by iterative deepening on
+    :func:`exact_coloring`.
+
+    Starts from the clique-free lower bound 1 (0 for the empty graph)
+    and stops at the first k admitting a coloring; the greedy upper
+    bound caps the search.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return 0
+    if graph.num_arcs == 0:
+        return 1
+    from .greedy import greedy_coloring
+
+    upper = greedy_coloring(graph, ordering="smallest_last").num_colors
+    for k in range(2, upper + 1):
+        if exact_coloring(graph, k, max_nodes=max_nodes) is not None:
+            return k
+    return upper

@@ -1,0 +1,145 @@
+"""Gunrock independent-set coloring (Algorithm 5 of the paper).
+
+A compute operator runs over the frontier of uncolored vertices; each
+thread serially scans its neighbor list comparing pre-assigned random
+numbers.  Vertices beating every uncolored neighbor take color
+``2·iteration + 1``; with the **min-max optimization** the vertices
+losing to every uncolored neighbor simultaneously take
+``2·iteration + 2`` — "we can perform assignment on two colors every
+iteration with no additional overhead, amortizing the cost of the
+serial for loop … this optimization reduces the coloring time almost
+by half" (§IV-B1).
+
+Variants (the rows of Table II):
+
+* ``min_max=True``  — two independent sets per iteration (default);
+* ``min_max=False`` — max set only, one color per iteration;
+* ``use_atomics=True`` — the colored-count stop check uses a global
+  atomic counter instead of a separate reduction kernel.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+
+from .._rng import RngLike, ensure_rng, random_weights
+from ..gpusim.cost_model import CostModel
+from ..gpusim.device import DeviceSpec
+from ..graph.csr import CSRGraph
+from ..gunrock import Enactor, Frontier, GunrockContext, compute, filter_frontier
+from .result import ColoringResult
+
+__all__ = ["gunrock_is_coloring"]
+
+
+def _tie_broken_keys(n: int, rng) -> np.ndarray:
+    """Random priorities made strict by appending the vertex id.
+
+    Random 31-bit draws collide on large graphs; a tie between adjacent
+    local maxima would stall the algorithm, so the comparison key is
+    ``weight * (n+1) + id`` — still uniformly random ordering, never
+    equal.
+    """
+    return random_weights(n, rng) * np.int64(n + 1) + np.arange(n, dtype=np.int64)
+
+
+def _neighbor_extrema(
+    graph: CSRGraph, keys: np.ndarray, active_mask: np.ndarray
+):
+    """Per-vertex max and min of ``keys`` over *active* neighbors."""
+    n = graph.num_vertices
+    src = np.repeat(np.arange(n, dtype=np.int64), graph.degrees)
+    dst = graph.indices
+    ok = active_mask[src]
+    nmax = np.full(n, np.iinfo(np.int64).min, dtype=np.int64)
+    nmin = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
+    np.maximum.at(nmax, dst[ok], keys[src[ok]])
+    np.minimum.at(nmin, dst[ok], keys[src[ok]])
+    return nmax, nmin
+
+
+def gunrock_is_coloring(
+    graph: CSRGraph,
+    *,
+    min_max: bool = True,
+    use_atomics: bool = False,
+    rng: RngLike = None,
+    device: Optional[DeviceSpec] = None,
+) -> ColoringResult:
+    """Color ``graph`` with the Gunrock IS primitive (Alg. 5)."""
+    t0 = time.perf_counter()
+    n = graph.num_vertices
+    gen = ensure_rng(rng)
+    cost = CostModel(device)
+    ctx = GunrockContext(graph, cost)
+
+    colors = np.zeros(n, dtype=np.int64)
+
+    frontier = Frontier.all_vertices(graph)
+    enactor = Enactor(ctx)
+
+    def iteration(it: int) -> bool:
+        nonlocal frontier
+        base = 2 * it if min_max else it
+        active = colors == 0
+        newly = np.zeros(n, dtype=bool)
+        # Fresh random draw per iteration (Alg. 5 line 7 draws once; we
+        # re-randomize like Naumov's JPL so the independent-set rate per
+        # round matches the comparator — the min-max amortization claim
+        # is unaffected, and color counts become directly comparable).
+        keys = _tie_broken_keys(n, gen)
+        cost.charge_map(len(frontier), name="rand_kernel")
+
+        def color_op(ids: np.ndarray) -> None:
+            # Serial neighbor loop: compare own key with every active
+            # neighbor's; both extrema found in the same pass.
+            nmax, nmin = _neighbor_extrema(graph, keys, active)
+            colormax = active & (keys > nmax)
+            colors[colormax] = base + 1
+            newly[:] = colormax
+            if min_max:
+                colormin = active & (keys < nmin)
+                # The pseudocode assigns max first, min second, so a
+                # vertex with no active neighbor ends at color + 2.
+                colors[colormin] = base + 2
+                newly[:] = colormax | colormin
+
+        compute(ctx, frontier, color_op, name="color_op", loop="serial")
+
+        # Stop-condition check (§IV-B1): count colored vertices either
+        # with a global atomic per newly colored vertex, or with a
+        # separate reduction kernel.
+        n_new = int(newly.sum())
+        if use_atomics:
+            compute(
+                ctx,
+                frontier,
+                lambda ids: None,
+                name="check_op",
+                loop="map",
+                atomics=n_new,
+            )
+        else:
+            compute(ctx, frontier, lambda ids: None, name="check_op", loop="map")
+            cost.charge_reduce(len(frontier), name="check_reduce")
+        ctx.sync(name="check_sync")
+
+        frontier = filter_frontier(
+            ctx, frontier, colors[frontier.ids] == 0, name="compact"
+        )
+        return bool(frontier)
+
+    iterations = enactor.run(iteration)
+    variant = "min_max" if min_max else ("atomics" if use_atomics else "single")
+    return ColoringResult(
+        colors=colors,
+        algorithm=f"gunrock.is[{variant}]",
+        graph_name=graph.name,
+        iterations=iterations,
+        sim_ms=cost.total_ms,
+        wall_s=time.perf_counter() - t0,
+        counters=cost.counters,
+    )

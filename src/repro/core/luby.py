@@ -1,0 +1,114 @@
+"""Reference implementation of Luby's maximal-independent-set algorithm.
+
+§II of the paper: each vertex draws a random number; a vertex enters
+the independent set iff its number beats all of its (still-candidate)
+neighbors'; selected vertices and their neighbors leave the candidate
+set; repeat until no candidates remain — yielding a *maximal*
+independent set [13].
+
+This vectorized NumPy version is the semantic oracle the property
+tests compare the framework implementations against; it charges no
+cost model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .._rng import RngLike, ensure_rng, random_weights
+from ..errors import ColoringError
+from ..graph.csr import CSRGraph
+from .result import ColoringResult
+
+__all__ = ["luby_mis", "luby_coloring", "neighbor_max"]
+
+
+def neighbor_max(
+    graph: CSRGraph, values: np.ndarray, candidate: np.ndarray
+) -> np.ndarray:
+    """For every vertex, the max of ``values`` over *candidate* neighbors
+    (−inf-like minimum where none).  One vectorized scatter pass."""
+    n = graph.num_vertices
+    src = np.repeat(np.arange(n, dtype=np.int64), graph.degrees)
+    dst = graph.indices
+    ok = candidate[src]
+    out = np.full(n, np.iinfo(np.int64).min, dtype=np.int64)
+    np.maximum.at(out, dst[ok], values[src[ok]])
+    return out
+
+
+def luby_mis(
+    graph: CSRGraph,
+    *,
+    candidates: Optional[np.ndarray] = None,
+    rng: RngLike = None,
+    fresh_randomness: bool = True,
+) -> np.ndarray:
+    """One maximal independent set over ``candidates`` (default: all).
+
+    Returns a boolean membership array.  ``fresh_randomness`` redraws
+    weights every round (Luby's Monte Carlo heuristic); with False the
+    initial draw is kept, matching the paper's static-weight GraphBLAS
+    Algorithm 2/3 behaviour.
+    """
+    n = graph.num_vertices
+    gen = ensure_rng(rng)
+    cand = (
+        np.ones(n, dtype=bool)
+        if candidates is None
+        else np.asarray(candidates, dtype=bool).copy()
+    )
+    if len(cand) != n:
+        raise ColoringError("candidates must have one entry per vertex")
+    in_set = np.zeros(n, dtype=bool)
+    weights = random_weights(n, gen)
+    # Each round removes every candidate (winners and their neighbors
+    # both leave), so at most n rounds; expected O(log n).
+    for _ in range(n + 1):
+        if not cand.any():
+            break
+        if fresh_randomness:
+            weights = random_weights(n, gen)
+        nmax = neighbor_max(graph, weights, cand)
+        winners = cand & (weights > nmax)
+        if not winners.any():
+            # Ties are possible only with duplicate weights; retry the
+            # round with a fresh draw rather than loop forever.
+            weights = random_weights(n, gen)
+            continue
+        in_set |= winners
+        # Remove winners and their neighbors from candidacy.
+        cand &= ~winners
+        n_src = np.repeat(np.arange(n, dtype=np.int64), graph.degrees)
+        touched = graph.indices[winners[n_src]]
+        cand[touched] = False
+    return in_set
+
+
+def luby_coloring(
+    graph: CSRGraph, *, rng: RngLike = None, fresh_randomness: bool = True
+) -> ColoringResult:
+    """Algorithm 1 of the paper with Luby MIS as the set chooser:
+    repeatedly extract a maximal independent set from the uncolored
+    vertices and give it the next color."""
+    n = graph.num_vertices
+    gen = ensure_rng(rng)
+    colors = np.zeros(n, dtype=np.int64)
+    color = 0
+    while (colors == 0).any():
+        color += 1
+        mis = luby_mis(
+            graph,
+            candidates=colors == 0,
+            rng=gen,
+            fresh_randomness=fresh_randomness,
+        )
+        colors[mis] = color
+    return ColoringResult(
+        colors=colors,
+        algorithm="reference.luby",
+        graph_name=graph.name,
+        iterations=color,
+    )

@@ -1,0 +1,74 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one type at an API boundary.  Subsystems refine it:
+graph construction errors, GraphBLAS dimension/type errors, Gunrock
+operator misuse, and cost-model configuration errors each get their own
+subclass mirroring the layering described in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class GraphError(ReproError):
+    """Invalid graph construction or use (bad CSR arrays, bad vertex ids)."""
+
+
+class GraphFormatError(GraphError):
+    """A graph file (MatrixMarket / edge list / npz) could not be parsed."""
+
+
+class GeneratorError(GraphError):
+    """A synthetic-graph generator was given inconsistent parameters."""
+
+
+class GraphBLASError(ReproError):
+    """Base class for GraphBLAS API violations."""
+
+
+class DimensionMismatch(GraphBLASError):
+    """Operands of a GraphBLAS operation have incompatible shapes."""
+
+
+class DomainMismatch(GraphBLASError):
+    """Operands of a GraphBLAS operation have incompatible dtypes."""
+
+
+class InvalidValue(GraphBLASError):
+    """A GraphBLAS argument is out of its legal range (e.g. bad index)."""
+
+
+class UninitializedObject(GraphBLASError):
+    """A GraphBLAS object was used after :meth:`free` or before init."""
+
+
+class GunrockError(ReproError):
+    """Misuse of the data-centric (Gunrock-style) operator API."""
+
+
+class FrontierError(GunrockError):
+    """A frontier was used with the wrong kind (vertex vs edge) or state."""
+
+
+class SimulationError(ReproError):
+    """Cost-model / device-spec configuration problems."""
+
+
+class ColoringError(ReproError):
+    """A coloring algorithm was invoked with unusable inputs."""
+
+
+class ValidationError(ColoringError):
+    """A produced coloring failed validation (used by strict-mode runs)."""
+
+
+class DatasetError(ReproError):
+    """Unknown dataset name or unsatisfiable dataset scaling request."""
+
+
+class HarnessError(ReproError):
+    """Experiment-harness configuration problems (unknown experiment id)."""

@@ -1,0 +1,24 @@
+"""Bulk-synchronous GPU performance model.
+
+Kernels execute as vectorized NumPy; their structural cost (launches,
+syncs, warp divergence, atomics, segmented-reduce overhead, PCIe
+copies) is charged to a :class:`CostModel` parameterized by a
+:class:`DeviceSpec` calibrated against the paper's Table II.
+"""
+
+from .cost_model import CostModel
+from .counters import KernelRecord, SimCounters
+from .device import CPUSpec, DeviceSpec, HOST_CPU, K40C
+from .warp import warp_imbalance_factor, warp_lockstep_work
+
+__all__ = [
+    "CostModel",
+    "KernelRecord",
+    "SimCounters",
+    "DeviceSpec",
+    "CPUSpec",
+    "K40C",
+    "HOST_CPU",
+    "warp_lockstep_work",
+    "warp_imbalance_factor",
+]

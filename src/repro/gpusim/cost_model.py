@@ -1,0 +1,163 @@
+"""The bulk-synchronous GPU cost model.
+
+Framework code (``repro.gunrock``, ``repro.graphblas``, the hardwired
+Naumov comparators) executes its kernels as vectorized NumPy and then
+*charges* the structural cost of the equivalent GPU kernel here.  A
+:class:`CostModel` owns a :class:`~repro.gpusim.device.DeviceSpec` and a
+:class:`~repro.gpusim.counters.SimCounters`; each ``charge_*`` method
+converts work counts into simulated milliseconds using the spec's
+constants and appends a kernel record.
+
+The charge vocabulary maps one-to-one onto the kernel structures the
+paper analyzes:
+
+====================  =======================================================
+charge                GPU mechanism it models
+====================  =======================================================
+``charge_map``        embarrassingly parallel per-item kernel
+``charge_serial_loop``  thread-per-vertex kernel with serial neighbor loop
+                        (warp lock-step max + MLP saturation with degree)
+``charge_edge_balanced``  load-balanced edge-parallel kernel (advance,
+                          hardwired csrcolor sweeps)
+``charge_vxm``        masked sparse vector–matrix product (GraphBLAS)
+``charge_segmented_reduce``  per-segment fixed cost + per-edge cost
+                             (the AR bottleneck, §V-B)
+``charge_reduce``     single tree reduction to a scalar
+``charge_atomics``    global atomic traffic (Table II "with atomics")
+``charge_sync``       global synchronization / kernel boundary
+``charge_gb_overhead``  GraphBLAS per-operation runtime overhead
+``charge_host_transfer``  PCIe copy (GB-JPL's cudaMemcpy, §V-C)
+====================  =======================================================
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import SimulationError
+from .counters import KernelRecord, SimCounters
+from .device import K40C, DeviceSpec
+from .warp import warp_lockstep_work
+
+__all__ = ["CostModel"]
+
+_NS_PER_MS = 1e6
+
+
+class CostModel:
+    """Accumulates simulated kernel costs for one algorithm run."""
+
+    def __init__(self, device: Optional[DeviceSpec] = None) -> None:
+        self.device = device if device is not None else K40C
+        self.counters = SimCounters()
+
+    # -- generic helpers ----------------------------------------------------
+
+    def _record(self, name: str, kind: str, work: int, ms: float) -> float:
+        if ms < 0:
+            raise SimulationError(f"negative cost for kernel {name!r}")
+        self.counters.add(KernelRecord(name=name, kind=kind, work=int(work), ms=ms))
+        return ms
+
+    @property
+    def total_ms(self) -> float:
+        """Total simulated milliseconds charged so far."""
+        return self.counters.total_ms
+
+    # -- charges ------------------------------------------------------------
+
+    def charge_map(self, items: int, *, name: str = "map") -> float:
+        """Per-item parallel map kernel over ``items`` elements."""
+        d = self.device
+        ms = d.kernel_launch_ms + items * d.map_vertex_ns / _NS_PER_MS
+        return self._record(name, "map", items, ms)
+
+    def charge_serial_loop(
+        self, degrees: np.ndarray, *, name: str = "serial_loop", passes: int = 1
+    ) -> float:
+        """Thread-per-vertex kernel whose thread iterates its neighbor list.
+
+        ``degrees`` holds the neighbor-loop trip counts of the active
+        threads in launch order.  Cost combines (a) warp lock-step
+        divergence — every warp pays its max trip count — and (b) lost
+        memory-level parallelism: serial pointer-chasing over a length-d
+        list costs ``1 + d/saturation`` per step.  ``passes`` repeats the
+        loop body (the hash variant touches neighbors several times).
+        """
+        d = self.device
+        deg = np.asarray(degrees, dtype=np.int64)
+        lockstep = warp_lockstep_work(deg, d.warp_size)
+        if deg.size:
+            mean_deg = float(deg.mean())
+        else:
+            mean_deg = 0.0
+        saturation = 1.0 + mean_deg / d.serial_saturation_degree
+        ms = (
+            d.kernel_launch_ms
+            + passes * lockstep * saturation * d.serial_step_ns / _NS_PER_MS
+        )
+        return self._record(name, "serial_loop", int(deg.sum()) * passes, ms)
+
+    def charge_edge_balanced(
+        self, edges: int, *, name: str = "edge_balanced", eff: float = 1.0
+    ) -> float:
+        """Load-balanced edge-parallel kernel over ``edges`` arcs.
+
+        ``eff`` > 1 scales the per-edge cost up (heavier kernel bodies).
+        """
+        d = self.device
+        ms = d.kernel_launch_ms + edges * eff * d.balanced_edge_ns / _NS_PER_MS
+        return self._record(name, "edge_balanced", edges, ms)
+
+    def charge_vxm(self, edges: int, rows: int, *, name: str = "vxm") -> float:
+        """Masked sparse vector–matrix multiply touching ``edges`` arcs
+        across ``rows`` active rows (the mask limits work — §III-A1)."""
+        d = self.device
+        ms = (
+            d.kernel_launch_ms
+            + edges * d.vxm_edge_ns / _NS_PER_MS
+            + rows * d.map_vertex_ns / _NS_PER_MS
+        )
+        return self._record(name, "vxm", edges, ms)
+
+    def charge_segmented_reduce(
+        self, edges: int, segments: int, *, name: str = "segmented_reduce"
+    ) -> float:
+        """Segmented reduction over ``segments`` neighbor lists totalling
+        ``edges`` entries — the Advance-Reduce bottleneck."""
+        d = self.device
+        ms = (
+            d.kernel_launch_ms
+            + segments * d.segment_ns / _NS_PER_MS
+            + edges * d.balanced_edge_ns / _NS_PER_MS
+        )
+        return self._record(name, "segmented_reduce", edges, ms)
+
+    def charge_reduce(self, items: int, *, name: str = "reduce") -> float:
+        """Tree reduction of ``items`` values to a scalar."""
+        d = self.device
+        ms = d.kernel_launch_ms + items * d.reduce_item_ns / _NS_PER_MS
+        return self._record(name, "reduce", items, ms)
+
+    def charge_atomics(self, count: int, *, name: str = "atomics") -> float:
+        """Additional cost of ``count`` global atomic operations."""
+        d = self.device
+        ms = count * d.atomic_ns / _NS_PER_MS
+        return self._record(name, "atomic", count, ms)
+
+    def charge_sync(self, *, name: str = "sync") -> float:
+        """One global synchronization (kernel boundary / enactor barrier)."""
+        return self._record(name, "sync", 0, self.device.sync_ms)
+
+    def charge_gb_overhead(self, *, name: str = "gb_dispatch") -> float:
+        """Per-operation GraphBLAS runtime overhead (descriptor dispatch,
+        sparsity introspection) on top of the kernel itself."""
+        return self._record(name, "gb_overhead", 0, self.device.gb_op_overhead_ms)
+
+    def charge_host_transfer(self, nbytes: int, *, name: str = "h2d_copy") -> float:
+        """A host↔device PCIe copy of ``nbytes`` bytes."""
+        d = self.device
+        ms = d.pcie_latency_ms + nbytes / (d.pcie_gbps * 1e6)
+        return self._record(name, "transfer", nbytes, ms)

@@ -1,0 +1,29 @@
+"""Synthetic graph generators.
+
+* :mod:`.rgg` — DIMACS10-style random geometric graphs (Fig. 3 sweep).
+* :mod:`.mesh` — grids, FEM meshes, banded matrices (Table I analogues).
+* :mod:`.random_graphs` — Erdős–Rényi, random regular, Watts–Strogatz.
+* :mod:`.powerlaw` — Barabási–Albert and R-MAT (future-work ablations).
+* :mod:`.suitesparse` — the Table I dataset-analogue registry.
+"""
+
+from .mesh import banded, fem_mesh2d, grid2d, grid2d_9pt, grid3d
+from .powerlaw import barabasi_albert, rmat
+from .random_graphs import erdos_renyi, random_regular, watts_strogatz
+from .rgg import dimacs10_radius, rgg, rgg_scale
+
+__all__ = [
+    "rgg",
+    "rgg_scale",
+    "dimacs10_radius",
+    "grid2d",
+    "grid2d_9pt",
+    "grid3d",
+    "fem_mesh2d",
+    "banded",
+    "erdos_renyi",
+    "random_regular",
+    "watts_strogatz",
+    "barabasi_albert",
+    "rmat",
+]

@@ -1,0 +1,150 @@
+"""Mesh-like graph generators.
+
+All but one of the paper's "real-world" datasets (Table I) are meshes or
+mesh-like discretization matrices from the SuiteSparse collection: low,
+nearly uniform degree and large diameter.  These generators build the
+structural stand-ins used by :mod:`repro.graph.generators.suitesparse`:
+
+* :func:`grid2d` / :func:`grid3d` — 5-point / 7-point stencil grids
+  (ecology2, apache2, thermal2-like structure);
+* :func:`grid2d_9pt` — 9-point (Moore) stencil, avg degree ≈ 8
+  (parabolic_fem-like);
+* :func:`fem_mesh2d` — Delaunay-ish triangulated random point sets via a
+  jittered-grid triangulation, avg degree ≈ 6 (FEM matrices);
+* :func:`banded` — k-banded matrix graph, uniform high degree
+  (af_shell3-like, avg degree ≈ 35.8).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..._rng import RngLike, ensure_rng
+from ...errors import GeneratorError
+from ..build import from_edges
+from ..csr import CSRGraph
+
+__all__ = ["grid2d", "grid2d_9pt", "grid3d", "fem_mesh2d", "banded"]
+
+
+def grid2d(nx: int, ny: int, *, periodic: bool = False, name: str = "") -> CSRGraph:
+    """A 2-D grid graph (5-point stencil), optionally with wraparound.
+
+    Average degree tends to 4 (exactly 4 when periodic).  Chromatic
+    number is 2, which makes the family a useful quality oracle in tests.
+    """
+    if nx <= 0 or ny <= 0:
+        raise GeneratorError("grid dimensions must be positive")
+    idx = np.arange(nx * ny, dtype=np.int64).reshape(nx, ny)
+    edges = []
+    # Horizontal neighbors.
+    edges.append(np.column_stack([idx[:, :-1].ravel(), idx[:, 1:].ravel()]))
+    # Vertical neighbors.
+    edges.append(np.column_stack([idx[:-1, :].ravel(), idx[1:, :].ravel()]))
+    if periodic:
+        if ny > 2:
+            edges.append(np.column_stack([idx[:, -1].ravel(), idx[:, 0].ravel()]))
+        if nx > 2:
+            edges.append(np.column_stack([idx[-1, :].ravel(), idx[0, :].ravel()]))
+    return from_edges(
+        np.concatenate(edges) if edges else np.empty((0, 2), dtype=np.int64),
+        num_vertices=nx * ny,
+        name=name or f"grid2d_{nx}x{ny}",
+    )
+
+
+def grid2d_9pt(nx: int, ny: int, *, name: str = "") -> CSRGraph:
+    """A 2-D grid with 8-neighborhood (Moore stencil): avg degree → 8."""
+    if nx <= 0 or ny <= 0:
+        raise GeneratorError("grid dimensions must be positive")
+    idx = np.arange(nx * ny, dtype=np.int64).reshape(nx, ny)
+    edges = [
+        np.column_stack([idx[:, :-1].ravel(), idx[:, 1:].ravel()]),
+        np.column_stack([idx[:-1, :].ravel(), idx[1:, :].ravel()]),
+        np.column_stack([idx[:-1, :-1].ravel(), idx[1:, 1:].ravel()]),
+        np.column_stack([idx[:-1, 1:].ravel(), idx[1:, :-1].ravel()]),
+    ]
+    return from_edges(
+        np.concatenate(edges), num_vertices=nx * ny, name=name or f"grid2d9_{nx}x{ny}"
+    )
+
+
+def grid3d(nx: int, ny: int, nz: int, *, name: str = "") -> CSRGraph:
+    """A 3-D grid graph (7-point stencil): avg degree → 6."""
+    if nx <= 0 or ny <= 0 or nz <= 0:
+        raise GeneratorError("grid dimensions must be positive")
+    idx = np.arange(nx * ny * nz, dtype=np.int64).reshape(nx, ny, nz)
+    edges = [
+        np.column_stack([idx[:, :, :-1].ravel(), idx[:, :, 1:].ravel()]),
+        np.column_stack([idx[:, :-1, :].ravel(), idx[:, 1:, :].ravel()]),
+        np.column_stack([idx[:-1, :, :].ravel(), idx[1:, :, :].ravel()]),
+    ]
+    return from_edges(
+        np.concatenate(edges),
+        num_vertices=nx * ny * nz,
+        name=name or f"grid3d_{nx}x{ny}x{nz}",
+    )
+
+
+def fem_mesh2d(
+    nx: int,
+    ny: int,
+    *,
+    diagonal_fraction: float = 1.0,
+    rng: RngLike = None,
+    name: str = "",
+) -> CSRGraph:
+    """A triangulated 2-D mesh: grid edges plus one random diagonal per cell.
+
+    This is the structure of a typical 2-D finite-element stiffness
+    matrix: average degree ≈ 6 with mild irregularity (each cell's
+    diagonal direction is random).  ``diagonal_fraction`` < 1 leaves some
+    cells un-triangulated, lowering average degree toward 4.
+    """
+    if not 0.0 <= diagonal_fraction <= 1.0:
+        raise GeneratorError("diagonal_fraction must be in [0, 1]")
+    gen = ensure_rng(rng)
+    base = grid2d(nx, ny)
+    idx = np.arange(nx * ny, dtype=np.int64).reshape(nx, ny)
+    # Cells are (i, j) with i < nx-1, j < ny-1; choose a diagonal per cell.
+    ncells = (nx - 1) * (ny - 1)
+    if ncells <= 0:
+        return grid2d(nx, ny, name=name or f"fem2d_{nx}x{ny}")
+    a = idx[:-1, :-1].ravel()  # top-left corners
+    b = idx[1:, 1:].ravel()  # bottom-right
+    c = idx[:-1, 1:].ravel()  # top-right
+    d = idx[1:, :-1].ravel()  # bottom-left
+    which = gen.random(ncells) < 0.5
+    keep = gen.random(ncells) < diagonal_fraction
+    diag_src = np.where(which, a, c)[keep]
+    diag_dst = np.where(which, b, d)[keep]
+    edges = np.concatenate(
+        [base.edge_list(), np.column_stack([diag_src, diag_dst])]
+    )
+    return from_edges(edges, num_vertices=nx * ny, name=name or f"fem2d_{nx}x{ny}")
+
+
+def banded(n: int, bandwidth: int, *, name: str = "") -> CSRGraph:
+    """The graph of an ``n × n`` banded matrix: v ~ u iff 0 < |v-u| <= k.
+
+    Interior vertices have degree exactly ``2 * bandwidth``; the family
+    stands in for the shell/solid FEM matrices with high uniform degree
+    (af_shell3: avg degree 35.84 ≈ bandwidth 18).
+    """
+    if n <= 0:
+        raise GeneratorError("n must be positive")
+    if bandwidth < 1:
+        raise GeneratorError("bandwidth must be >= 1")
+    if bandwidth >= n:
+        bandwidth = n - 1
+    edges = []
+    base = np.arange(n, dtype=np.int64)
+    for k in range(1, bandwidth + 1):
+        edges.append(np.column_stack([base[:-k], base[k:]]))
+    return from_edges(
+        np.concatenate(edges) if edges else np.empty((0, 2), dtype=np.int64),
+        num_vertices=n,
+        name=name or f"banded_{n}_k{bandwidth}",
+    )

@@ -1,0 +1,97 @@
+"""Scale-free / power-law graph generators.
+
+§VI of the paper calls out power-law graphs as future work: "With power
+law graphs, it is possible that a random weight initialization would
+perform worse than largest-degree first."  The ablation benchmark
+``ablate.ordering`` runs that experiment on these generators.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..._rng import RngLike, ensure_rng
+from ...errors import GeneratorError
+from ..build import from_edges
+from ..csr import CSRGraph
+
+__all__ = ["barabasi_albert", "rmat"]
+
+
+def barabasi_albert(
+    n: int,
+    m_attach: int,
+    *,
+    rng: RngLike = None,
+    name: str = "",
+) -> CSRGraph:
+    """Barabási–Albert preferential attachment.
+
+    Starts from a clique on ``m_attach + 1`` vertices; each new vertex
+    attaches to ``m_attach`` existing vertices sampled proportionally to
+    degree (implemented with the standard repeated-endpoint trick: sample
+    uniformly from the running edge-endpoint list).
+    """
+    if m_attach < 1:
+        raise GeneratorError("m_attach must be >= 1")
+    if n < m_attach + 1:
+        raise GeneratorError("n must be >= m_attach + 1")
+    gen = ensure_rng(rng)
+    seed_n = m_attach + 1
+    # Seed clique endpoints.
+    seed_edges = [
+        (u, v) for u in range(seed_n) for v in range(u + 1, seed_n)
+    ]
+    endpoints = list(np.array(seed_edges, dtype=np.int64).ravel())
+    edges = list(seed_edges)
+    for v in range(seed_n, n):
+        targets = set()
+        while len(targets) < m_attach:
+            pick = int(endpoints[gen.integers(0, len(endpoints))])
+            targets.add(pick)
+        for t in targets:
+            edges.append((v, t))
+            endpoints.extend((v, t))
+    return from_edges(
+        np.asarray(edges, dtype=np.int64), num_vertices=n, name=name or f"ba_{n}"
+    )
+
+
+def rmat(
+    scale: int,
+    edge_factor: int = 16,
+    *,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    rng: RngLike = None,
+    name: str = "",
+) -> CSRGraph:
+    """R-MAT (Graph500-style) recursive-matrix generator.
+
+    Draws ``edge_factor * 2**scale`` arcs by recursively descending a
+    2×2 probability partition ``(a, b; c, d)``, then symmetrizes and
+    deduplicates.  Default parameters are the Graph500 standard.
+    """
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0:
+        raise GeneratorError("rmat probabilities must be non-negative and sum <= 1")
+    if not 1 <= scale <= 26:
+        raise GeneratorError("scale must be in [1, 26]")
+    if edge_factor < 1:
+        raise GeneratorError("edge_factor must be >= 1")
+    gen = ensure_rng(rng)
+    n = 1 << scale
+    m = edge_factor * n
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    for bit in range(scale):
+        r = gen.random(m)
+        # Quadrant thresholds: a | a+b | a+b+c | 1.
+        go_right = (r >= a) & (r < a + b) | (r >= a + b + c)
+        go_down = r >= a + b
+        src = (src << 1) | go_down.astype(np.int64)
+        dst = (dst << 1) | go_right.astype(np.int64)
+    return from_edges(
+        np.column_stack([src, dst]), num_vertices=n, name=name or f"rmat_{scale}"
+    )

@@ -1,0 +1,14 @@
+"""Graph I/O: MatrixMarket, plain edge lists, and binary snapshots."""
+
+from .binary import load_npz, save_npz
+from .edgelist import read_edgelist, write_edgelist
+from .matrix_market import read_matrix_market, write_matrix_market
+
+__all__ = [
+    "read_matrix_market",
+    "write_matrix_market",
+    "read_edgelist",
+    "write_edgelist",
+    "save_npz",
+    "load_npz",
+]

@@ -1,0 +1,75 @@
+"""Plain-text edge-list reader/writer.
+
+One edge per line as ``u v`` (whitespace separated, 0-based); ``#``
+comment lines are skipped.  This is the lowest-friction way to get a
+user's own graph into the library.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, TextIO, Union
+
+import numpy as np
+
+from ...errors import GraphFormatError
+from ..build import from_edges
+from ..csr import CSRGraph
+
+__all__ = ["read_edgelist", "write_edgelist"]
+
+
+def read_edgelist(
+    path_or_file: Union[str, Path, TextIO],
+    *,
+    num_vertices: Optional[int] = None,
+) -> CSRGraph:
+    """Read a 0-based whitespace-separated edge list as an undirected graph."""
+    close = False
+    if isinstance(path_or_file, (str, Path)):
+        fh: TextIO = open(path_or_file, "r")
+        close = True
+    else:
+        fh = path_or_file
+    edges = []
+    try:
+        for lineno, line in enumerate(fh, start=1):
+            body = line.split("#", 1)[0].strip()
+            if not body:
+                continue
+            parts = body.split()
+            if len(parts) < 2:
+                raise GraphFormatError(
+                    f"line {lineno}: expected 'u v', got {line.strip()!r}"
+                )
+            try:
+                u, v = int(parts[0]), int(parts[1])
+            except ValueError:
+                raise GraphFormatError(
+                    f"line {lineno}: non-integer vertex id in {line.strip()!r}"
+                ) from None
+            if u < 0 or v < 0:
+                raise GraphFormatError(f"line {lineno}: negative vertex id")
+            edges.append((u, v))
+    finally:
+        if close:
+            fh.close()
+    arr = np.asarray(edges, dtype=np.int64) if edges else np.empty((0, 2), np.int64)
+    return from_edges(arr, num_vertices=num_vertices)
+
+
+def write_edgelist(graph: CSRGraph, path_or_file: Union[str, Path, TextIO]) -> None:
+    """Write each undirected edge once as ``u v`` (u < v)."""
+    close = False
+    if isinstance(path_or_file, (str, Path)):
+        fh: TextIO = open(path_or_file, "w")
+        close = True
+    else:
+        fh = path_or_file
+    try:
+        fh.write(f"# vertices: {graph.num_vertices}\n")
+        for u, v in graph.edge_list():
+            fh.write(f"{u} {v}\n")
+    finally:
+        if close:
+            fh.close()

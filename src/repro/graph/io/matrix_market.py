@@ -1,0 +1,128 @@
+"""MatrixMarket coordinate-format reader/writer.
+
+The paper's datasets ship as MatrixMarket ``.mtx`` files from the
+SuiteSparse collection; this module provides a from-scratch reader for
+the subset used by graph work (``matrix coordinate`` with ``pattern``,
+``real`` or ``integer`` fields, ``general`` or ``symmetric`` symmetry)
+and a symmetric-pattern writer, so users can run the library on real
+SuiteSparse downloads when they have them.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO, Union
+
+import numpy as np
+
+from ...errors import GraphFormatError
+from ..build import from_edges
+from ..csr import CSRGraph
+
+__all__ = ["read_matrix_market", "write_matrix_market"]
+
+_VALID_FIELDS = {"pattern", "real", "integer", "complex"}
+_VALID_SYMMETRY = {"general", "symmetric", "skew-symmetric", "hermitian"}
+
+
+def read_matrix_market(path_or_file: Union[str, Path, TextIO]) -> CSRGraph:
+    """Read an ``.mtx`` file as an undirected graph.
+
+    Values are discarded (only the nonzero pattern matters for coloring);
+    both triangles are accepted; self-loops and duplicates are removed by
+    construction, mirroring the paper's preprocessing.
+    """
+    close = False
+    if isinstance(path_or_file, (str, Path)):
+        fh: TextIO = open(path_or_file, "r")
+        close = True
+    else:
+        fh = path_or_file
+    try:
+        header = fh.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise GraphFormatError("missing %%MatrixMarket header")
+        parts = header.strip().split()
+        if len(parts) < 5:
+            raise GraphFormatError(f"malformed header: {header.strip()!r}")
+        _, obj, fmt, field, symmetry = parts[:5]
+        if obj.lower() != "matrix" or fmt.lower() != "coordinate":
+            raise GraphFormatError(
+                "only 'matrix coordinate' MatrixMarket files are supported"
+            )
+        field = field.lower()
+        symmetry = symmetry.lower()
+        if field not in _VALID_FIELDS:
+            raise GraphFormatError(f"unknown field {field!r}")
+        if symmetry not in _VALID_SYMMETRY:
+            raise GraphFormatError(f"unknown symmetry {symmetry!r}")
+        # Skip comments, read the size line.
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        try:
+            nrows, ncols, nnz = (int(x) for x in line.split())
+        except ValueError:
+            raise GraphFormatError(f"bad size line: {line.strip()!r}") from None
+        if nrows != ncols:
+            raise GraphFormatError("adjacency matrix must be square")
+        body = fh.read()
+    finally:
+        if close:
+            fh.close()
+
+    if nnz == 0:
+        return from_edges(np.empty((0, 2), dtype=np.int64), num_vertices=nrows)
+    try:
+        data = np.loadtxt(io.StringIO(body), ndmin=2)
+    except ValueError as exc:
+        raise GraphFormatError(f"unparsable entries: {exc}") from None
+    if data.shape[0] != nnz:
+        raise GraphFormatError(
+            f"expected {nnz} entries, found {data.shape[0]}"
+        )
+    min_cols = 2 if field == "pattern" else 3
+    if data.shape[1] < min_cols:
+        raise GraphFormatError(
+            f"{field} entries need at least {min_cols} columns"
+        )
+    rows = data[:, 0].astype(np.int64) - 1  # 1-based → 0-based
+    cols = data[:, 1].astype(np.int64) - 1
+    if rows.min(initial=0) < 0 or cols.min(initial=0) < 0:
+        raise GraphFormatError("indices must be 1-based positive")
+    if rows.max(initial=-1) >= nrows or cols.max(initial=-1) >= ncols:
+        raise GraphFormatError("entry index exceeds declared size")
+    return from_edges(
+        np.column_stack([rows, cols]), num_vertices=nrows
+    )
+
+
+def write_matrix_market(
+    graph: CSRGraph, path_or_file: Union[str, Path, TextIO], *, comment: str = ""
+) -> None:
+    """Write ``graph`` as a symmetric pattern ``.mtx`` file.
+
+    Only the lower triangle is written (MatrixMarket symmetric
+    convention); :func:`read_matrix_market` round-trips it exactly.
+    """
+    close = False
+    if isinstance(path_or_file, (str, Path)):
+        fh: TextIO = open(path_or_file, "w")
+        close = True
+    else:
+        fh = path_or_file
+    try:
+        fh.write("%%MatrixMarket matrix coordinate pattern symmetric\n")
+        if comment:
+            for ln in comment.splitlines():
+                fh.write(f"% {ln}\n")
+        edges = graph.edge_list()
+        n = graph.num_vertices
+        fh.write(f"{n} {n} {len(edges)}\n")
+        # Symmetric format stores the lower triangle: row >= col.
+        for u, v in edges:  # edge_list gives u < v
+            fh.write(f"{v + 1} {u + 1}\n")
+    finally:
+        if close:
+            fh.close()

@@ -1,0 +1,105 @@
+"""A from-scratch GraphBLAS subset (§III-A of the paper).
+
+Typed sparse :class:`Vector`/:class:`Matrix` objects, masks,
+descriptors, generalized semirings, and the operations Algorithms 2–4
+are written against, plus the ``GxB_scatter`` extension.  Operations
+optionally charge a :class:`~repro.gpusim.CostModel` with the
+structural cost of the equivalent GraphBLAST GPU kernel.
+"""
+
+from . import binaryop, monoid, semiring
+from .algorithms import bfs_levels, pagerank, triangle_count
+from .binaryop import BinaryOp, UnaryOp, identity_op, set_random
+from .descriptor import COMPLEMENT, DEFAULT, Descriptor, REPLACE, STRUCTURE
+from .extensions import gxb_scatter
+from .matrix import Matrix
+from .monoid import (
+    LAND_MONOID,
+    LOR_MONOID,
+    MAX_MONOID,
+    MIN_MONOID,
+    Monoid,
+    PLUS_MONOID,
+    TIMES_MONOID,
+)
+from .ops import (
+    apply,
+    apply_bind_second,
+    assign_indexed,
+    mxm,
+    reduce_rows,
+    select,
+    assign,
+    ewise_add,
+    ewise_mult,
+    extract,
+    mxv,
+    reduce_scalar,
+    vxm,
+)
+from .semiring import (
+    BOOLEAN,
+    MAX_FIRST,
+    MAX_SECOND,
+    MAX_TIMES,
+    MIN_PLUS,
+    PLUS_TIMES,
+    Semiring,
+)
+from .types import BOOL, FP32, FP64, GrBType, INT32, INT64, from_dtype
+from .vector import Vector
+
+__all__ = [
+    "Vector",
+    "Matrix",
+    "GrBType",
+    "BOOL",
+    "INT32",
+    "INT64",
+    "FP32",
+    "FP64",
+    "from_dtype",
+    "BinaryOp",
+    "UnaryOp",
+    "identity_op",
+    "set_random",
+    "Monoid",
+    "PLUS_MONOID",
+    "TIMES_MONOID",
+    "MIN_MONOID",
+    "MAX_MONOID",
+    "LOR_MONOID",
+    "LAND_MONOID",
+    "Semiring",
+    "MAX_TIMES",
+    "MAX_FIRST",
+    "MAX_SECOND",
+    "MIN_PLUS",
+    "PLUS_TIMES",
+    "BOOLEAN",
+    "Descriptor",
+    "DEFAULT",
+    "COMPLEMENT",
+    "REPLACE",
+    "STRUCTURE",
+    "assign",
+    "apply",
+    "vxm",
+    "mxv",
+    "mxm",
+    "ewise_add",
+    "ewise_mult",
+    "reduce_scalar",
+    "extract",
+    "assign_indexed",
+    "apply_bind_second",
+    "select",
+    "reduce_rows",
+    "gxb_scatter",
+    "binaryop",
+    "monoid",
+    "semiring",
+    "bfs_levels",
+    "pagerank",
+    "triangle_count",
+]

@@ -1,0 +1,105 @@
+"""GraphBLAS binary and unary operators.
+
+Each :class:`BinaryOp` wraps a vectorized NumPy callable plus, when it
+exists, the in-place scatter ufunc (``np.maximum.at`` style) the
+:func:`~repro.graphblas.ops.vxm` kernel uses for push-mode reduction.
+The paper uses ``GrB_INT32GT`` (Alg. 2 line 9), max/min/plus/times
+(semiring components), and boolean and/or.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+__all__ = [
+    "BinaryOp",
+    "UnaryOp",
+    "PLUS",
+    "MINUS",
+    "TIMES",
+    "MIN",
+    "MAX",
+    "FIRST",
+    "SECOND",
+    "GT",
+    "LT",
+    "GE",
+    "LE",
+    "EQ",
+    "NE",
+    "LOR",
+    "LAND",
+    "identity_op",
+    "set_random",
+]
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    """A vectorized binary operator ``z = fn(x, y)``."""
+
+    name: str
+    fn: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    #: NumPy ufunc whose ``.at`` performs an unbuffered scatter-reduce,
+    #: present only for associative/commutative ops usable as monoids.
+    ufunc: Optional[np.ufunc] = None
+    #: True when the result domain is boolean regardless of inputs.
+    returns_bool: bool = False
+
+    def __call__(self, x, y):
+        return self.fn(x, y)
+
+    def __repr__(self) -> str:
+        return f"GrB_{self.name}"
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    """A vectorized unary operator ``z = fn(x)``."""
+
+    name: str
+    fn: Callable[[np.ndarray], np.ndarray]
+
+    def __call__(self, x):
+        return self.fn(x)
+
+    def __repr__(self) -> str:
+        return f"GrB_{self.name}"
+
+
+PLUS = BinaryOp("PLUS", np.add, ufunc=np.add)
+MINUS = BinaryOp("MINUS", np.subtract)
+TIMES = BinaryOp("TIMES", np.multiply, ufunc=np.multiply)
+MIN = BinaryOp("MIN", np.minimum, ufunc=np.minimum)
+MAX = BinaryOp("MAX", np.maximum, ufunc=np.maximum)
+FIRST = BinaryOp("FIRST", lambda x, y: np.broadcast_arrays(x, y)[0].copy())
+SECOND = BinaryOp("SECOND", lambda x, y: np.broadcast_arrays(x, y)[1].copy())
+GT = BinaryOp("GT", np.greater, returns_bool=True)
+LT = BinaryOp("LT", np.less, returns_bool=True)
+GE = BinaryOp("GE", np.greater_equal, returns_bool=True)
+LE = BinaryOp("LE", np.less_equal, returns_bool=True)
+EQ = BinaryOp("EQ", np.equal, returns_bool=True)
+NE = BinaryOp("NE", np.not_equal, returns_bool=True)
+LOR = BinaryOp("LOR", np.logical_or, ufunc=np.logical_or, returns_bool=True)
+LAND = BinaryOp("LAND", np.logical_and, ufunc=np.logical_and, returns_bool=True)
+
+
+def identity_op() -> UnaryOp:
+    """The identity unary op (``GrB_IDENTITY``)."""
+    return UnaryOp("IDENTITY", lambda x: np.array(x, copy=True))
+
+
+def set_random(rng, low: int = 1, high: int = 2**31) -> UnaryOp:
+    """The paper's ``set_random()`` user-defined function (Alg. 2 line 5):
+    replaces each entry with a uniform random integer in ``[low, high)``.
+
+    Zero is excluded by default so it stays available as the
+    "removed from candidate list" sentinel.
+    """
+    def fn(x: np.ndarray) -> np.ndarray:
+        return rng.integers(low, high, size=np.shape(x), dtype=np.int64)
+
+    return UnaryOp("SET_RANDOM", fn)

@@ -1,0 +1,44 @@
+"""GraphBLAS descriptors.
+
+A descriptor modifies how an operation treats its mask and output:
+
+* ``mask_complement`` — use the complement of the mask (``GrB_COMP``);
+* ``mask_structure`` — mask by structure (entry present) rather than by
+  value C-castability (``GrB_STRUCTURE``).  The paper's §III-A1 mask
+  discussion uses *value* masking, which is our default;
+* ``replace`` — clear output entries not written through the mask
+  (``GrB_REPLACE``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Descriptor", "DEFAULT", "COMPLEMENT", "REPLACE", "STRUCTURE"]
+
+
+@dataclass(frozen=True)
+class Descriptor:
+    """Operation modifiers (immutable; combine by constructing a new one)."""
+
+    mask_complement: bool = False
+    mask_structure: bool = False
+    replace: bool = False
+
+    def __repr__(self) -> str:
+        flags = [
+            name
+            for name, on in (
+                ("COMP", self.mask_complement),
+                ("STRUCTURE", self.mask_structure),
+                ("REPLACE", self.replace),
+            )
+            if on
+        ]
+        return f"Descriptor({'|'.join(flags) or 'DEFAULT'})"
+
+
+DEFAULT = Descriptor()
+COMPLEMENT = Descriptor(mask_complement=True)
+REPLACE = Descriptor(replace=True)
+STRUCTURE = Descriptor(mask_structure=True)

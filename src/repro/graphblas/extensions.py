@@ -1,0 +1,53 @@
+"""GraphBLAS extension operations.
+
+The paper's Jones-Plassmann formulation needs a scatter that "could not
+be done within the confines of the GraphBLAS API. Therefore, we needed
+a GraphBLAS extension operation GxB_scatter" (§IV-A3).  This module
+provides it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import InvalidValue
+from ..gpusim.cost_model import CostModel
+from .vector import Vector
+
+__all__ = ["gxb_scatter"]
+
+
+def gxb_scatter(
+    target: Vector,
+    source: Vector,
+    *,
+    value=1,
+    cost: Optional[CostModel] = None,
+    name: str = "GxB_scatter",
+) -> Vector:
+    """Scatter by value: ``target[source[i]] = value`` for present i.
+
+    This is Alg. 4 line 9 — ``colors[n[i]] = 1`` marks every color
+    already used by a neighbor of the candidate set, so the smallest
+    absent index is the minimum available color.  Source values must be
+    valid indices into ``target``; collisions are benign because every
+    colliding write stores the same ``value``.
+    """
+    idx, vals = source.extract_tuples()
+    positions = vals.astype(np.int64)
+    if len(positions) and (
+        positions.min() < 0 or positions.max() >= target.size
+    ):
+        raise InvalidValue(
+            "scatter value out of target range "
+            f"[0, {target.size}): saw "
+            f"[{positions.min()}, {positions.max()}]"
+        )
+    if cost is not None:
+        cost.charge_gb_overhead(name=f"{name}.dispatch")
+        cost.charge_map(len(positions), name=name)
+    target.values[positions] = value
+    target.present[positions] = True
+    return target

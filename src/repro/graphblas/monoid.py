@@ -1,0 +1,75 @@
+"""GraphBLAS monoids: an associative, commutative binary op + identity.
+
+Monoids drive reductions (``GrB_reduce``) and are the additive
+component of semirings.  The identity is expressed as a function of the
+operand dtype because, e.g., the MAX monoid's identity is the dtype's
+minimum value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from . import binaryop
+from .binaryop import BinaryOp
+
+__all__ = [
+    "Monoid",
+    "PLUS_MONOID",
+    "TIMES_MONOID",
+    "MIN_MONOID",
+    "MAX_MONOID",
+    "LOR_MONOID",
+    "LAND_MONOID",
+]
+
+
+@dataclass(frozen=True)
+class Monoid:
+    """An associative commutative :class:`BinaryOp` with an identity."""
+
+    name: str
+    op: BinaryOp
+    identity_for: Callable[[np.dtype], object]
+
+    def identity(self, dtype) -> object:
+        """The identity element in the given dtype."""
+        return self.identity_for(np.dtype(dtype))
+
+    def reduce(self, values: np.ndarray, dtype=None):
+        """Reduce a 1-D array with this monoid (identity if empty)."""
+        dt = np.dtype(dtype) if dtype is not None else np.asarray(values).dtype
+        if len(values) == 0:
+            return self.identity(dt)
+        assert self.op.ufunc is not None
+        return self.op.ufunc.reduce(np.asarray(values))
+
+    def __repr__(self) -> str:
+        return f"GrB_{self.name}_MONOID"
+
+
+def _int_min(dt: np.dtype):
+    if np.issubdtype(dt, np.bool_):
+        return np.bool_(False)
+    if np.issubdtype(dt, np.integer):
+        return np.iinfo(dt).min
+    return dt.type(-np.inf)
+
+
+def _int_max(dt: np.dtype):
+    if np.issubdtype(dt, np.bool_):
+        return np.bool_(True)
+    if np.issubdtype(dt, np.integer):
+        return np.iinfo(dt).max
+    return dt.type(np.inf)
+
+
+PLUS_MONOID = Monoid("PLUS", binaryop.PLUS, lambda dt: dt.type(0))
+TIMES_MONOID = Monoid("TIMES", binaryop.TIMES, lambda dt: dt.type(1))
+MIN_MONOID = Monoid("MIN", binaryop.MIN, _int_max)
+MAX_MONOID = Monoid("MAX", binaryop.MAX, _int_min)
+LOR_MONOID = Monoid("LOR", binaryop.LOR, lambda dt: np.bool_(False))
+LAND_MONOID = Monoid("LAND", binaryop.LAND, lambda dt: np.bool_(True))

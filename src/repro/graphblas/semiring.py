@@ -1,0 +1,58 @@
+"""Generalized semirings (§III-A3 of the paper).
+
+A semiring pairs an additive :class:`~repro.graphblas.monoid.Monoid`
+with a multiplicative :class:`~repro.graphblas.binaryop.BinaryOp`.  The
+paper's algorithms use the *predefined semirings* proposal [29]:
+``GrB_INT32MaxTimes`` for finding each vertex's maximum-weight neighbor
+(Alg. 2 line 8) and the boolean (lor, land) semiring for reachability
+masks (Alg. 3 line 19).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import binaryop, monoid
+from .binaryop import BinaryOp
+from .monoid import Monoid
+
+__all__ = [
+    "Semiring",
+    "MAX_TIMES",
+    "MAX_FIRST",
+    "MAX_SECOND",
+    "MIN_PLUS",
+    "PLUS_TIMES",
+    "BOOLEAN",
+]
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """An (add-monoid, multiply-op) pair used by ``vxm`` / ``mxv``."""
+
+    name: str
+    add: Monoid
+    multiply: BinaryOp
+
+    def __repr__(self) -> str:
+        return f"GrB_{self.name}"
+
+
+#: (max, ×): w[j] = max_i u[i] * A[i, j] — the paper's GrB_INT32MaxTimes.
+MAX_TIMES = Semiring("MaxTimes", monoid.MAX_MONOID, binaryop.TIMES)
+
+#: (max, first): propagate the *vector* value, ignoring matrix values.
+MAX_FIRST = Semiring("MaxFirst", monoid.MAX_MONOID, binaryop.FIRST)
+
+#: (max, second): propagate the *matrix* value.
+MAX_SECOND = Semiring("MaxSecond", monoid.MAX_MONOID, binaryop.SECOND)
+
+#: (min, +): tropical semiring (shortest paths; used in tests).
+MIN_PLUS = Semiring("MinPlus", monoid.MIN_MONOID, binaryop.PLUS)
+
+#: (+, ×): the standard arithmetic semiring.
+PLUS_TIMES = Semiring("PlusTimes", monoid.PLUS_MONOID, binaryop.TIMES)
+
+#: (lor, land): reachability — the paper's "GrB_Boolean" semiring.
+BOOLEAN = Semiring("Boolean", monoid.LOR_MONOID, binaryop.LAND)

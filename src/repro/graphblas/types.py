@@ -1,0 +1,70 @@
+"""GraphBLAS scalar domains.
+
+The GraphBLAS C API names its domains ``GrB_INT32``, ``GrB_BOOL``, etc.
+We map each onto a NumPy dtype plus the metadata operations need: the
+"implicit zero" (the value an absent entry reads as, and the value the
+GraphBLAST runtime prunes back to structural absence — see
+:meth:`repro.graphblas.vector.Vector.prune_zeros`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DomainMismatch
+
+__all__ = ["GrBType", "BOOL", "INT32", "INT64", "FP32", "FP64", "from_dtype"]
+
+
+@dataclass(frozen=True)
+class GrBType:
+    """A GraphBLAS scalar domain backed by a NumPy dtype."""
+
+    name: str
+    dtype: np.dtype
+
+    @property
+    def zero(self):
+        """The implicit value of an absent entry (C-castable to false)."""
+        return self.dtype.type(0)
+
+    @property
+    def min_value(self):
+        """Smallest representable value (identity of the MAX monoid)."""
+        if np.issubdtype(self.dtype, np.bool_):
+            return np.bool_(False)
+        if np.issubdtype(self.dtype, np.integer):
+            return np.iinfo(self.dtype).min
+        return self.dtype.type(-np.inf)
+
+    @property
+    def max_value(self):
+        """Largest representable value (identity of the MIN monoid)."""
+        if np.issubdtype(self.dtype, np.bool_):
+            return np.bool_(True)
+        if np.issubdtype(self.dtype, np.integer):
+            return np.iinfo(self.dtype).max
+        return self.dtype.type(np.inf)
+
+    def __repr__(self) -> str:
+        return f"GrB_{self.name}"
+
+
+BOOL = GrBType("BOOL", np.dtype(np.bool_))
+INT32 = GrBType("INT32", np.dtype(np.int32))
+INT64 = GrBType("INT64", np.dtype(np.int64))
+FP32 = GrBType("FP32", np.dtype(np.float32))
+FP64 = GrBType("FP64", np.dtype(np.float64))
+
+_BY_DTYPE = {t.dtype: t for t in (BOOL, INT32, INT64, FP32, FP64)}
+
+
+def from_dtype(dtype) -> GrBType:
+    """The :class:`GrBType` for a NumPy dtype (raises on unsupported)."""
+    dt = np.dtype(dtype)
+    try:
+        return _BY_DTYPE[dt]
+    except KeyError:
+        raise DomainMismatch(f"unsupported GraphBLAS domain {dt}") from None

@@ -1,0 +1,31 @@
+"""A from-scratch data-centric (Gunrock-style) GPU graph framework.
+
+Frontiers plus the advance / compute / neighbor-reduce / filter
+operators of §III-B, executing vectorized on the host while charging a
+:class:`~repro.gpusim.CostModel` with each operator's structural GPU
+cost.
+"""
+
+from .enactor import Enactor
+from .frontier import EdgeFrontier, Frontier
+from .primitives import bfs, connected_components
+from .operators import (
+    GunrockContext,
+    advance,
+    compute,
+    filter_frontier,
+    neighbor_reduce,
+)
+
+__all__ = [
+    "Frontier",
+    "EdgeFrontier",
+    "GunrockContext",
+    "Enactor",
+    "compute",
+    "advance",
+    "neighbor_reduce",
+    "filter_frontier",
+    "bfs",
+    "connected_components",
+]

@@ -1,0 +1,51 @@
+"""The enactor: Gunrock's bulk-synchronous iteration driver.
+
+"The Gunrock enactor iteratively calls this compute operator until all
+vertices are colored" (§IV-B1).  :class:`Enactor` owns the iteration
+loop: it re-invokes a user-supplied iteration body until the body
+signals completion, charging one global synchronization per iteration
+(the kernel boundary between bulk-synchronous steps) and enforcing an
+iteration cap as a safety net.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import GunrockError
+from .operators import GunrockContext
+
+__all__ = ["Enactor"]
+
+
+class Enactor:
+    """Bulk-synchronous iteration driver for one primitive run."""
+
+    def __init__(self, ctx: GunrockContext, *, max_iterations: int = 0) -> None:
+        """``max_iterations=0`` derives a cap of ``2n + 16`` from the graph
+        (no correct coloring loop needs more than one iteration per
+        color, and colors never exceed n)."""
+        self.ctx = ctx
+        n = ctx.graph.num_vertices
+        self.max_iterations = max_iterations or (2 * n + 16)
+        self.iteration = 0
+
+    def run(self, body: Callable[[int], bool]) -> int:
+        """Call ``body(iteration)`` until it returns False (= stop).
+
+        Returns the number of iterations executed.  Raises
+        :class:`GunrockError` if the cap is hit — that means the
+        primitive failed to converge, which is always a bug.
+        """
+        self.iteration = 0
+        while True:
+            if self.iteration >= self.max_iterations:
+                raise GunrockError(
+                    f"enactor exceeded {self.max_iterations} iterations "
+                    "without converging"
+                )
+            keep_going = body(self.iteration)
+            self.ctx.sync(name="enactor_sync")
+            self.iteration += 1
+            if not keep_going:
+                return self.iteration

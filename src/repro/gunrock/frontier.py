@@ -1,0 +1,101 @@
+"""Frontiers — the central data structure of the data-centric abstraction.
+
+Gunrock "employs a high-level data-centric abstraction focused on
+operations on vertex or edge frontiers" (§III-B).  A
+:class:`Frontier` is an immutable, sorted set of active vertex ids (or
+an edge frontier of (source, target) pairs produced by advance).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import FrontierError
+from ..graph.csr import CSRGraph
+
+__all__ = ["Frontier", "EdgeFrontier"]
+
+
+class Frontier:
+    """An active-vertex set, stored as a sorted unique id array."""
+
+    __slots__ = ("ids",)
+
+    def __init__(self, ids: np.ndarray, *, _trusted: bool = False) -> None:
+        arr = np.asarray(ids, dtype=np.int64)
+        if not _trusted:
+            arr = np.unique(arr)
+        self.ids = arr
+        self.ids.setflags(write=False)
+
+    @classmethod
+    def all_vertices(cls, graph: CSRGraph) -> "Frontier":
+        """The full-vertex frontier the coloring drivers start from
+        (Alg. 5 line 8: ``F ← v ∀v ∈ G``)."""
+        return cls(np.arange(graph.num_vertices, dtype=np.int64), _trusted=True)
+
+    @classmethod
+    def empty(cls) -> "Frontier":
+        return cls(np.empty(0, dtype=np.int64), _trusted=True)
+
+    @classmethod
+    def from_mask(cls, mask: np.ndarray) -> "Frontier":
+        """Frontier of the true positions of a boolean per-vertex mask."""
+        return cls(np.flatnonzero(mask).astype(np.int64), _trusted=True)
+
+    def degrees(self, graph: CSRGraph) -> np.ndarray:
+        """Neighbor-list lengths of the active vertices (launch order)."""
+        if len(self.ids) and self.ids[-1] >= graph.num_vertices:
+            raise FrontierError("frontier vertex id exceeds graph size")
+        return graph.offsets[self.ids + 1] - graph.offsets[self.ids]
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def __bool__(self) -> bool:
+        return len(self.ids) > 0
+
+    def __repr__(self) -> str:
+        return f"<Frontier size={len(self.ids)}>"
+
+
+class EdgeFrontier:
+    """An edge frontier: parallel (source, target) arrays with segment
+    boundaries back into the originating vertex frontier.
+
+    Produced by the advance operator; consumed by segmented reduction
+    (the neighbor-reduce of Alg. 7).
+    """
+
+    __slots__ = ("sources", "targets", "segment_offsets", "origin")
+
+    def __init__(
+        self,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        segment_offsets: np.ndarray,
+        origin: Frontier,
+    ) -> None:
+        if len(sources) != len(targets):
+            raise FrontierError("sources/targets must align")
+        if len(segment_offsets) != len(origin) + 1:
+            raise FrontierError("segment offsets must cover the origin frontier")
+        self.sources = sources
+        self.targets = targets
+        self.segment_offsets = segment_offsets
+        self.origin = origin
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.targets)
+
+    def __len__(self) -> int:
+        return len(self.targets)
+
+    def __repr__(self) -> str:
+        return (
+            f"<EdgeFrontier edges={self.num_edges} "
+            f"segments={len(self.origin)}>"
+        )

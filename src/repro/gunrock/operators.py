@@ -1,0 +1,184 @@
+"""Gunrock operators: compute, advance, neighbor-reduce, filter.
+
+These are the three operators the paper builds its coloring variants
+from (§III-B), plus the filter used for frontier compaction.  Each
+operator executes vectorized and charges the
+:class:`~repro.gpusim.CostModel` with the structural cost of the real
+GPU operator:
+
+* ``compute`` — a parallel forall over the frontier.  When the kernel
+  declares ``loop="serial"`` (the per-thread neighbor for-loop of
+  Alg. 5 lines 25–35) the charge uses the warp lock-step model; a plain
+  per-item kernel charges a map.
+* ``advance`` — materializes the neighbor (edge) frontier, charged as a
+  load-balanced edge-parallel kernel.
+* ``neighbor_reduce`` — advance + segmented reduction over each
+  vertex's neighbor list (Alg. 7 line 10), "internally performed by
+  assigning segments to threads, warps or blocks depending on the size
+  of the segment" — charged with the per-segment overhead that makes AR
+  the paper's slowest variant.
+* ``filter`` — stream compaction of a frontier by predicate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..errors import FrontierError, GunrockError
+from ..gpusim.cost_model import CostModel
+from ..graph.csr import CSRGraph
+from .frontier import EdgeFrontier, Frontier
+
+__all__ = ["GunrockContext", "compute", "advance", "neighbor_reduce", "filter_frontier"]
+
+
+class GunrockContext:
+    """Shared state for one algorithm run: the graph and its cost model."""
+
+    def __init__(self, graph: CSRGraph, cost: Optional[CostModel] = None) -> None:
+        self.graph = graph
+        self.cost = cost if cost is not None else CostModel()
+
+    def sync(self, name: str = "sync") -> None:
+        """A global synchronization (kernel boundary)."""
+        self.cost.charge_sync(name=name)
+
+
+def compute(
+    ctx: GunrockContext,
+    frontier: Frontier,
+    kernel: Callable[[np.ndarray], None],
+    *,
+    name: str,
+    loop: str = "map",
+    passes: int = 1,
+    atomics: int = 0,
+) -> None:
+    """Run ``kernel(active_ids)`` as a parallel forall over the frontier.
+
+    ``loop="serial"`` charges the warp lock-step serial-neighbor-loop
+    model (``passes`` full neighbor sweeps per thread); ``loop="map"``
+    charges a flat per-item kernel.  ``atomics`` counts global atomic
+    operations the kernel issues (e.g. the colored-vertex counter of the
+    atomics variant in Table II).
+    """
+    if loop not in ("map", "serial"):
+        raise GunrockError(f"unknown compute loop kind {loop!r}")
+    kernel(frontier.ids)
+    if loop == "serial":
+        ctx.cost.charge_serial_loop(
+            frontier.degrees(ctx.graph), name=name, passes=passes
+        )
+    else:
+        ctx.cost.charge_map(len(frontier), name=name)
+    if atomics:
+        ctx.cost.charge_atomics(atomics, name=f"{name}.atomics")
+
+
+def advance(
+    ctx: GunrockContext,
+    frontier: Frontier,
+    *,
+    name: str = "advance",
+) -> EdgeFrontier:
+    """Generate the neighbor frontier of ``frontier`` (§III-B1).
+
+    Each input vertex maps to its full neighbor list; the result keeps
+    segment offsets so a segmented reduction can follow.
+    """
+    g = ctx.graph
+    degs = frontier.degrees(g)
+    total = int(degs.sum())
+    seg = np.zeros(len(frontier) + 1, dtype=np.int64)
+    np.cumsum(degs, out=seg[1:])
+    if total:
+        starts = np.repeat(g.offsets[frontier.ids], degs)
+        ramp = np.arange(total, dtype=np.int64) - np.repeat(seg[:-1], degs)
+        pos = starts + ramp
+        targets = g.indices[pos]
+        sources = np.repeat(frontier.ids, degs)
+    else:
+        targets = np.empty(0, dtype=np.int64)
+        sources = np.empty(0, dtype=np.int64)
+    # Load-balanced edge-parallel kernel that also materializes the
+    # frontier to memory (the overhead §V-B attributes to AR).
+    ctx.cost.charge_edge_balanced(total, name=name, eff=1.5)
+    return EdgeFrontier(sources, targets, seg, frontier)
+
+
+_REDUCERS = {
+    "max": (np.maximum, np.iinfo(np.int64).min),
+    "min": (np.minimum, np.iinfo(np.int64).max),
+    "sum": (np.add, 0),
+}
+
+
+def neighbor_reduce(
+    ctx: GunrockContext,
+    edge_frontier: EdgeFrontier,
+    values: np.ndarray,
+    *,
+    op: str = "max",
+    arg: bool = False,
+    name: str = "neighbor_reduce",
+) -> np.ndarray:
+    """Segmented reduction of ``values[target]`` over each source vertex's
+    neighbor segment (§III-B3).
+
+    Returns one reduced value per origin-frontier vertex (the monoid
+    identity for empty segments).  With ``arg=True`` returns instead the
+    *target vertex id* attaining the extremum (needed by the AR variant,
+    which colors the winning neighbor).
+    """
+    try:
+        ufunc, identity = _REDUCERS[op]
+    except KeyError:
+        raise GunrockError(f"unknown reduction {op!r}") from None
+    seg = edge_frontier.segment_offsets
+    nseg = len(seg) - 1
+    vals = values[edge_frontier.targets]
+    ctx.cost.charge_segmented_reduce(
+        edge_frontier.num_edges, nseg, name=name
+    )
+    if edge_frontier.num_edges == 0:
+        out = np.full(nseg, identity, dtype=values.dtype)
+        return out
+    seg_of = np.repeat(np.arange(nseg, dtype=np.int64), np.diff(seg))
+    if not arg:
+        out = np.full(nseg, identity, dtype=values.dtype)
+        ufunc.at(out, seg_of, vals)
+        return out
+    if op not in ("max", "min"):
+        raise GunrockError("arg reduction requires max or min")
+    # Arg-reduction: order so the extremal element of each segment comes
+    # first, then take each segment's first target id.
+    key = vals if op == "min" else -vals
+    order = np.lexsort((edge_frontier.targets, key, seg_of))
+    sorted_seg = seg_of[order]
+    first = np.ones(len(order), dtype=bool)
+    first[1:] = sorted_seg[1:] != sorted_seg[:-1]
+    winners_seg = sorted_seg[first]
+    winners_tgt = edge_frontier.targets[order][first]
+    out = np.full(nseg, -1, dtype=np.int64)
+    out[winners_seg] = winners_tgt
+    return out
+
+
+def filter_frontier(
+    ctx: GunrockContext,
+    frontier: Frontier,
+    keep: np.ndarray,
+    *,
+    name: str = "filter",
+) -> Frontier:
+    """Compact a frontier to the entries where ``keep`` is true.
+
+    ``keep`` is aligned with ``frontier.ids``.  Charged as a map kernel
+    (stream compaction).
+    """
+    if len(keep) != len(frontier):
+        raise FrontierError("keep mask must align with the frontier")
+    ctx.cost.charge_map(len(frontier), name=name)
+    return Frontier(frontier.ids[np.asarray(keep, dtype=bool)], _trusted=True)

@@ -1,0 +1,53 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+CLI: ``python -m repro.harness <table1|table2|fig1|fig2|fig3|all>``.
+"""
+
+from . import datasets
+from .cache import clear_cache, load_cached
+from .calibration import HEADLINE_TARGETS, check_headlines
+from .charts import bar_chart, scatter_plot
+from .profile import compare_rows, profile_rows, run_profile
+from .figures import fig1_series, fig2_series, fig3_series
+from .report import (
+    format_table,
+    geomean,
+    load_snapshot,
+    save_snapshot,
+    snapshot,
+    to_csv,
+)
+from .runner import CellResult, grid_to_rows, run_cell, run_grid, speedup_vs
+from .tables import table1_rows, table2_rows
+from .whatif import find_crossover, sweep_device_constant
+
+__all__ = [
+    "datasets",
+    "bar_chart",
+    "scatter_plot",
+    "load_cached",
+    "clear_cache",
+    "check_headlines",
+    "HEADLINE_TARGETS",
+    "run_cell",
+    "run_grid",
+    "grid_to_rows",
+    "speedup_vs",
+    "CellResult",
+    "table1_rows",
+    "table2_rows",
+    "fig1_series",
+    "fig2_series",
+    "fig3_series",
+    "format_table",
+    "to_csv",
+    "geomean",
+    "snapshot",
+    "save_snapshot",
+    "load_snapshot",
+    "profile_rows",
+    "compare_rows",
+    "run_profile",
+    "sweep_device_constant",
+    "find_crossover",
+]

@@ -1,0 +1,175 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Examples::
+
+    python -m repro.harness table1
+    python -m repro.harness table2 --scale-div 16
+    python -m repro.harness fig1 --csv out.csv
+    python -m repro.harness all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .._rng import DEFAULT_SEED
+from ..graph.generators.suitesparse import DEFAULT_SCALE_DIV
+from .figures import fig1_series, fig2_series, fig3_series
+from .report import format_table, to_csv
+from .tables import table1_rows, table2_rows
+
+EXPERIMENTS = ("table1", "table2", "fig1", "fig2", "fig3")
+PROFILE_USAGE = "profile:DATASET:ALGO[,ALGO2]"
+
+
+def _emit(rows, title: str, csv_path: Optional[str], json_path: Optional[str] = None, *, seed: int = 0, scale_div: Optional[int] = None) -> None:
+    print(format_table(rows, title=title))
+    print()
+    if csv_path:
+        with open(csv_path, "a") as fh:
+            fh.write(f"# {title}\n")
+            fh.write(to_csv(rows))
+    if json_path:
+        from .report import save_snapshot, snapshot
+
+        save_snapshot(
+            snapshot(rows, experiment=title, seed=seed, scale_div=scale_div),
+            json_path,
+        )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate the tables and figures of "
+        "'Graph Coloring on the GPU' (Osama et al., 2019).",
+    )
+    parser.add_argument(
+        "experiment",
+        help="one of %s, 'all', or 'profile'" % ", ".join(EXPERIMENTS),
+    )
+    parser.add_argument(
+        "--dataset", default="G3_circuit", help="dataset for 'profile'"
+    )
+    parser.add_argument(
+        "--algorithms",
+        default="graphblas.mis",
+        help="comma-separated (1-2) implementation ids for 'profile'",
+    )
+    parser.add_argument(
+        "--scale-div",
+        type=int,
+        default=DEFAULT_SCALE_DIV,
+        help="dataset down-scaling divisor (1 = paper-scale vertices)",
+    )
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--repetitions", type=int, default=3)
+    parser.add_argument(
+        "--csv", default=None, help="also append series to this CSV file"
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        help="write the last emitted series as a JSON snapshot "
+        "(includes seed, scaling, and all cost-model constants)",
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="render ASCII charts of the figure series",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "profile":
+        from .profile import run_profile
+
+        rows = run_profile(
+            args.dataset,
+            [a for a in args.algorithms.split(",") if a],
+            scale_div=args.scale_div,
+            seed=args.seed,
+        )
+        _emit(
+            rows,
+            f"Kernel profile: {args.algorithms} on {args.dataset}",
+            args.csv,
+        )
+        return 0
+    if args.experiment not in EXPERIMENTS + ("all",):
+        parser.error(
+            f"unknown experiment {args.experiment!r}; choose from "
+            f"{', '.join(EXPERIMENTS + ('all', 'profile'))}"
+        )
+    todo = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for exp in todo:
+        if exp == "table1":
+            rows = table1_rows(scale_div=args.scale_div, seed=args.seed)
+            _emit(rows, "Table I: Dataset Description (paper vs regenerated)", args.csv, args.json, seed=args.seed, scale_div=args.scale_div)
+        elif exp == "table2":
+            rows = table2_rows(
+                scale_div=args.scale_div,
+                seed=args.seed,
+                repetitions=args.repetitions,
+            )
+            _emit(rows, "Table II: Gunrock optimization impact (G3_circuit)", args.csv, args.json, seed=args.seed, scale_div=args.scale_div)
+        elif exp == "fig1":
+            series = fig1_series(
+                scale_div=args.scale_div,
+                seed=args.seed,
+                repetitions=args.repetitions,
+            )
+            _emit(series["speedup_rows"], "Figure 1a: Speedup vs Naumov/JPL", args.csv, args.json, seed=args.seed, scale_div=args.scale_div)
+            _emit(series["color_rows"], "Figure 1b: Number of Colors", args.csv, args.json, seed=args.seed, scale_div=args.scale_div)
+            gm_rows = [
+                {"Implementation": a, "Geomean speedup": round(v, 3)}
+                for a, v in series["geomean"].items()
+            ]
+            _emit(gm_rows, "Figure 1a: geometric-mean speedups", args.csv, args.json, seed=args.seed, scale_div=args.scale_div)
+            if args.chart:
+                from .charts import bar_chart
+
+                print(
+                    bar_chart(
+                        sorted(series["geomean"].items(), key=lambda kv: -kv[1]),
+                        title="Figure 1a (geomean speedup vs naumov.jpl)",
+                        reference=1.0,
+                    )
+                )
+                print()
+        elif exp == "fig2":
+            series = fig2_series(
+                scale_div=args.scale_div,
+                seed=args.seed,
+                repetitions=args.repetitions,
+            )
+            _emit(series["gunrock"], "Figure 2a: Gunrock time-quality", args.csv, args.json, seed=args.seed, scale_div=args.scale_div)
+            _emit(series["graphblast"], "Figure 2b: GraphBLAST time-quality", args.csv, args.json, seed=args.seed, scale_div=args.scale_div)
+        elif exp == "fig3":
+            rows = fig3_series(seed=args.seed, repetitions=args.repetitions)
+            _emit(rows, "Figure 3: RGG scaling (runtime & colors vs n, m)", args.csv, args.json, seed=args.seed, scale_div=args.scale_div)
+            if args.chart:
+                from .charts import scatter_plot
+
+                series = {}
+                for r in rows:
+                    series.setdefault(r["Implementation"], []).append(
+                        (r["Vertices"], r["Runtime (ms)"])
+                    )
+                print(
+                    scatter_plot(
+                        series,
+                        title="Figure 3a (runtime vs vertices, log-log)",
+                        logx=True,
+                        logy=True,
+                        xlabel="vertices",
+                        ylabel="ms",
+                    )
+                )
+                print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

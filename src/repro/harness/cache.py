@@ -1,0 +1,72 @@
+"""On-disk dataset cache.
+
+Generating the larger analogues (RGG scale 17, thermal2 at small
+divisors) costs seconds; repeated harness/bench invocations shouldn't
+pay it twice.  :func:`load_cached` wraps
+:func:`repro.harness.datasets.load` with a ``.npz`` snapshot cache
+keyed by (name, scale_div, seed), stored under ``.repro-cache/`` in the
+working directory (or ``REPRO_CACHE_DIR``).
+
+Disabled by default in the in-process paths (the lru_cache there is
+enough within one run); the CLI's ``--disk-cache`` flag and long
+experiment scripts opt in.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional
+
+from .._rng import DEFAULT_SEED
+from ..errors import DatasetError
+from ..graph.csr import CSRGraph
+from ..graph.io import load_npz, save_npz
+from ..graph.generators.suitesparse import DEFAULT_SCALE_DIV
+from . import datasets as ds
+
+__all__ = ["cache_dir", "cache_path", "load_cached", "clear_cache"]
+
+_ENV = "REPRO_CACHE_DIR"
+
+
+def cache_dir() -> Path:
+    """The cache root (created on demand)."""
+    root = Path(os.environ.get(_ENV, ".repro-cache"))
+    root.mkdir(parents=True, exist_ok=True)
+    return root
+
+
+def cache_path(name: str, scale_div: int, seed: int) -> Path:
+    safe = name.replace("/", "_")
+    return cache_dir() / f"{safe}__div{scale_div}__seed{seed}.npz"
+
+
+def load_cached(
+    name: str,
+    *,
+    scale_div: int = DEFAULT_SCALE_DIV,
+    seed: int = DEFAULT_SEED,
+) -> CSRGraph:
+    """Load a dataset through the on-disk cache.
+
+    Corrupt cache entries are regenerated rather than failing the run.
+    """
+    path = cache_path(name, scale_div, seed)
+    if path.exists():
+        try:
+            return load_npz(path)
+        except Exception:
+            path.unlink(missing_ok=True)  # corrupt: fall through
+    graph = ds.load(name, scale_div=scale_div, seed=seed)
+    save_npz(graph, path)
+    return graph
+
+
+def clear_cache() -> int:
+    """Delete all cache entries; returns how many were removed."""
+    removed = 0
+    for p in cache_dir().glob("*.npz"):
+        p.unlink()
+        removed += 1
+    return removed

@@ -1,0 +1,148 @@
+"""The paper's headline targets, as a checkable library.
+
+Every quantitative claim this reproduction tracks is registered here as
+a :class:`Target` (value, acceptance band, where it comes from in the
+paper).  ``scripts/calibrate.py`` prints the full report;
+:func:`check_headlines` evaluates a configurable subset and returns
+structured results — so CI, tests, or a user who retunes
+`DeviceSpec` constants can verify the reproduction contract
+programmatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .._rng import DEFAULT_SEED
+from ..gpusim.device import DeviceSpec
+from .figures import fig1_series
+from .report import geomean
+from .runner import speedup_vs
+from .tables import table2_rows
+
+__all__ = ["Target", "HEADLINE_TARGETS", "check_headlines"]
+
+
+@dataclass(frozen=True)
+class Target:
+    """One tracked claim: paper value plus our acceptance band."""
+
+    key: str
+    paper_value: float
+    lo: float
+    hi: float
+    source: str  # where the paper states it
+
+    def evaluate(self, measured: float) -> "TargetResult":
+        return TargetResult(
+            key=self.key,
+            paper_value=self.paper_value,
+            measured=measured,
+            ok=self.lo <= measured <= self.hi,
+            band=(self.lo, self.hi),
+            source=self.source,
+        )
+
+
+@dataclass(frozen=True)
+class TargetResult:
+    key: str
+    paper_value: float
+    measured: float
+    ok: bool
+    band: tuple
+    source: str
+
+
+#: Acceptance bands for the headline claims (see EXPERIMENTS.md for the
+#: discussion of each deviation).
+HEADLINE_TARGETS: Dict[str, Target] = {
+    t.key: t
+    for t in [
+        Target("table2.ar_over_minmax", 98.2, 40, 250, "Table II"),
+        Target("table2.hash_over_minmax", 2.58, 1.8, 5.0, "Table II"),
+        Target("table2.atomics_over_plain", 1.226, 1.05, 1.6, "Table II"),
+        Target("table2.single_over_minmax", 1.669, 1.3, 2.4, "Table II"),
+        Target("fig1a.gunrock_geomean", 1.3, 1.05, 1.6, "§I contribution 3"),
+        Target("fig1a.gunrock_peak", 2.0, 1.6, 2.6, "§V-B"),
+        Target("fig1a.af_shell3", 0.47, 0.3, 0.8, "§V-B"),
+        Target("fig1a.gb_is_slower_than_naumov", 1.66, 1.2, 2.4, "§V-C"),
+        Target("fig1a.jpl_over_is", 1.98, 1.3, 3.0, "§V-C"),
+        Target("fig1a.mis_over_is", 3.0, 1.7, 4.5, "§V-C"),
+        Target("fig1a.greedy_over_mis", 2.6, 1.6, 4.5, "§I contribution 4"),
+        Target("fig1b.naumov_jpl_over_mis_colors", 1.9, 1.3, 2.5, "§I"),
+        Target("fig1b.naumov_cc_over_mis_colors", 5.0, 2.2, 6.5, "§I"),
+        Target("fig1b.greedy_over_mis_colors", 1.014, 0.85, 1.25, "§I"),
+        Target("fig1b.is_over_mis_colors", 2.9, 1.7, 3.8, "§V-C"),
+        Target("fig1b.jpl_over_mis_colors", 2.5, 1.5, 3.3, "§V-C"),
+    ]
+}
+
+
+def check_headlines(
+    *,
+    scale_div: int = 64,
+    seed: int = DEFAULT_SEED,
+    repetitions: int = 1,
+    datasets: Optional[Sequence[str]] = None,
+    device: Optional[DeviceSpec] = None,
+) -> List[TargetResult]:
+    """Measure every headline target and evaluate it against its band.
+
+    Runs the Figure 1 grid once plus the Table II ladder; returns one
+    :class:`TargetResult` per target.  All-ok is the reproduction
+    contract the benchmark suite enforces.
+    """
+    rows = table2_rows(
+        scale_div=scale_div, seed=seed, repetitions=repetitions, device=device
+    )
+    ms = {r["Optimization"]: r["Performance (ms)"] for r in rows}
+    series = fig1_series(
+        datasets=datasets,
+        scale_div=scale_div,
+        seed=seed,
+        repetitions=repetitions,
+        device=device,
+    )
+    cells = {(c.dataset, c.algorithm): c for c in series["cells"]}
+    names = {c.dataset for c in series["cells"]}
+    per = speedup_vs(series["cells"], "naumov.jpl")["gunrock.is"]
+
+    def time_ratio(a: str, b: str) -> float:
+        return geomean(
+            cells[(n, a)].sim_ms / cells[(n, b)].sim_ms for n in names
+        )
+
+    def color_ratio(a: str, b: str) -> float:
+        return geomean(
+            cells[(n, a)].colors / cells[(n, b)].colors for n in names
+        )
+
+    measured = {
+        "table2.ar_over_minmax": ms["Baseline (Advance-Reduce)"]
+        / ms["Min-Max Independent Set"],
+        "table2.hash_over_minmax": ms["Hash Color"] / ms["Min-Max Independent Set"],
+        "table2.atomics_over_plain": ms["Independent Set with Atomics"]
+        / ms["Independent Set without Atomics"],
+        "table2.single_over_minmax": ms["Independent Set without Atomics"]
+        / ms["Min-Max Independent Set"],
+        "fig1a.gunrock_geomean": series["geomean"]["gunrock.is"],
+        "fig1a.gunrock_peak": max(per.values()),
+        "fig1a.af_shell3": per.get("af_shell3", float("nan")),
+        "fig1a.gb_is_slower_than_naumov": 1.0 / series["geomean"]["graphblas.is"],
+        "fig1a.jpl_over_is": time_ratio("graphblas.jpl", "graphblas.is"),
+        "fig1a.mis_over_is": time_ratio("graphblas.mis", "graphblas.is"),
+        "fig1a.greedy_over_mis": time_ratio("cpu.greedy", "graphblas.mis"),
+        "fig1b.naumov_jpl_over_mis_colors": color_ratio("naumov.jpl", "graphblas.mis"),
+        "fig1b.naumov_cc_over_mis_colors": color_ratio("naumov.cc", "graphblas.mis"),
+        "fig1b.greedy_over_mis_colors": color_ratio("cpu.greedy", "graphblas.mis"),
+        "fig1b.is_over_mis_colors": color_ratio("graphblas.is", "graphblas.mis"),
+        "fig1b.jpl_over_mis_colors": color_ratio("graphblas.jpl", "graphblas.mis"),
+    }
+    out = []
+    for key, target in HEADLINE_TARGETS.items():
+        if key == "fig1a.af_shell3" and "af_shell3" not in names:
+            continue  # reduced dataset list without the outlier
+        out.append(target.evaluate(measured[key]))
+    return out

@@ -1,0 +1,115 @@
+"""Terminal (ASCII) chart rendering for the regenerated figures.
+
+The paper's figures are bar charts (Fig. 1), scatter plots (Fig. 2) and
+log-log line plots (Fig. 3); these helpers render the same series in a
+terminal so ``python -m repro.harness fig1 --chart`` gives a visual
+check without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["bar_chart", "scatter_plot"]
+
+
+def bar_chart(
+    items: Sequence[Tuple[str, float]],
+    *,
+    title: str = "",
+    width: int = 50,
+    reference: Optional[float] = None,
+    fmt: str = "{:.3f}",
+) -> str:
+    """Horizontal bar chart of (label, value) pairs.
+
+    ``reference`` draws a marker column at that value (e.g. speedup 1.0
+    in Fig. 1a, so bars crossing it beat the baseline).
+    """
+    if not items:
+        return f"{title}\n(empty)" if title else "(empty)"
+    vmax = max(v for _, v in items)
+    if vmax <= 0:
+        vmax = 1.0
+    label_w = max(len(l) for l, _ in items)
+    lines = [title] if title else []
+    ref_col = None
+    if reference is not None and reference <= vmax:
+        ref_col = max(1, round(reference / vmax * width))
+    for label, value in items:
+        n = max(0, round(value / vmax * width))
+        bar = "█" * n + " " * (width - n)
+        if ref_col is not None:
+            marker = "│" if n < ref_col else "┃"
+            bar = bar[: ref_col - 1] + marker + bar[ref_col:]
+        lines.append(f"{label.ljust(label_w)} {bar} " + fmt.format(value))
+    if reference is not None:
+        lines.append(f"{' ' * label_w} (│ marks {fmt.format(reference)})")
+    return "\n".join(lines)
+
+
+def scatter_plot(
+    series: Dict[str, List[Tuple[float, float]]],
+    *,
+    title: str = "",
+    width: int = 64,
+    height: int = 20,
+    logx: bool = False,
+    logy: bool = False,
+    xlabel: str = "x",
+    ylabel: str = "y",
+) -> str:
+    """Multi-series scatter on a character grid.
+
+    Each series gets a distinct glyph; overlapping points show the
+    later series' glyph.  Log axes handle the paper's decades-spanning
+    runtime plots.
+    """
+    glyphs = "o*x+#@%&"
+    pts = [(x, y) for s in series.values() for x, y in s]
+    if not pts:
+        return f"{title}\n(empty)" if title else "(empty)"
+
+    def tx(v: float) -> float:
+        return math.log10(v) if logx else v
+
+    def ty(v: float) -> float:
+        return math.log10(v) if logy else v
+
+    xs = [tx(x) for x, _ in pts]
+    ys = [ty(y) for _, y in pts]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    if x1 == x0:
+        x1 = x0 + 1
+    if y1 == y0:
+        y1 = y0 + 1
+    grid = [[" "] * width for _ in range(height)]
+    for glyph, (name, points) in zip(glyphs, series.items()):
+        for x, y in points:
+            col = round((tx(x) - x0) / (x1 - x0) * (width - 1))
+            row = height - 1 - round((ty(y) - y0) / (y1 - y0) * (height - 1))
+            grid[row][col] = glyph
+    lines = [title] if title else []
+    top = f"{10**y1 if logy else y1:.3g}"
+    bottom = f"{10**y0 if logy else y0:.3g}"
+    margin = max(len(top), len(bottom)) + 1
+    for i, row in enumerate(grid):
+        prefix = top if i == 0 else (bottom if i == height - 1 else "")
+        lines.append(prefix.rjust(margin) + "┤" + "".join(row))
+    left = f"{10**x0 if logx else x0:.3g}"
+    right = f"{10**x1 if logx else x1:.3g}"
+    lines.append(" " * margin + "└" + "─" * width)
+    lines.append(
+        " " * margin
+        + " "
+        + left
+        + " " * max(1, width - len(left) - len(right))
+        + right
+    )
+    legend = "   ".join(
+        f"{glyph}={name}" for glyph, name in zip(glyphs, series.keys())
+    )
+    lines.append(f"{ylabel} vs {xlabel}   {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Unified dataset registry for the experiment harness.
+
+Merges the 12 SuiteSparse analogues (Table I's real-world block) with
+the DIMACS10-style RGG family (Table I's generated block / Fig. 3
+sweep) behind one name-based interface.  Generated graphs are cached
+per (name, scale_div, seed) within a process so the 9-algorithm grid
+reuses each graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import List, Optional, Tuple
+
+from .._rng import DEFAULT_SEED
+from ..errors import DatasetError
+from ..graph.csr import CSRGraph
+from ..graph.generators.rgg import rgg_scale
+from ..graph.generators.suitesparse import (
+    DEFAULT_SCALE_DIV,
+    SUITESPARSE_ANALOGUES,
+    PaperStats,
+)
+
+__all__ = [
+    "REAL_WORLD_DATASETS",
+    "RGG_SCALES",
+    "DEFAULT_RGG_SCALES",
+    "dataset_names",
+    "paper_stats",
+    "load",
+    "load_rgg",
+]
+
+#: The 12 real-world analogues, in Table I order.
+REAL_WORLD_DATASETS: List[str] = list(SUITESPARSE_ANALOGUES)
+
+#: RGG scales of Table I (rgg_n_2_15_s0 … rgg_n_2_24_s0).
+RGG_SCALES: List[int] = list(range(15, 25))
+
+#: Down-scaled sweep used by default (same 2× progression, laptop-sized).
+DEFAULT_RGG_SCALES: List[int] = list(range(10, 18))
+
+
+def dataset_names(*, include_rgg: bool = False) -> List[str]:
+    """All dataset names; RGG entries are ``rgg_n_2_<scale>_s0``."""
+    names = list(REAL_WORLD_DATASETS)
+    if include_rgg:
+        names += [f"rgg_n_2_{s}_s0" for s in RGG_SCALES]
+    return names
+
+
+def paper_stats(name: str) -> Optional[PaperStats]:
+    """The Table I row as printed in the paper (None for RGG analogues
+    generated at non-paper scales)."""
+    spec = SUITESPARSE_ANALOGUES.get(name)
+    return spec.paper if spec else None
+
+
+@lru_cache(maxsize=64)
+def _load_cached(name: str, scale_div: int, seed: int) -> CSRGraph:
+    if name.startswith("rgg_n_2_"):
+        try:
+            scale = int(name.split("_")[3])
+        except (IndexError, ValueError):
+            raise DatasetError(f"malformed rgg dataset name {name!r}") from None
+        return rgg_scale(scale, rng=seed)
+    spec = SUITESPARSE_ANALOGUES.get(name)
+    if spec is None:
+        raise DatasetError(
+            f"unknown dataset {name!r}; known: {', '.join(dataset_names(include_rgg=True))}"
+        )
+    return spec.generate(scale_div=scale_div, rng=seed)
+
+
+def load(
+    name: str,
+    *,
+    scale_div: int = DEFAULT_SCALE_DIV,
+    seed: int = DEFAULT_SEED,
+) -> CSRGraph:
+    """Load (generate) a dataset by name, cached per parameters."""
+    return _load_cached(name, int(scale_div), int(seed))
+
+
+def load_rgg(scale: int, *, seed: int = DEFAULT_SEED) -> CSRGraph:
+    """Load the RGG at ``2**scale`` vertices (Fig. 3 sweep), cached."""
+    return _load_cached(f"rgg_n_2_{scale}_s0", 1, int(seed))

@@ -1,0 +1,165 @@
+"""Emitters for the paper's figures (as data series + ASCII rendering).
+
+Every figure of the evaluation section has a regenerator that produces
+the same series the paper plots:
+
+* :func:`fig1_series` — Fig. 1a (speedup vs Naumov/JPL per dataset per
+  implementation) and Fig. 1b (number of colors, same grid).
+* :func:`fig2_series` — Fig. 2a/2b time-quality scatter (runtime vs
+  colors) for the Gunrock pair (IS, Hash) and GraphBLAST pair (IS, MIS).
+* :func:`fig3_series` — Fig. 3a–d RGG scaling: runtime and colors as a
+  function of vertex and edge counts for the best Gunrock and
+  GraphBLAST implementations (both IS, per §V-E).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .._rng import DEFAULT_SEED
+from ..core.registry import FIGURE1_ALGORITHMS
+from ..gpusim.device import DeviceSpec
+from ..graph.generators.suitesparse import DEFAULT_SCALE_DIV
+from . import datasets as ds
+from .report import geomean
+from .runner import CellResult, run_cell, run_grid, speedup_vs
+
+__all__ = [
+    "fig1_series",
+    "fig2_series",
+    "fig3_series",
+    "FIG2_GUNROCK_PAIR",
+    "FIG2_GRAPHBLAST_PAIR",
+]
+
+FIG2_GUNROCK_PAIR = ["gunrock.is", "gunrock.hash"]
+FIG2_GRAPHBLAST_PAIR = ["graphblas.is", "graphblas.mis"]
+
+
+def fig1_series(
+    *,
+    algorithms: Optional[Sequence[str]] = None,
+    datasets: Optional[Sequence[str]] = None,
+    scale_div: int = DEFAULT_SCALE_DIV,
+    seed: int = DEFAULT_SEED,
+    repetitions: int = 3,
+    device: Optional[DeviceSpec] = None,
+) -> Dict:
+    """Figure 1: run the full real-world grid.
+
+    Returns ``{"cells", "speedup_rows", "color_rows", "geomean"}`` where
+    the row lists are directly printable: one row per dataset with one
+    column per implementation (speedup vs naumov.jpl for 1a, color
+    count for 1b), and ``geomean`` maps implementation → geometric-mean
+    speedup (the paper's 1.3× headline for gunrock.is).
+    """
+    algos = list(algorithms or FIGURE1_ALGORITHMS)
+    names = list(datasets or ds.REAL_WORLD_DATASETS)
+    cells = run_grid(
+        names,
+        algos,
+        scale_div=scale_div,
+        repetitions=repetitions,
+        seed=seed,
+        device=device,
+    )
+    per_algo = speedup_vs(cells, "naumov.jpl")
+    speedup_rows: List[Dict] = []
+    color_rows: List[Dict] = []
+    by_ds_algo = {(c.dataset, c.algorithm): c for c in cells}
+    for name in names:
+        srow: Dict = {"Dataset": name}
+        crow: Dict = {"Dataset": name}
+        for a in algos:
+            cell = by_ds_algo[(name, a)]
+            srow[a] = round(per_algo[a][name], 3)
+            crow[a] = round(cell.colors, 1)
+        speedup_rows.append(srow)
+        color_rows.append(crow)
+    gmeans = {a: geomean(per_algo[a].values()) for a in algos}
+    return {
+        "cells": cells,
+        "speedup_rows": speedup_rows,
+        "color_rows": color_rows,
+        "geomean": gmeans,
+    }
+
+
+def fig2_series(
+    *,
+    datasets: Optional[Sequence[str]] = None,
+    scale_div: int = DEFAULT_SCALE_DIV,
+    seed: int = DEFAULT_SEED,
+    repetitions: int = 3,
+    device: Optional[DeviceSpec] = None,
+) -> Dict:
+    """Figure 2: time-quality scatter points.
+
+    Returns ``{"gunrock": rows, "graphblast": rows}``, each row being
+    one (dataset, implementation) point with runtime and colors — the
+    scatter the paper uses to show "a more expensive implementation …
+    achieve[s] better color counts".
+    """
+    names = list(datasets or ds.REAL_WORLD_DATASETS)
+    out = {}
+    for key, pair in (
+        ("gunrock", FIG2_GUNROCK_PAIR),
+        ("graphblast", FIG2_GRAPHBLAST_PAIR),
+    ):
+        cells = run_grid(
+            names,
+            pair,
+            scale_div=scale_div,
+            repetitions=repetitions,
+            seed=seed,
+            device=device,
+        )
+        out[key] = [
+            {
+                "Dataset": c.dataset,
+                "Implementation": c.algorithm,
+                "Runtime (ms)": round(c.sim_ms, 4),
+                "Colors": round(c.colors, 1),
+            }
+            for c in cells
+        ]
+    return out
+
+
+def fig3_series(
+    *,
+    scales: Optional[Sequence[int]] = None,
+    seed: int = DEFAULT_SEED,
+    repetitions: int = 2,
+    device: Optional[DeviceSpec] = None,
+) -> List[Dict]:
+    """Figure 3: RGG scaling sweep.
+
+    One row per (scale, implementation) carrying vertex count, edge
+    count, runtime, and colors — enough to plot all four panels
+    (runtime/colors vs vertices/edges).  Implementations are the best
+    per framework: the two IS variants (§V-E).
+    """
+    rows: List[Dict] = []
+    for scale in scales or ds.DEFAULT_RGG_SCALES:
+        graph = ds.load_rgg(scale, seed=seed)
+        for algo in ("gunrock.is", "graphblas.is"):
+            cell = run_cell(
+                graph,
+                algo,
+                dataset_name=graph.name,
+                repetitions=repetitions,
+                seed=seed,
+                device=device,
+            )
+            rows.append(
+                {
+                    "Scale": scale,
+                    "Implementation": algo,
+                    "Vertices": cell.num_vertices,
+                    "Edges": cell.num_edges,
+                    "Runtime (ms)": round(cell.sim_ms, 4),
+                    "Colors": round(cell.colors, 1),
+                }
+            )
+    return rows

@@ -1,0 +1,97 @@
+"""Kernel-level profiling reports (§V-C's methodology as a tool).
+
+The paper explains its GraphBLAST runtime differences by profiling GPU
+kernels ("we ran some profiling of GPU kernels. We find that … a second
+call to GrB_vxm ends up taking nearly 50% of the runtime").  Every
+algorithm here carries the same information in its
+:class:`~repro.gpusim.SimCounters`; this module renders it:
+
+* :func:`profile_rows` — per-kernel share table for one run;
+* :func:`compare_rows` — side-by-side kernel profile of two
+  implementations on the same dataset (how §V-B/V-C arguments are
+  made).
+
+CLI: ``python -m repro.harness profile <dataset> <algo> [<algo2>]``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .._rng import DEFAULT_SEED
+from ..core.registry import run_algorithm
+from ..core.result import ColoringResult
+from ..errors import HarnessError
+from ..gpusim.device import DeviceSpec
+from ..graph.generators.suitesparse import DEFAULT_SCALE_DIV
+from . import datasets as ds
+
+__all__ = ["profile_rows", "compare_rows", "run_profile"]
+
+
+def profile_rows(result: ColoringResult) -> List[Dict]:
+    """Per-kernel rows (name, kind, calls, ms, share) hottest first."""
+    if result.counters is None:
+        raise HarnessError(
+            f"{result.algorithm} carries no kernel counters (CPU baseline?)"
+        )
+    total = result.counters.total_ms or 1.0
+    agg: Dict[str, Dict] = {}
+    for rec in result.counters.records:
+        row = agg.setdefault(
+            rec.name, {"Kernel": rec.name, "Kind": rec.kind, "Calls": 0, "ms": 0.0}
+        )
+        row["Calls"] += 1
+        row["ms"] += rec.ms
+    rows = sorted(agg.values(), key=lambda r: -r["ms"])
+    for r in rows:
+        r["ms"] = round(r["ms"], 5)
+        r["Share"] = f"{100.0 * r['ms'] / total:.1f}%"
+    return rows
+
+
+def compare_rows(a: ColoringResult, b: ColoringResult) -> List[Dict]:
+    """Merged kernel table for two runs: one ms column per algorithm."""
+    rows_a = {r["Kernel"]: r for r in profile_rows(a)}
+    rows_b = {r["Kernel"]: r for r in profile_rows(b)}
+    kernels = sorted(
+        set(rows_a) | set(rows_b),
+        key=lambda k: -(rows_a.get(k, {}).get("ms", 0.0) + rows_b.get(k, {}).get("ms", 0.0)),
+    )
+    out = []
+    for k in kernels:
+        out.append(
+            {
+                "Kernel": k,
+                f"{a.algorithm} ms": rows_a.get(k, {}).get("ms", 0.0),
+                f"{b.algorithm} ms": rows_b.get(k, {}).get("ms", 0.0),
+            }
+        )
+    out.append(
+        {
+            "Kernel": "TOTAL",
+            f"{a.algorithm} ms": round(a.sim_ms, 5),
+            f"{b.algorithm} ms": round(b.sim_ms, 5),
+        }
+    )
+    return out
+
+
+def run_profile(
+    dataset: str,
+    algorithms: List[str],
+    *,
+    scale_div: int = DEFAULT_SCALE_DIV,
+    seed: int = DEFAULT_SEED,
+    device: Optional[DeviceSpec] = None,
+) -> List[Dict]:
+    """Run 1–2 implementations on a dataset and build the profile table."""
+    if not 1 <= len(algorithms) <= 2:
+        raise HarnessError("profile takes one or two algorithm ids")
+    graph = ds.load(dataset, scale_div=scale_div, seed=seed)
+    results = [
+        run_algorithm(a, graph, rng=seed, device=device) for a in algorithms
+    ]
+    if len(results) == 1:
+        return profile_rows(results[0])
+    return compare_rows(results[0], results[1])

@@ -1,0 +1,139 @@
+"""Rendering and aggregation utilities for the experiment harness.
+
+Emits the ASCII tables and CSV series the benches print, plus the
+geometric-mean speedup aggregation the paper's headline numbers use
+("a geomean speed-up of 1.3×").
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import math
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = [
+    "geomean",
+    "format_table",
+    "to_csv",
+    "speedup",
+    "snapshot",
+    "save_snapshot",
+    "load_snapshot",
+]
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (NaN-free, 0 for empty input)."""
+    vals = [float(v) for v in values]
+    if not vals:
+        return 0.0
+    if any(v <= 0 for v in vals):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def speedup(baseline_ms: float, candidate_ms: float) -> float:
+    """Speedup of candidate over baseline (>1 means candidate faster)."""
+    if candidate_ms <= 0:
+        raise ValueError("candidate time must be positive")
+    return baseline_ms / candidate_ms
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Dict],
+    *,
+    columns: Optional[List[str]] = None,
+    title: str = "",
+) -> str:
+    """Render dict-rows as an aligned ASCII table (monospace-friendly)."""
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    cols = columns if columns is not None else list(rows[0].keys())
+    cells = [[_fmt(r.get(c, "")) for c in cols] for r in rows]
+    widths = [
+        max(len(c), *(len(row[i]) for row in cells)) for i, c in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(w) for c, w in zip(cols, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in cells:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def to_csv(rows: Sequence[Dict], *, columns: Optional[List[str]] = None) -> str:
+    """Render dict-rows as CSV text (for piping into plotting tools)."""
+    if not rows:
+        return ""
+    cols = columns if columns is not None else list(rows[0].keys())
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=cols, extrasaction="ignore")
+    writer.writeheader()
+    for r in rows:
+        writer.writerow(r)
+    return buf.getvalue()
+
+
+def snapshot(
+    rows: Sequence[Dict],
+    *,
+    experiment: str,
+    seed: int,
+    scale_div: Optional[int] = None,
+    device=None,
+) -> Dict:
+    """A self-describing result snapshot: the series plus everything
+    needed to regenerate it (experiment id, seed, scaling, the full set
+    of cost-model constants, and the package version).
+
+    Serializable with :func:`save_snapshot`; the benchmark artifacts
+    use it so a result file can never be separated from the
+    calibration that produced it.
+    """
+    import dataclasses
+
+    from .. import __version__
+    from ..gpusim.device import K40C
+
+    dev = device if device is not None else K40C
+    return {
+        "experiment": experiment,
+        "repro_version": __version__,
+        "seed": seed,
+        "scale_div": scale_div,
+        "device": dataclasses.asdict(dev),
+        "rows": list(rows),
+    }
+
+
+def save_snapshot(snap: Dict, path) -> None:
+    """Write a :func:`snapshot` as pretty-printed JSON."""
+    import json
+
+    with open(path, "w") as fh:
+        json.dump(snap, fh, indent=2, default=float)
+        fh.write("\n")
+
+
+def load_snapshot(path) -> Dict:
+    """Read a snapshot written by :func:`save_snapshot`."""
+    import json
+
+    with open(path) as fh:
+        return json.load(fh)

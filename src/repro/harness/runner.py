@@ -1,0 +1,173 @@
+"""The (dataset × algorithm) grid runner.
+
+One :class:`CellResult` per (dataset, implementation) pair, averaged
+over repetitions with independent seeds — the paper runs each test 10
+times and averages (§V-A); we default to 3 repetitions because the
+cost model is deterministic given the coloring trajectory and only the
+random draws vary.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .._rng import DEFAULT_SEED
+from ..core.registry import run_algorithm
+from ..core.validate import is_valid_coloring
+from ..errors import HarnessError, ValidationError
+from ..gpusim.device import DeviceSpec
+from ..graph.csr import CSRGraph
+from . import datasets as ds
+from .report import geomean
+
+__all__ = ["CellResult", "run_cell", "run_grid", "grid_to_rows"]
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Aggregated outcome of one (dataset, algorithm) cell."""
+
+    dataset: str
+    algorithm: str
+    num_vertices: int
+    num_edges: int
+    colors: float  # mean over repetitions
+    sim_ms: float  # mean over repetitions
+    iterations: float  # mean over repetitions
+    wall_s: float  # total host wall time spent
+    repetitions: int
+    valid: bool
+
+
+def run_cell(
+    graph: CSRGraph,
+    algorithm: str,
+    *,
+    dataset_name: str = "",
+    repetitions: int = 3,
+    seed: int = DEFAULT_SEED,
+    device: Optional[DeviceSpec] = None,
+    strict: bool = True,
+    **kwargs,
+) -> CellResult:
+    """Run one implementation ``repetitions`` times and aggregate.
+
+    ``strict=True`` validates every produced coloring and raises
+    :class:`ValidationError` on any conflict — experiments never
+    tolerate invalid output.
+    """
+    if repetitions < 1:
+        raise HarnessError("repetitions must be >= 1")
+    colors, sims, iters = [], [], []
+    wall = 0.0
+    t0 = time.perf_counter()
+    for rep in range(repetitions):
+        result = run_algorithm(
+            algorithm, graph, rng=seed + 7919 * rep, device=device, **kwargs
+        )
+        if strict and not is_valid_coloring(graph, result.colors):
+            raise ValidationError(
+                f"{algorithm} produced an invalid coloring on "
+                f"{dataset_name or graph.name}"
+            )
+        colors.append(result.num_colors)
+        sims.append(result.sim_ms)
+        iters.append(result.iterations)
+    wall = time.perf_counter() - t0
+    return CellResult(
+        dataset=dataset_name or graph.name,
+        algorithm=algorithm,
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        colors=float(np.mean(colors)),
+        sim_ms=float(np.mean(sims)),
+        iterations=float(np.mean(iters)),
+        wall_s=wall,
+        repetitions=repetitions,
+        valid=True,
+    )
+
+
+def run_grid(
+    dataset_names: Sequence[str],
+    algorithms: Sequence[str],
+    *,
+    scale_div: int,
+    repetitions: int = 3,
+    seed: int = DEFAULT_SEED,
+    device: Optional[DeviceSpec] = None,
+    verbose: bool = False,
+) -> List[CellResult]:
+    """Run every algorithm on every dataset; returns one cell per pair."""
+    out: List[CellResult] = []
+    for name in dataset_names:
+        graph = ds.load(name, scale_div=scale_div, seed=seed)
+        for algorithm in algorithms:
+            cell = run_cell(
+                graph,
+                algorithm,
+                dataset_name=name,
+                repetitions=repetitions,
+                seed=seed,
+                device=device,
+            )
+            if verbose:
+                print(
+                    f"  {name:>18s} {algorithm:14s} "
+                    f"{cell.colors:6.1f} colors {cell.sim_ms:10.4f} ms"
+                )
+            out.append(cell)
+    return out
+
+
+def grid_to_rows(cells: Sequence[CellResult]) -> List[Dict]:
+    """Flatten cells into table rows."""
+    return [
+        {
+            "Dataset": c.dataset,
+            "Algorithm": c.algorithm,
+            "Vertices": c.num_vertices,
+            "Edges": c.num_edges,
+            "Colors": c.colors,
+            "Sim ms": c.sim_ms,
+            "Iterations": c.iterations,
+        }
+        for c in cells
+    ]
+
+
+def speedup_vs(
+    cells: Sequence[CellResult], baseline_algorithm: str
+) -> Dict[str, Dict[str, float]]:
+    """Per-dataset speedups of every algorithm against a baseline.
+
+    Returns ``{algorithm: {dataset: speedup}}`` — the structure of
+    Fig. 1a, whose y-axis is speedup vs Naumov/JPL.
+    """
+    base: Dict[str, float] = {
+        c.dataset: c.sim_ms for c in cells if c.algorithm == baseline_algorithm
+    }
+    if not base:
+        raise HarnessError(
+            f"baseline {baseline_algorithm!r} missing from the grid"
+        )
+    out: Dict[str, Dict[str, float]] = {}
+    for c in cells:
+        if c.dataset not in base:
+            continue
+        out.setdefault(c.algorithm, {})[c.dataset] = base[c.dataset] / c.sim_ms
+    return out
+
+
+def geomean_speedup(
+    cells: Sequence[CellResult], algorithm: str, baseline_algorithm: str
+) -> float:
+    """Geometric-mean speedup of one algorithm over the baseline."""
+    per = speedup_vs(cells, baseline_algorithm)
+    if algorithm not in per:
+        raise HarnessError(f"algorithm {algorithm!r} missing from the grid")
+    return geomean(per[algorithm].values())

@@ -1,0 +1,106 @@
+"""What-if analysis: sweep device constants, watch conclusions move.
+
+A calibrated cost model makes a kind of analysis possible that the
+paper's testbed could not: *counterfactuals*.  What if segmented
+reduction got 10× cheaper — would Advance-Reduce become competitive?
+At what serial-loop saturation does Gunrock stop beating Naumov on a
+given mesh?  How sensitive is the RGG crossover to the GraphBLAS
+per-op overhead?
+
+:func:`sweep_device_constant` reruns a set of implementations over a
+grid of values for one :class:`DeviceSpec` field; because the model is
+observation-only (device constants cannot change colors — enforced by
+a property test), only the simulated times move.
+
+:func:`find_crossover` bisects a constant for the value where two
+implementations tie — e.g. the saturation degree at which the
+serial-loop formulation stops paying off.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .._rng import DEFAULT_SEED
+from ..core.registry import run_algorithm
+from ..errors import HarnessError
+from ..gpusim.device import DeviceSpec, K40C
+from ..graph.csr import CSRGraph
+
+__all__ = ["sweep_device_constant", "find_crossover"]
+
+
+def sweep_device_constant(
+    graph: CSRGraph,
+    algorithms: Sequence[str],
+    field: str,
+    values: Sequence[float],
+    *,
+    base: Optional[DeviceSpec] = None,
+    seed: int = DEFAULT_SEED,
+) -> List[Dict]:
+    """Rerun ``algorithms`` on ``graph`` for each value of one device
+    field; returns one row per value with a sim-ms column per
+    implementation."""
+    spec = base if base is not None else K40C
+    if not hasattr(spec, field):
+        raise HarnessError(f"DeviceSpec has no field {field!r}")
+    rows: List[Dict] = []
+    for v in values:
+        device = spec.with_(**{field: v})
+        row: Dict = {field: v}
+        for algo in algorithms:
+            result = run_algorithm(algo, graph, rng=seed, device=device)
+            row[f"{algo} ms"] = round(result.sim_ms, 5)
+        rows.append(row)
+    return rows
+
+
+def find_crossover(
+    graph: CSRGraph,
+    algo_a: str,
+    algo_b: str,
+    field: str,
+    lo: float,
+    hi: float,
+    *,
+    base: Optional[DeviceSpec] = None,
+    seed: int = DEFAULT_SEED,
+    iterations: int = 24,
+) -> Optional[float]:
+    """Bisect one device constant for the value where the two
+    implementations' simulated times tie.
+
+    Requires the sign of ``time(a) − time(b)`` to differ at ``lo`` and
+    ``hi``; returns ``None`` when it doesn't (no crossover inside the
+    bracket).  The returned value is the approximate tie point.
+    """
+    spec = base if base is not None else K40C
+    if not hasattr(spec, field):
+        raise HarnessError(f"DeviceSpec has no field {field!r}")
+    if not lo < hi:
+        raise HarnessError("need lo < hi")
+
+    def gap(v: float) -> float:
+        device = spec.with_(**{field: v})
+        ta = run_algorithm(algo_a, graph, rng=seed, device=device).sim_ms
+        tb = run_algorithm(algo_b, graph, rng=seed, device=device).sim_ms
+        return ta - tb
+
+    g_lo, g_hi = gap(lo), gap(hi)
+    if g_lo == 0:
+        return lo
+    if g_hi == 0:
+        return hi
+    if (g_lo > 0) == (g_hi > 0):
+        return None
+    for _ in range(iterations):
+        mid = 0.5 * (lo + hi)
+        g_mid = gap(mid)
+        if g_mid == 0:
+            return mid
+        if (g_mid > 0) == (g_lo > 0):
+            lo, g_lo = mid, g_mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)

@@ -1,0 +1,50 @@
+"""Shared hypothesis strategies and graph helpers for the test suite.
+
+Kept outside conftest.py so test modules can import them without
+relying on pytest's conftest import mechanics (which would collide with
+the benchmarks directory's conftest when both suites run together).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.graph.build import from_edges
+from repro.graph.csr import CSRGraph
+
+
+def random_graph(n: int, p: float, seed: int) -> CSRGraph:
+    """Deterministic Erdős–Rényi helper for non-hypothesis tests."""
+    gen = np.random.default_rng(seed)
+    mask = np.triu(gen.random((n, n)) < p, k=1)
+    src, dst = np.nonzero(mask)
+    return from_edges(np.column_stack([src, dst]), num_vertices=n)
+
+
+@st.composite
+def edge_lists(draw, max_vertices: int = 24, max_edges: int = 80):
+    """Hypothesis strategy: (num_vertices, edge array) of a simple graph."""
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    pairs = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    edges = np.asarray(
+        [(u, v) for u, v in pairs if u != v], dtype=np.int64
+    ).reshape(-1, 2)
+    return n, edges
+
+
+@st.composite
+def graphs(draw, max_vertices: int = 24, max_edges: int = 80):
+    """Hypothesis strategy producing a CSRGraph directly."""
+    n, edges = draw(edge_lists(max_vertices=max_vertices, max_edges=max_edges))
+    return from_edges(edges, num_vertices=n)

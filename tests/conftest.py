@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.build import from_edges
+from repro.graph.csr import CSRGraph
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def petersen() -> CSRGraph:
+    """The Petersen graph: 10 vertices, 15 edges, chromatic number 3."""
+    outer = [(i, (i + 1) % 5) for i in range(5)]
+    spokes = [(i, i + 5) for i in range(5)]
+    inner = [(5 + i, 5 + (i + 2) % 5) for i in range(5)]
+    return from_edges(np.array(outer + spokes + inner), name="petersen")
+
+
+@pytest.fixture
+def triangle() -> CSRGraph:
+    return from_edges([[0, 1], [1, 2], [0, 2]], name="triangle")
+
+
+@pytest.fixture
+def two_components() -> CSRGraph:
+    """Two disjoint paths: 0-1-2 and 3-4."""
+    return from_edges([[0, 1], [1, 2], [3, 4]], num_vertices=5)

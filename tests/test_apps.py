@@ -1,0 +1,194 @@
+"""Tests for the downstream applications (scheduling, Jacobian
+compression, register allocation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import sparse
+
+from repro.apps import (
+    build_schedule,
+    allocate_registers,
+    column_intersection_graph,
+    compress_jacobian,
+    live_ranges_to_interference,
+    reconstruct_jacobian,
+)
+from repro.core.registry import run_algorithm
+from repro.core.result import ColoringResult
+from repro.errors import ReproError
+from repro.graph.generators import grid2d
+
+from _strategies import graphs
+
+
+class TestChromaticSchedule:
+    def test_round_structure(self):
+        g = grid2d(8, 8)
+        result = run_algorithm("cpu.greedy", g, rng=0)
+        sched = build_schedule(g, result)
+        sched.verify()
+        assert sched.num_rounds == result.num_colors
+        assert sum(len(r) for r in sched.rounds) == g.num_vertices
+
+    def test_invalid_coloring_rejected(self, triangle):
+        bad = ColoringResult(colors=np.array([1, 1, 2]))
+        with pytest.raises(Exception):
+            build_schedule(triangle, bad)
+
+    def test_execute_deterministic(self):
+        g = grid2d(10, 10)
+        result = run_algorithm("gunrock.is", g, rng=1)
+        sched = build_schedule(g, result)
+        state = np.random.default_rng(0).random(g.num_vertices)
+
+        def update(s, ids, graph):
+            return np.array([s[graph.neighbors(v)].sum() for v in ids])
+
+        a = sched.execute(state, update)
+        b = sched.execute(state, update)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, state)
+
+    def test_execute_does_not_mutate_input(self):
+        g = grid2d(4, 4)
+        result = run_algorithm("cpu.greedy", g, rng=0)
+        sched = build_schedule(g, result)
+        state = np.ones(g.num_vertices)
+        sched.execute(state, lambda s, ids, gr: s[ids] + 1)
+        assert (state == 1).all()
+
+    def test_parallelism_stats(self):
+        g = grid2d(6, 6)
+        sched = build_schedule(g, run_algorithm("cpu.greedy", g, rng=0))
+        assert sched.max_parallelism >= sched.avg_parallelism
+        assert sched.avg_parallelism == pytest.approx(36 / sched.num_rounds)
+
+    def test_verify_catches_adjacent(self, triangle):
+        from repro.apps.scheduling import ChromaticSchedule
+
+        bad = ChromaticSchedule(
+            graph=triangle, rounds=[np.array([0, 1]), np.array([2])]
+        )
+        with pytest.raises(ReproError, match="adjacent"):
+            bad.verify()
+
+    def test_verify_catches_missing_vertex(self, triangle):
+        from repro.apps.scheduling import ChromaticSchedule
+
+        bad = ChromaticSchedule(graph=triangle, rounds=[np.array([0])])
+        with pytest.raises(ReproError, match="exactly once"):
+            bad.verify()
+
+
+class TestJacobian:
+    def test_column_intersection_tridiagonal(self):
+        pattern = sparse.diags(
+            [np.ones(4), np.ones(5), np.ones(4)], offsets=[-1, 0, 1]
+        )
+        cig = column_intersection_graph(pattern)
+        # Columns within distance 2 share a row.
+        assert cig.has_arc(0, 1)
+        assert cig.has_arc(0, 2)
+        assert not cig.has_arc(0, 3)
+
+    def test_diagonal_matrix_no_edges(self):
+        cig = column_intersection_graph(sparse.eye(5))
+        assert cig.num_edges == 0
+
+    def test_compress_reconstruct_exact(self):
+        rng = np.random.default_rng(1)
+        pattern = sparse.random(30, 25, density=0.15, random_state=2)
+        pattern.data[:] = 1
+        dense = pattern.toarray() * rng.random((30, 25))
+        seed, coloring, _ = compress_jacobian(pattern, rng=3)
+        compressed = sparse.csr_matrix(dense) @ seed
+        recovered = reconstruct_jacobian(pattern, compressed, coloring)
+        assert np.allclose(recovered, dense)
+
+    def test_seed_width_equals_colors(self):
+        pattern = sparse.eye(6, format="csr")
+        seed, coloring, _ = compress_jacobian(pattern, rng=0)
+        assert seed.shape == (6, coloring.num_colors)
+        assert coloring.num_colors == 1  # diagonal: all columns orthogonal
+
+    def test_wrong_width_rejected(self):
+        pattern = sparse.eye(3, format="csr")
+        _, coloring, _ = compress_jacobian(pattern, rng=0)
+        with pytest.raises(ReproError):
+            reconstruct_jacobian(pattern, np.zeros((3, 5)), coloring)
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_reconstruction_property(self, seed_val):
+        gen = np.random.default_rng(seed_val)
+        rows = int(gen.integers(2, 20))
+        cols = int(gen.integers(2, 15))
+        density = float(gen.uniform(0.05, 0.4))
+        pattern = sparse.random(
+            rows, cols, density=density, random_state=int(gen.integers(2**31))
+        )
+        pattern.data[:] = 1
+        dense = pattern.toarray() * gen.random((rows, cols))
+        for algo in ("cpu.greedy_sl", "gunrock.is"):
+            seed, coloring, _ = compress_jacobian(
+                pattern, algorithm=algo, rng=int(seed_val % 1000)
+            )
+            compressed = dense @ seed
+            recovered = reconstruct_jacobian(pattern, compressed, coloring)
+            assert np.allclose(recovered, dense)
+
+
+class TestRegisterAllocation:
+    def test_interference_overlap(self):
+        g = live_ranges_to_interference([0, 1, 5], [3, 4, 8])
+        assert g.has_arc(0, 1)
+        assert not g.has_arc(0, 2)
+
+    def test_touching_intervals_do_not_interfere(self):
+        # [0, 3) and [3, 5) never coexist.
+        g = live_ranges_to_interference([0, 3], [3, 5])
+        assert g.num_edges == 0
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            live_ranges_to_interference([0, 1], [2])
+        with pytest.raises(ReproError):
+            live_ranges_to_interference([5], [2])
+
+    def test_unbounded_allocation_is_max_depth_on_intervals(self):
+        starts = [0, 0, 1, 2, 10]
+        ends = [5, 3, 4, 6, 12]
+        g = live_ranges_to_interference(starts, ends)
+        alloc = allocate_registers(g, algorithm="cpu.greedy_sl")
+        # SL-greedy is optimal on interval graphs = max overlap depth (4).
+        assert alloc.num_registers == 4
+        assert alloc.spill_count == 0
+
+    def test_assignment_is_conflict_free(self):
+        rng = np.random.default_rng(0)
+        starts = rng.integers(0, 50, size=60)
+        ends = starts + rng.integers(1, 20, size=60)
+        g = live_ranges_to_interference(starts, ends)
+        alloc = allocate_registers(g, rng=1)
+        src = np.repeat(np.arange(g.num_vertices, dtype=np.int64), g.degrees)
+        same = alloc.registers[src] == alloc.registers[g.indices]
+        both = (alloc.registers[src] >= 0) & (alloc.registers[g.indices] >= 0)
+        assert not (same & both).any()
+
+    def test_budget_respected_with_spills(self):
+        rng = np.random.default_rng(2)
+        starts = rng.integers(0, 30, size=80)
+        ends = starts + rng.integers(1, 15, size=80)
+        g = live_ranges_to_interference(starts, ends)
+        alloc = allocate_registers(g, max_registers=5, rng=1)
+        assert alloc.num_registers <= 5
+        assert alloc.spill_count > 0
+        # Spilled variables have no register.
+        assert (alloc.registers[alloc.spilled] == -1).all()
+
+    def test_empty_program(self):
+        g = live_ranges_to_interference([], [])
+        alloc = allocate_registers(g)
+        assert alloc.num_registers == 0

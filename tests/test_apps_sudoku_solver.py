@@ -1,0 +1,186 @@
+"""Tests for the Sudoku application and the multicolor linear solver."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.apps import (
+    board_to_precoloring,
+    coloring_to_board,
+    gauss_seidel_reference,
+    matrix_graph,
+    multicolor_gauss_seidel,
+    solve_sudoku,
+    sudoku_graph,
+)
+from repro.core import chromatic_number, run_algorithm
+from repro.core.result import ColoringResult
+from repro.core.validate import is_valid_coloring
+from repro.errors import ReproError
+
+
+class TestSudokuGraph:
+    def test_structure_9x9(self):
+        g = sudoku_graph(3)
+        assert g.num_vertices == 81
+        assert g.num_edges == 810
+        assert all(g.degree(v) == 20 for v in g)
+
+    def test_structure_4x4(self):
+        g = sudoku_graph(2)
+        assert g.num_vertices == 16
+        assert all(g.degree(v) == 7 for v in g)
+
+    def test_chromatic_number_4x4(self):
+        assert chromatic_number(sudoku_graph(2)) == 4
+
+    def test_1x1(self):
+        g = sudoku_graph(1)
+        assert g.num_vertices == 1
+
+    def test_bad_size(self):
+        with pytest.raises(ReproError):
+            sudoku_graph(0)
+
+
+class TestBoardConversion:
+    def test_round_trip(self):
+        board = np.arange(16).reshape(4, 4) % 4 + 1
+        pre = board_to_precoloring(board)
+        assert len(pre) == 16
+        back = coloring_to_board(board.reshape(-1))
+        assert np.array_equal(back, board)
+
+    def test_blanks_skipped(self):
+        board = np.zeros((4, 4), dtype=int)
+        board[0, 0] = 3
+        pre = board_to_precoloring(board)
+        assert pre == {0: 3}
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            board_to_precoloring(np.zeros((2, 3)))
+        with pytest.raises(ReproError):
+            board_to_precoloring(np.full((4, 4), 9))
+        with pytest.raises(ReproError):
+            coloring_to_board(np.zeros(5))
+
+
+class TestSolveSudoku:
+    def test_solves_4x4(self):
+        board = np.array(
+            [[1, 0, 0, 0], [0, 0, 3, 0], [0, 4, 0, 0], [0, 0, 0, 2]]
+        )
+        solved = solve_sudoku(board)
+        assert solved is not None
+        assert is_valid_coloring(sudoku_graph(2), solved.reshape(-1))
+        assert (solved[board > 0] == board[board > 0]).all()
+        assert set(np.unique(solved)) == {1, 2, 3, 4}
+
+    def test_solves_9x9(self):
+        board = np.zeros((9, 9), dtype=int)
+        board[0] = [5, 3, 0, 0, 7, 0, 0, 0, 0]
+        board[1] = [6, 0, 0, 1, 9, 5, 0, 0, 0]
+        board[2] = [0, 9, 8, 0, 0, 0, 0, 6, 0]
+        board[3] = [8, 0, 0, 0, 6, 0, 0, 0, 3]
+        board[4] = [4, 0, 0, 8, 0, 3, 0, 0, 1]
+        board[5] = [7, 0, 0, 0, 2, 0, 0, 0, 6]
+        board[6] = [0, 6, 0, 0, 0, 0, 2, 8, 0]
+        board[7] = [0, 0, 0, 4, 1, 9, 0, 0, 5]
+        board[8] = [0, 0, 0, 0, 8, 0, 0, 7, 9]
+        solved = solve_sudoku(board)
+        assert solved is not None
+        # Classic puzzle's known solution spot-check.
+        assert solved[0, 2] == 4
+        assert is_valid_coloring(sudoku_graph(3), solved.reshape(-1))
+
+    def test_unsatisfiable(self):
+        board = np.zeros((4, 4), dtype=int)
+        # Row forces 1,2,3 and box+column make cell (0,3) impossible.
+        board[0] = [1, 2, 3, 0]
+        board[1, 3] = 4
+        assert solve_sudoku(board) is None
+
+    def test_conflicting_givens_rejected(self):
+        board = np.zeros((4, 4), dtype=int)
+        board[0, 0] = board[0, 1] = 1
+        with pytest.raises(ReproError, match="invalid puzzle"):
+            solve_sudoku(board)
+
+    def test_bad_side(self):
+        with pytest.raises(ReproError, match="perfect square"):
+            solve_sudoku(np.zeros((5, 5), dtype=int))
+
+
+def poisson2d(side):
+    main = 4.0 * np.ones(side * side)
+    off1 = -np.ones(side * side - 1)
+    off1[np.arange(1, side * side) % side == 0] = 0
+    offs = -np.ones(side * side - side)
+    return sparse.diags(
+        [offs, off1, main, off1, offs],
+        offsets=[-side, -1, 0, 1, side],
+        format="csr",
+    )
+
+
+class TestMulticolorGaussSeidel:
+    @pytest.fixture
+    def system(self):
+        A = poisson2d(10)
+        rng = np.random.default_rng(3)
+        x_true = rng.random(A.shape[0])
+        return A, A @ x_true, x_true
+
+    def test_converges(self, system):
+        A, b, x_true = system
+        g = matrix_graph(A)
+        coloring = run_algorithm("cpu.greedy", g, rng=1)
+        x, hist = multicolor_gauss_seidel(A, b, coloring, sweeps=300, tol=1e-8)
+        assert hist[-1] < 1e-8
+        assert np.allclose(x, x_true, atol=1e-6)
+
+    def test_residual_monotone(self, system):
+        A, b, _ = system
+        g = matrix_graph(A)
+        coloring = run_algorithm("graphblas.mis", g, rng=1)
+        _, hist = multicolor_gauss_seidel(A, b, coloring, sweeps=30)
+        assert (np.diff(hist) <= 1e-12).all()
+
+    def test_matches_reference_rate(self, system):
+        """Multicolor GS is GS in a permuted order: same asymptotic
+        behaviour as the sequential reference."""
+        A, b, _ = system
+        g = matrix_graph(A)
+        coloring = run_algorithm("cpu.greedy", g, rng=1)
+        _, hist_mc = multicolor_gauss_seidel(A, b, coloring, sweeps=40)
+        _, hist_ref = gauss_seidel_reference(A, b, sweeps=40)
+        assert hist_mc[-1] < 10 * hist_ref[-1]
+
+    def test_any_valid_coloring_works(self, system):
+        A, b, _ = system
+        g = matrix_graph(A)
+        for algo in ("naumov.cc", "gunrock.hash"):
+            coloring = run_algorithm(algo, g, rng=2)
+            _, hist = multicolor_gauss_seidel(A, b, coloring, sweeps=20)
+            assert hist[-1] < hist[0]
+
+    def test_invalid_coloring_rejected(self, system):
+        A, b, _ = system
+        bad = ColoringResult(colors=np.ones(A.shape[0], dtype=np.int64))
+        with pytest.raises(Exception):
+            multicolor_gauss_seidel(A, b, bad)
+
+    def test_zero_diagonal_rejected(self):
+        A = sparse.csr_matrix(np.array([[0.0, 1.0], [1.0, 2.0]]))
+        coloring = ColoringResult(colors=np.array([1, 2]))
+        with pytest.raises(ReproError, match="diagonal"):
+            multicolor_gauss_seidel(A, np.ones(2), coloring)
+
+    def test_shape_checks(self):
+        A = sparse.eye(3, format="csr")
+        coloring = ColoringResult(colors=np.ones(3, dtype=np.int64))
+        with pytest.raises(ReproError):
+            multicolor_gauss_seidel(A, np.ones(4), coloring)
+        with pytest.raises(ReproError):
+            multicolor_gauss_seidel(sparse.random(2, 3, format="csr"), np.ones(2), coloring)

@@ -1,0 +1,86 @@
+"""Tests for the on-disk dataset cache and triangle counting."""
+
+import numpy as np
+import pytest
+
+from repro.graph.build import complete_graph, cycle_graph, path_graph
+from repro.graph.generators import erdos_renyi
+from repro.graphblas import triangle_count
+from repro.harness.cache import cache_path, clear_cache, load_cached
+
+from _strategies import graphs
+from hypothesis import given, settings
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+
+class TestDiskCache:
+    def test_generates_then_hits(self):
+        a = load_cached("ecology2", scale_div=512, seed=3)
+        path = cache_path("ecology2", 512, 3)
+        assert path.exists()
+        b = load_cached("ecology2", scale_div=512, seed=3)
+        assert a == b
+
+    def test_distinct_keys(self):
+        load_cached("ecology2", scale_div=512, seed=1)
+        load_cached("ecology2", scale_div=512, seed=2)
+        assert cache_path("ecology2", 512, 1).exists()
+        assert cache_path("ecology2", 512, 2).exists()
+
+    def test_corrupt_entry_regenerated(self):
+        path = cache_path("ecology2", 512, 7)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"not a real npz")
+        g = load_cached("ecology2", scale_div=512, seed=7)
+        assert g.num_vertices > 0
+
+    def test_clear(self):
+        load_cached("ecology2", scale_div=512, seed=1)
+        load_cached("offshore", scale_div=512, seed=1)
+        assert clear_cache() == 2
+        assert clear_cache() == 0
+
+    def test_rgg_names(self):
+        g = load_cached("rgg_n_2_8_s0", seed=1)
+        assert g.num_vertices == 256
+
+
+class TestTriangleCount:
+    @pytest.mark.parametrize(
+        "builder,expected",
+        [
+            (lambda: complete_graph(4), 4),
+            (lambda: complete_graph(6), 20),
+            (lambda: cycle_graph(5), 0),
+            (lambda: path_graph(10), 0),
+        ],
+    )
+    def test_known_counts(self, builder, expected):
+        count, cost = triangle_count(builder())
+        assert count == expected
+        assert cost.total_ms > 0
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        g = erdos_renyi(80, m=400, rng=5)
+        count, _ = triangle_count(g)
+        nxg = nx.Graph()
+        nxg.add_nodes_from(range(80))
+        nxg.add_edges_from(g.edge_list().tolist())
+        assert count == sum(nx.triangles(nxg).values()) // 3
+
+    @given(graphs(max_vertices=16))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_networkx_property(self, g):
+        import networkx as nx
+
+        count, _ = triangle_count(g)
+        nxg = nx.Graph()
+        nxg.add_nodes_from(range(g.num_vertices))
+        nxg.add_edges_from(g.edge_list().tolist())
+        assert count == sum(nx.triangles(nxg).values()) // 3

@@ -1,0 +1,66 @@
+"""Tests for the calibration-target library.
+
+The full-grid headline check runs in the benchmark suite; here we test
+the target machinery itself plus a reduced-grid sanity pass.
+"""
+
+import pytest
+
+from repro.harness.calibration import (
+    HEADLINE_TARGETS,
+    Target,
+    check_headlines,
+)
+
+
+class TestTarget:
+    def test_inside_band(self):
+        t = Target("x", 2.0, 1.5, 2.5, "here")
+        r = t.evaluate(2.2)
+        assert r.ok
+        assert r.paper_value == 2.0
+
+    def test_outside_band(self):
+        t = Target("x", 2.0, 1.5, 2.5, "here")
+        assert not t.evaluate(3.0).ok
+        assert not t.evaluate(1.0).ok
+
+    def test_registry_well_formed(self):
+        assert len(HEADLINE_TARGETS) == 16
+        for key, t in HEADLINE_TARGETS.items():
+            assert t.key == key
+            assert t.lo < t.hi
+            assert t.lo <= t.paper_value <= t.hi or key in (
+                # Bands deliberately offset from paper values where our
+                # analogue-level deviation is documented:
+                "fig1b.naumov_cc_over_mis_colors",
+            ), key
+            assert t.source
+
+
+class TestCheckHeadlines:
+    def test_reduced_grid_runs(self):
+        """A 4-dataset reduced grid exercises the whole pipeline; only
+        grid-shape-independent targets are asserted strictly."""
+        results = check_headlines(
+            scale_div=128,
+            repetitions=1,
+            datasets=["ecology2", "G3_circuit", "af_shell3", "FEM_3D_thermal2"],
+        )
+        by_key = {r.key: r for r in results}
+        # Table II targets are dataset-list independent.
+        for key in (
+            "table2.ar_over_minmax",
+            "table2.hash_over_minmax",
+            "table2.single_over_minmax",
+        ):
+            assert by_key[key].ok, (key, by_key[key].measured)
+        # The af_shell3 slowdown is present in this reduced list too.
+        assert by_key["fig1a.af_shell3"].measured < 1.0
+
+    def test_af_shell3_skipped_when_absent(self):
+        results = check_headlines(
+            scale_div=256, repetitions=1, datasets=["ecology2", "G3_circuit"]
+        )
+        keys = {r.key for r in results}
+        assert "fig1a.af_shell3" not in keys

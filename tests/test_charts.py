@@ -1,0 +1,64 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.harness.charts import bar_chart, scatter_plot
+
+
+class TestBarChart:
+    def test_renders_labels_and_values(self):
+        out = bar_chart([("alpha", 2.0), ("beta", 1.0)], title="T")
+        assert out.startswith("T")
+        assert "alpha" in out and "beta" in out
+        assert "2.000" in out
+
+    def test_longest_bar_is_max(self):
+        out = bar_chart([("a", 4.0), ("b", 1.0)], width=40)
+        lines = out.splitlines()
+        assert lines[0].count("█") == 40
+        assert lines[1].count("█") == 10
+
+    def test_reference_marker(self):
+        out = bar_chart([("a", 2.0), ("b", 0.5)], reference=1.0)
+        assert "│" in out or "┃" in out
+        assert "marks 1.000" in out
+
+    def test_empty(self):
+        assert "(empty)" in bar_chart([], title="x")
+
+    def test_zero_values(self):
+        out = bar_chart([("a", 0.0)])
+        assert "a" in out
+
+
+class TestScatterPlot:
+    def test_renders_all_series(self):
+        out = scatter_plot(
+            {"one": [(1, 1), (2, 2)], "two": [(1, 2)]},
+            title="S",
+        )
+        assert out.startswith("S")
+        assert "o=one" in out and "*=two" in out
+        assert out.count("o") >= 2  # legend + at least one point
+
+    def test_log_axes(self):
+        out = scatter_plot(
+            {"s": [(10, 1), (10_000, 1000)]}, logx=True, logy=True
+        )
+        assert "1e+04" in out or "10000" in out or "1e+04" in out
+
+    def test_single_point(self):
+        out = scatter_plot({"s": [(5, 5)]})
+        assert "o" in out
+
+    def test_empty(self):
+        assert "(empty)" in scatter_plot({}, title="x")
+
+    def test_axis_labels(self):
+        out = scatter_plot({"s": [(1, 2)]}, xlabel="n", ylabel="ms")
+        assert "ms vs n" in out
+
+    def test_grid_dimensions(self):
+        out = scatter_plot({"s": [(1, 1), (9, 9)]}, width=30, height=8)
+        body = [l for l in out.splitlines() if "┤" in l]
+        assert len(body) == 8

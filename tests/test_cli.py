@@ -1,0 +1,104 @@
+"""Tests for the ``python -m repro`` command-line tool."""
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main
+from repro.graph.build import from_edges
+from repro.graph.io import read_matrix_market, write_matrix_market
+
+
+@pytest.fixture
+def mtx_file(tmp_path, petersen):
+    path = tmp_path / "g.mtx"
+    write_matrix_market(petersen, path)
+    return path
+
+
+class TestColorCommand:
+    def test_colors_mtx(self, mtx_file, capsys):
+        assert main(["color", str(mtx_file)]) == 0
+        out = capsys.readouterr().out
+        assert "colors" in out
+        assert "n=10" in out
+
+    def test_writes_output(self, mtx_file, tmp_path, capsys):
+        out_path = tmp_path / "colors.txt"
+        assert (
+            main(
+                [
+                    "color",
+                    str(mtx_file),
+                    "--algorithm",
+                    "graphblas.mis",
+                    "--out",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        lines = out_path.read_text().strip().splitlines()
+        assert lines[0].startswith("#")
+        assert len(lines) == 11  # header + 10 vertices
+        v, c = lines[1].split()
+        assert int(v) == 0 and int(c) >= 1
+
+    def test_edgelist_input(self, tmp_path, capsys):
+        path = tmp_path / "g.edges"
+        path.write_text("0 1\n1 2\n")
+        assert main(["color", str(path), "--seed", "3"]) == 0
+
+    def test_npz_input(self, tmp_path, petersen, capsys):
+        from repro.graph.io import save_npz
+
+        path = tmp_path / "g.npz"
+        save_npz(petersen, path)
+        assert main(["color", str(path)]) == 0
+
+    def test_unknown_algorithm(self, mtx_file, capsys):
+        assert main(["color", str(mtx_file), "--algorithm", "nope"]) == 1
+        assert "unknown algorithm" in capsys.readouterr().err
+
+
+class TestOtherCommands:
+    def test_algorithms_lists(self, capsys):
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        assert "gunrock.is" in out
+        assert "graphblas.mis" in out
+
+    def test_generate(self, tmp_path, capsys):
+        out_path = tmp_path / "eco.mtx"
+        assert (
+            main(
+                [
+                    "generate",
+                    "ecology2",
+                    "--scale-div",
+                    "512",
+                    "--out",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        g = read_matrix_market(out_path)
+        assert g.num_vertices > 100
+
+    def test_generate_unknown(self, capsys):
+        assert main(["generate", "mystery"]) == 1
+        assert "unknown dataset" in capsys.readouterr().err
+
+    def test_generate_npz(self, tmp_path, capsys):
+        out_path = tmp_path / "g.npz"
+        assert (
+            main(["generate", "offshore", "--scale-div", "512", "--out", str(out_path)])
+            == 0
+        )
+        from repro.graph.io import load_npz
+
+        assert load_npz(out_path).num_vertices > 100
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,118 @@
+"""Tests for distance-2 and partial distance-2 colorings."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from scipy import sparse
+
+from repro.errors import ColoringError
+from repro.core.distance2 import (
+    distance2_coloring,
+    partial_distance2_coloring,
+    square_graph,
+)
+from repro.core.validate import is_valid_coloring
+from repro.graph.build import complete_graph, cycle_graph, path_graph, star_graph
+from repro.graph.generators import grid2d
+
+from _strategies import graphs
+
+
+class TestSquareGraph:
+    def test_path_square(self):
+        g2 = square_graph(path_graph(5))
+        assert g2.has_arc(0, 2)
+        assert g2.has_arc(0, 1)
+        assert not g2.has_arc(0, 3)
+
+    def test_star_square_is_complete(self):
+        g2 = square_graph(star_graph(4))
+        assert g2.num_edges == 10  # K5
+
+    @given(graphs(max_vertices=14))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_bfs_definition(self, g):
+        from repro.graph.traversal import bfs_levels
+
+        g2 = square_graph(g)
+        for v in range(min(g.num_vertices, 6)):
+            levels = bfs_levels(g, v)
+            within2 = set(np.flatnonzero((levels > 0) & (levels <= 2)).tolist())
+            assert set(g2.neighbors(v).tolist()) == within2
+
+
+class TestDistance2Coloring:
+    def test_path_needs_three(self):
+        result = distance2_coloring(path_graph(9))
+        assert result.num_colors == 3
+        assert is_valid_coloring(square_graph(path_graph(9)), result.colors)
+
+    def test_star_needs_n(self):
+        g = star_graph(5)
+        result = distance2_coloring(g)
+        assert result.num_colors == 6  # hub + leaves all pairwise d<=2
+
+    def test_grid(self):
+        g = grid2d(6, 6)
+        result = distance2_coloring(g)
+        assert is_valid_coloring(square_graph(g), result.colors)
+
+    def test_bad_ordering(self, triangle):
+        with pytest.raises(ColoringError):
+            distance2_coloring(triangle, ordering=np.array([0, 0, 1]))
+
+    @given(graphs(max_vertices=16))
+    @settings(max_examples=30, deadline=None)
+    def test_is_proper_on_square_graph(self, g):
+        if g.num_vertices == 0:
+            return
+        result = distance2_coloring(g)
+        assert is_valid_coloring(square_graph(g), result.colors)
+        if g.num_vertices:
+            assert result.num_colors <= g.max_degree ** 2 + 1
+
+
+class TestPartialDistance2:
+    def test_diagonal_one_color(self):
+        result = partial_distance2_coloring(sparse.eye(5))
+        assert result.num_colors == 1
+
+    def test_dense_column_block(self):
+        # A full row forces all columns apart.
+        pattern = sparse.csr_matrix(np.ones((1, 6)))
+        result = partial_distance2_coloring(pattern)
+        assert result.num_colors == 6
+
+    def test_tridiagonal(self):
+        pattern = sparse.diags(
+            [np.ones(7), np.ones(8), np.ones(7)], offsets=[-1, 0, 1]
+        )
+        result = partial_distance2_coloring(pattern)
+        assert result.num_colors == 3
+
+    def test_classes_structurally_orthogonal(self):
+        rng = np.random.default_rng(4)
+        pattern = sparse.random(25, 18, density=0.2, random_state=5)
+        pattern.data[:] = 1
+        result = partial_distance2_coloring(pattern)
+        csr = sparse.csr_matrix(pattern)
+        # No row may contain two columns of the same color.
+        for r in range(csr.shape[0]):
+            cols = csr.indices[csr.indptr[r] : csr.indptr[r + 1]]
+            cc = result.colors[cols]
+            assert len(set(cc.tolist())) == len(cc)
+
+    def test_equals_column_intersection_coloring_validity(self):
+        """The bipartite sweep must be a proper coloring of the column
+        intersection graph (the explicit construction)."""
+        from repro.apps.jacobian import column_intersection_graph
+
+        pattern = sparse.random(30, 20, density=0.15, random_state=7)
+        pattern.data[:] = 1
+        result = partial_distance2_coloring(pattern)
+        cig = column_intersection_graph(pattern)
+        assert is_valid_coloring(cig, result.colors)
+
+    def test_empty_pattern(self):
+        result = partial_distance2_coloring(sparse.csr_matrix((3, 4)))
+        assert result.num_colors == 1  # every column gets color 1

@@ -1,0 +1,137 @@
+"""Tests for the generic framework primitives (Gunrock BFS/CC,
+GraphBLAS BFS/PageRank) against the imperative oracles and networkx."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import GraphError
+from repro.graph import traversal
+from repro.graph.build import complete_graph, empty_graph, path_graph, star_graph
+from repro.graph.generators import erdos_renyi, grid2d
+from repro.graphblas.algorithms import bfs_levels as gb_bfs
+from repro.graphblas.algorithms import pagerank
+from repro.gunrock.primitives import bfs as gr_bfs
+from repro.gunrock.primitives import connected_components as gr_cc
+
+from _strategies import graphs
+
+
+class TestGunrockBFS:
+    def test_path(self):
+        levels, cost = gr_bfs(path_graph(6), 0)
+        assert levels.tolist() == [0, 1, 2, 3, 4, 5]
+        assert cost.total_ms > 0
+
+    def test_unreachable(self, two_components):
+        levels, _ = gr_bfs(two_components, 0)
+        assert levels[3] == -1
+
+    def test_source_validation(self, triangle):
+        with pytest.raises(GraphError):
+            gr_bfs(triangle, 5)
+
+    def test_kernel_names(self, petersen):
+        _, cost = gr_bfs(petersen, 0)
+        names = cost.counters.ms_by_name()
+        assert "bfs_advance" in names
+        assert "bfs_label" in names
+
+    @given(graphs(max_vertices=18))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_traversal_oracle(self, g):
+        if g.num_vertices == 0:
+            return
+        levels, _ = gr_bfs(g, 0)
+        assert levels.tolist() == traversal.bfs_levels(g, 0).tolist()
+
+
+class TestGunrockCC:
+    def test_two_components(self, two_components):
+        labels, _ = gr_cc(two_components)
+        ref_count, ref_labels = traversal.connected_components(two_components)
+        assert labels.tolist() == ref_labels.tolist()
+        assert labels.max() + 1 == ref_count
+
+    def test_isolated(self):
+        labels, _ = gr_cc(empty_graph(3))
+        assert labels.tolist() == [0, 1, 2]
+
+    @given(graphs(max_vertices=14))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_oracle(self, g):
+        labels, _ = gr_cc(g)
+        _, ref = traversal.connected_components(g)
+        assert labels.tolist() == ref.tolist()
+
+
+class TestGraphBLASBFS:
+    def test_path(self):
+        levels, cost = gb_bfs(path_graph(6), 2)
+        assert levels.tolist() == [2, 1, 0, 1, 2, 3]
+        assert "bfs_vxm" in cost.counters.ms_by_name()
+
+    def test_star(self):
+        levels, _ = gb_bfs(star_graph(4), 1)
+        assert levels[0] == 1
+        assert levels[2] == 2
+
+    def test_source_validation(self, triangle):
+        with pytest.raises(GraphError):
+            gb_bfs(triangle, -1)
+
+    def test_complete(self):
+        levels, _ = gb_bfs(complete_graph(5), 0)
+        assert levels.max() == 1
+
+    @given(graphs(max_vertices=18))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_traversal_oracle(self, g):
+        if g.num_vertices == 0:
+            return
+        levels, _ = gb_bfs(g, 0)
+        assert levels.tolist() == traversal.bfs_levels(g, 0).tolist()
+
+
+class TestPageRank:
+    def test_sums_to_one(self, petersen):
+        rank, _ = pagerank(petersen)
+        assert rank.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_uniform_on_regular_graphs(self, petersen):
+        """On a regular graph PageRank is uniform."""
+        rank, _ = pagerank(petersen)
+        assert np.allclose(rank, 0.1, atol=1e-6)
+
+    def test_hub_dominates_star(self):
+        rank, _ = pagerank(star_graph(6))
+        assert rank[0] > rank[1:].max()
+
+    def test_dangling_handled(self):
+        g = empty_graph(4)  # all vertices dangling
+        rank, _ = pagerank(g)
+        assert np.allclose(rank, 0.25)
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        g = erdos_renyi(60, m=180, rng=2)
+        rank, _ = pagerank(g, tol=1e-12)
+        nxg = nx.Graph()
+        nxg.add_nodes_from(range(60))
+        nxg.add_edges_from(g.edge_list().tolist())
+        expected = nx.pagerank(nxg, alpha=0.85, tol=1e-12)
+        for v in range(60):
+            assert rank[v] == pytest.approx(expected[v], abs=1e-6)
+
+    def test_damping_validation(self, triangle):
+        with pytest.raises(GraphError):
+            pagerank(triangle, damping=1.5)
+
+    def test_empty(self):
+        rank, _ = pagerank(empty_graph(0))
+        assert len(rank) == 0
+
+    def test_cost_charged(self, petersen):
+        _, cost = pagerank(petersen)
+        assert cost.total_ms > 0

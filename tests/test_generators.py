@@ -1,0 +1,260 @@
+"""Tests for the synthetic graph generators (Table I analogues, RGG,
+random families)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DatasetError, GeneratorError
+from repro.graph.generators import (
+    banded,
+    barabasi_albert,
+    dimacs10_radius,
+    erdos_renyi,
+    fem_mesh2d,
+    grid2d,
+    grid2d_9pt,
+    grid3d,
+    random_regular,
+    rgg,
+    rgg_scale,
+    rmat,
+    watts_strogatz,
+)
+from repro.graph.generators.random_graphs import _decode_triangular
+from repro.graph.generators.suitesparse import (
+    SUITESPARSE_ANALOGUES,
+    dataset_names,
+    generate,
+    get_spec,
+)
+
+
+class TestRGG:
+    def test_brute_force_equivalence(self):
+        """Grid-bucketed RGG must match the O(n^2) definition exactly."""
+        gen = np.random.default_rng(3)
+        n, r = 150, 0.13
+        g = rgg(n, r, rng=3)
+        # Regenerate the same points (same seed consumes identically).
+        pts = np.random.default_rng(3).random((n, 2))
+        d2 = ((pts[:, None, :] - pts[None, :, :]) ** 2).sum(axis=2)
+        expected = {
+            (i, j)
+            for i in range(n)
+            for j in range(i + 1, n)
+            if d2[i, j] <= r * r
+        }
+        got = {tuple(e) for e in g.edge_list().tolist()}
+        assert got == expected
+
+    def test_average_degree_tracks_dimacs10(self):
+        g = rgg_scale(12, rng=0)
+        # Expected degree = pi r^2 n ~ 0.94 ln n = 7.8 at scale 12.
+        assert 6.0 < g.avg_degree < 10.0
+
+    def test_radius_validation(self):
+        with pytest.raises(GeneratorError):
+            rgg(10, 1.5)
+        with pytest.raises(GeneratorError):
+            rgg(10, 0.0)
+
+    def test_tiny(self):
+        assert rgg(0).num_vertices == 0
+        assert rgg(1).num_vertices == 1
+
+    def test_scale_bounds(self):
+        with pytest.raises(GeneratorError):
+            rgg_scale(0)
+        with pytest.raises(GeneratorError):
+            rgg_scale(30)
+
+    def test_radius_decreases_with_n(self):
+        assert dimacs10_radius(1 << 16) < dimacs10_radius(1 << 12)
+
+    def test_deterministic(self):
+        assert rgg(100, rng=5) == rgg(100, rng=5)
+
+
+class TestMeshes:
+    def test_grid2d_structure(self):
+        g = grid2d(3, 4)
+        assert g.num_vertices == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+        assert g.max_degree == 4
+
+    def test_grid2d_periodic(self):
+        g = grid2d(4, 4, periodic=True)
+        assert all(g.degree(v) == 4 for v in g)
+
+    def test_grid2d_validation(self):
+        with pytest.raises(GeneratorError):
+            grid2d(0, 3)
+
+    def test_grid2d_9pt_degree(self):
+        g = grid2d_9pt(30, 30)
+        assert 7.0 < g.avg_degree < 8.0  # interior degree 8
+
+    def test_grid3d(self):
+        g = grid3d(3, 3, 3)
+        assert g.num_vertices == 27
+        assert g.max_degree == 6
+        assert g.degree(13) == 6  # center cell
+
+    def test_fem_mesh_degree(self):
+        g = fem_mesh2d(40, 40, rng=0)
+        assert 5.0 < g.avg_degree < 6.2
+
+    def test_fem_mesh_diagonal_fraction_zero_is_grid(self):
+        assert fem_mesh2d(10, 10, diagonal_fraction=0.0, rng=0) == grid2d(10, 10)
+
+    def test_fem_mesh_fraction_validation(self):
+        with pytest.raises(GeneratorError):
+            fem_mesh2d(4, 4, diagonal_fraction=1.5)
+
+    def test_banded_degrees(self):
+        g = banded(100, 5)
+        assert g.degree(50) == 10  # interior: k on each side
+        assert g.degree(0) == 5
+        assert g.num_edges == 5 * 100 - 5 * 6 // 2
+
+    def test_banded_wide_band_clipped(self):
+        g = banded(4, 10)
+        assert g.num_edges == 6  # complete graph
+
+    def test_banded_validation(self):
+        with pytest.raises(GeneratorError):
+            banded(0, 1)
+        with pytest.raises(GeneratorError):
+            banded(5, 0)
+
+
+class TestRandomFamilies:
+    def test_gnm_edge_count(self):
+        g = erdos_renyi(30, m=50, rng=0)
+        assert g.num_edges == 50
+
+    def test_gnm_full(self):
+        g = erdos_renyi(6, m=15, rng=0)
+        assert g.num_edges == 15
+        assert g.max_degree == 5
+
+    def test_gnp_empty_and_full(self):
+        assert erdos_renyi(10, p=0.0, rng=0).num_edges == 0
+        assert erdos_renyi(6, p=1.0, rng=0).num_edges == 15
+
+    def test_er_param_validation(self):
+        with pytest.raises(GeneratorError):
+            erdos_renyi(5)
+        with pytest.raises(GeneratorError):
+            erdos_renyi(5, p=0.5, m=3)
+        with pytest.raises(GeneratorError):
+            erdos_renyi(5, m=100)
+        with pytest.raises(GeneratorError):
+            erdos_renyi(5, p=1.5)
+
+    @given(st.integers(min_value=2, max_value=40))
+    @settings(max_examples=30, deadline=None)
+    def test_decode_triangular_bijection(self, n):
+        max_m = n * (n - 1) // 2
+        slots = np.arange(max_m, dtype=np.int64)
+        u, v = _decode_triangular(slots, n)
+        assert (u < v).all()
+        assert (u >= 0).all() and (v < n).all()
+        assert len({(a, b) for a, b in zip(u.tolist(), v.tolist())}) == max_m
+
+    def test_random_regular(self):
+        g = random_regular(40, 4, rng=1)
+        assert (g.degrees == 4).mean() > 0.9  # near-regular at worst
+
+    def test_random_regular_exact_common_case(self):
+        g = random_regular(100, 3, rng=0)
+        assert g.num_vertices == 100
+
+    def test_random_regular_validation(self):
+        with pytest.raises(GeneratorError):
+            random_regular(5, 5)  # d >= n
+        with pytest.raises(GeneratorError):
+            random_regular(5, 3)  # odd n*d
+
+    def test_watts_strogatz(self):
+        g = watts_strogatz(50, 4, 0.1, rng=2)
+        assert 3.0 < g.avg_degree <= 4.0
+        assert g.num_vertices == 50
+
+    def test_watts_strogatz_no_rewire_is_lattice(self):
+        g = watts_strogatz(10, 2, 0.0, rng=0)
+        assert all(g.degree(v) == 2 for v in g)
+
+    def test_watts_strogatz_validation(self):
+        with pytest.raises(GeneratorError):
+            watts_strogatz(10, 3, 0.1)  # odd k
+        with pytest.raises(GeneratorError):
+            watts_strogatz(10, 4, 1.5)
+
+
+class TestPowerLaw:
+    def test_barabasi_albert_hubs(self):
+        g = barabasi_albert(300, 2, rng=1)
+        assert g.num_vertices == 300
+        # Scale-free: max degree far above average.
+        assert g.max_degree > 4 * g.avg_degree
+
+    def test_barabasi_albert_edge_count(self):
+        g = barabasi_albert(100, 3, rng=0)
+        expected = 6 + 3 * 96  # seed clique K4 + 3 per newcomer
+        assert g.num_edges <= expected
+        assert g.num_edges >= expected * 0.95
+
+    def test_ba_validation(self):
+        with pytest.raises(GeneratorError):
+            barabasi_albert(3, 3)
+        with pytest.raises(GeneratorError):
+            barabasi_albert(10, 0)
+
+    def test_rmat_skew(self):
+        g = rmat(9, edge_factor=8, rng=0)
+        assert g.num_vertices == 512
+        assert g.max_degree > 3 * g.avg_degree
+
+    def test_rmat_validation(self):
+        with pytest.raises(GeneratorError):
+            rmat(0)
+        with pytest.raises(GeneratorError):
+            rmat(5, a=0.9, b=0.2, c=0.2)
+
+
+class TestSuiteSparseAnalogues:
+    def test_registry_complete(self):
+        assert len(dataset_names()) == 12
+        assert "G3_circuit" in dataset_names()
+        assert "af_shell3" in dataset_names()
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            get_spec("nope")
+
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_avg_degree_matches_paper(self, name):
+        """The single statistic the paper's analysis leans on (degree)
+        must track the published Table I value."""
+        spec = get_spec(name)
+        g = generate(name, scale_div=256, rng=0)
+        assert g.num_vertices >= 64
+        assert g.avg_degree == pytest.approx(spec.paper.avg_degree, rel=0.35)
+
+    def test_scaled_size(self):
+        g = generate("offshore", scale_div=64, rng=0)
+        assert g.num_vertices == pytest.approx(260_000 // 64, rel=0.1)
+
+    def test_scale_div_validation(self):
+        with pytest.raises(DatasetError):
+            get_spec("offshore").generate(scale_div=0)
+
+    def test_af_shell3_is_the_high_degree_outlier(self):
+        degs = {
+            name: generate(name, scale_div=256, rng=0).avg_degree
+            for name in dataset_names()
+        }
+        assert max(degs, key=degs.get) == "af_shell3"

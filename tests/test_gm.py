@@ -1,0 +1,72 @@
+"""Tests for the Gebremedhin–Manne speculative coloring extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import ColoringError
+from repro.core.gm import gebremedhin_manne_coloring
+from repro.core.validate import is_valid_coloring
+from repro.graph.build import complete_graph, empty_graph
+from repro.graph.generators import erdos_renyi, grid2d
+
+from _strategies import graphs
+
+
+class TestGM:
+    def test_valid_on_grid(self):
+        g = grid2d(15, 15)
+        result = gebremedhin_manne_coloring(g, rng=0)
+        assert is_valid_coloring(g, result.colors)
+
+    def test_conflicts_repaired(self):
+        """Large supersteps force stale reads; the resolution phase must
+        still deliver a conflict-free coloring."""
+        g = erdos_renyi(300, m=2400, rng=0)
+        result = gebremedhin_manne_coloring(
+            g, rng=1, num_threads=8, superstep=1000
+        )
+        assert is_valid_coloring(g, result.colors)
+
+    def test_single_thread_equals_sequential_quality(self):
+        g = grid2d(10, 10)
+        result = gebremedhin_manne_coloring(g, rng=0, num_threads=1)
+        assert is_valid_coloring(g, result.colors)
+        assert result.num_colors <= g.max_degree + 1
+
+    def test_more_threads_lower_sim_time(self):
+        g = erdos_renyi(400, m=3000, rng=0)
+        t1 = gebremedhin_manne_coloring(g, rng=1, num_threads=1)
+        t8 = gebremedhin_manne_coloring(g, rng=1, num_threads=8)
+        assert t8.sim_ms < t1.sim_ms
+
+    def test_complete(self):
+        g = complete_graph(9)
+        result = gebremedhin_manne_coloring(g, rng=0, num_threads=3)
+        assert result.num_colors == 9
+
+    def test_empty(self):
+        result = gebremedhin_manne_coloring(empty_graph(4), rng=0)
+        assert result.is_complete
+
+    def test_validation(self, petersen):
+        with pytest.raises(ColoringError):
+            gebremedhin_manne_coloring(petersen, num_threads=0)
+        with pytest.raises(ColoringError):
+            gebremedhin_manne_coloring(petersen, superstep=0)
+
+    @pytest.mark.parametrize("threads,step", [(2, 4), (4, 16), (8, 64)])
+    def test_thread_step_grid_valid(self, threads, step):
+        g = erdos_renyi(200, m=1000, rng=3)
+        result = gebremedhin_manne_coloring(
+            g, rng=1, num_threads=threads, superstep=step
+        )
+        assert is_valid_coloring(g, result.colors)
+
+    @given(graphs(max_vertices=20))
+    @settings(max_examples=25, deadline=None)
+    def test_valid_property(self, g):
+        if g.num_vertices == 0:
+            return
+        result = gebremedhin_manne_coloring(g, rng=37, num_threads=4, superstep=3)
+        assert is_valid_coloring(g, result.colors)

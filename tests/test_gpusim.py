@@ -1,0 +1,162 @@
+"""Tests for the GPU performance model: device spec, warp model, charges."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.gpusim import (
+    CostModel,
+    CPUSpec,
+    DeviceSpec,
+    K40C,
+    warp_imbalance_factor,
+    warp_lockstep_work,
+)
+
+
+class TestDeviceSpec:
+    def test_defaults_valid(self):
+        assert K40C.warp_size == 32
+
+    def test_negative_constant_rejected(self):
+        with pytest.raises(SimulationError):
+            DeviceSpec(serial_step_ns=-1)
+
+    def test_zero_saturation_rejected(self):
+        with pytest.raises(SimulationError):
+            DeviceSpec(serial_saturation_degree=0)
+
+    def test_bad_warp(self):
+        with pytest.raises(SimulationError):
+            DeviceSpec(warp_size=0)
+
+    def test_with_override(self):
+        d = K40C.with_(atomic_ns=99.0)
+        assert d.atomic_ns == 99.0
+        assert d.serial_step_ns == K40C.serial_step_ns
+
+    def test_cpu_spec_validation(self):
+        with pytest.raises(SimulationError):
+            CPUSpec(edge_ns=-1)
+
+
+class TestWarpModel:
+    def test_empty(self):
+        assert warp_lockstep_work(np.array([], dtype=np.int64)) == 0
+
+    def test_uniform_degrees_no_waste(self):
+        degs = np.full(64, 7, dtype=np.int64)
+        assert warp_lockstep_work(degs) == 2 * 7
+        assert warp_imbalance_factor(degs) == pytest.approx(1.0)
+
+    def test_single_hot_thread_dominates_warp(self):
+        degs = np.ones(32, dtype=np.int64)
+        degs[0] = 100
+        assert warp_lockstep_work(degs) == 100
+        assert warp_imbalance_factor(degs) == pytest.approx(100 * 32 / 131)
+
+    def test_tail_warp_padded(self):
+        degs = np.array([5, 5, 5], dtype=np.int64)  # one partial warp
+        assert warp_lockstep_work(degs) == 5
+
+    def test_custom_warp_size(self):
+        degs = np.array([1, 9, 1, 9], dtype=np.int64)
+        assert warp_lockstep_work(degs, warp_size=2) == 18
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_bounds(self, degs):
+        d = np.asarray(degs, dtype=np.int64)
+        work = warp_lockstep_work(d)
+        assert work >= (d.max() if len(d) else 0)
+        assert work <= d.sum() + (d.max() if len(d) else 0) * len(d)
+        if d.sum() > 0:
+            assert warp_imbalance_factor(d) >= 1.0
+
+
+class TestCostModel:
+    def test_accumulates(self):
+        cm = CostModel()
+        cm.charge_map(1000, name="a")
+        cm.charge_reduce(1000, name="b")
+        assert cm.total_ms > 0
+        assert cm.counters.num_kernels == 2
+
+    def test_map_scales_with_items(self):
+        small, big = CostModel(), CostModel()
+        small.charge_map(10)
+        big.charge_map(10_000_000)
+        assert big.total_ms > small.total_ms
+
+    def test_serial_loop_degree_saturation(self):
+        """Same total edge work costs more at higher degree — the
+        af_shell3 mechanism (§V-B)."""
+        low = CostModel()
+        low.charge_serial_loop(np.full(1024, 4, dtype=np.int64))
+        high = CostModel()
+        high.charge_serial_loop(np.full(128, 32, dtype=np.int64))
+        assert high.total_ms > low.total_ms * 1.5
+
+    def test_serial_loop_passes(self):
+        one, three = CostModel(), CostModel()
+        degs = np.full(320, 8, dtype=np.int64)
+        one.charge_serial_loop(degs, passes=1)
+        three.charge_serial_loop(degs, passes=3)
+        assert three.total_ms > 2.5 * one.total_ms
+
+    def test_segmented_reduce_segment_overhead(self):
+        """Many tiny segments cost more than few large ones — the AR
+        bottleneck (§V-B)."""
+        tiny = CostModel()
+        tiny.charge_segmented_reduce(60_000, segments=10_000)
+        big = CostModel()
+        big.charge_segmented_reduce(60_000, segments=10)
+        assert tiny.total_ms > 3 * big.total_ms
+
+    def test_atomics_add_cost(self):
+        cm = CostModel()
+        cm.charge_atomics(100_000)
+        assert cm.total_ms > 0
+        assert cm.counters.num_atomics == 100_000
+
+    def test_sync_counted(self):
+        cm = CostModel()
+        cm.charge_sync()
+        cm.charge_sync()
+        assert cm.counters.num_syncs == 2
+        assert cm.counters.num_kernels == 0
+
+    def test_host_transfer_latency_floor(self):
+        cm = CostModel()
+        cm.charge_host_transfer(4)
+        assert cm.total_ms >= cm.device.pcie_latency_ms
+
+    def test_gb_overhead(self):
+        cm = CostModel()
+        cm.charge_gb_overhead()
+        assert cm.total_ms == pytest.approx(cm.device.gb_op_overhead_ms)
+
+    def test_profile_views(self):
+        cm = CostModel()
+        cm.charge_map(10, name="alpha")
+        cm.charge_map(10, name="alpha")
+        cm.charge_reduce(10, name="beta")
+        by_name = cm.counters.ms_by_name()
+        assert set(by_name) == {"alpha", "beta"}
+        assert cm.counters.top(1)[0][0] in ("alpha", "beta")
+        assert len(cm.counters) == 3
+
+    def test_merge(self):
+        a, b = CostModel(), CostModel()
+        a.charge_map(10)
+        b.charge_map(10)
+        a.counters.merge(b.counters)
+        assert len(a.counters) == 2
+
+    def test_custom_device(self):
+        fast = DeviceSpec(map_vertex_ns=0.0, kernel_launch_ms=0.0)
+        cm = CostModel(fast)
+        cm.charge_map(10**9)
+        assert cm.total_ms == 0.0

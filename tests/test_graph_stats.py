@@ -1,0 +1,65 @@
+"""Tests for Table I statistics computation."""
+
+import numpy as np
+import pytest
+
+from repro.graph.build import complete_graph, empty_graph, path_graph
+from repro.graph.generators import grid2d
+from repro.graph.stats import EXACT_DIAMETER_LIMIT, degree_histogram, graph_stats
+
+
+class TestGraphStats:
+    def test_path_row(self):
+        stats = graph_stats(path_graph(10), type_tag="ru")
+        assert stats.num_vertices == 10
+        assert stats.num_edges == 9
+        assert stats.diameter_estimate == 9
+        assert not stats.diameter_is_estimate
+        assert stats.num_components == 1
+        assert stats.type_tag == "ru"
+
+    def test_small_graphs_get_exact_diameter(self):
+        stats = graph_stats(grid2d(10, 10))
+        assert not stats.diameter_is_estimate
+        assert stats.diameter_estimate == 18  # manhattan corner-to-corner
+
+    def test_large_graphs_flagged_as_estimate(self):
+        side = int(np.ceil(np.sqrt(EXACT_DIAMETER_LIMIT + 64)))
+        stats = graph_stats(grid2d(side, side), diameter_samples=4, rng=0)
+        assert stats.diameter_is_estimate
+        assert stats.diameter_estimate > 0
+
+    def test_as_row_formats_asterisk(self):
+        stats = graph_stats(path_graph(4))
+        row = stats.as_row()
+        assert row["Diameter"] == "3"
+        assert row["Vertices"] == 4
+
+    def test_empty_graph(self):
+        stats = graph_stats(empty_graph(0))
+        assert stats.num_vertices == 0
+        assert stats.diameter_estimate == 0
+
+    def test_avg_degree(self):
+        stats = graph_stats(complete_graph(5))
+        assert stats.avg_degree == pytest.approx(4.0)
+        assert stats.max_degree == 4
+
+
+class TestDegreeHistogram:
+    def test_path(self):
+        hist = degree_histogram(path_graph(5))
+        assert hist.tolist() == [0, 2, 3]
+
+    def test_complete(self):
+        hist = degree_histogram(complete_graph(4))
+        assert hist.tolist() == [0, 0, 0, 4]
+
+    def test_empty(self):
+        assert degree_histogram(empty_graph(0)).tolist() == [0]
+
+    def test_isolated(self):
+        assert degree_histogram(empty_graph(3)).tolist() == [3]
+
+    def test_sums_to_n(self, petersen):
+        assert degree_histogram(petersen).sum() == 10

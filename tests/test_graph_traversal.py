@@ -1,0 +1,121 @@
+"""Tests for BFS, diameter estimation, and connected components."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import GraphError
+from repro.graph.build import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    from_edges,
+    path_graph,
+    star_graph,
+)
+from repro.graph.traversal import (
+    bfs_levels,
+    connected_components,
+    eccentricity,
+    estimate_diameter,
+    largest_component,
+)
+
+from _strategies import graphs
+
+
+class TestBFS:
+    def test_path_distances(self):
+        g = path_graph(5)
+        assert bfs_levels(g, 0).tolist() == [0, 1, 2, 3, 4]
+        assert bfs_levels(g, 2).tolist() == [2, 1, 0, 1, 2]
+
+    def test_unreachable_is_minus_one(self, two_components):
+        levels = bfs_levels(two_components, 0)
+        assert levels[3] == -1
+        assert levels[4] == -1
+
+    def test_source_out_of_range(self, triangle):
+        with pytest.raises(GraphError):
+            bfs_levels(triangle, 9)
+
+    def test_isolated_source(self):
+        g = empty_graph(3)
+        levels = bfs_levels(g, 1)
+        assert levels.tolist() == [-1, 0, -1]
+
+    def test_star_levels(self):
+        g = star_graph(5)
+        assert bfs_levels(g, 0).max() == 1
+        assert bfs_levels(g, 1).max() == 2
+
+    @given(graphs(max_vertices=16))
+    @settings(max_examples=40, deadline=None)
+    def test_bfs_matches_networkx(self, g):
+        import networkx as nx
+
+        nxg = nx.Graph()
+        nxg.add_nodes_from(range(g.num_vertices))
+        nxg.add_edges_from(g.edge_list().tolist())
+        levels = bfs_levels(g, 0)
+        expected = nx.single_source_shortest_path_length(nxg, 0)
+        for v in range(g.num_vertices):
+            assert levels[v] == expected.get(v, -1)
+
+
+class TestDiameter:
+    def test_eccentricity_cycle(self):
+        assert eccentricity(cycle_graph(8), 0) == 4
+
+    def test_exact_path(self):
+        g = path_graph(10)
+        assert estimate_diameter(g, num_samples=10) == 9
+
+    def test_estimate_is_lower_bound(self):
+        g = cycle_graph(30)
+        est = estimate_diameter(g, num_samples=3, rng=1)
+        assert 0 < est <= 15
+
+    def test_complete_graph(self):
+        assert estimate_diameter(complete_graph(6), num_samples=6) == 1
+
+    def test_empty(self):
+        assert estimate_diameter(empty_graph(0)) == 0
+
+
+class TestComponents:
+    def test_connected(self, petersen):
+        count, labels = connected_components(petersen)
+        assert count == 1
+        assert (labels == 0).all()
+
+    def test_two_components(self, two_components):
+        count, labels = connected_components(two_components)
+        assert count == 2
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4]
+        assert labels[0] != labels[3]
+
+    def test_isolated_vertices(self):
+        count, labels = connected_components(empty_graph(4))
+        assert count == 4
+        assert sorted(labels.tolist()) == [0, 1, 2, 3]
+
+    def test_largest_component(self, two_components):
+        big = largest_component(two_components)
+        assert big.num_vertices == 3
+        assert big.num_edges == 2
+
+    def test_largest_component_already_connected(self, petersen):
+        assert largest_component(petersen) is petersen
+
+    @given(graphs(max_vertices=16))
+    @settings(max_examples=40, deadline=None)
+    def test_components_match_networkx(self, g):
+        import networkx as nx
+
+        nxg = nx.Graph()
+        nxg.add_nodes_from(range(g.num_vertices))
+        nxg.add_edges_from(g.edge_list().tolist())
+        count, _ = connected_components(g)
+        assert count == nx.number_connected_components(nxg)

@@ -1,0 +1,171 @@
+"""Tests for the GraphBLAS colorings (Algorithms 2–4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.gb_coloring import (
+    graphblas_is_coloring,
+    graphblas_jpl_coloring,
+    graphblas_mis_coloring,
+)
+from repro.core.validate import is_valid_coloring
+from repro.graph.build import complete_graph, cycle_graph, empty_graph, star_graph
+from repro.graph.generators import erdos_renyi, grid2d
+
+from _strategies import graphs
+
+
+class TestGraphBLASIS:
+    def test_valid_on_grid(self):
+        g = grid2d(12, 12)
+        result = graphblas_is_coloring(g, rng=0)
+        assert is_valid_coloring(g, result.colors)
+
+    def test_colors_equal_iterations(self, petersen):
+        """Alg. 2 assigns color = iteration index; every iteration
+        colors a non-empty set."""
+        result = graphblas_is_coloring(petersen, rng=0)
+        assert result.num_colors == result.iterations
+
+    def test_complete(self):
+        result = graphblas_is_coloring(complete_graph(7), rng=0)
+        assert result.num_colors == 7
+
+    def test_empty(self):
+        result = graphblas_is_coloring(empty_graph(5), rng=0)
+        assert result.is_complete
+        assert result.num_colors == 1
+
+    def test_unmasked_variant_same_colors(self):
+        """The ablate.masking variant must be semantically identical —
+        masking only changes cost."""
+        g = grid2d(8, 8)
+        a = graphblas_is_coloring(g, rng=5, masked=True)
+        b = graphblas_is_coloring(g, rng=5, masked=False)
+        assert a.colors.tolist() == b.colors.tolist()
+
+    def test_unmasked_costs_more(self):
+        g = erdos_renyi(300, m=1500, rng=0)
+        a = graphblas_is_coloring(g, rng=5, masked=True)
+        b = graphblas_is_coloring(g, rng=5, masked=False)
+        assert b.sim_ms > a.sim_ms  # §III-A1's masking-for-performance
+
+    def test_zero_vertices(self):
+        result = graphblas_is_coloring(empty_graph(0), rng=0)
+        assert result.num_colors == 0
+
+    @given(graphs())
+    @settings(max_examples=35, deadline=None)
+    def test_valid_property(self, g):
+        if g.num_vertices == 0:
+            return
+        result = graphblas_is_coloring(g, rng=17)
+        assert is_valid_coloring(g, result.colors)
+
+
+class TestGraphBLASMIS:
+    def test_valid_on_grid(self):
+        g = grid2d(12, 12)
+        result = graphblas_mis_coloring(g, rng=0)
+        assert is_valid_coloring(g, result.colors)
+
+    def test_each_class_is_maximal_is(self):
+        """Every color class of the MIS coloring must be a maximal
+        independent set among vertices not colored earlier."""
+        g = grid2d(8, 8)
+        result = graphblas_mis_coloring(g, rng=3)
+        norm = result.normalized()
+        n = g.num_vertices
+        src = np.repeat(np.arange(n, dtype=np.int64), g.degrees)
+        for c in range(1, result.num_colors + 1):
+            members = norm == c
+            # Independence.
+            assert not (members[src] & members[g.indices]).any()
+            # Maximality among later-colored vertices.
+            later = norm >= c
+            for v in np.flatnonzero(later & ~members):
+                assert members[g.neighbors(v)].any()
+
+    def test_fewer_colors_than_is(self):
+        """Fig. 1b: MIS has the best quality of the GraphBLAS trio."""
+        g = grid2d(20, 20)
+        mis = graphblas_mis_coloring(g, rng=1)
+        is_ = graphblas_is_coloring(g, rng=1)
+        assert mis.num_colors < is_.num_colors
+
+    def test_slower_than_is(self):
+        """§V-C: the inner loop's extra vxm makes MIS ~3x slower."""
+        g = erdos_renyi(400, m=2400, rng=0)
+        mis = graphblas_mis_coloring(g, rng=1)
+        is_ = graphblas_is_coloring(g, rng=1)
+        assert mis.sim_ms > is_.sim_ms
+
+    def test_second_vxm_is_profiled_hot(self):
+        """Reproduce the §V-C profiling claim: the second GrB_vxm call
+        is a dominant share of MIS runtime (at work-dominated sizes)."""
+        g = erdos_renyi(5_000, m=40_000, rng=0)
+        result = graphblas_mis_coloring(g, rng=1)
+        by_name = result.counters.ms_by_name()
+        assert by_name["vxm_nbr"] >= 0.25 * result.sim_ms
+
+    def test_complete(self):
+        result = graphblas_mis_coloring(complete_graph(6), rng=0)
+        assert result.num_colors == 6
+
+    def test_star(self):
+        g = star_graph(8)
+        result = graphblas_mis_coloring(g, rng=0)
+        assert result.num_colors == 2
+
+    @given(graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_valid_property(self, g):
+        if g.num_vertices == 0:
+            return
+        result = graphblas_mis_coloring(g, rng=19)
+        assert is_valid_coloring(g, result.colors)
+
+
+class TestGraphBLASJPL:
+    def test_valid_on_grid(self):
+        g = grid2d(12, 12)
+        result = graphblas_jpl_coloring(g, rng=0)
+        assert is_valid_coloring(g, result.colors)
+
+    def test_reuses_colors(self):
+        """JPL's min-available rule reuses colors, so the count is
+        below the iteration count on any non-trivial graph."""
+        g = grid2d(20, 20)
+        result = graphblas_jpl_coloring(g, rng=1)
+        assert result.num_colors < result.iterations
+
+    def test_fewer_colors_than_is(self):
+        g = grid2d(20, 20)
+        jpl = graphblas_jpl_coloring(g, rng=1)
+        is_ = graphblas_is_coloring(g, rng=1)
+        assert jpl.num_colors <= is_.num_colors
+
+    def test_charges_host_transfer(self, petersen):
+        """§V-C: the possible-colors fill is a cudaMemcpyHostToDevice."""
+        result = graphblas_jpl_coloring(petersen, rng=0)
+        assert "jpl_h2d_fill" in result.counters.ms_by_name()
+        assert result.counters.ms_by_kind()["transfer"] > 0
+
+    def test_odd_cycle(self):
+        g = cycle_graph(13)
+        result = graphblas_jpl_coloring(g, rng=2)
+        assert is_valid_coloring(g, result.colors)
+        assert result.num_colors <= 3
+
+    def test_complete(self):
+        result = graphblas_jpl_coloring(complete_graph(5), rng=0)
+        assert result.num_colors == 5
+
+    @given(graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_valid_property(self, g):
+        if g.num_vertices == 0:
+            return
+        result = graphblas_jpl_coloring(g, rng=23)
+        assert is_valid_coloring(g, result.colors)

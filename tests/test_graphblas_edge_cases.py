@@ -1,0 +1,161 @@
+"""Edge-case coverage for GraphBLAS operations: masked mxv, accumulators
+on vxm, replace semantics, empty operands, and dtype crossings."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphblas import (
+    BOOL,
+    BOOLEAN,
+    COMPLEMENT,
+    Descriptor,
+    FP64,
+    INT64,
+    MAX_TIMES,
+    Matrix,
+    PLUS_TIMES,
+    REPLACE,
+    STRUCTURE,
+    Vector,
+    binaryop,
+    ewise_mult,
+    extract,
+    mxv,
+    vxm,
+)
+from repro.graph.build import cycle_graph, from_edges
+
+
+def sparse_vec(values, present, gtype=INT64):
+    v = Vector.new(gtype, len(values))
+    v.values[:] = np.asarray(values, dtype=v.gtype.dtype)
+    v.present[:] = np.asarray(present, dtype=bool)
+    return v
+
+
+@pytest.fixture
+def ring():
+    return Matrix.from_graph(cycle_graph(5))
+
+
+class TestVxmAccumAndReplace:
+    def test_accumulate_into_existing(self, ring):
+        u = Vector.from_dense(np.arange(1, 6))
+        w = Vector.from_dense(np.full(5, 100))
+        vxm(w, None, binaryop.PLUS, MAX_TIMES, u, ring)
+        # w[i] = 100 + max(neighbors)
+        expected = [100 + max(2, 5), 100 + max(1, 3), 100 + max(2, 4),
+                    100 + max(3, 5), 100 + max(4, 1)]
+        assert w.to_dense().tolist() == expected
+
+    def test_accum_writes_fresh_positions(self, ring):
+        u = Vector.sparse(INT64, 5, np.array([0]), np.array([9]))
+        w = Vector.new(INT64, 5)
+        vxm(w, None, binaryop.PLUS, MAX_TIMES, u, ring)
+        assert w.get_element(1) == 9  # fresh entry, no accumulation base
+        assert w.get_element(2) is None
+
+    def test_replace_clears_unwritten(self, ring):
+        u = Vector.sparse(INT64, 5, np.array([0]), np.array([9]))
+        w = Vector.from_dense(np.full(5, 7))
+        mask = sparse_vec([1, 1, 0, 0, 0], [True] * 5)
+        vxm(w, mask, None, MAX_TIMES, u, ring, REPLACE)
+        # Only positions 1 and 4 receive contributions; mask admits 0,1;
+        # replace clears everything outside the mask.
+        assert w.present.tolist() == [False, True, False, False, False]
+        assert w.get_element(1) == 9
+
+    def test_empty_input_vector(self, ring):
+        w = Vector.from_dense(np.full(5, 3))
+        vxm(w, None, None, MAX_TIMES, Vector.new(INT64, 5), ring)
+        assert w.to_dense().tolist() == [3] * 5  # nothing written
+
+
+class TestMxvMasks:
+    def test_value_mask(self, ring):
+        u = Vector.from_dense(np.arange(1, 6))
+        w = Vector.new(INT64, 5)
+        mask = sparse_vec([0, 1, 0, 1, 0], [True] * 5)
+        mxv(w, mask, None, MAX_TIMES, ring, u)
+        assert w.present.tolist() == [False, True, False, True, False]
+
+    def test_complement_structure(self, ring):
+        u = Vector.from_dense(np.arange(1, 6))
+        w = Vector.new(INT64, 5)
+        mask = Vector.sparse(BOOL, 5, np.array([0, 1]), np.array([True, True]))
+        desc = Descriptor(mask_complement=True, mask_structure=True)
+        mxv(w, mask, None, MAX_TIMES, ring, u, desc)
+        assert w.present.tolist() == [False, False, True, True, True]
+
+    def test_boolean_semiring_reach(self, ring):
+        u = Vector.sparse(BOOL, 5, np.array([2]), np.array([True]))
+        w = Vector.new(BOOL, 5)
+        mxv(w, None, None, BOOLEAN, ring, u)
+        idx, _ = w.extract_tuples()
+        assert idx.tolist() == [1, 3]
+
+
+class TestEwiseMultEdge:
+    def test_disjoint_structures_empty(self):
+        u = sparse_vec([1, 0], [True, False])
+        v = sparse_vec([0, 2], [False, True])
+        w = Vector.new(INT64, 2)
+        ewise_mult(w, None, None, binaryop.TIMES, u, v)
+        assert w.nvals == 0
+
+    def test_bool_to_int_cast(self):
+        u = sparse_vec([True, True], [True, True], gtype=BOOL)
+        v = sparse_vec([3, 4], [True, True])
+        w = Vector.new(INT64, 2)
+        ewise_mult(w, None, None, binaryop.SECOND, u, v)
+        assert w.to_dense().tolist() == [3, 4]
+
+    def test_float_domain(self):
+        u = sparse_vec([1.5, 2.5], [True, True], gtype=FP64)
+        v = sparse_vec([2.0, 4.0], [True, True], gtype=FP64)
+        w = Vector.new(FP64, 2)
+        ewise_mult(w, None, None, binaryop.TIMES, u, v)
+        assert w.to_dense().tolist() == [3.0, 10.0]
+
+
+class TestExtractEdge:
+    def test_repeated_indices(self):
+        u = Vector.from_dense(np.array([10, 20]))
+        w = Vector.new(INT64, 4)
+        extract(w, None, None, u, np.array([1, 1, 0, 0]))
+        assert w.to_dense().tolist() == [20, 20, 10, 10]
+
+    def test_masked_extract(self):
+        u = Vector.from_dense(np.array([10, 20, 30]))
+        w = Vector.new(INT64, 3)
+        mask = sparse_vec([1, 0, 1], [True] * 3)
+        extract(w, mask, None, u, np.array([2, 1, 0]))
+        assert w.to_dense().tolist() == [30, 0, 10]
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=30), min_size=2, max_size=10),
+    st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=40, deadline=None)
+def test_vxm_then_mxv_symmetric_agree(vals, seed):
+    """On a symmetric matrix, vxm(u, A) == mxv(A, u) for any u structure."""
+    gen = np.random.default_rng(seed)
+    n = len(vals)
+    dense = np.triu(gen.random((n, n)) < 0.5, k=1)
+    dense = dense | dense.T
+    src, dst = np.nonzero(dense)
+    if len(src) == 0:
+        return
+    g = from_edges(np.column_stack([src, dst]), num_vertices=n)
+    A = Matrix.from_graph(g)
+    u = sparse_vec(vals, gen.random(n) < 0.7)
+    w1, w2 = Vector.new(INT64, n), Vector.new(INT64, n)
+    vxm(w1, None, None, PLUS_TIMES, u, A)
+    mxv(w2, None, None, PLUS_TIMES, A, u)
+    assert w1.present.tolist() == w2.present.tolist()
+    assert np.where(w1.present, w1.values, 0).tolist() == np.where(
+        w2.present, w2.values, 0
+    ).tolist()

@@ -1,0 +1,94 @@
+"""Tests for the GraphBLAS Matrix container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionMismatch, InvalidValue
+from repro.graphblas import INT64, Matrix
+from repro.graph.build import from_edges
+
+
+class TestFromGraph:
+    def test_shares_structure(self, petersen):
+        A = Matrix.from_graph(petersen)
+        assert A.shape == (10, 10)
+        assert A.nvals == 30
+        assert (A.values == 1).all()
+        assert A.offsets is petersen.offsets
+
+    def test_row_access(self, triangle):
+        A = Matrix.from_graph(triangle)
+        cols, vals = A.row(0)
+        assert cols.tolist() == [1, 2]
+        assert vals.tolist() == [1, 1]
+
+    def test_row_bounds(self, triangle):
+        A = Matrix.from_graph(triangle)
+        with pytest.raises(InvalidValue):
+            A.row(3)
+
+    def test_to_dense_symmetric(self, triangle):
+        dense = Matrix.from_graph(triangle).to_dense()
+        assert (dense == dense.T).all()
+        assert dense.trace() == 0
+
+
+class TestFromCoo:
+    def test_basic(self):
+        A = Matrix.from_coo(
+            INT64,
+            np.array([0, 1, 1]),
+            np.array([1, 0, 2]),
+            np.array([5, 6, 7]),
+            (2, 3),
+        )
+        assert A.nvals == 3
+        assert A.to_dense()[1, 2] == 7
+
+    def test_duplicates_last_wins(self):
+        A = Matrix.from_coo(
+            INT64,
+            np.array([0, 0]),
+            np.array([1, 1]),
+            np.array([3, 9]),
+            (1, 2),
+        )
+        assert A.nvals == 1
+        assert A.to_dense()[0, 1] == 9
+
+    def test_rectangular(self):
+        A = Matrix.from_coo(
+            INT64, np.array([2]), np.array([4]), np.array([1]), (3, 5)
+        )
+        assert A.nrows == 3
+        assert A.ncols == 5
+
+    def test_bounds(self):
+        with pytest.raises(InvalidValue):
+            Matrix.from_coo(
+                INT64, np.array([5]), np.array([0]), np.array([1]), (2, 2)
+            )
+        with pytest.raises(InvalidValue):
+            Matrix.from_coo(
+                INT64, np.array([0]), np.array([5]), np.array([1]), (2, 2)
+            )
+
+    def test_misaligned(self):
+        with pytest.raises(DimensionMismatch):
+            Matrix.from_coo(
+                INT64, np.array([0]), np.array([0, 1]), np.array([1]), (2, 2)
+            )
+
+    def test_row_degrees(self):
+        A = Matrix.from_coo(
+            INT64,
+            np.array([0, 0, 2]),
+            np.array([0, 1, 0]),
+            np.ones(3, dtype=np.int64),
+            (3, 2),
+        )
+        assert A.row_degrees().tolist() == [2, 0, 1]
+
+    def test_repr(self):
+        A = Matrix.from_coo(INT64, np.array([]), np.array([]), np.array([]), (2, 2))
+        assert "2x2" in repr(A)

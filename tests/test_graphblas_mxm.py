@@ -1,0 +1,122 @@
+"""Tests for GrB_mxm (SpGEMM) and matrix transpose."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DimensionMismatch
+from repro.gpusim import CostModel
+from repro.graphblas import (
+    BOOLEAN,
+    INT64,
+    MAX_TIMES,
+    Matrix,
+    MIN_PLUS,
+    PLUS_TIMES,
+    mxm,
+)
+from repro.graph.build import from_edges
+
+
+def random_matrix(gen, rows, cols, density):
+    mask = gen.random((rows, cols)) < density
+    r, c = np.nonzero(mask)
+    vals = gen.integers(1, 9, size=len(r))
+    return Matrix.from_coo(INT64, r, c, vals, (rows, cols)), mask
+
+
+class TestTranspose:
+    def test_square(self):
+        A = Matrix.from_coo(
+            INT64, np.array([0, 1]), np.array([1, 2]), np.array([5, 7]), (3, 3)
+        )
+        T = A.transpose()
+        assert T.to_dense().tolist() == A.to_dense().T.tolist()
+
+    def test_rectangular(self):
+        A = Matrix.from_coo(
+            INT64, np.array([0]), np.array([4]), np.array([3]), (2, 5)
+        )
+        T = A.transpose()
+        assert T.shape == (5, 2)
+        assert T.to_dense()[4, 0] == 3
+
+    def test_symmetric_graph_fixed_point(self, petersen):
+        A = Matrix.from_graph(petersen)
+        assert np.array_equal(A.transpose().to_dense(), A.to_dense())
+
+
+class TestMxm:
+    def test_dimension_check(self):
+        A = Matrix.from_coo(INT64, [], [], [], (2, 3))
+        B = Matrix.from_coo(INT64, [], [], [], (2, 3))
+        with pytest.raises(DimensionMismatch):
+            mxm(PLUS_TIMES, A, B)
+
+    def test_empty(self):
+        A = Matrix.from_coo(INT64, [], [], [], (2, 3))
+        B = Matrix.from_coo(INT64, [], [], [], (3, 4))
+        C = mxm(PLUS_TIMES, A, B)
+        assert C.shape == (2, 4)
+        assert C.nvals == 0
+
+    def test_path_counts(self):
+        """A² of an adjacency matrix counts length-2 walks."""
+        g = from_edges([[0, 1], [1, 2]])
+        A = Matrix.from_graph(g)
+        C = mxm(PLUS_TIMES, A, A)
+        dense = A.to_dense()
+        assert np.array_equal(C.to_dense(), dense @ dense)
+
+    def test_min_plus_two_hop_distances(self):
+        g = from_edges([[0, 1], [1, 2], [2, 3]])
+        A = Matrix.from_graph(g)
+        C = mxm(MIN_PLUS, A, A)
+        assert C.to_dense()[0, 2] == 2
+
+    def test_cost_charged(self, petersen):
+        A = Matrix.from_graph(petersen)
+        cost = CostModel()
+        mxm(PLUS_TIMES, A, A, cost=cost)
+        assert cost.total_ms > 0
+        assert "mxm" in cost.counters.ms_by_name()
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_dense_matmul(self, seed):
+        gen = np.random.default_rng(seed)
+        m = int(gen.integers(1, 8))
+        k = int(gen.integers(1, 8))
+        n = int(gen.integers(1, 8))
+        A, amask = random_matrix(gen, m, k, 0.4)
+        B, bmask = random_matrix(gen, k, n, 0.4)
+        C = mxm(PLUS_TIMES, A, B)
+        expected = A.to_dense() @ B.to_dense()
+        assert np.array_equal(C.to_dense(), expected)
+        # Structure: an entry exists iff some multiply pair contributed
+        # (even if values cancel, PLUS_TIMES over positives never does).
+        reach = (amask.astype(int) @ bmask.astype(int)) > 0
+        got = np.zeros((m, n), dtype=bool)
+        rows = np.repeat(np.arange(m), C.row_degrees())
+        got[rows, C.indices] = True
+        assert np.array_equal(got, reach)
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_max_times_reference(self, seed):
+        gen = np.random.default_rng(seed)
+        n = int(gen.integers(2, 7))
+        A, _ = random_matrix(gen, n, n, 0.5)
+        C = mxm(MAX_TIMES, A, A)
+        da = A.to_dense()
+        expected = np.zeros((n, n), dtype=np.int64)
+        for i in range(n):
+            for j in range(n):
+                prods = [
+                    da[i, k] * da[k, j]
+                    for k in range(n)
+                    if da[i, k] and da[k, j]
+                ]
+                expected[i, j] = max(prods) if prods else 0
+        assert np.array_equal(C.to_dense(), expected)

@@ -1,0 +1,394 @@
+"""Tests for GraphBLAS operations against dense reference semantics.
+
+Each operation is checked on hand-built cases (masks, complement,
+structural, replace, accumulators) and property-tested against an
+independent dense-NumPy model of the GraphBLAS spec.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DimensionMismatch, InvalidValue
+from repro.gpusim import CostModel
+from repro.graphblas import (
+    BOOL,
+    BOOLEAN,
+    COMPLEMENT,
+    Descriptor,
+    INT64,
+    MAX_MONOID,
+    MAX_TIMES,
+    MIN_MONOID,
+    MIN_PLUS,
+    Matrix,
+    PLUS_MONOID,
+    PLUS_TIMES,
+    REPLACE,
+    STRUCTURE,
+    Vector,
+    apply,
+    assign,
+    binaryop,
+    ewise_add,
+    ewise_mult,
+    extract,
+    gxb_scatter,
+    identity_op,
+    mxv,
+    reduce_scalar,
+    set_random,
+    vxm,
+)
+from repro.graph.build import from_edges
+
+
+def sparse_vec(values, present):
+    v = Vector.new(INT64, len(values))
+    v.values[:] = np.asarray(values, dtype=np.int64)
+    v.present[:] = np.asarray(present, dtype=bool)
+    return v
+
+
+class TestAssign:
+    def test_unmasked(self):
+        w = Vector.new(INT64, 3)
+        assign(w, None, None, 7)
+        assert w.to_dense().tolist() == [7, 7, 7]
+
+    def test_value_mask(self):
+        w = Vector.new(INT64, 3)
+        mask = sparse_vec([1, 0, 1], [True, True, True])
+        assign(w, mask, None, 9)
+        assert w.to_dense().tolist() == [9, 0, 9]
+        assert w.nvals == 2
+
+    def test_structural_mask(self):
+        w = Vector.new(INT64, 3)
+        mask = sparse_vec([1, 0, 1], [True, True, False])
+        assign(w, mask, None, 9, STRUCTURE)
+        assert w.to_dense().tolist() == [9, 9, 0]
+
+    def test_complement_mask(self):
+        w = Vector.new(INT64, 3)
+        mask = sparse_vec([1, 0, 0], [True, False, False])
+        assign(w, mask, None, 4, COMPLEMENT)
+        assert w.to_dense().tolist() == [0, 4, 4]
+
+    def test_zero_assignment_prunes(self):
+        """GraphBLAST behaviour: assigning the implicit zero removes
+        entries (what shrinks Alg. 2's candidate list)."""
+        w = Vector.from_dense(np.array([5, 6, 7]))
+        mask = sparse_vec([1, 1, 0], [True, True, True])
+        assign(w, mask, None, 0)
+        assert w.nvals == 1
+        assert w.get_element(2) == 7
+
+    def test_replace_clears_outside_mask(self):
+        w = Vector.from_dense(np.array([5, 6, 7]))
+        mask = sparse_vec([1, 0, 0], [True, True, True])
+        assign(w, mask, None, 9, REPLACE)
+        assert w.to_dense().tolist() == [9, 0, 0]
+
+    def test_non_scalar_rejected(self):
+        w = Vector.new(INT64, 2)
+        with pytest.raises(InvalidValue):
+            assign(w, None, None, np.array([1, 2]))
+
+    def test_cost_charged(self):
+        cost = CostModel()
+        w = Vector.new(INT64, 4)
+        assign(w, None, None, 3, cost=cost)
+        assert cost.total_ms > 0
+        assert cost.counters.num_kernels >= 1
+
+
+class TestApply:
+    def test_identity(self):
+        u = sparse_vec([1, 2, 3], [True, False, True])
+        w = Vector.new(INT64, 3)
+        apply(w, None, None, identity_op(), u)
+        assert w.nvals == 2
+        assert w.to_dense().tolist() == [1, 0, 3]
+
+    def test_set_random_in_range(self):
+        gen = np.random.default_rng(0)
+        u = Vector.from_dense(np.zeros(100, dtype=np.int64))
+        w = Vector.new(INT64, 100)
+        apply(w, None, None, set_random(gen), u)
+        vals = w.to_dense()
+        assert (vals >= 1).all()
+        assert len(np.unique(vals)) > 50
+
+    def test_size_mismatch(self):
+        with pytest.raises(DimensionMismatch):
+            apply(Vector.new(INT64, 2), None, None, identity_op(), Vector.new(INT64, 3))
+
+
+class TestEwise:
+    def test_add_union(self):
+        u = sparse_vec([1, 0, 5], [True, False, True])
+        v = sparse_vec([0, 2, 7], [False, True, True])
+        w = Vector.new(INT64, 3)
+        ewise_add(w, None, None, binaryop.PLUS, u, v)
+        assert w.nvals == 3
+        assert w.to_dense().tolist() == [1, 2, 12]
+
+    def test_mult_intersection(self):
+        u = sparse_vec([1, 0, 5], [True, False, True])
+        v = sparse_vec([0, 2, 7], [False, True, True])
+        w = Vector.new(INT64, 3)
+        ewise_mult(w, None, None, binaryop.TIMES, u, v)
+        assert w.nvals == 1
+        assert w.get_element(2) == 35
+
+    def test_gt_produces_bool(self):
+        u = Vector.from_dense(np.array([5, 1]))
+        v = Vector.from_dense(np.array([3, 9]))
+        w = Vector.new(BOOL, 2)
+        ewise_add(w, None, None, binaryop.GT, u, v)
+        assert w.to_dense().tolist() == [True, False]
+
+    def test_second_op(self):
+        u = sparse_vec([1, 1], [True, True])
+        v = sparse_vec([8, 9], [True, True])
+        w = Vector.new(INT64, 2)
+        ewise_mult(w, None, None, binaryop.SECOND, u, v)
+        assert w.to_dense().tolist() == [8, 9]
+
+    def test_accumulator(self):
+        u = Vector.from_dense(np.array([1, 2]))
+        v = Vector.from_dense(np.array([10, 20]))
+        w = Vector.from_dense(np.array([100, 200]))
+        ewise_add(w, None, binaryop.PLUS, binaryop.PLUS, u, v)
+        assert w.to_dense().tolist() == [111, 222]
+
+
+class TestVxm:
+    @pytest.fixture
+    def path_matrix(self):
+        return Matrix.from_graph(from_edges([[0, 1], [1, 2]]))
+
+    def test_max_times_neighbor_max(self, path_matrix):
+        u = Vector.from_dense(np.array([10, 20, 30]))
+        w = Vector.new(INT64, 3)
+        vxm(w, None, None, MAX_TIMES, u, path_matrix)
+        # w[v] = max over neighbors' weights
+        assert w.to_dense().tolist() == [20, 30, 20]
+
+    def test_sparse_input_limits_reach(self, path_matrix):
+        u = Vector.sparse(INT64, 3, np.array([0]), np.array([10]))
+        w = Vector.new(INT64, 3)
+        vxm(w, None, None, MAX_TIMES, u, path_matrix)
+        assert w.nvals == 1  # only vertex 1 neighbors the present entry
+        assert w.get_element(1) == 10
+
+    def test_boolean_reachability(self, path_matrix):
+        u = Vector.sparse(BOOL, 3, np.array([1]), np.array([True]))
+        w = Vector.new(BOOL, 3)
+        vxm(w, None, None, BOOLEAN, u, path_matrix)
+        idx, _ = w.extract_tuples()
+        assert idx.tolist() == [0, 2]
+
+    def test_output_mask(self, path_matrix):
+        u = Vector.from_dense(np.array([10, 20, 30]))
+        mask = sparse_vec([0, 1, 0], [False, True, False])
+        w = Vector.new(INT64, 3)
+        vxm(w, mask, None, MAX_TIMES, u, path_matrix)
+        assert w.nvals == 1
+        assert w.get_element(1) == 30
+
+    def test_dimension_checks(self, path_matrix):
+        with pytest.raises(DimensionMismatch):
+            vxm(Vector.new(INT64, 3), None, None, MAX_TIMES, Vector.new(INT64, 2), path_matrix)
+        with pytest.raises(DimensionMismatch):
+            vxm(Vector.new(INT64, 2), None, None, MAX_TIMES, Vector.new(INT64, 3), path_matrix)
+
+    def test_min_plus_shortest_paths(self):
+        # One relaxation step of Bellman-Ford on a path graph.
+        A = Matrix.from_graph(from_edges([[0, 1], [1, 2]]))
+        dist = Vector.from_dense(np.array([0, 10**6, 10**6]))
+        w = Vector.new(INT64, 3)
+        vxm(w, None, None, MIN_PLUS, dist, A)
+        assert w.get_element(1) == 1  # 0 + edge weight 1
+
+    def test_cost_push_cheaper_for_sparse_input(self):
+        g = from_edges([[i, i + 1] for i in range(50)])
+        A = Matrix.from_graph(g)
+        u = Vector.sparse(INT64, 51, np.array([0]), np.array([5]))
+        cost = CostModel()
+        w = Vector.new(INT64, 51)
+        vxm(w, None, None, MAX_TIMES, u, A, cost=cost)
+        vxm_ms = cost.counters.ms_by_name()["vxm"]
+        dense_cost = CostModel()
+        vxm(
+            Vector.new(INT64, 51),
+            None,
+            None,
+            MAX_TIMES,
+            Vector.from_dense(np.arange(51)),
+            A,
+            cost=dense_cost,
+        )
+        assert vxm_ms < dense_cost.counters.ms_by_name()["vxm"]
+
+
+class TestMxv:
+    def test_matches_vxm_on_symmetric(self, petersen, rng):
+        A = Matrix.from_graph(petersen)
+        vals = rng.integers(1, 100, size=10)
+        u = Vector.from_dense(vals)
+        w1 = Vector.new(INT64, 10)
+        w2 = Vector.new(INT64, 10)
+        vxm(w1, None, None, MAX_TIMES, u, A)
+        mxv(w2, None, None, MAX_TIMES, A, u)
+        assert w1.to_dense().tolist() == w2.to_dense().tolist()
+
+    def test_respects_u_structure(self):
+        A = Matrix.from_graph(from_edges([[0, 1]]))
+        u = Vector.new(INT64, 2)  # empty
+        w = Vector.new(INT64, 2)
+        mxv(w, None, None, PLUS_TIMES, A, u)
+        assert w.nvals == 0
+
+
+class TestReduce:
+    def test_plus(self):
+        u = sparse_vec([1, 2, 3], [True, False, True])
+        assert reduce_scalar(PLUS_MONOID, u) == 4
+
+    def test_empty_returns_identity(self):
+        assert reduce_scalar(PLUS_MONOID, Vector.new(INT64, 3)) == 0
+        assert reduce_scalar(MAX_MONOID, Vector.new(INT64, 3)) == np.iinfo(np.int64).min
+
+    def test_min(self):
+        u = Vector.from_dense(np.array([5, 2, 9]))
+        assert reduce_scalar(MIN_MONOID, u) == 2
+
+    def test_bool_count(self):
+        u = Vector.from_dense(np.array([True, False, True]))
+        assert int(reduce_scalar(PLUS_MONOID, u)) == 2
+
+
+class TestExtract:
+    def test_gather(self):
+        u = sparse_vec([10, 20, 30], [True, False, True])
+        w = Vector.new(INT64, 2)
+        extract(w, None, None, u, np.array([2, 1]))
+        assert w.get_element(0) == 30
+        assert w.get_element(1) is None
+
+    def test_bounds(self):
+        u = Vector.new(INT64, 3)
+        with pytest.raises(InvalidValue):
+            extract(Vector.new(INT64, 1), None, None, u, np.array([7]))
+
+    def test_size_check(self):
+        u = Vector.new(INT64, 3)
+        with pytest.raises(DimensionMismatch):
+            extract(Vector.new(INT64, 5), None, None, u, np.array([0]))
+
+
+class TestScatter:
+    def test_marks_positions(self):
+        src = sparse_vec([2, 0, 4], [True, False, True])
+        target = Vector.new(INT64, 6)
+        gxb_scatter(target, src)
+        idx, vals = target.extract_tuples()
+        assert idx.tolist() == [2, 4]
+        assert vals.tolist() == [1, 1]
+
+    def test_out_of_range(self):
+        src = Vector.from_dense(np.array([99]))
+        with pytest.raises(InvalidValue, match="scatter"):
+            gxb_scatter(Vector.new(INT64, 3), src)
+
+    def test_collisions_benign(self):
+        src = Vector.from_dense(np.array([1, 1, 1]))
+        target = Vector.new(INT64, 3)
+        gxb_scatter(target, src)
+        assert target.nvals == 1
+
+
+# -- property tests against a dense reference model --------------------------
+
+
+@st.composite
+def masked_op_case(draw, n=6):
+    vals = st.integers(min_value=-5, max_value=5)
+    u_vals = draw(st.lists(vals, min_size=n, max_size=n))
+    v_vals = draw(st.lists(vals, min_size=n, max_size=n))
+    u_pres = draw(st.lists(st.booleans(), min_size=n, max_size=n))
+    v_pres = draw(st.lists(st.booleans(), min_size=n, max_size=n))
+    m_vals = draw(st.lists(vals, min_size=n, max_size=n))
+    m_pres = draw(st.lists(st.booleans(), min_size=n, max_size=n))
+    comp = draw(st.booleans())
+    struct = draw(st.booleans())
+    repl = draw(st.booleans())
+    return u_vals, u_pres, v_vals, v_pres, m_vals, m_pres, comp, struct, repl
+
+
+@given(masked_op_case())
+@settings(max_examples=120, deadline=None)
+def test_ewise_add_reference_semantics(case):
+    u_vals, u_pres, v_vals, v_pres, m_vals, m_pres, comp, struct, repl = case
+    n = len(u_vals)
+    u = sparse_vec(u_vals, u_pres)
+    v = sparse_vec(v_vals, v_pres)
+    mask = sparse_vec(m_vals, m_pres)
+    desc = Descriptor(mask_complement=comp, mask_structure=struct, replace=repl)
+    w = sparse_vec([9] * n, [True] * n)
+    ewise_add(w, mask, None, binaryop.PLUS, u, v, desc)
+
+    # Dense reference.
+    m_eff = np.array(m_pres)
+    if not struct:
+        m_eff &= np.array(m_vals) != 0
+    if comp:
+        m_eff = ~m_eff
+    res_pres = np.array(u_pres) | np.array(v_pres)
+    res = np.where(
+        np.array(u_pres) & np.array(v_pres),
+        np.array(u_vals) + np.array(v_vals),
+        np.where(np.array(u_pres), u_vals, v_vals),
+    )
+    exp_vals = np.full(n, 9)
+    exp_pres = np.array([True] * n)
+    if repl:
+        # GrB_REPLACE clears the whole output before the masked write.
+        exp_pres = np.zeros(n, dtype=bool)
+        exp_vals = np.zeros(n, dtype=np.int64)
+    write = m_eff & res_pres
+    exp_vals = np.where(write, res, np.where(exp_pres, exp_vals, 0))
+    exp_pres |= write
+    assert w.present.tolist() == exp_pres.tolist()
+    got = np.where(w.present, w.values, 0)
+    want = np.where(exp_pres, exp_vals, 0)
+    assert got.tolist() == want.tolist()
+
+
+@given(st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=30, deadline=None)
+def test_vxm_matches_dense_matmul(seed):
+    gen = np.random.default_rng(seed)
+    n = int(gen.integers(2, 9))
+    dense = np.triu(gen.random((n, n)) < 0.5, k=1)
+    dense = dense | dense.T
+    src, dst = np.nonzero(dense)
+    if len(src) == 0:
+        return
+    g = from_edges(np.column_stack([src, dst]), num_vertices=n)
+    A = Matrix.from_graph(g)
+    u_vals = gen.integers(1, 50, size=n)
+    u_pres = gen.random(n) < 0.7
+    u = sparse_vec(u_vals, u_pres)
+    w = Vector.new(INT64, n)
+    vxm(w, None, None, PLUS_TIMES, u, A)
+    adj = A.to_dense()
+    expected = (u_vals * u_pres) @ adj
+    reach = (u_pres @ adj) > 0
+    assert w.present.tolist() == reach.tolist()
+    assert np.where(w.present, w.values, 0).tolist() == np.where(
+        reach, expected, 0
+    ).tolist()

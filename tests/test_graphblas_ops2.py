@@ -1,0 +1,165 @@
+"""Tests for the second wave of GraphBLAS operations: indexed assign,
+bind-second apply, select, and matrix row reduction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DimensionMismatch, InvalidValue
+from repro.graphblas import (
+    BOOL,
+    INT64,
+    MAX_MONOID,
+    Matrix,
+    PLUS_MONOID,
+    Vector,
+    apply_bind_second,
+    assign_indexed,
+    binaryop,
+    reduce_rows,
+    select,
+)
+from repro.graphblas.descriptor import Descriptor, REPLACE
+from repro.graph.build import from_edges, star_graph
+
+
+def sparse_vec(values, present):
+    v = Vector.new(INT64, len(values))
+    v.values[:] = np.asarray(values, dtype=np.int64)
+    v.present[:] = np.asarray(present, dtype=bool)
+    return v
+
+
+class TestAssignIndexed:
+    def test_only_listed_positions(self):
+        v = Vector.from_dense(np.array([1, 2, 3, 4]))
+        assign_indexed(v, None, None, 9, np.array([0, 2]))
+        assert v.to_dense().tolist() == [9, 2, 9, 4]
+
+    def test_creates_entries(self):
+        v = Vector.new(INT64, 3)
+        assign_indexed(v, None, None, 5, np.array([1]))
+        assert v.nvals == 1
+
+    def test_zero_prunes(self):
+        v = Vector.from_dense(np.array([1, 2, 3]))
+        assign_indexed(v, None, None, 0, np.array([1]))
+        assert v.nvals == 2
+        assert v.get_element(1) is None
+
+    def test_mask_intersects(self):
+        v = Vector.new(INT64, 4)
+        mask = sparse_vec([1, 0, 1, 1], [True] * 4)
+        assign_indexed(v, mask, None, 7, np.array([0, 1, 2]))
+        assert v.to_dense().tolist() == [7, 0, 7, 0]
+
+    def test_out_of_range(self):
+        with pytest.raises(InvalidValue):
+            assign_indexed(Vector.new(INT64, 2), None, None, 1, np.array([5]))
+
+    def test_empty_index_list(self):
+        v = Vector.from_dense(np.array([1, 2]))
+        assign_indexed(v, None, None, 9, np.array([], dtype=np.int64))
+        assert v.to_dense().tolist() == [1, 2]
+
+
+class TestApplyBindSecond:
+    def test_threshold(self):
+        u = Vector.from_dense(np.array([5, 2, 9]))
+        w = Vector.new(BOOL, 3)
+        apply_bind_second(w, None, None, binaryop.GT, u, 4)
+        assert w.to_dense().tolist() == [True, False, True]
+
+    def test_arithmetic(self):
+        u = Vector.from_dense(np.array([5, 2]))
+        w = Vector.new(INT64, 2)
+        apply_bind_second(w, None, None, binaryop.TIMES, u, 3)
+        assert w.to_dense().tolist() == [15, 6]
+
+    def test_structure_preserved(self):
+        u = sparse_vec([5, 2, 9], [True, False, True])
+        w = Vector.new(INT64, 3)
+        apply_bind_second(w, None, None, binaryop.PLUS, u, 1)
+        assert w.present.tolist() == [True, False, True]
+
+    def test_size_check(self):
+        with pytest.raises(DimensionMismatch):
+            apply_bind_second(
+                Vector.new(INT64, 2), None, None, binaryop.PLUS,
+                Vector.new(INT64, 3), 1,
+            )
+
+
+class TestSelect:
+    def test_keeps_passing_entries(self):
+        u = Vector.from_dense(np.array([5, 2, 9, 1]))
+        w = Vector.new(INT64, 4)
+        select(w, None, lambda x: x > 3, u)
+        assert w.nvals == 2
+        assert w.get_element(0) == 5
+        assert w.get_element(1) is None
+
+    def test_absent_entries_never_pass(self):
+        u = sparse_vec([10, 10], [True, False])
+        w = Vector.new(INT64, 2)
+        select(w, None, lambda x: x > 0, u)
+        assert w.nvals == 1
+
+    def test_with_replace_descriptor(self):
+        u = Vector.from_dense(np.array([1, 5]))
+        w = Vector.from_dense(np.array([7, 7]))
+        select(w, None, lambda x: x > 3, u, REPLACE)
+        # REPLACE with no mask keeps everything admissible; only the
+        # passing entry is written, the other keeps w's value under the
+        # all-true mask... with replace and full mask nothing clears.
+        assert w.get_element(1) == 5
+
+    @given(st.lists(st.integers(min_value=-9, max_value=9), min_size=1, max_size=12))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_comprehension(self, vals):
+        u = Vector.from_dense(np.asarray(vals, dtype=np.int64))
+        w = Vector.new(INT64, len(vals))
+        select(w, None, lambda x: x % 2 == 0, u)
+        expected = {i: v for i, v in enumerate(vals) if v % 2 == 0}
+        idx, got = w.extract_tuples()
+        assert dict(zip(idx.tolist(), got.tolist())) == expected
+
+
+class TestReduceRows:
+    def test_degrees_of_star(self):
+        A = Matrix.from_graph(star_graph(3))
+        d = Vector.new(INT64, 4)
+        reduce_rows(d, None, None, PLUS_MONOID, A)
+        assert d.to_dense().tolist() == [3, 1, 1, 1]
+
+    def test_empty_rows_absent(self):
+        A = Matrix.from_coo(
+            INT64, np.array([0]), np.array([1]), np.array([4]), (3, 2)
+        )
+        d = Vector.new(INT64, 3)
+        reduce_rows(d, None, None, PLUS_MONOID, A)
+        assert d.present.tolist() == [True, False, False]
+
+    def test_max_monoid(self):
+        A = Matrix.from_coo(
+            INT64,
+            np.array([0, 0, 1]),
+            np.array([0, 1, 0]),
+            np.array([3, 7, 5]),
+            (2, 2),
+        )
+        d = Vector.new(INT64, 2)
+        reduce_rows(d, None, None, MAX_MONOID, A)
+        assert d.to_dense().tolist() == [7, 5]
+
+    def test_size_check(self):
+        A = Matrix.from_coo(INT64, [], [], [], (3, 3))
+        with pytest.raises(DimensionMismatch):
+            reduce_rows(Vector.new(INT64, 2), None, None, PLUS_MONOID, A)
+
+    def test_matches_graph_degrees(self, petersen):
+        A = Matrix.from_graph(petersen)
+        d = Vector.new(INT64, 10)
+        reduce_rows(d, None, None, PLUS_MONOID, A)
+        assert d.to_dense().tolist() == petersen.degrees.tolist()

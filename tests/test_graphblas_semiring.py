@@ -1,0 +1,103 @@
+"""Algebraic-law property tests for binary ops, monoids, and semirings."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphblas import (
+    BOOLEAN,
+    LAND_MONOID,
+    LOR_MONOID,
+    MAX_MONOID,
+    MAX_TIMES,
+    MIN_MONOID,
+    MIN_PLUS,
+    PLUS_MONOID,
+    PLUS_TIMES,
+    TIMES_MONOID,
+    binaryop,
+)
+
+ints = st.integers(min_value=-(2**20), max_value=2**20)
+
+NUMERIC_MONOIDS = [PLUS_MONOID, TIMES_MONOID, MIN_MONOID, MAX_MONOID]
+BOOL_MONOIDS = [LOR_MONOID, LAND_MONOID]
+SEMIRINGS = [MAX_TIMES, MIN_PLUS, PLUS_TIMES]
+
+
+@pytest.mark.parametrize("monoid", NUMERIC_MONOIDS)
+@given(x=ints, y=ints, z=ints)
+@settings(max_examples=60, deadline=None)
+def test_monoid_associative(monoid, x, y, z):
+    op = monoid.op
+    a = op(np.int64(x), op(np.int64(y), np.int64(z)))
+    b = op(op(np.int64(x), np.int64(y)), np.int64(z))
+    assert a == b
+
+
+@pytest.mark.parametrize("monoid", NUMERIC_MONOIDS)
+@given(x=ints, y=ints)
+@settings(max_examples=60, deadline=None)
+def test_monoid_commutative(monoid, x, y):
+    op = monoid.op
+    assert op(np.int64(x), np.int64(y)) == op(np.int64(y), np.int64(x))
+
+
+@pytest.mark.parametrize("monoid", NUMERIC_MONOIDS)
+@given(x=st.integers(min_value=-(2**30), max_value=2**30))
+@settings(max_examples=60, deadline=None)
+def test_monoid_identity(monoid, x):
+    ident = monoid.identity(np.int64)
+    assert monoid.op(np.int64(x), ident) == x
+
+
+@pytest.mark.parametrize("monoid", BOOL_MONOIDS)
+@given(x=st.booleans(), y=st.booleans(), z=st.booleans())
+@settings(max_examples=16, deadline=None)
+def test_bool_monoid_laws(monoid, x, y, z):
+    op = monoid.op
+    assert op(np.bool_(x), np.bool_(y)) == op(np.bool_(y), np.bool_(x))
+    assert op(op(np.bool_(x), np.bool_(y)), np.bool_(z)) == op(
+        np.bool_(x), op(np.bool_(y), np.bool_(z))
+    )
+    assert op(np.bool_(x), monoid.identity(np.bool_)) == x
+
+
+@pytest.mark.parametrize("monoid", NUMERIC_MONOIDS)
+@given(st.lists(ints, max_size=12))
+@settings(max_examples=40, deadline=None)
+def test_reduce_matches_fold(monoid, values):
+    arr = np.asarray(values, dtype=np.int64)
+    result = monoid.reduce(arr, dtype=np.int64)
+    expected = monoid.identity(np.int64)
+    for v in arr:
+        expected = monoid.op(np.int64(expected), v)
+    assert result == expected
+
+
+@given(x=st.integers(min_value=0, max_value=1000), y=st.integers(min_value=0, max_value=1000), z=st.integers(min_value=0, max_value=1000))
+@settings(max_examples=60, deadline=None)
+def test_min_plus_distributes(x, y, z):
+    """The tropical semiring law: z + min(x, y) == min(z+x, z+y)."""
+    assert np.int64(z) + min(x, y) == min(z + x, z + y)
+
+
+@given(x=st.integers(min_value=0, max_value=1000), y=st.integers(min_value=0, max_value=1000), z=st.integers(min_value=0, max_value=1000))
+@settings(max_examples=60, deadline=None)
+def test_max_times_distributes_over_nonnegatives(x, y, z):
+    """(max, ×) distributes when scalars are non-negative — the regime
+    Alg. 2 uses it in (weights are positive, matrix values are 1)."""
+    assert np.int64(z) * max(x, y) == max(z * x, z * y)
+
+
+@pytest.mark.parametrize("sr", SEMIRINGS)
+def test_semiring_components(sr):
+    assert sr.add.op.ufunc is not None  # reduce-able
+    assert callable(sr.multiply)
+    assert "GrB" in repr(sr)
+
+
+def test_boolean_semiring_is_reachability():
+    assert BOOLEAN.add.op(np.bool_(False), np.bool_(True))
+    assert not BOOLEAN.multiply(np.bool_(True), np.bool_(False))

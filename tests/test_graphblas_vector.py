@@ -1,0 +1,111 @@
+"""Tests for the GraphBLAS Vector container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionMismatch, DomainMismatch, InvalidValue
+from repro.graphblas import BOOL, INT64, FP64, Vector, from_dtype
+from repro.graphblas.vector import check_same_size
+
+
+class TestConstruction:
+    def test_new_is_empty(self):
+        v = Vector.new(INT64, 5)
+        assert v.size == 5
+        assert v.nvals == 0
+
+    def test_negative_size(self):
+        with pytest.raises(InvalidValue):
+            Vector.new(INT64, -1)
+
+    def test_from_dense(self):
+        v = Vector.from_dense(np.array([1, 2, 3], dtype=np.int64))
+        assert v.nvals == 3
+        assert v.to_dense().tolist() == [1, 2, 3]
+
+    def test_sparse(self):
+        v = Vector.sparse(INT64, 6, np.array([1, 4]), np.array([7, 9]))
+        assert v.nvals == 2
+        assert v.get_element(1) == 7
+        assert v.get_element(0) is None
+
+    def test_from_numpy_dtype(self):
+        v = Vector(np.int64, 3)
+        assert v.gtype is INT64
+
+    def test_unsupported_dtype(self):
+        with pytest.raises(DomainMismatch):
+            from_dtype(np.complex128)
+
+
+class TestElementAccess:
+    def test_set_get(self):
+        v = Vector.new(FP64, 3)
+        v.set_element(2, 1.5)
+        assert v.get_element(2) == 1.5
+        assert v.nvals == 1
+
+    def test_index_bounds(self):
+        v = Vector.new(INT64, 3)
+        with pytest.raises(InvalidValue):
+            v.set_element(3, 1)
+        with pytest.raises(InvalidValue):
+            v.get_element(-1)
+
+    def test_build_bounds(self):
+        v = Vector.new(INT64, 3)
+        with pytest.raises(InvalidValue):
+            v.build(np.array([5]), 1)
+
+    def test_extract_tuples(self):
+        v = Vector.sparse(INT64, 5, np.array([0, 3]), np.array([4, 6]))
+        idx, vals = v.extract_tuples()
+        assert idx.tolist() == [0, 3]
+        assert vals.tolist() == [4, 6]
+
+
+class TestStructure:
+    def test_dup_is_independent(self):
+        v = Vector.from_dense(np.array([1, 2]))
+        w = v.dup()
+        w.set_element(0, 99)
+        assert v.get_element(0) == 1
+
+    def test_clear(self):
+        v = Vector.from_dense(np.array([1, 2]))
+        v.clear()
+        assert v.nvals == 0
+
+    def test_prune_zeros(self):
+        v = Vector.from_dense(np.array([0, 1, 0, 2]))
+        v.prune_zeros()
+        assert v.nvals == 2
+        assert v.get_element(0) is None
+        assert v.get_element(1) == 1
+
+    def test_to_dense_fill(self):
+        v = Vector.sparse(INT64, 3, np.array([1]), np.array([5]))
+        assert v.to_dense(fill=-1).tolist() == [-1, 5, -1]
+        assert v.to_dense().tolist() == [0, 5, 0]
+
+
+class TestMask:
+    def test_value_mask_skips_zeros(self):
+        v = Vector.from_dense(np.array([0, 1, 2]))
+        assert v.mask_array().tolist() == [False, True, True]
+
+    def test_structural_mask_keeps_zeros(self):
+        v = Vector.from_dense(np.array([0, 1, 2]))
+        assert v.mask_array(structure=True).tolist() == [True, True, True]
+
+    def test_complement(self):
+        v = Vector.sparse(BOOL, 3, np.array([0]), np.array([True]))
+        assert v.mask_array(complement=True).tolist() == [False, True, True]
+
+    def test_check_same_size(self):
+        a, b = Vector.new(INT64, 3), Vector.new(INT64, 4)
+        with pytest.raises(DimensionMismatch):
+            check_same_size(a, b)
+
+    def test_repr(self):
+        assert "size=3" in repr(Vector.new(INT64, 3))

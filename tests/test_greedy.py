@@ -1,0 +1,118 @@
+"""Tests for the sequential greedy and DSATUR baselines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import ColoringError
+from repro.core.greedy import dsatur_coloring, greedy_coloring
+from repro.core.validate import is_valid_coloring
+from repro.gpusim.device import CPUSpec
+from repro.graph.build import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graph.generators import grid2d
+
+from _strategies import graphs
+
+
+class TestGreedy:
+    def test_path_uses_two(self):
+        result = greedy_coloring(path_graph(20))
+        assert result.num_colors == 2
+        assert is_valid_coloring(path_graph(20), result.colors)
+
+    def test_even_cycle_two(self):
+        assert greedy_coloring(cycle_graph(10)).num_colors == 2
+
+    def test_odd_cycle_three(self):
+        assert greedy_coloring(cycle_graph(11)).num_colors == 3
+
+    def test_complete_exactly_n(self):
+        result = greedy_coloring(complete_graph(7))
+        assert result.num_colors == 7
+
+    def test_star_two(self):
+        assert greedy_coloring(star_graph(9)).num_colors == 2
+
+    def test_grid_two(self):
+        g = grid2d(8, 8)
+        result = greedy_coloring(g)
+        assert result.num_colors == 2
+        assert is_valid_coloring(g, result.colors)
+
+    def test_empty(self):
+        result = greedy_coloring(empty_graph(5))
+        assert result.num_colors == 1  # all vertices color 1
+        assert result.is_complete
+
+    def test_zero_vertices(self):
+        result = greedy_coloring(empty_graph(0))
+        assert result.num_colors == 0
+
+    def test_custom_order(self, petersen):
+        order = np.arange(9, -1, -1)
+        result = greedy_coloring(petersen, ordering=order)
+        assert is_valid_coloring(petersen, result.colors)
+        assert result.algorithm == "cpu.greedy[custom]"
+
+    def test_bad_custom_order(self, petersen):
+        with pytest.raises(ColoringError, match="permutation"):
+            greedy_coloring(petersen, ordering=np.array([0, 0, 1]))
+
+    def test_sim_time_scales_with_edges(self):
+        small = greedy_coloring(grid2d(5, 5))
+        big = greedy_coloring(grid2d(40, 40))
+        assert big.sim_ms > small.sim_ms
+
+    def test_custom_cpu_spec(self):
+        slow = greedy_coloring(path_graph(50), cpu=CPUSpec(edge_ns=1000.0))
+        fast = greedy_coloring(path_graph(50), cpu=CPUSpec(edge_ns=1.0))
+        assert slow.sim_ms > fast.sim_ms
+
+    @given(graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_always_valid_and_degree_bounded(self, g):
+        result = greedy_coloring(g)
+        assert is_valid_coloring(g, result.colors) or g.num_vertices == 0
+        if g.num_vertices:
+            assert result.num_colors <= g.max_degree + 1
+
+    @given(graphs(max_vertices=16))
+    @settings(max_examples=30, deadline=None)
+    def test_all_orderings_valid(self, g):
+        for ordering in ("natural", "random", "largest_first", "smallest_last"):
+            result = greedy_coloring(g, ordering=ordering, rng=1)
+            if g.num_vertices:
+                assert is_valid_coloring(g, result.colors)
+
+
+class TestDSATUR:
+    def test_petersen_chromatic(self, petersen):
+        result = dsatur_coloring(petersen)
+        assert is_valid_coloring(petersen, result.colors)
+        assert result.num_colors == 3  # chromatic number of Petersen
+
+    def test_bipartite_exact(self):
+        """DSATUR is exact on bipartite graphs."""
+        g = grid2d(6, 7)
+        assert dsatur_coloring(g).num_colors == 2
+
+    def test_odd_cycle(self):
+        assert dsatur_coloring(cycle_graph(9)).num_colors == 3
+
+    def test_complete(self):
+        assert dsatur_coloring(complete_graph(5)).num_colors == 5
+
+    @given(graphs(max_vertices=14))
+    @settings(max_examples=25, deadline=None)
+    def test_valid_and_at_most_greedy_natural(self, g):
+        if g.num_vertices == 0:
+            return
+        result = dsatur_coloring(g)
+        assert is_valid_coloring(g, result.colors)
+        assert result.num_colors <= g.max_degree + 1

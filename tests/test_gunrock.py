@@ -1,0 +1,211 @@
+"""Tests for the data-centric (Gunrock-style) framework."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import FrontierError, GunrockError
+from repro.gpusim import CostModel
+from repro.graph.build import from_edges, star_graph
+from repro.gunrock import (
+    EdgeFrontier,
+    Enactor,
+    Frontier,
+    GunrockContext,
+    advance,
+    compute,
+    filter_frontier,
+    neighbor_reduce,
+)
+
+from _strategies import graphs
+
+
+class TestFrontier:
+    def test_all_vertices(self, petersen):
+        f = Frontier.all_vertices(petersen)
+        assert len(f) == 10
+        assert bool(f)
+
+    def test_empty(self):
+        f = Frontier.empty()
+        assert len(f) == 0
+        assert not f
+
+    def test_dedup_and_sort(self):
+        f = Frontier(np.array([3, 1, 3, 2]))
+        assert f.ids.tolist() == [1, 2, 3]
+
+    def test_from_mask(self):
+        f = Frontier.from_mask(np.array([True, False, True]))
+        assert f.ids.tolist() == [0, 2]
+
+    def test_degrees(self, petersen):
+        f = Frontier(np.array([0, 5]))
+        assert f.degrees(petersen).tolist() == [3, 3]
+
+    def test_degrees_out_of_range(self, triangle):
+        f = Frontier(np.array([7]))
+        with pytest.raises(FrontierError):
+            f.degrees(triangle)
+
+    def test_ids_read_only(self, petersen):
+        f = Frontier.all_vertices(petersen)
+        with pytest.raises(ValueError):
+            f.ids[0] = 5
+
+
+class TestAdvance:
+    def test_neighbors_materialized(self, triangle):
+        ctx = GunrockContext(triangle)
+        ef = advance(ctx, Frontier(np.array([0])))
+        assert ef.sources.tolist() == [0, 0]
+        assert ef.targets.tolist() == [1, 2]
+        assert ef.segment_offsets.tolist() == [0, 2]
+
+    def test_multi_vertex_segments(self, petersen):
+        ctx = GunrockContext(petersen)
+        f = Frontier(np.array([0, 1]))
+        ef = advance(ctx, f)
+        assert ef.num_edges == 6
+        assert ef.segment_offsets.tolist() == [0, 3, 6]
+        assert (ef.sources[:3] == 0).all()
+
+    def test_empty_frontier(self, triangle):
+        ctx = GunrockContext(triangle)
+        ef = advance(ctx, Frontier.empty())
+        assert ef.num_edges == 0
+
+    def test_charges_edges(self, petersen):
+        ctx = GunrockContext(petersen)
+        advance(ctx, Frontier.all_vertices(petersen))
+        assert ctx.cost.total_ms > 0
+
+    def test_edge_frontier_validation(self, triangle):
+        f = Frontier(np.array([0]))
+        with pytest.raises(FrontierError):
+            EdgeFrontier(np.array([0]), np.array([1, 2]), np.array([0, 1]), f)
+        with pytest.raises(FrontierError):
+            EdgeFrontier(np.array([0]), np.array([1]), np.array([0]), f)
+
+
+class TestNeighborReduce:
+    def test_max(self, petersen, rng):
+        ctx = GunrockContext(petersen)
+        vals = rng.integers(0, 1000, size=10)
+        f = Frontier.all_vertices(petersen)
+        ef = advance(ctx, f)
+        out = neighbor_reduce(ctx, ef, vals, op="max")
+        for v in petersen:
+            assert out[v] == vals[petersen.neighbors(v)].max()
+
+    def test_min_and_sum(self, petersen, rng):
+        ctx = GunrockContext(petersen)
+        vals = rng.integers(0, 1000, size=10)
+        ef = advance(ctx, Frontier.all_vertices(petersen))
+        mn = neighbor_reduce(ctx, ef, vals, op="min")
+        sm = neighbor_reduce(ctx, ef, vals, op="sum")
+        for v in petersen:
+            assert mn[v] == vals[petersen.neighbors(v)].min()
+            assert sm[v] == vals[petersen.neighbors(v)].sum()
+
+    def test_empty_segment_gets_identity(self):
+        g = star_graph(2)
+        ctx = GunrockContext(g)
+        f = Frontier(np.array([1]))
+        ef = advance(ctx, f)
+        out = neighbor_reduce(ctx, ef, np.array([5, 6, 7]), op="sum")
+        assert out.tolist() == [5]
+
+    def test_arg_max(self, petersen, rng):
+        ctx = GunrockContext(petersen)
+        vals = rng.permutation(10)
+        ef = advance(ctx, Frontier.all_vertices(petersen))
+        winners = neighbor_reduce(ctx, ef, vals, op="max", arg=True)
+        for v in petersen:
+            nbrs = petersen.neighbors(v)
+            assert winners[v] == nbrs[np.argmax(vals[nbrs])]
+
+    def test_arg_requires_extremum(self, petersen):
+        ctx = GunrockContext(petersen)
+        ef = advance(ctx, Frontier.all_vertices(petersen))
+        with pytest.raises(GunrockError):
+            neighbor_reduce(ctx, ef, np.zeros(10), op="sum", arg=True)
+
+    def test_unknown_op(self, petersen):
+        ctx = GunrockContext(petersen)
+        ef = advance(ctx, Frontier.all_vertices(petersen))
+        with pytest.raises(GunrockError, match="unknown"):
+            neighbor_reduce(ctx, ef, np.zeros(10), op="median")
+
+    @given(graphs(max_vertices=14))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_numpy_reference(self, g):
+        if g.num_vertices == 0:
+            return
+        gen = np.random.default_rng(0)
+        vals = gen.integers(0, 100, size=g.num_vertices)
+        ctx = GunrockContext(g)
+        ef = advance(ctx, Frontier.all_vertices(g))
+        out = neighbor_reduce(ctx, ef, vals, op="max")
+        for v in g:
+            nbrs = g.neighbors(v)
+            expected = vals[nbrs].max() if len(nbrs) else np.iinfo(np.int64).min
+            assert out[v] == expected
+
+
+class TestCompute:
+    def test_kernel_sees_frontier_ids(self, petersen):
+        ctx = GunrockContext(petersen)
+        seen = {}
+        compute(ctx, Frontier(np.array([2, 4])), lambda ids: seen.update(ids=ids.tolist()), name="k")
+        assert seen["ids"] == [2, 4]
+
+    def test_serial_loop_charges_more_than_map(self, petersen):
+        f = Frontier.all_vertices(petersen)
+        a, b = GunrockContext(petersen), GunrockContext(petersen)
+        compute(a, f, lambda ids: None, name="k", loop="map")
+        compute(b, f, lambda ids: None, name="k", loop="serial")
+        assert b.cost.total_ms > a.cost.total_ms
+
+    def test_atomics_charged(self, petersen):
+        ctx = GunrockContext(petersen)
+        compute(ctx, Frontier.all_vertices(petersen), lambda ids: None, name="k", atomics=50)
+        assert ctx.cost.counters.num_atomics == 50
+
+    def test_unknown_loop_kind(self, petersen):
+        ctx = GunrockContext(petersen)
+        with pytest.raises(GunrockError):
+            compute(ctx, Frontier.empty(), lambda ids: None, name="k", loop="weird")
+
+
+class TestFilter:
+    def test_compacts(self, petersen):
+        ctx = GunrockContext(petersen)
+        f = Frontier(np.array([0, 1, 2, 3]))
+        g = filter_frontier(ctx, f, np.array([True, False, True, False]))
+        assert g.ids.tolist() == [0, 2]
+
+    def test_misaligned_mask(self, petersen):
+        ctx = GunrockContext(petersen)
+        with pytest.raises(FrontierError):
+            filter_frontier(ctx, Frontier(np.array([0, 1])), np.array([True]))
+
+
+class TestEnactor:
+    def test_runs_until_false(self, triangle):
+        ctx = GunrockContext(triangle)
+        enactor = Enactor(ctx)
+        count = enactor.run(lambda it: it < 4)
+        assert count == 5
+        assert ctx.cost.counters.num_syncs == 5
+
+    def test_divergence_detected(self, triangle):
+        ctx = GunrockContext(triangle)
+        enactor = Enactor(ctx, max_iterations=10)
+        with pytest.raises(GunrockError, match="converging"):
+            enactor.run(lambda it: True)
+
+    def test_default_cap_scales_with_graph(self, petersen):
+        enactor = Enactor(GunrockContext(petersen))
+        assert enactor.max_iterations == 2 * 10 + 16

@@ -1,0 +1,179 @@
+"""Tests for the three Gunrock coloring primitives (Algs. 5–7)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.gr_ar import gunrock_ar_coloring
+from repro.core.gr_hash import gunrock_hash_coloring
+from repro.core.gr_is import gunrock_is_coloring
+from repro.core.validate import is_valid_coloring
+from repro.graph.build import complete_graph, cycle_graph, empty_graph, path_graph
+from repro.graph.generators import erdos_renyi, grid2d
+
+from _strategies import graphs
+
+
+class TestGunrockIS:
+    def test_valid_on_grid(self):
+        g = grid2d(12, 12)
+        result = gunrock_is_coloring(g, rng=0)
+        assert is_valid_coloring(g, result.colors)
+
+    def test_min_max_two_colors_per_iteration(self, petersen):
+        result = gunrock_is_coloring(petersen, rng=0, min_max=True)
+        assert result.max_color <= 2 * result.iterations
+
+    def test_single_set_one_color_per_iteration(self, petersen):
+        result = gunrock_is_coloring(petersen, rng=0, min_max=False)
+        assert result.max_color <= result.iterations
+
+    def test_min_max_fewer_iterations(self):
+        g = erdos_renyi(300, m=1200, rng=0)
+        mm = gunrock_is_coloring(g, rng=1, min_max=True)
+        single = gunrock_is_coloring(g, rng=1, min_max=False)
+        assert mm.iterations < single.iterations
+        assert is_valid_coloring(g, mm.colors)
+        assert is_valid_coloring(g, single.colors)
+
+    def test_min_max_faster(self):
+        """Table II's headline: min-max 'reduces the coloring time
+        almost by half'."""
+        g = erdos_renyi(500, m=2500, rng=0)
+        mm = gunrock_is_coloring(g, rng=1, min_max=True)
+        single = gunrock_is_coloring(g, rng=1, min_max=False)
+        assert mm.sim_ms < single.sim_ms
+        assert single.sim_ms / mm.sim_ms > 1.3
+
+    def test_atomics_cost_more(self):
+        """Table II: 'Independent Set without Atomics' beats 'with'.
+
+        Needs a graph large enough that per-vertex atomic traffic
+        outweighs the replacement reduction's launch cost — the regime
+        the paper measures.
+        """
+        g = erdos_renyi(20_000, m=80_000, rng=0)
+        at = gunrock_is_coloring(g, rng=1, min_max=False, use_atomics=True)
+        no = gunrock_is_coloring(g, rng=1, min_max=False, use_atomics=False)
+        assert at.sim_ms > no.sim_ms
+        assert at.counters.num_atomics > 0
+        assert no.counters.num_atomics == 0
+
+    def test_complete_graph(self):
+        g = complete_graph(9)
+        result = gunrock_is_coloring(g, rng=0)
+        assert is_valid_coloring(g, result.colors)
+        assert result.num_colors == 9
+
+    def test_empty(self):
+        result = gunrock_is_coloring(empty_graph(4), rng=0)
+        assert result.is_complete
+        assert result.iterations == 1
+
+    def test_counters_attached(self, petersen):
+        result = gunrock_is_coloring(petersen, rng=0)
+        assert result.counters is not None
+        assert "color_op" in result.counters.ms_by_name()
+
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_valid_property(self, g):
+        if g.num_vertices == 0:
+            return
+        result = gunrock_is_coloring(g, rng=9)
+        assert is_valid_coloring(g, result.colors)
+
+
+class TestGunrockHash:
+    def test_valid_on_grid(self):
+        g = grid2d(12, 12)
+        result = gunrock_hash_coloring(g, rng=0)
+        assert is_valid_coloring(g, result.colors)
+
+    def test_fewer_colors_than_is(self):
+        """Fig. 1b: hash reuses colors and beats plain IS on quality."""
+        g = grid2d(25, 25)
+        h = gunrock_hash_coloring(g, rng=1)
+        i = gunrock_is_coloring(g, rng=1)
+        assert h.num_colors <= i.num_colors
+
+    def test_slower_than_min_max_is(self):
+        """§V-B: extra operators and syncs make hash slower than IS."""
+        g = erdos_renyi(400, m=2000, rng=0)
+        h = gunrock_hash_coloring(g, rng=1)
+        i = gunrock_is_coloring(g, rng=1)
+        assert h.sim_ms > i.sim_ms
+
+    @pytest.mark.parametrize("hash_size", [0, 1, 2, 4, 8])
+    def test_all_table_sizes_valid(self, hash_size):
+        g = erdos_renyi(150, m=600, rng=2)
+        result = gunrock_hash_coloring(g, rng=1, hash_size=hash_size)
+        assert is_valid_coloring(g, result.colors)
+
+    def test_zero_table_disables_reuse(self):
+        g = grid2d(10, 10)
+        result = gunrock_hash_coloring(g, rng=1, hash_size=0)
+        assert is_valid_coloring(g, result.colors)
+
+    def test_complete_graph(self):
+        g = complete_graph(8)
+        result = gunrock_hash_coloring(g, rng=0)
+        assert is_valid_coloring(g, result.colors)
+        assert result.num_colors == 8
+
+    def test_path(self):
+        g = path_graph(30)
+        result = gunrock_hash_coloring(g, rng=0)
+        assert is_valid_coloring(g, result.colors)
+
+    def test_has_three_serial_operators(self, petersen):
+        result = gunrock_hash_coloring(petersen, rng=0)
+        names = result.counters.ms_by_name()
+        assert "hash_color_op" in names
+        assert "conflict_op" in names
+        assert "hash_gen_op" in names
+
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_valid_property(self, g):
+        if g.num_vertices == 0:
+            return
+        result = gunrock_hash_coloring(g, rng=11)
+        assert is_valid_coloring(g, result.colors)
+
+
+class TestGunrockAR:
+    def test_valid_on_grid(self):
+        g = grid2d(12, 12)
+        result = gunrock_ar_coloring(g, rng=0)
+        assert is_valid_coloring(g, result.colors)
+
+    def test_one_color_per_iteration(self, petersen):
+        result = gunrock_ar_coloring(petersen, rng=0)
+        assert result.max_color <= result.iterations
+
+    def test_slowest_variant(self):
+        """Table II: AR is the baseline everything else beats."""
+        g = erdos_renyi(400, m=2000, rng=0)
+        ar = gunrock_ar_coloring(g, rng=1)
+        mm = gunrock_is_coloring(g, rng=1)
+        h = gunrock_hash_coloring(g, rng=1)
+        assert ar.sim_ms > h.sim_ms > mm.sim_ms
+
+    def test_segmented_reduce_dominates(self, petersen):
+        result = gunrock_ar_coloring(petersen, rng=0)
+        by_kind = result.counters.ms_by_kind()
+        assert by_kind["segmented_reduce"] > by_kind.get("map", 0)
+
+    def test_cycle(self):
+        g = cycle_graph(17)
+        result = gunrock_ar_coloring(g, rng=3)
+        assert is_valid_coloring(g, result.colors)
+
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_valid_property(self, g):
+        if g.num_vertices == 0:
+            return
+        result = gunrock_ar_coloring(g, rng=13)
+        assert is_valid_coloring(g, result.colors)

@@ -1,0 +1,219 @@
+"""Tests for the experiment harness: datasets, runner, tables, figures,
+report rendering, and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError, HarnessError
+from repro.harness import datasets as ds
+from repro.harness.__main__ import main as cli_main
+from repro.harness.figures import fig1_series, fig2_series, fig3_series
+from repro.harness.report import format_table, geomean, speedup, to_csv
+from repro.harness.runner import (
+    geomean_speedup,
+    grid_to_rows,
+    run_cell,
+    run_grid,
+    speedup_vs,
+)
+from repro.harness.tables import TABLE2_LADDER, table1_rows, table2_rows
+
+SMALL = 512  # aggressive down-scaling keeps harness tests quick
+
+
+class TestDatasets:
+    def test_names(self):
+        assert len(ds.REAL_WORLD_DATASETS) == 12
+        assert len(ds.dataset_names(include_rgg=True)) == 22
+
+    def test_load_cached(self):
+        a = ds.load("ecology2", scale_div=SMALL, seed=7)
+        b = ds.load("ecology2", scale_div=SMALL, seed=7)
+        assert a is b  # same object from the cache
+
+    def test_load_rgg(self):
+        g = ds.load_rgg(8, seed=1)
+        assert g.num_vertices == 256
+
+    def test_load_rgg_by_name(self):
+        g = ds.load("rgg_n_2_8_s0", seed=1)
+        assert g.num_vertices == 256
+
+    def test_malformed_rgg_name(self):
+        with pytest.raises(DatasetError):
+            ds.load("rgg_n_2_x_s0")
+
+    def test_unknown(self):
+        with pytest.raises(DatasetError):
+            ds.load("mystery")
+
+    def test_paper_stats(self):
+        stats = ds.paper_stats("af_shell3")
+        assert stats is not None
+        assert stats.avg_degree == pytest.approx(35.84)
+        assert ds.paper_stats("rgg_n_2_8_s0") is None
+
+
+class TestReport:
+    def test_geomean(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geomean([]) == 0.0
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_speedup(self):
+        assert speedup(10.0, 5.0) == 2.0
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+    def test_format_table(self):
+        rows = [{"A": 1, "B": 2.5}, {"A": 10, "B": 0.125}]
+        text = format_table(rows, title="T")
+        assert "T" in text
+        assert "A" in text and "B" in text
+        assert "0.125" in text
+
+    def test_format_empty(self):
+        assert "(empty)" in format_table([], title="x")
+
+    def test_to_csv(self):
+        rows = [{"A": 1, "B": "x"}]
+        csv = to_csv(rows)
+        assert csv.splitlines() == ["A,B", "1,x"]
+        assert to_csv([]) == ""
+
+
+class TestRunner:
+    def test_run_cell_aggregates(self):
+        g = ds.load("ecology2", scale_div=SMALL, seed=0)
+        cell = run_cell(g, "gunrock.is", repetitions=2, seed=0)
+        assert cell.valid
+        assert cell.repetitions == 2
+        assert cell.colors > 0
+        assert cell.sim_ms > 0
+
+    def test_run_cell_validates(self):
+        with pytest.raises(HarnessError):
+            g = ds.load("ecology2", scale_div=SMALL, seed=0)
+            run_cell(g, "gunrock.is", repetitions=0)
+
+    def test_run_grid_shape(self):
+        cells = run_grid(
+            ["ecology2", "ASIC_320ks"],
+            ["gunrock.is", "naumov.jpl"],
+            scale_div=SMALL,
+            repetitions=1,
+            seed=0,
+        )
+        assert len(cells) == 4
+        rows = grid_to_rows(cells)
+        assert rows[0]["Dataset"] == "ecology2"
+
+    def test_speedup_vs(self):
+        cells = run_grid(
+            ["ecology2"],
+            ["gunrock.is", "naumov.jpl"],
+            scale_div=SMALL,
+            repetitions=1,
+            seed=0,
+        )
+        per = speedup_vs(cells, "naumov.jpl")
+        assert per["naumov.jpl"]["ecology2"] == pytest.approx(1.0)
+        assert per["gunrock.is"]["ecology2"] > 0
+
+    def test_speedup_vs_missing_baseline(self):
+        cells = run_grid(
+            ["ecology2"], ["gunrock.is"], scale_div=SMALL, repetitions=1, seed=0
+        )
+        with pytest.raises(HarnessError):
+            speedup_vs(cells, "naumov.jpl")
+        with pytest.raises(HarnessError):
+            geomean_speedup(cells, "missing", "gunrock.is")
+
+
+class TestTables:
+    def test_table1_pairs_paper_and_measured(self):
+        rows = table1_rows(scale_div=SMALL, diameter_samples=4)
+        assert len(rows) == 12
+        row = {r["Dataset"]: r for r in rows}["af_shell3"]
+        assert row["paper deg"] == pytest.approx(35.84)
+        assert abs(row["Avg. Degree"] - 35.84) / 35.84 < 0.35
+        assert row["Type"] == "ru"
+
+    def test_table1_with_rgg(self):
+        rows = table1_rows(
+            scale_div=SMALL, include_rgg_scales=[8], diameter_samples=4
+        )
+        assert rows[-1]["Dataset"] == "rgg_n_2_8_s0"
+        assert rows[-1]["Type"] == "gu"
+
+    def test_table2_ladder_order(self):
+        rows = table2_rows(scale_div=256, repetitions=1)
+        assert [r["Optimization"] for r in rows] == [l for l, _ in TABLE2_LADDER]
+        assert rows[0]["Speedup"] == "—"
+        # The headline shape: hash is a huge step down from AR, and
+        # min-max is the fastest row.
+        ar = rows[0]["Performance (ms)"]
+        mm = rows[-1]["Performance (ms)"]
+        assert ar / mm > 10
+        assert all(r["Performance (ms)"] >= mm for r in rows)
+
+
+class TestFigures:
+    def test_fig1_series_structure(self):
+        series = fig1_series(
+            datasets=["ecology2", "ASIC_320ks"],
+            algorithms=["gunrock.is", "naumov.jpl", "cpu.greedy"],
+            scale_div=SMALL,
+            repetitions=1,
+        )
+        assert len(series["speedup_rows"]) == 2
+        assert set(series["geomean"]) == {"gunrock.is", "naumov.jpl", "cpu.greedy"}
+        assert series["geomean"]["naumov.jpl"] == pytest.approx(1.0)
+
+    def test_fig2_series_points(self):
+        series = fig2_series(
+            datasets=["ecology2"], scale_div=SMALL, repetitions=1
+        )
+        assert len(series["gunrock"]) == 2
+        assert len(series["graphblast"]) == 2
+        assert {p["Implementation"] for p in series["graphblast"]} == {
+            "graphblas.is",
+            "graphblas.mis",
+        }
+
+    def test_fig3_series(self):
+        rows = fig3_series(scales=[7, 8], repetitions=1)
+        assert len(rows) == 4
+        assert rows[0]["Vertices"] == 128
+
+
+class TestCLI:
+    def test_table1(self, capsys):
+        assert cli_main(["table1", "--scale-div", str(SMALL)]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "af_shell3" in out
+
+    def test_table2_with_csv(self, capsys, tmp_path):
+        csv_path = tmp_path / "out.csv"
+        assert (
+            cli_main(
+                [
+                    "table2",
+                    "--scale-div",
+                    "512",
+                    "--repetitions",
+                    "1",
+                    "--csv",
+                    str(csv_path),
+                ]
+            )
+            == 0
+        )
+        assert "Min-Max" in capsys.readouterr().out
+        assert "Optimization" in csv_path.read_text()
+
+    def test_bad_experiment(self):
+        with pytest.raises(SystemExit):
+            cli_main(["tableX"])

@@ -1,0 +1,169 @@
+"""Integration tests: end-to-end dataset → algorithm → validation, plus
+the cross-implementation invariants the paper's evaluation rests on."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import (
+    FIGURE1_ALGORITHMS,
+    algorithm_names,
+    generate_dataset,
+    is_valid_coloring,
+    run_algorithm,
+)
+from repro.harness import datasets as ds
+from repro.harness.runner import run_cell
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("dataset", ds.REAL_WORLD_DATASETS)
+    def test_every_dataset_colorable_by_flagship(self, dataset):
+        g = ds.load(dataset, scale_div=512, seed=1)
+        for algo in ("gunrock.is", "graphblas.mis", "naumov.jpl"):
+            result = run_algorithm(algo, g, rng=1)
+            assert is_valid_coloring(g, result.colors), (dataset, algo)
+
+    @pytest.mark.parametrize("algo", sorted(FIGURE1_ALGORITHMS))
+    def test_full_grid_algorithms_on_one_dataset(self, algo):
+        g = ds.load("G3_circuit", scale_div=256, seed=1)
+        result = run_algorithm(algo, g, rng=1)
+        assert is_valid_coloring(g, result.colors)
+        assert result.iterations >= 1
+
+    def test_rgg_end_to_end(self):
+        g = ds.load_rgg(9, seed=2)
+        for algo in ("gunrock.is", "graphblas.is"):
+            result = run_algorithm(algo, g, rng=2)
+            assert is_valid_coloring(g, result.colors)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "algo",
+        [
+            "gunrock.is",
+            "gunrock.hash",
+            "gunrock.ar",
+            "graphblas.is",
+            "graphblas.mis",
+            "graphblas.jpl",
+            "naumov.jpl",
+            "naumov.cc",
+            "cpu.greedy",
+            "cpu.gm",
+        ],
+    )
+    def test_same_seed_same_output(self, algo):
+        g = ds.load("ecology2", scale_div=512, seed=3)
+        a = run_algorithm(algo, g, rng=99)
+        b = run_algorithm(algo, g, rng=99)
+        assert a.colors.tolist() == b.colors.tolist()
+        assert a.sim_ms == b.sim_ms
+
+    def test_different_seeds_differ(self):
+        g = ds.load("ecology2", scale_div=512, seed=3)
+        a = run_algorithm("gunrock.is", g, rng=1)
+        b = run_algorithm("gunrock.is", g, rng=2)
+        assert a.colors.tolist() != b.colors.tolist()
+
+
+class TestPaperShapeInvariants:
+    """The qualitative orderings of §V, enforced as regression tests on
+    the G3_circuit analogue."""
+
+    @pytest.fixture(scope="class")
+    def grid_results(self):
+        g = ds.load("G3_circuit", scale_div=128, seed=1)
+        return {
+            algo: run_cell(g, algo, repetitions=2, seed=5)
+            for algo in FIGURE1_ALGORITHMS
+        }
+
+    def test_mis_has_fewest_colors(self, grid_results):
+        mis = grid_results["graphblas.mis"].colors
+        for algo, cell in grid_results.items():
+            if algo in ("graphblas.mis", "cpu.greedy"):
+                continue
+            assert mis <= cell.colors, algo
+
+    def test_cc_has_most_colors(self, grid_results):
+        cc = grid_results["naumov.cc"].colors
+        for algo, cell in grid_results.items():
+            assert cc >= cell.colors, algo
+
+    def test_gunrock_is_is_fastest_gpu_impl(self, grid_results):
+        fast = grid_results["gunrock.is"].sim_ms
+        for algo in ("gunrock.hash", "gunrock.ar", "graphblas.is",
+                     "graphblas.mis", "graphblas.jpl", "naumov.jpl"):
+            assert fast < grid_results[algo].sim_ms, algo
+
+    def test_ar_is_slowest_gunrock(self, grid_results):
+        ar = grid_results["gunrock.ar"].sim_ms
+        assert ar > grid_results["gunrock.hash"].sim_ms
+        assert ar > grid_results["gunrock.is"].sim_ms
+
+    def test_graphblas_time_quality_order(self, grid_results):
+        """Runtime: IS < JPL < MIS; colors: MIS < JPL <= IS (§V-C)."""
+        is_, jpl, mis = (
+            grid_results["graphblas.is"],
+            grid_results["graphblas.jpl"],
+            grid_results["graphblas.mis"],
+        )
+        assert is_.sim_ms < jpl.sim_ms < mis.sim_ms
+        assert mis.colors < jpl.colors <= is_.colors
+
+    def test_greedy_cpu_slower_than_gpu_impls_except_ar(self, grid_results):
+        """Sequential greedy loses to every GPU implementation except
+        Advance-Reduce — in the paper too, AR's 656 ms on G3_circuit is
+        worse than the CPU baseline."""
+        greedy = grid_results["cpu.greedy"].sim_ms
+        for algo, cell in grid_results.items():
+            if algo in ("cpu.greedy", "gunrock.ar"):
+                continue
+            assert greedy > cell.sim_ms, algo
+        assert grid_results["gunrock.ar"].sim_ms > greedy
+
+    def test_af_shell3_flips_gunrock_vs_naumov(self):
+        """§V-B: the serial loop loses on the high-degree dataset while
+        winning on the low-degree circuit mesh."""
+        low = ds.load("G3_circuit", scale_div=128, seed=1)
+        high = ds.load("af_shell3", scale_div=128, seed=1)
+        def speedup(g):
+            gun = run_cell(g, "gunrock.is", repetitions=2, seed=3).sim_ms
+            nau = run_cell(g, "naumov.jpl", repetitions=2, seed=3).sim_ms
+            return nau / gun
+        assert speedup(low) > 1.2
+        assert speedup(high) < 0.8
+
+
+class TestExamples:
+    """Every example script must run clean (they double as docs)."""
+
+    @pytest.mark.parametrize(
+        "script,args",
+        [
+            ("quickstart.py", ["--scale-div", "512"]),
+            ("jacobian_compression.py", []),
+            ("register_allocation.py", []),
+            ("rgg_scaling.py", ["--min-scale", "7", "--max-scale", "9"]),
+            ("sudoku_solver.py", []),
+            ("multicolor_solver.py", []),
+            ("exam_timetable.py", []),
+            ("framework_tour.py", []),
+        ],
+    )
+    def test_example_runs(self, script, args):
+        proc = subprocess.run(
+            [sys.executable, str(EXAMPLES / script), *args],
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip()

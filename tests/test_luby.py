@@ -1,0 +1,107 @@
+"""Tests for the reference Luby MIS and MIS-based coloring."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import ColoringError
+from repro.core.luby import luby_coloring, luby_mis, neighbor_max
+from repro.core.validate import is_valid_coloring
+from repro.graph.build import complete_graph, empty_graph, path_graph, star_graph
+
+from _strategies import graphs
+
+
+def assert_independent(g, members):
+    src = np.repeat(np.arange(g.num_vertices, dtype=np.int64), g.degrees)
+    assert not (members[src] & members[g.indices]).any()
+
+
+def assert_maximal(g, members, candidates=None):
+    cand = (
+        np.ones(g.num_vertices, dtype=bool) if candidates is None else candidates
+    )
+    for v in range(g.num_vertices):
+        if not cand[v] or members[v]:
+            continue
+        # A maximal set leaves no addable candidate: v must have a
+        # member neighbor.
+        assert members[g.neighbors(v)].any(), f"vertex {v} could be added"
+
+
+class TestNeighborMax:
+    def test_simple(self, triangle):
+        vals = np.array([10, 20, 30])
+        out = neighbor_max(triangle, vals, np.ones(3, dtype=bool))
+        assert out.tolist() == [30, 30, 20]
+
+    def test_candidate_mask_respected(self, triangle):
+        vals = np.array([10, 20, 30])
+        cand = np.array([True, False, True])
+        out = neighbor_max(triangle, vals, cand)
+        assert out[1] == 30  # vertex 1 sees only candidates 0 and 2
+        assert out[0] == 30
+        assert out[2] == 10
+
+
+class TestLubyMIS:
+    def test_star_hub_or_all_leaves(self):
+        g = star_graph(6)
+        mis = luby_mis(g, rng=0)
+        assert_independent(g, mis)
+        assert_maximal(g, mis)
+
+    def test_complete_graph_singleton(self):
+        mis = luby_mis(complete_graph(8), rng=1)
+        assert mis.sum() == 1
+
+    def test_empty_graph_everything(self):
+        mis = luby_mis(empty_graph(5), rng=0)
+        assert mis.all()
+
+    def test_candidates_respected(self):
+        g = path_graph(6)
+        cand = np.array([True, True, True, False, False, False])
+        mis = luby_mis(g, candidates=cand, rng=0)
+        assert not mis[3:].any()
+        assert_independent(g, mis)
+        assert_maximal(g, mis, candidates=cand)
+
+    def test_bad_candidates_length(self, triangle):
+        with pytest.raises(ColoringError):
+            luby_mis(triangle, candidates=np.array([True]))
+
+    @pytest.mark.parametrize("fresh", [True, False])
+    @given(g=graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_independent_and_maximal_property(self, fresh, g):
+        mis = luby_mis(g, rng=7, fresh_randomness=fresh)
+        assert_independent(g, mis)
+        assert_maximal(g, mis)
+
+
+class TestLubyColoring:
+    def test_path(self):
+        g = path_graph(12)
+        result = luby_coloring(g, rng=0)
+        assert is_valid_coloring(g, result.colors)
+
+    def test_complete(self):
+        result = luby_coloring(complete_graph(6), rng=0)
+        assert result.num_colors == 6
+
+    def test_iterations_equals_colors(self, petersen):
+        result = luby_coloring(petersen, rng=0)
+        assert result.iterations == result.num_colors
+
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_valid_property(self, g):
+        result = luby_coloring(g, rng=3)
+        if g.num_vertices:
+            assert is_valid_coloring(g, result.colors)
+
+    def test_deterministic_given_seed(self, petersen):
+        a = luby_coloring(petersen, rng=5)
+        b = luby_coloring(petersen, rng=5)
+        assert a.colors.tolist() == b.colors.tolist()

@@ -1,0 +1,77 @@
+"""The full compatibility matrix: every registered coloring
+implementation against every generator family.
+
+Small sizes keep the product tractable (~19 algorithms × 9 families);
+each cell asserts a complete, valid coloring.  This is the broadest
+single safety net in the suite — any algorithm/topology interaction
+bug (isolated vertices, uniform degrees, hubs, disconnection) lands
+here first.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.registry import algorithm_names, run_algorithm
+from repro.core.validate import is_valid_coloring
+from repro.graph.build import empty_graph, from_edges
+from repro.graph.generators import (
+    banded,
+    barabasi_albert,
+    erdos_renyi,
+    fem_mesh2d,
+    grid2d,
+    random_regular,
+    rgg,
+    rmat,
+    watts_strogatz,
+)
+
+FAMILIES = {
+    "grid": lambda: grid2d(9, 9),
+    "fem": lambda: fem_mesh2d(9, 9, rng=1),
+    "banded": lambda: banded(70, 6),
+    "rgg": lambda: rgg(120, rng=2),
+    "erdos_renyi": lambda: erdos_renyi(90, m=360, rng=3),
+    "regular": lambda: random_regular(60, 6, rng=4),
+    "small_world": lambda: watts_strogatz(80, 4, 0.2, rng=5),
+    "power_law": lambda: barabasi_albert(90, 3, rng=6),
+    "rmat": lambda: rmat(6, edge_factor=6, rng=7),
+    "disconnected": lambda: from_edges(
+        [[0, 1], [1, 2], [5, 6]], num_vertices=9
+    ),
+}
+
+# DSATUR and RLF are O(n^2)-ish; exact is exponential — exclude only
+# what cannot run the whole matrix quickly.
+ALGORITHMS = [a for a in algorithm_names()]
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_algorithm_family_cell(algorithm, family):
+    graph = FAMILIES[family]()
+    result = run_algorithm(algorithm, graph, rng=11)
+    assert result.is_complete, (algorithm, family)
+    assert is_valid_coloring(graph, result.colors), (algorithm, family)
+    assert result.num_colors <= graph.max_degree + 1 or algorithm in (
+        # IS-family iteration-indexed colorings can exceed Δ+1.
+        "gunrock.is",
+        "gunrock.is_single",
+        "gunrock.is_atomics",
+        "gunrock.ar",
+        "gunrock.hash",
+        "graphblas.is",
+        "graphblas.jpl",
+        "naumov.jpl",
+        "naumov.cc",
+        "reference.luby",
+        "graphblas.mis",
+    ), (algorithm, family, result.num_colors)
+
+
+def test_every_algorithm_handles_isolated_vertices():
+    g = empty_graph(7)
+    for algorithm in ALGORITHMS:
+        result = run_algorithm(algorithm, g, rng=1)
+        assert result.is_complete, algorithm
+        assert result.num_colors == 1, algorithm

@@ -1,0 +1,111 @@
+"""Tests for coloring metrics and the kernel-profile reports."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import coloring_metrics
+from repro.core.registry import run_algorithm
+from repro.core.result import ColoringResult
+from repro.errors import ColoringError, HarnessError
+from repro.graph.generators import grid2d
+from repro.harness.profile import compare_rows, profile_rows, run_profile
+
+
+class TestColoringMetrics:
+    def test_balanced_two_coloring(self):
+        r = ColoringResult(colors=np.array([1, 2, 1, 2]))
+        m = coloring_metrics(r)
+        assert m.num_colors == 2
+        assert m.largest_class == m.smallest_class == 2
+        assert m.imbalance == pytest.approx(1.0)
+        assert m.balance_entropy == pytest.approx(1.0)
+
+    def test_skewed_classes(self):
+        r = ColoringResult(colors=np.array([1, 1, 1, 2]))
+        m = coloring_metrics(r)
+        assert m.largest_class == 3
+        assert m.smallest_class == 1
+        assert m.imbalance == pytest.approx(1.5)
+        assert m.balance_entropy < 1.0
+
+    def test_single_color(self):
+        m = coloring_metrics(ColoringResult(colors=np.array([1, 1])))
+        assert m.num_colors == 1
+        assert m.balance_entropy == 1.0
+
+    def test_incomplete_rejected(self):
+        with pytest.raises(ColoringError):
+            coloring_metrics(ColoringResult(colors=np.array([1, 0])))
+
+    def test_empty(self):
+        m = coloring_metrics(ColoringResult(colors=np.array([], dtype=np.int64)))
+        assert m.num_colors == 0
+
+    def test_parallelism_on_real_coloring(self):
+        g = grid2d(10, 10)
+        r = run_algorithm("graphblas.mis", g, rng=1)
+        m = coloring_metrics(r)
+        assert m.avg_parallelism == pytest.approx(100 / m.num_colors)
+        assert m.as_row()["colors"] == m.num_colors
+
+
+class TestProfileRows:
+    def test_shares_sum_to_one(self):
+        g = grid2d(10, 10)
+        r = run_algorithm("gunrock.is", g, rng=1)
+        rows = profile_rows(r)
+        total = sum(float(x["Share"].rstrip("%")) for x in rows)
+        assert total == pytest.approx(100.0, abs=1.0)
+        assert rows[0]["ms"] >= rows[-1]["ms"]  # hottest first
+
+    def test_cpu_algorithm_rejected(self):
+        g = grid2d(5, 5)
+        r = run_algorithm("cpu.greedy", g, rng=1)
+        with pytest.raises(HarnessError):
+            profile_rows(r)
+
+    def test_compare_merges_kernels(self):
+        g = grid2d(10, 10)
+        a = run_algorithm("graphblas.is", g, rng=1)
+        b = run_algorithm("graphblas.mis", g, rng=1)
+        rows = compare_rows(a, b)
+        assert rows[-1]["Kernel"] == "TOTAL"
+        kernels = {r["Kernel"] for r in rows}
+        assert "vxm_nbr" in kernels  # MIS-only kernel appears
+        assert "vxm_max" in kernels
+
+    def test_run_profile_single(self):
+        rows = run_profile("ecology2", ["naumov.jpl"], scale_div=512)
+        assert any(r["Kernel"] == "jpl_kernel" for r in rows)
+
+    def test_run_profile_arity(self):
+        with pytest.raises(HarnessError):
+            run_profile("ecology2", [], scale_div=512)
+        with pytest.raises(HarnessError):
+            run_profile("ecology2", ["a", "b", "c"], scale_div=512)
+
+    def test_mis_second_vxm_dominates(self):
+        """§V-C via the profiling tool itself."""
+        rows = run_profile("G3_circuit", ["graphblas.mis"], scale_div=64)
+        assert rows[0]["Kernel"] == "vxm_nbr"
+
+
+class TestDegreeWeightsVariant:
+    def test_valid_and_distinct_from_random(self):
+        from repro.core.gb_coloring import graphblas_is_coloring
+        from repro.core.validate import is_valid_coloring
+        from repro.graph.generators import barabasi_albert
+
+        g = barabasi_albert(400, 3, rng=1)
+        deg = graphblas_is_coloring(g, weights="degree", rng=1)
+        rand = graphblas_is_coloring(g, weights="random", rng=1)
+        assert is_valid_coloring(g, deg.colors)
+        # §VI hypothesis: LDF no worse than random on power-law graphs.
+        assert deg.num_colors <= rand.num_colors
+
+    def test_unknown_scheme(self, petersen):
+        from repro.core.gb_coloring import graphblas_is_coloring
+        from repro.errors import ColoringError
+
+        with pytest.raises(ColoringError):
+            graphblas_is_coloring(petersen, weights="bogus")

@@ -1,0 +1,113 @@
+"""Tests for the Naumov et al. comparator implementations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import ColoringError
+from repro.core.naumov import naumov_cc_coloring, naumov_jpl_coloring
+from repro.core.validate import is_valid_coloring
+from repro.graph.build import complete_graph, empty_graph, path_graph
+from repro.graph.generators import erdos_renyi, grid2d
+
+from _strategies import graphs
+
+
+class TestNaumovJPL:
+    def test_valid_on_grid(self):
+        g = grid2d(12, 12)
+        result = naumov_jpl_coloring(g, rng=0)
+        assert is_valid_coloring(g, result.colors)
+
+    def test_one_color_per_iteration(self, petersen):
+        result = naumov_jpl_coloring(petersen, rng=0)
+        assert result.num_colors == result.iterations
+
+    def test_complete(self):
+        result = naumov_jpl_coloring(complete_graph(6), rng=0)
+        assert result.num_colors == 6
+
+    def test_empty(self):
+        result = naumov_jpl_coloring(empty_graph(3), rng=0)
+        assert result.is_complete
+        assert result.iterations == 1
+
+    def test_kernel_names(self, petersen):
+        result = naumov_jpl_coloring(petersen, rng=0)
+        names = result.counters.ms_by_name()
+        assert "jpl_kernel" in names
+        assert "rand_kernel" in names
+
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_valid_property(self, g):
+        if g.num_vertices == 0:
+            return
+        result = naumov_jpl_coloring(g, rng=29)
+        assert is_valid_coloring(g, result.colors)
+
+
+class TestNaumovCC:
+    def test_valid_on_grid(self):
+        g = grid2d(12, 12)
+        result = naumov_cc_coloring(g, rng=0)
+        assert is_valid_coloring(g, result.colors)
+
+    def test_fewer_sweeps_than_jpl_iterations(self):
+        g = erdos_renyi(600, m=3000, rng=0)
+        cc = naumov_cc_coloring(g, rng=1)
+        jpl = naumov_jpl_coloring(g, rng=1)
+        assert cc.iterations < jpl.iterations
+
+    def test_more_colors_than_jpl(self):
+        """The multi-hash scheme burns color slots — the behaviour the
+        paper's 5× MIS-vs-CC quality claim rests on."""
+        g = grid2d(25, 25)
+        cc = naumov_cc_coloring(g, rng=1)
+        jpl = naumov_jpl_coloring(g, rng=1)
+        assert cc.num_colors > jpl.num_colors
+
+    def test_faster_than_jpl(self):
+        g = erdos_renyi(5_000, m=25_000, rng=0)
+        cc = naumov_cc_coloring(g, rng=1)
+        jpl = naumov_jpl_coloring(g, rng=1)
+        assert cc.sim_ms < jpl.sim_ms
+
+    def test_hash_count_validation(self, petersen):
+        with pytest.raises(ColoringError):
+            naumov_cc_coloring(petersen, num_hashes=0)
+
+    def test_single_hash_still_valid(self):
+        g = grid2d(8, 8)
+        result = naumov_cc_coloring(g, rng=0, num_hashes=1)
+        assert is_valid_coloring(g, result.colors)
+
+    def test_complete(self):
+        result = naumov_cc_coloring(complete_graph(6), rng=0)
+        assert is_valid_coloring(complete_graph(6), result.colors)
+
+    def test_path(self):
+        g = path_graph(40)
+        result = naumov_cc_coloring(g, rng=0)
+        assert is_valid_coloring(g, result.colors)
+
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_valid_property(self, g):
+        if g.num_vertices == 0:
+            return
+        result = naumov_cc_coloring(g, rng=31)
+        assert is_valid_coloring(g, result.colors)
+
+
+class TestComparatorContract:
+    def test_same_device_charged(self):
+        """Speedups are apples-to-apples: both comparators charge the
+        same simulated device as the Gunrock/GraphBLAST code."""
+        from repro.gpusim.device import DeviceSpec
+
+        g = grid2d(10, 10)
+        slow = DeviceSpec(balanced_edge_ns=100.0)
+        fast = naumov_jpl_coloring(g, rng=0)
+        slowed = naumov_jpl_coloring(g, rng=0, device=slow)
+        assert slowed.sim_ms > fast.sim_ms

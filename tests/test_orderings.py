@@ -1,0 +1,128 @@
+"""Tests for vertex orderings, including a reference-checked
+smallest-degree-last implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import ColoringError
+from repro.core.orderings import (
+    ORDERINGS,
+    get_ordering,
+    largest_degree_first,
+    natural_order,
+    random_order,
+    smallest_degree_last,
+)
+from repro.graph.build import complete_graph, empty_graph, from_edges, star_graph
+
+from _strategies import graphs
+
+
+def assert_is_sl_order(g, order):
+    """Check the smallest-degree-last invariant: replaying the reversed
+    order as a peel, every peeled vertex has minimum degree among the
+    remaining vertices at its turn (ties broken arbitrarily)."""
+    n = g.num_vertices
+    assert sorted(order.tolist()) == list(range(n))
+    removed = [False] * n
+    deg = g.degrees.astype(int).tolist()
+    for v in reversed(order.tolist()):
+        min_deg = min(deg[u] for u in range(n) if not removed[u])
+        assert deg[v] == min_deg, f"vertex {v} peeled at degree {deg[v]} > {min_deg}"
+        removed[v] = True
+        for u in g.neighbors(v):
+            if not removed[u]:
+                deg[u] -= 1
+
+
+class TestBasicOrderings:
+    def test_natural(self, petersen):
+        assert natural_order(petersen).tolist() == list(range(10))
+
+    def test_random_is_permutation(self, petersen):
+        order = random_order(petersen, rng=3)
+        assert sorted(order.tolist()) == list(range(10))
+
+    def test_random_seeded(self, petersen):
+        assert random_order(petersen, rng=3).tolist() == random_order(
+            petersen, rng=3
+        ).tolist()
+
+    def test_largest_first(self):
+        g = star_graph(4)  # hub degree 4, leaves 1
+        order = largest_degree_first(g)
+        assert order[0] == 0
+
+    def test_largest_first_stable_ties(self, petersen):
+        # All degrees equal → id order.
+        assert largest_degree_first(petersen).tolist() == list(range(10))
+
+    def test_registry(self):
+        assert set(ORDERINGS) == {
+            "natural",
+            "random",
+            "largest_first",
+            "smallest_last",
+        }
+        assert get_ordering("natural") is natural_order
+        with pytest.raises(ColoringError):
+            get_ordering("bogus")
+
+
+class TestSmallestDegreeLast:
+    def test_star(self):
+        g = star_graph(3)
+        order = smallest_degree_last(g)
+        # Leaves peel first, so the hub is colored first (reversed).
+        assert order[0] == 0
+
+    def test_empty(self):
+        assert smallest_degree_last(empty_graph(0)).tolist() == []
+
+    def test_isolated(self):
+        assert sorted(smallest_degree_last(empty_graph(3)).tolist()) == [0, 1, 2]
+
+    def test_complete(self):
+        order = smallest_degree_last(complete_graph(4))
+        assert sorted(order.tolist()) == [0, 1, 2, 3]
+
+    def test_peel_invariant_small(self, petersen):
+        assert_is_sl_order(petersen, smallest_degree_last(petersen))
+
+    def test_peel_invariant_irregular(self):
+        g = from_edges(
+            [[0, 1], [0, 2], [0, 3], [1, 2], [3, 4], [4, 5], [5, 0]]
+        )
+        assert_is_sl_order(g, smallest_degree_last(g))
+
+    @given(graphs(max_vertices=18))
+    @settings(max_examples=60, deadline=None)
+    def test_peel_invariant_property(self, g):
+        assert_is_sl_order(g, smallest_degree_last(g))
+
+    @given(graphs(max_vertices=20))
+    @settings(max_examples=40, deadline=None)
+    def test_degeneracy_bound(self, g):
+        """Greedy over SL ordering uses at most degeneracy+1 colors,
+        and the degeneracy equals the max min-degree seen while peeling."""
+        from repro.core.greedy import greedy_coloring
+        from repro.core.validate import is_valid_coloring
+
+        if g.num_vertices == 0:
+            return
+        # Compute degeneracy with the naive peel.
+        n = g.num_vertices
+        removed = [False] * n
+        deg = g.degrees.astype(int).tolist()
+        degeneracy = 0
+        for _ in range(n):
+            d, v = min((deg[v], v) for v in range(n) if not removed[v])
+            degeneracy = max(degeneracy, d)
+            removed[v] = True
+            for u in g.neighbors(v):
+                if not removed[u]:
+                    deg[u] -= 1
+        result = greedy_coloring(g, ordering="smallest_last")
+        assert is_valid_coloring(g, result.colors)
+        assert result.num_colors <= degeneracy + 1

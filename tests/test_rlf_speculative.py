@@ -1,0 +1,140 @@
+"""Tests for the RLF quality heuristic and the Deveci-style speculative
+GPU coloring extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.greedy import greedy_coloring
+from repro.core.rlf import rlf_coloring
+from repro.core.speculative import speculative_gpu_coloring
+from repro.core.validate import is_valid_coloring
+from repro.graph.build import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graph.generators import erdos_renyi, grid2d
+
+from _strategies import graphs
+
+
+class TestRLF:
+    def test_bipartite_two(self):
+        assert rlf_coloring(grid2d(8, 8)).num_colors == 2
+
+    def test_odd_cycle_three(self):
+        assert rlf_coloring(cycle_graph(9)).num_colors == 3
+
+    def test_complete(self):
+        result = rlf_coloring(complete_graph(6))
+        assert result.num_colors == 6
+
+    def test_star(self):
+        assert rlf_coloring(star_graph(7)).num_colors == 2
+
+    def test_petersen_chromatic(self, petersen):
+        result = rlf_coloring(petersen)
+        assert is_valid_coloring(petersen, result.colors)
+        assert result.num_colors == 3
+
+    def test_empty(self):
+        result = rlf_coloring(empty_graph(4))
+        assert result.num_colors == 1
+        assert rlf_coloring(empty_graph(0)).num_colors == 0
+
+    def test_quality_beats_random_greedy(self):
+        g = erdos_renyi(300, m=2400, rng=0)
+        rlf = rlf_coloring(g)
+        rand = greedy_coloring(g, ordering="random", rng=1)
+        assert rlf.num_colors <= rand.num_colors
+
+    def test_sim_time_positive(self, petersen):
+        assert rlf_coloring(petersen).sim_ms > 0
+
+    def test_each_class_maximal_in_residual(self):
+        """RLF classes are maximal independent sets in the graph induced
+        on not-yet-colored vertices — its defining property."""
+        g = erdos_renyi(80, m=300, rng=3)
+        result = rlf_coloring(g)
+        norm = result.normalized()
+        for c in range(1, result.num_colors + 1):
+            members = norm == c
+            later = norm >= c
+            for v in np.flatnonzero(later & ~members):
+                assert members[g.neighbors(v)].any()
+
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_valid_property(self, g):
+        if g.num_vertices == 0:
+            return
+        result = rlf_coloring(g)
+        assert is_valid_coloring(g, result.colors)
+
+
+class TestSpeculative:
+    def test_valid_on_grid(self):
+        g = grid2d(12, 12)
+        result = speculative_gpu_coloring(g, rng=0)
+        assert is_valid_coloring(g, result.colors)
+
+    def test_path(self):
+        g = path_graph(40)
+        result = speculative_gpu_coloring(g, rng=0)
+        assert is_valid_coloring(g, result.colors)
+        assert result.num_colors <= 3
+
+    def test_complete(self):
+        g = complete_graph(8)
+        result = speculative_gpu_coloring(g, rng=0)
+        assert result.num_colors == 8
+
+    def test_empty(self):
+        result = speculative_gpu_coloring(empty_graph(5), rng=0)
+        assert result.is_complete
+        assert result.num_colors == 1
+
+    def test_greedy_like_quality(self):
+        """First-fit semantics bound colors by max degree + 1 (each
+        vertex's final color avoided all neighbors at commit time)."""
+        g = erdos_renyi(400, m=2000, rng=0)
+        result = speculative_gpu_coloring(g, rng=1)
+        assert result.num_colors <= g.max_degree + 1
+
+    def test_better_quality_than_is_family(self):
+        """The §VI motivation: greedy-style coloring uses fewer colors
+        than the iteration-indexed IS family."""
+        from repro.core.gr_is import gunrock_is_coloring
+
+        g = erdos_renyi(500, m=3000, rng=0)
+        spec = speculative_gpu_coloring(g, rng=1)
+        is_ = gunrock_is_coloring(g, rng=1)
+        assert spec.num_colors <= is_.num_colors
+
+    def test_rework_rounds_bounded(self):
+        g = erdos_renyi(300, m=2400, rng=2)
+        result = speculative_gpu_coloring(g, rng=1)
+        # Far fewer rounds than colors-of-IS iterations: rework is rare.
+        assert result.iterations <= result.num_colors + 8
+
+    def test_counters(self, petersen):
+        result = speculative_gpu_coloring(petersen, rng=0)
+        names = result.counters.ms_by_name()
+        assert "speculate_kernel" in names
+        assert "conflict_kernel" in names
+
+    def test_deterministic(self, petersen):
+        a = speculative_gpu_coloring(petersen, rng=5)
+        b = speculative_gpu_coloring(petersen, rng=5)
+        assert a.colors.tolist() == b.colors.tolist()
+
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_valid_property(self, g):
+        if g.num_vertices == 0:
+            return
+        result = speculative_gpu_coloring(g, rng=41)
+        assert is_valid_coloring(g, result.colors)

@@ -1,0 +1,93 @@
+"""Tests for the RNG helpers and the exception hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro import errors
+from repro._rng import DEFAULT_SEED, ensure_rng, random_weights, spawn
+
+
+class TestEnsureRng:
+    def test_none_gives_default_seed(self):
+        a = ensure_rng(None)
+        b = ensure_rng(None)
+        assert a.integers(0, 2**31) == b.integers(0, 2**31)
+
+    def test_int_seed(self):
+        a = ensure_rng(7)
+        b = ensure_rng(7)
+        assert a.random() == b.random()
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert ensure_rng(gen) is gen
+
+    def test_seed_sequence(self):
+        seq = np.random.SeedSequence(5)
+        gen = ensure_rng(seq)
+        assert isinstance(gen, np.random.Generator)
+
+
+class TestSpawn:
+    def test_children_independent(self):
+        kids = spawn(0, 3)
+        draws = [k.integers(0, 2**31) for k in kids]
+        assert len(set(draws)) == 3
+
+    def test_deterministic(self):
+        a = [k.integers(0, 100) for k in spawn(4, 4)]
+        b = [k.integers(0, 100) for k in spawn(4, 4)]
+        assert a == b
+
+
+class TestRandomWeights:
+    def test_positive(self):
+        w = random_weights(1000, rng=0)
+        assert (w >= 1).all()
+        assert w.dtype == np.int64
+
+    def test_mostly_distinct(self):
+        w = random_weights(10_000, rng=1)
+        assert len(np.unique(w)) > 9_900
+
+    def test_custom_dtype(self):
+        w = random_weights(10, rng=0, dtype=np.int32)
+        assert w.dtype == np.int32
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.GraphError,
+            errors.GraphFormatError,
+            errors.GeneratorError,
+            errors.GraphBLASError,
+            errors.DimensionMismatch,
+            errors.DomainMismatch,
+            errors.InvalidValue,
+            errors.UninitializedObject,
+            errors.GunrockError,
+            errors.FrontierError,
+            errors.SimulationError,
+            errors.ColoringError,
+            errors.ValidationError,
+            errors.DatasetError,
+            errors.HarnessError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_refinements(self):
+        assert issubclass(errors.GraphFormatError, errors.GraphError)
+        assert issubclass(errors.DimensionMismatch, errors.GraphBLASError)
+        assert issubclass(errors.FrontierError, errors.GunrockError)
+        assert issubclass(errors.ValidationError, errors.ColoringError)
+
+    def test_catchable_at_boundary(self):
+        """One except clause suffices at an API boundary."""
+        from repro.graph.build import cycle_graph
+
+        with pytest.raises(errors.ReproError):
+            cycle_graph(1)

@@ -1,0 +1,55 @@
+"""Tests for the JSON result-snapshot format."""
+
+import json
+
+import pytest
+
+from repro.harness.report import load_snapshot, save_snapshot, snapshot
+
+
+class TestSnapshot:
+    def test_contains_device_constants(self):
+        snap = snapshot([{"a": 1}], experiment="fig1", seed=3, scale_div=64)
+        assert snap["experiment"] == "fig1"
+        assert snap["seed"] == 3
+        assert snap["scale_div"] == 64
+        assert "serial_step_ns" in snap["device"]
+        assert "vxm_edge_ns" in snap["device"]
+        assert snap["rows"] == [{"a": 1}]
+
+    def test_version_recorded(self):
+        import repro
+
+        snap = snapshot([], experiment="x", seed=0)
+        assert snap["repro_version"] == repro.__version__
+
+    def test_custom_device(self):
+        from repro.gpusim.device import DeviceSpec
+
+        snap = snapshot(
+            [], experiment="x", seed=0, device=DeviceSpec(atomic_ns=42.0)
+        )
+        assert snap["device"]["atomic_ns"] == 42.0
+
+    def test_round_trip(self, tmp_path):
+        snap = snapshot(
+            [{"Dataset": "G3_circuit", "Colors": 11.0}],
+            experiment="fig1b",
+            seed=7,
+            scale_div=64,
+        )
+        path = tmp_path / "snap.json"
+        save_snapshot(snap, path)
+        loaded = load_snapshot(path)
+        assert loaded == json.loads(json.dumps(snap, default=float))
+        assert loaded["rows"][0]["Colors"] == 11.0
+
+    def test_numpy_values_serializable(self, tmp_path):
+        import numpy as np
+
+        snap = snapshot(
+            [{"v": np.float64(1.5), "n": 3}], experiment="x", seed=0
+        )
+        path = tmp_path / "np.json"
+        save_snapshot(snap, path)
+        assert load_snapshot(path)["rows"][0]["v"] == 1.5

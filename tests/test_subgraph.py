@@ -1,0 +1,66 @@
+"""Tests for induced_subgraph."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph.build import complete_graph, from_edges, induced_subgraph, path_graph
+
+from _strategies import graphs
+
+
+class TestInducedSubgraph:
+    def test_by_mask(self, petersen):
+        mask = np.zeros(10, dtype=bool)
+        mask[[0, 1, 2]] = True
+        sub, ids = induced_subgraph(petersen, mask)
+        assert ids.tolist() == [0, 1, 2]
+        assert sub.num_vertices == 3
+        # Outer 5-cycle: 0-1 and 1-2 survive, 0-2 does not.
+        assert sub.has_arc(0, 1)
+        assert sub.has_arc(1, 2)
+        assert not sub.has_arc(0, 2)
+
+    def test_by_ids(self, petersen):
+        sub, ids = induced_subgraph(petersen, np.array([5, 0, 7]))
+        assert ids.tolist() == [0, 5, 7]  # sorted ascending
+        assert sub.num_vertices == 3
+
+    def test_everything(self, petersen):
+        sub, ids = induced_subgraph(petersen, np.ones(10, dtype=bool))
+        assert sub == petersen
+
+    def test_nothing(self, petersen):
+        sub, ids = induced_subgraph(petersen, np.zeros(10, dtype=bool))
+        assert sub.num_vertices == 0
+        assert len(ids) == 0
+
+    def test_bad_mask_length(self, triangle):
+        with pytest.raises(GraphError):
+            induced_subgraph(triangle, np.array([True]))
+
+    def test_bad_ids(self, triangle):
+        with pytest.raises(GraphError):
+            induced_subgraph(triangle, np.array([9]))
+
+    def test_complete_stays_complete(self):
+        g = complete_graph(6)
+        sub, _ = induced_subgraph(g, np.array([1, 3, 5]))
+        assert sub.num_edges == 3
+
+    @given(graphs(max_vertices=16), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_edges_match_definition(self, g, seed):
+        gen = np.random.default_rng(seed)
+        keep = gen.random(g.num_vertices) < 0.5
+        sub, ids = induced_subgraph(g, keep)
+        pos = {int(v): i for i, v in enumerate(ids)}
+        expected = {
+            (pos[u], pos[v])
+            for u, v in g.edge_list().tolist()
+            if keep[u] and keep[v]
+        }
+        got = {tuple(e) for e in sub.edge_list().tolist()}
+        assert got == expected

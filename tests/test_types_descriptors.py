@@ -1,0 +1,74 @@
+"""Tests for GraphBLAS scalar domains and descriptors."""
+
+import numpy as np
+import pytest
+
+from repro.graphblas import (
+    BOOL,
+    COMPLEMENT,
+    DEFAULT,
+    Descriptor,
+    FP32,
+    FP64,
+    INT32,
+    INT64,
+    REPLACE,
+    STRUCTURE,
+    from_dtype,
+)
+
+
+class TestGrBTypes:
+    @pytest.mark.parametrize("t", [BOOL, INT32, INT64, FP32, FP64])
+    def test_zero_is_falsy(self, t):
+        assert not bool(t.zero)
+        assert t.zero == t.dtype.type(0)
+
+    def test_int_extremes(self):
+        assert INT32.min_value == np.iinfo(np.int32).min
+        assert INT32.max_value == np.iinfo(np.int32).max
+        assert INT64.max_value == np.iinfo(np.int64).max
+
+    def test_float_extremes(self):
+        assert FP64.min_value == -np.inf
+        assert FP64.max_value == np.inf
+
+    def test_bool_extremes(self):
+        assert BOOL.min_value == False  # noqa: E712
+        assert BOOL.max_value == True  # noqa: E712
+
+    def test_from_dtype_round_trip(self):
+        for t in (BOOL, INT32, INT64, FP32, FP64):
+            assert from_dtype(t.dtype) is t
+
+    def test_repr(self):
+        assert repr(INT64) == "GrB_INT64"
+
+
+class TestDescriptors:
+    def test_default_flags(self):
+        assert not DEFAULT.mask_complement
+        assert not DEFAULT.mask_structure
+        assert not DEFAULT.replace
+
+    def test_presets(self):
+        assert COMPLEMENT.mask_complement
+        assert STRUCTURE.mask_structure
+        assert REPLACE.replace
+
+    def test_combined(self):
+        d = Descriptor(mask_complement=True, replace=True)
+        assert d.mask_complement and d.replace and not d.mask_structure
+
+    def test_repr_lists_flags(self):
+        assert "COMP" in repr(COMPLEMENT)
+        assert "DEFAULT" in repr(DEFAULT)
+        combo = Descriptor(mask_complement=True, mask_structure=True)
+        assert "COMP" in repr(combo) and "STRUCTURE" in repr(combo)
+
+    def test_immutable(self):
+        with pytest.raises(Exception):
+            DEFAULT.replace = True
+
+    def test_hashable_for_caching(self):
+        assert len({DEFAULT, COMPLEMENT, REPLACE, STRUCTURE}) == 4

@@ -1,0 +1,85 @@
+"""Tests for coloring validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.core.validate import (
+    assert_valid_coloring,
+    count_conflicts,
+    find_conflicts,
+    is_valid_coloring,
+)
+from repro.graph.build import complete_graph, empty_graph, from_edges, path_graph
+
+
+class TestIsValid:
+    def test_valid(self, triangle):
+        assert is_valid_coloring(triangle, np.array([1, 2, 3]))
+
+    def test_conflict(self, triangle):
+        assert not is_valid_coloring(triangle, np.array([1, 1, 2]))
+
+    def test_uncolored_rejected_by_default(self, triangle):
+        assert not is_valid_coloring(triangle, np.array([1, 2, 0]))
+
+    def test_uncolored_allowed_when_requested(self, triangle):
+        assert is_valid_coloring(
+            triangle, np.array([1, 2, 0]), allow_uncolored=True
+        )
+
+    def test_uncolored_pair_is_not_a_conflict(self, triangle):
+        assert is_valid_coloring(
+            triangle, np.array([0, 0, 1]), allow_uncolored=True
+        )
+
+    def test_wrong_length(self, triangle):
+        assert not is_valid_coloring(triangle, np.array([1, 2]))
+
+    def test_empty_graph(self):
+        assert is_valid_coloring(empty_graph(3), np.array([1, 1, 1]))
+
+    def test_path_two_coloring(self):
+        g = path_graph(6)
+        colors = np.array([1, 2, 1, 2, 1, 2])
+        assert is_valid_coloring(g, colors)
+
+    def test_complete_needs_distinct(self):
+        g = complete_graph(4)
+        assert is_valid_coloring(g, np.array([1, 2, 3, 4]))
+        assert not is_valid_coloring(g, np.array([1, 2, 3, 1]))
+
+
+class TestCounting:
+    def test_counts_edges_once(self, triangle):
+        assert count_conflicts(triangle, np.array([1, 1, 1])) == 3
+
+    def test_find_conflicts_pairs(self, triangle):
+        pairs = find_conflicts(triangle, np.array([1, 1, 2]))
+        assert pairs.tolist() == [[0, 1]]
+
+    def test_no_conflicts(self, triangle):
+        assert count_conflicts(triangle, np.array([1, 2, 3])) == 0
+        assert len(find_conflicts(triangle, np.array([1, 2, 3]))) == 0
+
+    def test_mixed(self):
+        g = from_edges([[0, 1], [1, 2], [2, 3]])
+        colors = np.array([1, 1, 2, 2])
+        assert count_conflicts(g, colors) == 2
+
+
+class TestAssert:
+    def test_passes_silently(self, triangle):
+        assert_valid_coloring(triangle, np.array([1, 2, 3]))
+
+    def test_raises_with_sample(self, triangle):
+        with pytest.raises(ValidationError, match="conflicting"):
+            assert_valid_coloring(triangle, np.array([1, 1, 2]))
+
+    def test_raises_on_uncolored(self, triangle):
+        with pytest.raises(ValidationError, match="uncolored"):
+            assert_valid_coloring(triangle, np.array([1, 2, 0]))
+
+    def test_raises_on_length(self, triangle):
+        with pytest.raises(ValidationError, match="length"):
+            assert_valid_coloring(triangle, np.array([1, 2]))

@@ -1,0 +1,92 @@
+"""Stateful (model-based) testing of the GraphBLAS Vector.
+
+A :class:`hypothesis.stateful.RuleBasedStateMachine` drives a Vector
+through arbitrary interleavings of set/build/clear/prune/dup/assign
+operations while maintaining a plain-dict model of the GraphBLAS
+semantics; every step cross-checks structure and values.  This is the
+strongest guard on the container the whole GraphBLAS layer sits on.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.graphblas import INT64, Vector, assign
+from repro.graphblas.descriptor import Descriptor
+
+SIZE = 8
+values = st.integers(min_value=-50, max_value=50)
+indices = st.integers(min_value=0, max_value=SIZE - 1)
+
+
+class VectorMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.vec = Vector.new(INT64, SIZE)
+        self.model = {}  # index -> value, absent = no entry
+
+    @rule(i=indices, v=values)
+    def set_element(self, i, v):
+        self.vec.set_element(i, v)
+        self.model[i] = v
+
+    @rule(idx=st.lists(indices, max_size=5), v=values)
+    def build(self, idx, v):
+        self.vec.build(np.asarray(idx, dtype=np.int64), v)
+        for i in idx:
+            self.model[i] = v
+
+    @rule()
+    def clear(self):
+        self.vec.clear()
+        self.model.clear()
+
+    @rule()
+    def prune_zeros(self):
+        self.vec.prune_zeros()
+        self.model = {i: v for i, v in self.model.items() if v != 0}
+
+    @rule()
+    def dup_replaces(self):
+        self.vec = self.vec.dup()
+
+    @rule(v=values, complement=st.booleans(), structure=st.booleans())
+    def masked_assign_with_self_mask(self, v, complement, structure):
+        """assign through a snapshot of the vector itself as mask."""
+        mask = self.vec.dup()
+        desc = Descriptor(mask_complement=complement, mask_structure=structure)
+        assign(self.vec, mask, None, v, desc)
+        admitted = set()
+        for i in range(SIZE):
+            present = i in self.model
+            truthy = present and self.model[i] != 0
+            m = present if structure else truthy
+            if complement:
+                m = not m
+            if m:
+                admitted.add(i)
+        for i in admitted:
+            if v == 0:
+                self.model.pop(i, None)
+            else:
+                self.model[i] = v
+
+    @invariant()
+    def matches_model(self):
+        for i in range(SIZE):
+            got = self.vec.get_element(i)
+            want = self.model.get(i)
+            assert (got is None) == (want is None), (i, got, want)
+            if want is not None:
+                assert got == want, (i, got, want)
+
+    @invariant()
+    def nvals_consistent(self):
+        assert self.vec.nvals == len(self.model)
+
+
+TestVectorStateful = VectorMachine.TestCase
+TestVectorStateful.settings = settings(
+    max_examples=60, stateful_step_count=30, deadline=None
+)

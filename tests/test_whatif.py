@@ -1,0 +1,95 @@
+"""Tests for the what-if device-constant analysis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HarnessError
+from repro.graph.generators import banded, grid2d
+from repro.harness.whatif import find_crossover, sweep_device_constant
+
+
+class TestSweep:
+    def test_rows_shape(self):
+        g = grid2d(10, 10)
+        rows = sweep_device_constant(
+            g, ["gunrock.is", "naumov.jpl"], "serial_step_ns", [1.0, 10.0]
+        )
+        assert len(rows) == 2
+        assert set(rows[0]) == {
+            "serial_step_ns",
+            "gunrock.is ms",
+            "naumov.jpl ms",
+        }
+
+    def test_monotone_in_the_swept_constant(self):
+        g = grid2d(10, 10)
+        rows = sweep_device_constant(
+            g, ["gunrock.is"], "serial_step_ns", [0.1, 1.0, 10.0, 100.0]
+        )
+        times = [r["gunrock.is ms"] for r in rows]
+        assert times == sorted(times)
+
+    def test_unaffected_algorithm_constant(self):
+        """Sweeping a Gunrock-only constant leaves Naumov flat."""
+        g = grid2d(10, 10)
+        rows = sweep_device_constant(
+            g, ["naumov.jpl"], "serial_step_ns", [0.1, 100.0]
+        )
+        assert rows[0]["naumov.jpl ms"] == rows[1]["naumov.jpl ms"]
+
+    def test_unknown_field(self):
+        with pytest.raises(HarnessError):
+            sweep_device_constant(grid2d(4, 4), ["gunrock.is"], "nope", [1.0])
+
+
+class TestCrossover:
+    def test_finds_serial_step_tie(self):
+        """Somewhere between a free and an absurdly expensive serial
+        loop, gunrock.is and naumov.jpl must tie."""
+        g = grid2d(16, 16)
+        x = find_crossover(
+            g, "gunrock.is", "naumov.jpl", "serial_step_ns", 0.01, 500.0
+        )
+        assert x is not None
+        assert 0.01 < x < 500.0
+        # Verify it is a genuine tie point: cheaper below, dearer above.
+        below = sweep_device_constant(
+            g, ["gunrock.is", "naumov.jpl"], "serial_step_ns", [x / 4]
+        )[0]
+        above = sweep_device_constant(
+            g, ["gunrock.is", "naumov.jpl"], "serial_step_ns", [x * 4]
+        )[0]
+        assert below["gunrock.is ms"] < below["naumov.jpl ms"]
+        assert above["gunrock.is ms"] > above["naumov.jpl ms"]
+
+    def test_no_crossover_returns_none(self):
+        """AR never beats min-max IS by varying the atomic cost (it
+        uses no atomics at all)."""
+        g = grid2d(10, 10)
+        assert (
+            find_crossover(
+                g, "gunrock.ar", "gunrock.is", "atomic_ns", 0.01, 100.0
+            )
+            is None
+        )
+
+    def test_bad_bracket(self):
+        with pytest.raises(HarnessError):
+            find_crossover(
+                grid2d(4, 4), "gunrock.is", "naumov.jpl", "serial_step_ns", 5.0, 1.0
+            )
+
+    def test_high_degree_crossover_is_lower(self):
+        """The af_shell3 mechanism, counterfactually: the serial-loop
+        cost at which Gunrock stops winning is smaller on a
+        high-degree graph than on a low-degree one."""
+        low = grid2d(16, 16)  # degree ~4
+        high = banded(256, 18)  # degree ~36
+        x_low = find_crossover(
+            low, "gunrock.is", "naumov.jpl", "serial_step_ns", 0.01, 500.0
+        )
+        x_high = find_crossover(
+            high, "gunrock.is", "naumov.jpl", "serial_step_ns", 0.01, 500.0
+        )
+        assert x_low is not None and x_high is not None
+        assert x_high < x_low
