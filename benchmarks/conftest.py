@@ -7,11 +7,22 @@ paper's qualitative shape, and times the regeneration once.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
 
 from _bench import OUT_DIR
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_disk_cache(tmp_path_factory):
+    """Keep the default-on dataset cache out of the working tree."""
+    if "REPRO_CACHE_DIR" not in os.environ:
+        os.environ["REPRO_CACHE_DIR"] = str(
+            tmp_path_factory.mktemp("repro-cache")
+        )
+    yield
 
 
 @pytest.fixture(scope="session")

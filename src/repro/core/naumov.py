@@ -58,6 +58,54 @@ def _active_extrema(graph: CSRGraph, keys: np.ndarray, active: np.ndarray):
     return nmax, nmin
 
 
+def _active_snapshot(graph: CSRGraph, active: np.ndarray):
+    """Compress the CSR down to arcs whose *neighbor* is active.
+
+    The CC sweep evaluates every hash of a sweep against the same
+    activity snapshot, so the per-arc membership test and neighbor
+    gather structure can be built once and reused by all
+    ``num_hashes`` extrema passes.  Only valid for undirected (arc-
+    symmetric) graphs, where "active neighbors of v" equals "active
+    sources of arcs into v" — which is what :func:`_active_extrema`
+    computes by scatter.
+
+    Returns ``(sub_indices, sub_starts, nonempty)``: the active-
+    neighbor lists of all vertices concatenated, the start of each
+    vertex's segment, and the mask of vertices with a non-empty
+    segment.
+    """
+    offsets, indices = graph.offsets, graph.indices
+    mask = active[indices]
+    prefix = np.zeros(len(indices) + 1, dtype=np.int64)
+    np.cumsum(mask, out=prefix[1:])
+    sub_starts = prefix[offsets[:-1]]
+    nonempty = prefix[offsets[1:]] > sub_starts
+    return indices[mask], sub_starts, nonempty
+
+
+def _snapshot_extrema(keys: np.ndarray, snapshot, n: int):
+    """Per-vertex max/min of ``keys`` over a compressed snapshot.
+
+    Segment reductions (``ufunc.reduceat``) over the active-neighbor
+    lists replace the per-arc ``ufunc.at`` scatter of
+    :func:`_active_extrema`; the results are element-for-element
+    identical (both reduce the same key multiset per vertex).
+    """
+    sub, starts, nonempty = snapshot
+    nmax = np.full(n, np.iinfo(np.int64).min, dtype=np.int64)
+    nmin = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
+    if len(sub):
+        vals = keys[sub]
+        # Reduce over nonempty segments only: an empty row's start
+        # equals its successor's, so consecutive nonempty starts are
+        # exact segment boundaries and the last segment runs to the end
+        # of ``sub`` — precisely reduceat's contract.
+        s = starts[nonempty]
+        nmax[nonempty] = np.maximum.reduceat(vals, s)
+        nmin[nonempty] = np.minimum.reduceat(vals, s)
+    return nmax, nmin
+
+
 def naumov_jpl_coloring(
     graph: CSRGraph,
     *,
@@ -144,11 +192,18 @@ def naumov_cc_coloring(
         cost.charge_edge_balanced(
             active_arcs, name="cc_kernel", eff=1.0 + 0.3 * num_hashes
         )
-        snapshot = active  # all hashes compare against the sweep start
+        # All hashes compare against the sweep-start snapshot, so the
+        # compressed active-neighbor structure is shared across them
+        # (undirected graphs only; directed fall back to the scatter).
+        snapshot = active
+        compressed = _active_snapshot(graph, active) if graph.undirected else None
         remaining = active.copy()
         for k in range(num_hashes):
             keys = _fresh_keys(n, gen)
-            nmax, nmin = _active_extrema(graph, keys, snapshot)
+            if compressed is not None:
+                nmax, nmin = _snapshot_extrema(keys, compressed, n)
+            else:
+                nmax, nmin = _active_extrema(graph, keys, snapshot)
             # Extremal w.r.t. the snapshot: each (hash, extremum) class
             # is an independent set, and classes take distinct colors,
             # so intra-sweep assignments never conflict.  Comparing

@@ -4,7 +4,13 @@ CLI: ``python -m repro.harness <table1|table2|fig1|fig2|fig3|all>``.
 """
 
 from . import datasets
-from .cache import clear_cache, load_cached
+from .cache import (
+    GENERATOR_VERSION,
+    cache_enabled,
+    clear_cache,
+    load_cached,
+    warm,
+)
 from .calibration import HEADLINE_TARGETS, check_headlines
 from .charts import bar_chart, scatter_plot
 from .profile import compare_rows, profile_rows, run_profile
@@ -27,6 +33,9 @@ __all__ = [
     "scatter_plot",
     "load_cached",
     "clear_cache",
+    "cache_enabled",
+    "warm",
+    "GENERATOR_VERSION",
     "check_headlines",
     "HEADLINE_TARGETS",
     "run_cell",

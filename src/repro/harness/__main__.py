@@ -67,6 +67,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
     parser.add_argument("--repetitions", type=int, default=3)
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for grid experiments (1 = sequential; "
+        "results are bit-identical at any worker count)",
+    )
+    parser.add_argument(
         "--csv", default=None, help="also append series to this CSV file"
     )
     parser.add_argument(
@@ -112,6 +119,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 scale_div=args.scale_div,
                 seed=args.seed,
                 repetitions=args.repetitions,
+                jobs=args.jobs,
             )
             _emit(rows, "Table II: Gunrock optimization impact (G3_circuit)", args.csv, args.json, seed=args.seed, scale_div=args.scale_div)
         elif exp == "fig1":
@@ -119,6 +127,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 scale_div=args.scale_div,
                 seed=args.seed,
                 repetitions=args.repetitions,
+                jobs=args.jobs,
             )
             _emit(series["speedup_rows"], "Figure 1a: Speedup vs Naumov/JPL", args.csv, args.json, seed=args.seed, scale_div=args.scale_div)
             _emit(series["color_rows"], "Figure 1b: Number of Colors", args.csv, args.json, seed=args.seed, scale_div=args.scale_div)
@@ -143,11 +152,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                 scale_div=args.scale_div,
                 seed=args.seed,
                 repetitions=args.repetitions,
+                jobs=args.jobs,
             )
             _emit(series["gunrock"], "Figure 2a: Gunrock time-quality", args.csv, args.json, seed=args.seed, scale_div=args.scale_div)
             _emit(series["graphblast"], "Figure 2b: GraphBLAST time-quality", args.csv, args.json, seed=args.seed, scale_div=args.scale_div)
         elif exp == "fig3":
-            rows = fig3_series(seed=args.seed, repetitions=args.repetitions)
+            rows = fig3_series(
+                seed=args.seed,
+                repetitions=args.repetitions,
+                jobs=args.jobs,
+            )
             _emit(rows, "Figure 3: RGG scaling (runtime & colors vs n, m)", args.csv, args.json, seed=args.seed, scale_div=args.scale_div)
             if args.chart:
                 from .charts import scatter_plot

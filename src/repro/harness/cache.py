@@ -1,33 +1,70 @@
-"""On-disk dataset cache.
+"""On-disk dataset cache — the default load path of the harness.
 
 Generating the larger analogues (RGG scale 17, thermal2 at small
-divisors) costs seconds; repeated harness/bench invocations shouldn't
-pay it twice.  :func:`load_cached` wraps
-:func:`repro.harness.datasets.load` with a ``.npz`` snapshot cache
-keyed by (name, scale_div, seed), stored under ``.repro-cache/`` in the
-working directory (or ``REPRO_CACHE_DIR``).
+divisors) costs seconds; repeated harness/bench invocations — and the
+worker processes of the parallel grid runner — must never pay it
+twice.  :func:`load_cached` wraps dataset generation with a ``.npz``
+snapshot cache keyed by ``(name, scale_div, seed, generator version)``,
+stored under ``.repro-cache/`` in the working directory (or
+``REPRO_CACHE_DIR``).
 
-Disabled by default in the in-process paths (the lru_cache there is
-enough within one run); the CLI's ``--disk-cache`` flag and long
-experiment scripts opt in.
+Properties the parallel runner relies on:
+
+* **Versioned keys.**  :data:`GENERATOR_VERSION` is part of every cache
+  file name; bumping it (whenever a generator's output changes)
+  invalidates all stale entries at once instead of serving wrong
+  graphs.
+* **Concurrent-writer safety.**  Entries are written to a private
+  temporary file and published with an atomic ``os.replace``, so any
+  number of workers may race to fill the same key: every reader sees
+  either nothing or a complete snapshot, and the last complete write
+  wins (all writers produce identical bytes-for-key content anyway).
+* **Corruption tolerance.**  An unreadable entry is deleted and
+  regenerated rather than failing the run.
+
+Set ``REPRO_DISK_CACHE=0`` to disable the disk layer entirely (every
+load regenerates); :func:`repro.harness.datasets.load` still memoizes
+in-process.
 """
 
 from __future__ import annotations
 
 import os
 from pathlib import Path
-from typing import Optional
 
 from .._rng import DEFAULT_SEED
-from ..errors import DatasetError
 from ..graph.csr import CSRGraph
 from ..graph.io import load_npz, save_npz
 from ..graph.generators.suitesparse import DEFAULT_SCALE_DIV
 from . import datasets as ds
 
-__all__ = ["cache_dir", "cache_path", "load_cached", "clear_cache"]
+__all__ = [
+    "GENERATOR_VERSION",
+    "cache_enabled",
+    "cache_dir",
+    "cache_path",
+    "load_cached",
+    "warm",
+    "clear_cache",
+]
 
 _ENV = "REPRO_CACHE_DIR"
+_ENABLE_ENV = "REPRO_DISK_CACHE"
+
+#: Version of the synthetic-dataset generators baked into cache keys.
+#: Bump whenever any generator's output changes for the same
+#: (name, scale_div, seed) so stale snapshots cannot be served.
+GENERATOR_VERSION = 1
+
+
+def cache_enabled() -> bool:
+    """Whether the disk layer is active (``REPRO_DISK_CACHE`` gate)."""
+    return os.environ.get(_ENABLE_ENV, "1").strip().lower() not in (
+        "0",
+        "false",
+        "no",
+        "off",
+    )
 
 
 def cache_dir() -> Path:
@@ -37,9 +74,21 @@ def cache_dir() -> Path:
     return root
 
 
-def cache_path(name: str, scale_div: int, seed: int) -> Path:
+def cache_path(
+    name: str, scale_div: int, seed: int, version: int = GENERATOR_VERSION
+) -> Path:
     safe = name.replace("/", "_")
-    return cache_dir() / f"{safe}__div{scale_div}__seed{seed}.npz"
+    return cache_dir() / f"{safe}__div{scale_div}__seed{seed}__g{version}.npz"
+
+
+def _atomic_save(graph: CSRGraph, path: Path) -> None:
+    """Publish a snapshot atomically (safe under concurrent writers)."""
+    tmp = path.with_name(f"{path.stem}.{os.getpid()}.tmp.npz")
+    try:
+        save_npz(graph, tmp)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
 
 
 def load_cached(
@@ -51,16 +100,35 @@ def load_cached(
     """Load a dataset through the on-disk cache.
 
     Corrupt cache entries are regenerated rather than failing the run.
+    With the cache disabled (``REPRO_DISK_CACHE=0``) this is a plain
+    regeneration.
     """
+    if not cache_enabled():
+        return ds.generate(name, scale_div=scale_div, seed=seed)
     path = cache_path(name, scale_div, seed)
     if path.exists():
         try:
             return load_npz(path)
         except Exception:
             path.unlink(missing_ok=True)  # corrupt: fall through
-    graph = ds.load(name, scale_div=scale_div, seed=seed)
-    save_npz(graph, path)
+    graph = ds.generate(name, scale_div=scale_div, seed=seed)
+    _atomic_save(graph, path)
     return graph
+
+
+def warm(name: str, *, scale_div: int = DEFAULT_SCALE_DIV, seed: int = DEFAULT_SEED) -> None:
+    """Ensure a cache entry exists without keeping the graph in memory.
+
+    The parallel runner fans one ``warm`` task per distinct dataset
+    across the worker pool before dispatching grid cells, so the cells
+    themselves always hit a filled cache.
+    """
+    if not cache_enabled():
+        return
+    path = cache_path(name, scale_div, seed)
+    if path.exists():
+        return
+    _atomic_save(ds.generate(name, scale_div=scale_div, seed=seed), path)
 
 
 def clear_cache() -> int:

@@ -2,9 +2,14 @@
 
 Merges the 12 SuiteSparse analogues (Table I's real-world block) with
 the DIMACS10-style RGG family (Table I's generated block / Fig. 3
-sweep) behind one name-based interface.  Generated graphs are cached
-per (name, scale_div, seed) within a process so the 9-algorithm grid
-reuses each graph.
+sweep) behind one name-based interface.  :func:`load` is cached twice
+over: an in-process ``lru_cache`` per (name, scale_div, seed) so the
+9-algorithm grid reuses each graph object, backed by the on-disk
+snapshot cache of :mod:`repro.harness.cache` (default-on; disable with
+``REPRO_DISK_CACHE=0``) so separate processes — parallel grid workers,
+repeated CLI invocations — never regenerate the same graph twice.
+:func:`generate` is the raw, uncached generation path underneath both
+layers.
 """
 
 from __future__ import annotations
@@ -29,6 +34,7 @@ __all__ = [
     "DEFAULT_RGG_SCALES",
     "dataset_names",
     "paper_stats",
+    "generate",
     "load",
     "load_rgg",
 ]
@@ -58,8 +64,13 @@ def paper_stats(name: str) -> Optional[PaperStats]:
     return spec.paper if spec else None
 
 
-@lru_cache(maxsize=64)
-def _load_cached(name: str, scale_div: int, seed: int) -> CSRGraph:
+def generate(
+    name: str,
+    *,
+    scale_div: int = DEFAULT_SCALE_DIV,
+    seed: int = DEFAULT_SEED,
+) -> CSRGraph:
+    """Generate a dataset from scratch — no caching at any layer."""
     if name.startswith("rgg_n_2_"):
         try:
             scale = int(name.split("_")[3])
@@ -72,6 +83,16 @@ def _load_cached(name: str, scale_div: int, seed: int) -> CSRGraph:
             f"unknown dataset {name!r}; known: {', '.join(dataset_names(include_rgg=True))}"
         )
     return spec.generate(scale_div=scale_div, rng=seed)
+
+
+@lru_cache(maxsize=64)
+def _load_cached(name: str, scale_div: int, seed: int) -> CSRGraph:
+    # Imported lazily: cache.py imports this module at load time.
+    from .cache import cache_enabled, load_cached as _disk_load
+
+    if cache_enabled():
+        return _disk_load(name, scale_div=scale_div, seed=seed)
+    return generate(name, scale_div=scale_div, seed=seed)
 
 
 def load(

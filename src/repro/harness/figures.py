@@ -22,7 +22,7 @@ from ..gpusim.device import DeviceSpec
 from ..graph.generators.suitesparse import DEFAULT_SCALE_DIV
 from . import datasets as ds
 from .report import geomean
-from .runner import CellResult, run_cell, run_grid, speedup_vs
+from .runner import CellResult, run_grid, speedup_vs
 
 __all__ = [
     "fig1_series",
@@ -44,6 +44,7 @@ def fig1_series(
     seed: int = DEFAULT_SEED,
     repetitions: int = 3,
     device: Optional[DeviceSpec] = None,
+    jobs: int = 1,
 ) -> Dict:
     """Figure 1: run the full real-world grid.
 
@@ -62,6 +63,7 @@ def fig1_series(
         repetitions=repetitions,
         seed=seed,
         device=device,
+        jobs=jobs,
     )
     per_algo = speedup_vs(cells, "naumov.jpl")
     speedup_rows: List[Dict] = []
@@ -92,6 +94,7 @@ def fig2_series(
     seed: int = DEFAULT_SEED,
     repetitions: int = 3,
     device: Optional[DeviceSpec] = None,
+    jobs: int = 1,
 ) -> Dict:
     """Figure 2: time-quality scatter points.
 
@@ -113,6 +116,7 @@ def fig2_series(
             repetitions=repetitions,
             seed=seed,
             device=device,
+            jobs=jobs,
         )
         out[key] = [
             {
@@ -132,6 +136,7 @@ def fig3_series(
     seed: int = DEFAULT_SEED,
     repetitions: int = 2,
     device: Optional[DeviceSpec] = None,
+    jobs: int = 1,
 ) -> List[Dict]:
     """Figure 3: RGG scaling sweep.
 
@@ -140,26 +145,26 @@ def fig3_series(
     (runtime/colors vs vertices/edges).  Implementations are the best
     per framework: the two IS variants (§V-E).
     """
-    rows: List[Dict] = []
-    for scale in scales or ds.DEFAULT_RGG_SCALES:
-        graph = ds.load_rgg(scale, seed=seed)
-        for algo in ("gunrock.is", "graphblas.is"):
-            cell = run_cell(
-                graph,
-                algo,
-                dataset_name=graph.name,
-                repetitions=repetitions,
-                seed=seed,
-                device=device,
-            )
-            rows.append(
-                {
-                    "Scale": scale,
-                    "Implementation": algo,
-                    "Vertices": cell.num_vertices,
-                    "Edges": cell.num_edges,
-                    "Runtime (ms)": round(cell.sim_ms, 4),
-                    "Colors": round(cell.colors, 1),
-                }
-            )
-    return rows
+    scale_list = list(scales or ds.DEFAULT_RGG_SCALES)
+    names = [f"rgg_n_2_{s}_s0" for s in scale_list]
+    cells = run_grid(
+        names,
+        ("gunrock.is", "graphblas.is"),
+        scale_div=1,
+        repetitions=repetitions,
+        seed=seed,
+        device=device,
+        jobs=jobs,
+    )
+    by_name = dict(zip(names, scale_list))
+    return [
+        {
+            "Scale": by_name[cell.dataset],
+            "Implementation": cell.algorithm,
+            "Vertices": cell.num_vertices,
+            "Edges": cell.num_edges,
+            "Runtime (ms)": round(cell.sim_ms, 4),
+            "Colors": round(cell.colors, 1),
+        }
+        for cell in cells
+    ]

@@ -18,7 +18,7 @@ from ..gpusim.device import DeviceSpec
 from ..graph.generators.suitesparse import DEFAULT_SCALE_DIV
 from ..graph.stats import graph_stats
 from . import datasets as ds
-from .runner import run_cell
+from .runner import run_grid
 
 __all__ = ["table1_rows", "table2_rows", "TABLE2_LADDER", "PAPER_TABLE2_MS"]
 
@@ -105,24 +105,25 @@ def table2_rows(
     seed: int = DEFAULT_SEED,
     repetitions: int = 3,
     device: Optional[DeviceSpec] = None,
+    jobs: int = 1,
 ) -> List[Dict]:
     """Regenerate Table II on the G3_circuit analogue.
 
     The ``Speedup`` column follows the paper's convention: each row's
     speedup over the *previous* row (the AR baseline shows "—").
     """
-    graph = ds.load("G3_circuit", scale_div=scale_div, seed=seed)
+    cells = run_grid(
+        ["G3_circuit"],
+        [algo for _, algo in TABLE2_LADDER],
+        scale_div=scale_div,
+        repetitions=repetitions,
+        seed=seed,
+        device=device,
+        jobs=jobs,
+    )
     rows: List[Dict] = []
     prev_ms: Optional[float] = None
-    for label, algo in TABLE2_LADDER:
-        cell = run_cell(
-            graph,
-            algo,
-            dataset_name="G3_circuit",
-            repetitions=repetitions,
-            seed=seed,
-            device=device,
-        )
+    for (label, _algo), cell in zip(TABLE2_LADDER, cells):
         speed = "—" if prev_ms is None else f"{prev_ms / cell.sim_ms:.2f}x"
         paper_ms = PAPER_TABLE2_MS[label]
         paper_speed = (

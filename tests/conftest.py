@@ -2,11 +2,27 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.graph.build import from_edges
 from repro.graph.csr import CSRGraph
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_disk_cache(tmp_path_factory):
+    """Keep the default-on dataset cache out of the working tree.
+
+    Individual tests still override ``REPRO_CACHE_DIR`` (monkeypatch)
+    when they need a private cache directory.
+    """
+    if "REPRO_CACHE_DIR" not in os.environ:
+        os.environ["REPRO_CACHE_DIR"] = str(
+            tmp_path_factory.mktemp("repro-cache")
+        )
+    yield
 
 
 @pytest.fixture

@@ -1,0 +1,161 @@
+"""Tests for the default-on versioned dataset cache."""
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.harness import cache, datasets as ds
+from repro.harness.cache import (
+    GENERATOR_VERSION,
+    cache_dir,
+    cache_enabled,
+    cache_path,
+    clear_cache,
+    load_cached,
+    warm,
+)
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_DISK_CACHE", raising=False)
+
+
+class TestRoundTrip:
+    def test_cached_equals_generated(self):
+        fresh = ds.generate("ecology2", scale_div=512, seed=9)
+        first = load_cached("ecology2", scale_div=512, seed=9)  # miss
+        second = load_cached("ecology2", scale_div=512, seed=9)  # hit
+        assert first == fresh
+        assert second == fresh
+
+    def test_rgg_round_trip(self):
+        fresh = ds.generate("rgg_n_2_8_s0", seed=4)
+        assert load_cached("rgg_n_2_8_s0", scale_div=1, seed=4) == fresh
+        assert cache_path("rgg_n_2_8_s0", 1, 4).exists()
+
+    def test_warm_then_hit(self):
+        warm("ecology2", scale_div=512, seed=2)
+        path = cache_path("ecology2", 512, 2)
+        assert path.exists()
+        mtime = path.stat().st_mtime_ns
+        warm("ecology2", scale_div=512, seed=2)  # no rewrite
+        assert path.stat().st_mtime_ns == mtime
+        assert load_cached("ecology2", scale_div=512, seed=2) == ds.generate(
+            "ecology2", scale_div=512, seed=2
+        )
+
+
+class TestKeying:
+    def test_version_in_key(self):
+        assert f"__g{GENERATOR_VERSION}.npz" in cache_path("a", 1, 2).name
+
+    def test_version_change_misses(self):
+        load_cached("ecology2", scale_div=512, seed=1)
+        assert cache_path("ecology2", 512, 1).exists()
+        assert not cache_path("ecology2", 512, 1, GENERATOR_VERSION + 1).exists()
+
+    def test_env_dir_override(self, tmp_path, monkeypatch):
+        other = tmp_path / "elsewhere"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(other))
+        load_cached("ecology2", scale_div=512, seed=5)
+        assert cache_dir() == other
+        assert list(other.glob("*.npz"))
+
+
+class TestCorruption:
+    def test_corrupt_entry_regenerated(self):
+        path = cache_path("ecology2", 512, 7)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"\x00garbage\xff")
+        g = load_cached("ecology2", scale_div=512, seed=7)
+        assert g == ds.generate("ecology2", scale_div=512, seed=7)
+        # the bad entry was replaced by a good one
+        assert load_cached("ecology2", scale_div=512, seed=7) == g
+
+    def test_truncated_entry_regenerated(self):
+        load_cached("ecology2", scale_div=512, seed=8)
+        path = cache_path("ecology2", 512, 8)
+        path.write_bytes(path.read_bytes()[:20])
+        g = load_cached("ecology2", scale_div=512, seed=8)
+        assert g == ds.generate("ecology2", scale_div=512, seed=8)
+
+
+class TestDisableSwitch:
+    @pytest.mark.parametrize("value", ["0", "false", "no", "off", " OFF "])
+    def test_disabled_values(self, value, monkeypatch):
+        monkeypatch.setenv("REPRO_DISK_CACHE", value)
+        assert not cache_enabled()
+
+    @pytest.mark.parametrize("value", ["1", "true", "yes", "on", ""])
+    def test_enabled_values(self, value, monkeypatch):
+        monkeypatch.setenv("REPRO_DISK_CACHE", value)
+        assert cache_enabled()
+
+    def test_default_on(self):
+        assert cache_enabled()
+
+    def test_disabled_writes_nothing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DISK_CACHE", "0")
+        g = load_cached("ecology2", scale_div=512, seed=3)
+        assert g == ds.generate("ecology2", scale_div=512, seed=3)
+        assert not list(cache_dir().glob("*.npz"))
+        warm("ecology2", scale_div=512, seed=3)
+        assert not list(cache_dir().glob("*.npz"))
+
+
+def _racer(args):
+    cache_root, idx = args
+    os.environ["REPRO_CACHE_DIR"] = cache_root
+    from repro.harness.cache import load_cached as lc
+
+    g = lc("ecology2", scale_div=512, seed=6)
+    return (g.num_vertices, g.num_edges, int(g.indices.sum()))
+
+
+class TestConcurrentWriters:
+    def test_racing_processes_agree(self, tmp_path):
+        """Many processes filling the same cold key all see the same
+        graph, and exactly one complete entry remains."""
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("fork start method unavailable")
+        ctx = multiprocessing.get_context("fork")
+        root = str(tmp_path / "cache")
+        with ctx.Pool(4) as pool:
+            sigs = pool.map(_racer, [(root, i) for i in range(8)])
+        assert len(set(sigs)) == 1
+        entries = list(cache_dir().glob("*.npz"))
+        assert len(entries) == 1
+        assert not list(cache_dir().glob("*.tmp.npz"))
+        # and the surviving entry is readable
+        g = load_cached("ecology2", scale_div=512, seed=6)
+        assert (g.num_vertices, g.num_edges, int(g.indices.sum())) == sigs[0]
+
+    def test_atomic_save_leaves_no_temp(self):
+        warm("offshore", scale_div=512, seed=1)
+        assert not [
+            p for p in cache_dir().iterdir() if ".tmp" in p.name
+        ]
+
+
+class TestDatasetsIntegration:
+    def test_load_goes_through_disk_cache(self):
+        ds._load_cached.cache_clear()
+        g = ds.load("ecology2", scale_div=512, seed=12)
+        assert cache_path("ecology2", 512, 12).exists()
+        ds._load_cached.cache_clear()
+        assert ds.load("ecology2", scale_div=512, seed=12) == g
+
+    def test_load_respects_disable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DISK_CACHE", "0")
+        ds._load_cached.cache_clear()
+        ds.load("ecology2", scale_div=512, seed=13)
+        assert not list(cache_dir().glob("*seed13*"))
+
+    def test_clear_cache_counts(self):
+        warm("ecology2", scale_div=512, seed=1)
+        warm("offshore", scale_div=512, seed=1)
+        assert clear_cache() == 2
+        assert clear_cache() == 0

@@ -68,7 +68,12 @@ class TestReadmeCommands:
             assert (ROOT / "examples" / script).exists(), script
 
     def test_docs_exist(self):
-        for doc in ("docs/algorithms.md", "docs/cost_model.md", "docs/datasets.md"):
+        for doc in (
+            "docs/algorithms.md",
+            "docs/cost_model.md",
+            "docs/datasets.md",
+            "docs/performance.md",
+        ):
             assert (ROOT / doc).exists(), doc
 
     def test_registry_ids_in_readme_exist(self):

@@ -1,0 +1,133 @@
+"""Tests for the process-pool grid runner.
+
+The contract under test: ``run_grid(jobs=N)`` is *bit-identical* to
+``run_grid(jobs=1)`` — same cells in the same order with the same
+colors, simulated milliseconds, and iteration counts — because every
+repetition is a pure function of (graph, algorithm, derived seed).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import HarnessError
+from repro.harness import datasets as ds
+from repro.harness import runner
+from repro.harness.figures import fig3_series
+from repro.harness.runner import CellResult, grid_to_rows, run_cell, run_grid
+from repro.harness.tables import table2_rows
+
+SMALL_DIV = 512
+NAMES = ["ecology2", "offshore"]
+ALGOS = ["cpu.greedy", "naumov.jpl", "gunrock.hash"]
+
+
+def _identity_fields(cell):
+    return (
+        cell.dataset,
+        cell.algorithm,
+        cell.num_vertices,
+        cell.num_edges,
+        cell.colors,
+        cell.sim_ms,
+        cell.iterations,
+        cell.repetitions,
+        cell.valid,
+    )
+
+
+class TestParallelDeterminism:
+    def test_jobs4_matches_jobs1(self):
+        seq = run_grid(
+            NAMES, ALGOS, scale_div=SMALL_DIV, repetitions=3, jobs=1
+        )
+        par = run_grid(
+            NAMES, ALGOS, scale_div=SMALL_DIV, repetitions=3, jobs=4
+        )
+        assert [_identity_fields(c) for c in seq] == [
+            _identity_fields(c) for c in par
+        ]
+
+    def test_jobs2_single_rep(self):
+        seq = run_grid(NAMES, ALGOS, scale_div=SMALL_DIV, repetitions=1, jobs=1)
+        par = run_grid(NAMES, ALGOS, scale_div=SMALL_DIV, repetitions=1, jobs=2)
+        assert [_identity_fields(c) for c in seq] == [
+            _identity_fields(c) for c in par
+        ]
+
+    def test_seed_changes_results_consistently(self):
+        a = run_grid(
+            NAMES, ["naumov.jpl"], scale_div=SMALL_DIV, repetitions=2,
+            seed=1, jobs=2,
+        )
+        b = run_grid(
+            NAMES, ["naumov.jpl"], scale_div=SMALL_DIV, repetitions=2,
+            seed=1, jobs=1,
+        )
+        assert [_identity_fields(c) for c in a] == [
+            _identity_fields(c) for c in b
+        ]
+
+    def test_fork_unavailable_falls_back(self, monkeypatch):
+        monkeypatch.setattr(runner, "_fork_context", lambda: None)
+        cells = run_grid(
+            NAMES, ["cpu.greedy"], scale_div=SMALL_DIV, repetitions=2, jobs=4
+        )
+        ref = run_grid(
+            NAMES, ["cpu.greedy"], scale_div=SMALL_DIV, repetitions=2, jobs=1
+        )
+        assert [_identity_fields(c) for c in cells] == [
+            _identity_fields(c) for c in ref
+        ]
+
+    def test_jobs_validation(self):
+        with pytest.raises(HarnessError):
+            run_grid(NAMES, ALGOS, scale_div=SMALL_DIV, jobs=0)
+
+
+class TestTimingSplit:
+    def test_validate_s_separate_from_wall_s(self):
+        graph = ds.load("ecology2", scale_div=SMALL_DIV)
+        cell = run_cell(
+            graph, "cpu.greedy", dataset_name="ecology2", repetitions=2
+        )
+        assert cell.wall_s > 0
+        assert cell.validate_s > 0
+        assert cell.repetitions == 2
+        assert cell.valid
+
+    def test_grid_cells_carry_split(self):
+        cells = run_grid(
+            ["ecology2"], ["cpu.greedy"], scale_div=SMALL_DIV,
+            repetitions=2, jobs=2,
+        )
+        assert all(c.wall_s > 0 and c.validate_s > 0 for c in cells)
+
+
+class TestGridRows:
+    def test_rows_include_new_columns(self):
+        cells = run_grid(
+            ["ecology2"], ["cpu.greedy"], scale_div=SMALL_DIV, repetitions=2
+        )
+        (row,) = grid_to_rows(cells)
+        for key in (
+            "Dataset", "Algorithm", "Vertices", "Edges", "Colors",
+            "Sim ms", "Iterations", "Wall s", "Validate s",
+            "Repetitions", "Valid",
+        ):
+            assert key in row
+        assert row["Repetitions"] == 2
+        assert row["Valid"] is True
+        assert row["Wall s"] > 0
+
+
+class TestEmittersThreadJobs:
+    def test_table2_parallel_matches_sequential(self):
+        seq = table2_rows(scale_div=SMALL_DIV, repetitions=1, jobs=1)
+        par = table2_rows(scale_div=SMALL_DIV, repetitions=1, jobs=2)
+        assert seq == par
+
+    def test_fig3_parallel_matches_sequential(self):
+        seq = fig3_series(scales=[6, 7], repetitions=1, jobs=1)
+        par = fig3_series(scales=[6, 7], repetitions=1, jobs=2)
+        assert seq == par
+        assert [r["Scale"] for r in seq] == [6, 6, 7, 7]

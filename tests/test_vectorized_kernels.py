@@ -1,0 +1,131 @@
+"""Equivalence tests for the vectorized hot kernels.
+
+Each vectorized path must be *bit-identical* to the scalar/operation
+reference it replaced — colors, iteration counts, and (where relevant)
+simulated cost — on seeded graphs from every generator family.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import gb_coloring
+from repro.core.greedy import (
+    _greedy_colors_scalar,
+    _greedy_colors_vectorized,
+    greedy_coloring,
+)
+from repro.core.naumov import (
+    _active_extrema,
+    _active_snapshot,
+    _snapshot_extrema,
+    naumov_cc_coloring,
+)
+from repro.core.orderings import ORDERINGS
+from repro.core.validate import is_valid_coloring
+from repro.graph.generators import (
+    banded,
+    barabasi_albert,
+    erdos_renyi,
+    fem_mesh2d,
+    grid2d,
+    random_regular,
+    rgg_scale,
+    rmat,
+    watts_strogatz,
+)
+
+from _strategies import graphs
+
+#: One seeded instance per generator family, all large enough to take
+#: the level-synchronous (vectorized) greedy path.
+FAMILY_GRAPHS = [
+    pytest.param(lambda: rgg_scale(9, rng=11), id="rgg"),
+    pytest.param(lambda: grid2d(20, 20), id="mesh-grid2d"),
+    pytest.param(lambda: fem_mesh2d(18, 18, rng=3), id="mesh-fem"),
+    pytest.param(lambda: banded(400, 5), id="mesh-banded"),
+    pytest.param(lambda: erdos_renyi(400, m=2400, rng=5), id="erdos-renyi"),
+    pytest.param(lambda: random_regular(360, 6, rng=7), id="random-regular"),
+    pytest.param(
+        lambda: watts_strogatz(400, 6, 0.2, rng=9), id="watts-strogatz"
+    ),
+    pytest.param(
+        lambda: barabasi_albert(400, 4, rng=13), id="barabasi-albert"
+    ),
+    pytest.param(lambda: rmat(9, 8, rng=17), id="rmat"),
+]
+
+
+class TestVectorizedGreedy:
+    @pytest.mark.parametrize("build", FAMILY_GRAPHS)
+    @pytest.mark.parametrize("ordering", sorted(ORDERINGS))
+    def test_matches_scalar_sweep(self, build, ordering):
+        graph = build()
+        order = ORDERINGS[ordering](graph, np.random.default_rng(23))
+        expected = _greedy_colors_scalar(graph, order)
+        got = _greedy_colors_vectorized(graph, order)
+        np.testing.assert_array_equal(got, expected)
+
+    @pytest.mark.parametrize("build", FAMILY_GRAPHS)
+    def test_public_entry_point(self, build):
+        graph = build()
+        result = greedy_coloring(graph, ordering="random", rng=41)
+        assert is_valid_coloring(graph, result.colors)
+        assert result.num_colors == int(result.colors.max())
+
+    @given(g=graphs(max_vertices=40), seed=st.integers(0, 2**31))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_scalar_property(self, g, seed):
+        order = np.random.default_rng(seed).permutation(g.num_vertices)
+        expected = _greedy_colors_scalar(g, order)
+        got = _greedy_colors_vectorized(g, order)
+        np.testing.assert_array_equal(got, expected)
+
+
+class TestNaumovSnapshotExtrema:
+    @given(g=graphs(max_vertices=32), seed=st.integers(0, 2**31))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_scatter_extrema(self, g, seed):
+        rng = np.random.default_rng(seed)
+        n = g.num_vertices
+        keys = rng.integers(0, 1 << 40, size=n, dtype=np.int64)
+        active = rng.random(n) < 0.6
+        ref_max, ref_min = _active_extrema(g, keys, active)
+        snap = _active_snapshot(g, active)
+        got_max, got_min = _snapshot_extrema(keys, snap, n)
+        np.testing.assert_array_equal(got_max, ref_max)
+        np.testing.assert_array_equal(got_min, ref_min)
+
+    @pytest.mark.parametrize("build", FAMILY_GRAPHS)
+    def test_cc_still_valid(self, build):
+        graph = build()
+        result = naumov_cc_coloring(graph, rng=29)
+        assert is_valid_coloring(graph, result.colors)
+
+
+class TestJplMinColor:
+    @pytest.mark.parametrize(
+        "build",
+        [
+            pytest.param(lambda: rgg_scale(8, rng=11), id="rgg"),
+            pytest.param(lambda: erdos_renyi(200, m=1200, rng=5), id="er"),
+            pytest.param(lambda: grid2d(12, 12), id="grid"),
+            pytest.param(
+                lambda: barabasi_albert(150, 3, rng=13), id="ba"
+            ),
+        ],
+    )
+    def test_matches_ops_reference(self, build, monkeypatch):
+        """The direct scan and the GraphBLAS-op chain agree on colors,
+        simulated time, iterations, and every cost counter."""
+        graph = build()
+        fast = gb_coloring.graphblas_jpl_coloring(graph, rng=3)
+        monkeypatch.setattr(
+            gb_coloring, "_jpl_min_color", gb_coloring._jpl_min_color_ops
+        )
+        ref = gb_coloring.graphblas_jpl_coloring(graph, rng=3)
+        np.testing.assert_array_equal(fast.colors, ref.colors)
+        assert fast.sim_ms == ref.sim_ms
+        assert fast.iterations == ref.iterations
+        assert fast.counters == ref.counters
