@@ -5,13 +5,34 @@ callers can catch one type at an API boundary.  Subsystems refine it:
 graph construction errors, GraphBLAS dimension/type errors, Gunrock
 operator misuse, and cost-model configuration errors each get their own
 subclass mirroring the layering described in DESIGN.md.
+
+All :class:`ReproError` subclasses are **pickle-safe**: instances
+survive a pickling round trip with their original type, message, and
+attributes even when a subclass defines an ``__init__`` whose signature
+differs from ``Exception.args`` (the standard-library pitfall that
+turns a worker's exception into a ``TypeError`` at the process
+boundary).  The parallel grid runner relies on this to propagate
+worker failures verbatim.
 """
 
 from __future__ import annotations
 
 
+def _restore_error(cls, args, state):
+    """Rebuild a pickled :class:`ReproError` without calling the
+    subclass ``__init__`` (whose signature may not match ``args``)."""
+    err = cls.__new__(cls)
+    Exception.__init__(err, *args)
+    if state:
+        err.__dict__.update(state)
+    return err
+
+
 class ReproError(Exception):
     """Base class for all errors raised by :mod:`repro`."""
+
+    def __reduce__(self):
+        return (_restore_error, (type(self), self.args, self.__dict__))
 
 
 class GraphError(ReproError):
@@ -72,3 +93,29 @@ class DatasetError(ReproError):
 
 class HarnessError(ReproError):
     """Experiment-harness configuration problems (unknown experiment id)."""
+
+
+class RepetitionTimeout(HarnessError):
+    """A single repetition exceeded its wall-clock budget.
+
+    Treated as transient by the grid runner (the repetition is retried
+    up to the retry bound — a loaded machine can stall an otherwise
+    fine repetition), then recorded as a failed cell.
+    """
+
+
+class FaultError(HarnessError):
+    """An error deliberately injected by :mod:`repro.harness.faults`."""
+
+
+class TransientFaultError(FaultError):
+    """An injected fault modelling a *transient* failure.
+
+    The grid runner's retry policy treats this class (together with
+    worker crashes and timeouts) as retryable; all other exceptions are
+    considered deterministic and fail the repetition immediately.
+    """
+
+
+class JournalError(HarnessError):
+    """The checkpoint journal could not be read or written."""

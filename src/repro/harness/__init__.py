@@ -3,14 +3,16 @@
 CLI: ``python -m repro.harness <table1|table2|fig1|fig2|fig3|all>``.
 """
 
-from . import datasets
+from . import datasets, faults
 from .cache import (
     GENERATOR_VERSION,
     cache_enabled,
     clear_cache,
     load_cached,
+    sweep_stale_tmp,
     warm,
 )
+from .journal import GridJournal, config_hash, journal_root
 from .calibration import HEADLINE_TARGETS, check_headlines
 from .charts import bar_chart, scatter_plot
 from .profile import compare_rows, profile_rows, run_profile
@@ -29,13 +31,18 @@ from .whatif import find_crossover, sweep_device_constant
 
 __all__ = [
     "datasets",
+    "faults",
     "bar_chart",
     "scatter_plot",
     "load_cached",
     "clear_cache",
     "cache_enabled",
+    "sweep_stale_tmp",
     "warm",
     "GENERATOR_VERSION",
+    "GridJournal",
+    "config_hash",
+    "journal_root",
     "check_headlines",
     "HEADLINE_TARGETS",
     "run_cell",

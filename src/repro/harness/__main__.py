@@ -5,7 +5,15 @@ Examples::
     python -m repro.harness table1
     python -m repro.harness table2 --scale-div 16
     python -m repro.harness fig1 --csv out.csv
+    python -m repro.harness fig1 --jobs 8 --timeout 120   # fault-tolerant
+    python -m repro.harness fig1 --jobs 8 --resume        # after a SIGINT
     python -m repro.harness all
+
+Exit status: 0 when every cell of every requested experiment
+completed with a valid coloring; 1 on usage errors; 3 when the run
+finished but one or more cells failed or produced an invalid coloring
+(the partial tables are still printed — scripts and CI use the exit
+code to detect degraded runs).
 """
 
 from __future__ import annotations
@@ -17,11 +25,15 @@ from typing import List, Optional
 from .._rng import DEFAULT_SEED
 from ..graph.generators.suitesparse import DEFAULT_SCALE_DIV
 from .figures import fig1_series, fig2_series, fig3_series
-from .report import format_table, to_csv
+from .report import failure_summary, format_table, to_csv
+from .runner import DEFAULT_RETRIES, _fork_context
 from .tables import table1_rows, table2_rows
 
 EXPERIMENTS = ("table1", "table2", "fig1", "fig2", "fig3")
 PROFILE_USAGE = "profile:DATASET:ALGO[,ALGO2]"
+
+#: Exit code for a run that completed with failed/invalid cells.
+EXIT_PARTIAL = 3
 
 
 def _emit(rows, title: str, csv_path: Optional[str], json_path: Optional[str] = None, *, seed: int = 0, scale_div: Optional[int] = None) -> None:
@@ -74,6 +86,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         "results are bit-identical at any worker count)",
     )
     parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per repetition (default: unbounded); "
+        "a timed-out repetition is retried, then marked failed",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=DEFAULT_RETRIES,
+        help="retry budget per repetition for transient failures — "
+        "worker crashes and timeouts (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted run from its checkpoint journal: "
+        "only repetitions missing from the journal execute, and the "
+        "merged results are bit-identical to an uninterrupted run",
+    )
+    parser.add_argument(
+        "--no-journal",
+        action="store_true",
+        help="skip writing the checkpoint journal (journaling is "
+        "default-on; see docs/robustness.md)",
+    )
+    parser.add_argument(
         "--csv", default=None, help="also append series to this CSV file"
     )
     parser.add_argument(
@@ -88,6 +128,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="render ASCII charts of the figure series",
     )
     args = parser.parse_args(argv)
+
+    if args.jobs > 1 and _fork_context() is None:
+        print(
+            f"notice: --jobs {args.jobs} requested but the 'fork' start "
+            "method is unavailable on this platform; running sequentially",
+            file=sys.stderr,
+        )
+
+    grid_kwargs = dict(
+        timeout=args.timeout,
+        retries=args.retries,
+        resume=args.resume,
+        journal=False if args.no_journal else None,
+    )
 
     if args.experiment == "profile":
         from .profile import run_profile
@@ -110,17 +164,22 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{', '.join(EXPERIMENTS + ('all', 'profile'))}"
         )
     todo = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    bad_cells = []  # every failed/invalid cell across all experiments
     for exp in todo:
         if exp == "table1":
             rows = table1_rows(scale_div=args.scale_div, seed=args.seed)
             _emit(rows, "Table I: Dataset Description (paper vs regenerated)", args.csv, args.json, seed=args.seed, scale_div=args.scale_div)
         elif exp == "table2":
+            cells = []
             rows = table2_rows(
                 scale_div=args.scale_div,
                 seed=args.seed,
                 repetitions=args.repetitions,
                 jobs=args.jobs,
+                cells_out=cells,
+                **grid_kwargs,
             )
+            bad_cells += [c for c in cells if not c.ok or not c.valid]
             _emit(rows, "Table II: Gunrock optimization impact (G3_circuit)", args.csv, args.json, seed=args.seed, scale_div=args.scale_div)
         elif exp == "fig1":
             series = fig1_series(
@@ -128,20 +187,30 @@ def main(argv: Optional[List[str]] = None) -> int:
                 seed=args.seed,
                 repetitions=args.repetitions,
                 jobs=args.jobs,
+                **grid_kwargs,
             )
+            bad_cells += [
+                c for c in series["cells"] if not c.ok or not c.valid
+            ]
             _emit(series["speedup_rows"], "Figure 1a: Speedup vs Naumov/JPL", args.csv, args.json, seed=args.seed, scale_div=args.scale_div)
             _emit(series["color_rows"], "Figure 1b: Number of Colors", args.csv, args.json, seed=args.seed, scale_div=args.scale_div)
             gm_rows = [
-                {"Implementation": a, "Geomean speedup": round(v, 3)}
+                {
+                    "Implementation": a,
+                    "Geomean speedup": round(v, 3) if v is not None else None,
+                }
                 for a, v in series["geomean"].items()
             ]
             _emit(gm_rows, "Figure 1a: geometric-mean speedups", args.csv, args.json, seed=args.seed, scale_div=args.scale_div)
             if args.chart:
                 from .charts import bar_chart
 
+                plottable = {
+                    a: v for a, v in series["geomean"].items() if v is not None
+                }
                 print(
                     bar_chart(
-                        sorted(series["geomean"].items(), key=lambda kv: -kv[1]),
+                        sorted(plottable.items(), key=lambda kv: -kv[1]),
                         title="Figure 1a (geomean speedup vs naumov.jpl)",
                         reference=1.0,
                     )
@@ -153,21 +222,31 @@ def main(argv: Optional[List[str]] = None) -> int:
                 seed=args.seed,
                 repetitions=args.repetitions,
                 jobs=args.jobs,
+                **grid_kwargs,
             )
+            bad_cells += [
+                c for c in series["cells"] if not c.ok or not c.valid
+            ]
             _emit(series["gunrock"], "Figure 2a: Gunrock time-quality", args.csv, args.json, seed=args.seed, scale_div=args.scale_div)
             _emit(series["graphblast"], "Figure 2b: GraphBLAST time-quality", args.csv, args.json, seed=args.seed, scale_div=args.scale_div)
         elif exp == "fig3":
+            cells = []
             rows = fig3_series(
                 seed=args.seed,
                 repetitions=args.repetitions,
                 jobs=args.jobs,
+                cells_out=cells,
+                **grid_kwargs,
             )
+            bad_cells += [c for c in cells if not c.ok or not c.valid]
             _emit(rows, "Figure 3: RGG scaling (runtime & colors vs n, m)", args.csv, args.json, seed=args.seed, scale_div=args.scale_div)
             if args.chart:
                 from .charts import scatter_plot
 
                 series = {}
                 for r in rows:
+                    if r["Runtime (ms)"] == "failed":
+                        continue
                     series.setdefault(r["Implementation"], []).append(
                         (r["Vertices"], r["Runtime (ms)"])
                     )
@@ -182,6 +261,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                     )
                 )
                 print()
+    if bad_cells:
+        print(failure_summary(bad_cells), file=sys.stderr)
+        print(
+            f"error: {len(bad_cells)} grid cell(s) failed or produced "
+            "invalid colorings; results above are partial",
+            file=sys.stderr,
+        )
+        return EXIT_PARTIAL
     return 0
 
 

@@ -30,7 +30,9 @@ in-process.
 from __future__ import annotations
 
 import os
+import time
 from pathlib import Path
+from typing import Optional
 
 from .._rng import DEFAULT_SEED
 from ..graph.csr import CSRGraph
@@ -46,6 +48,7 @@ __all__ = [
     "load_cached",
     "warm",
     "clear_cache",
+    "sweep_stale_tmp",
 ]
 
 _ENV = "REPRO_CACHE_DIR"
@@ -67,11 +70,47 @@ def cache_enabled() -> bool:
     )
 
 
+#: Private temp files older than this are presumed orphaned by a
+#: killed writer and swept (writers publish within seconds).
+STALE_TMP_AGE_S = 3600.0
+
+#: Sweep once per process per cache root, not on every path lookup.
+_swept_roots: set = set()
+
+
 def cache_dir() -> Path:
-    """The cache root (created on demand)."""
+    """The cache root (created on demand; swept of orphaned temp files
+    once per process)."""
     root = Path(os.environ.get(_ENV, ".repro-cache"))
     root.mkdir(parents=True, exist_ok=True)
+    key = str(root)
+    if key not in _swept_roots:
+        _swept_roots.add(key)
+        sweep_stale_tmp(root=root)
     return root
+
+
+def sweep_stale_tmp(
+    *, root: Optional[Path] = None, max_age_s: float = STALE_TMP_AGE_S
+) -> int:
+    """Delete ``*.tmp.npz`` files abandoned by writers killed
+    mid-publish; returns how many were removed.
+
+    Only files older than ``max_age_s`` go — a live concurrent writer's
+    in-progress temp file is seconds old and survives the sweep.
+    """
+    if root is None:
+        root = Path(os.environ.get(_ENV, ".repro-cache"))
+    removed = 0
+    now = time.time()
+    for tmp in root.glob("*.tmp.npz"):
+        try:
+            if now - tmp.stat().st_mtime >= max_age_s:
+                tmp.unlink()
+                removed += 1
+        except OSError:
+            pass  # vanished under us (another sweeper, or the writer)
+    return removed
 
 
 def cache_path(
@@ -108,6 +147,11 @@ def load_cached(
     path = cache_path(name, scale_div, seed)
     if path.exists():
         try:
+            # A zero-byte file is a writer killed before its first
+            # write — treat like any other corruption, without even
+            # attempting the parse.
+            if path.stat().st_size == 0:
+                raise OSError("zero-byte cache entry")
             return load_npz(path)
         except Exception:
             path.unlink(missing_ok=True)  # corrupt: fall through

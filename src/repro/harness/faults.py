@@ -1,0 +1,307 @@
+"""Fault injection for the experiment harness — chaos testing hooks.
+
+The fault-tolerant grid runner (:mod:`repro.harness.runner`) promises
+per-repetition error isolation, timeouts, retries, and journaled
+resume.  Those recovery paths are only worth having if they demonstrably
+fire; this module lets tests (and brave users) inject failures at the
+exact point a repetition starts, in the parent process *and* inside
+forked pool workers.
+
+Two injection mechanisms, both consulted by :func:`maybe_fire` at the
+top of every repetition:
+
+1. **Programmatic hooks** — :func:`install` registers a callable
+   receiving a :class:`FaultSite`; whatever it raises (or however long
+   it sleeps) happens inside the repetition.  Hooks are per-process but
+   are inherited by forked workers, so a hook installed before
+   ``run_grid(jobs=N)`` fires in the pool too.  Use :func:`uninstall`
+   or the :func:`injected` context manager to clean up.
+
+2. **The ``REPRO_FAULTS`` environment variable** — a declarative
+   clause list that survives the process boundary (forked and reseeded
+   workers inherit the environment).  Syntax::
+
+       REPRO_FAULTS="clause[;clause...]"
+       clause := MODE@DATASET:ALGORITHM:REP[:key=value...]
+
+   * ``MODE`` — ``raise`` (raise :class:`TransientFaultError`, or
+     :class:`FaultError` with ``kind=fatal``), ``kill`` (SIGKILL the
+     executing process — simulates a crashed/OOM-killed worker), or
+     ``delay`` (sleep ``s=<seconds>``, default 30 — used to trip
+     per-repetition timeouts).
+   * ``DATASET`` / ``ALGORITHM`` / ``REP`` — match a specific
+     repetition; each may be ``*`` (any).
+   * ``times=N`` — fire at most N times *across all processes*
+     (counted through lock-free tick files under
+     ``REPRO_FAULTS_STATE``, or in-process when unset).  A killed
+     worker's retried repetition therefore succeeds once the budget is
+     spent — exactly the transient failure the retry path exists for.
+
+   Examples::
+
+       REPRO_FAULTS="raise@ecology2:cpu.greedy:0:times=1"
+       REPRO_FAULTS="kill@*:gunrock.is:1:times=1"
+       REPRO_FAULTS="delay@offshore:*:*:s=5;raise@*:*:2:kind=fatal"
+
+:func:`corrupt_cache_entry` truncates an on-disk dataset snapshot in
+place, for exercising the cache's corruption-recovery path.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import FaultError, HarnessError, TransientFaultError
+
+__all__ = [
+    "ENV_VAR",
+    "STATE_ENV_VAR",
+    "FaultSite",
+    "FaultSpec",
+    "parse_faults",
+    "maybe_fire",
+    "install",
+    "uninstall",
+    "injected",
+    "corrupt_cache_entry",
+]
+
+ENV_VAR = "REPRO_FAULTS"
+STATE_ENV_VAR = "REPRO_FAULTS_STATE"
+
+_MODES = ("raise", "kill", "delay")
+
+
+@dataclass(frozen=True)
+class FaultSite:
+    """Where a repetition is about to run (passed to injector hooks)."""
+
+    dataset: str
+    algorithm: str
+    rep: int
+    pid: int
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One parsed ``REPRO_FAULTS`` clause."""
+
+    mode: str  # raise | kill | delay
+    dataset: str  # literal or "*"
+    algorithm: str  # literal or "*"
+    rep: str  # literal int as string, or "*"
+    times: Optional[int] = None  # None = unlimited
+    seconds: float = 30.0  # delay duration
+    kind: str = "transient"  # raise flavour: transient | fatal
+
+    def matches(self, site: FaultSite) -> bool:
+        return (
+            self.dataset in ("*", site.dataset)
+            and self.algorithm in ("*", site.algorithm)
+            and self.rep in ("*", str(site.rep))
+        )
+
+    def key(self) -> str:
+        """Stable identity for cross-process firing counters."""
+        return (
+            f"{self.mode}@{self.dataset}:{self.algorithm}:{self.rep}"
+            f":{self.kind}"
+        ).replace("/", "_").replace("*", "ANY")
+
+
+def parse_faults(spec: Optional[str] = None) -> List[FaultSpec]:
+    """Parse a ``REPRO_FAULTS`` string (defaults to the environment)."""
+    text = os.environ.get(ENV_VAR, "") if spec is None else spec
+    out: List[FaultSpec] = []
+    for clause in text.split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        if "@" not in clause:
+            raise HarnessError(
+                f"malformed {ENV_VAR} clause {clause!r}: expected MODE@..."
+            )
+        mode, _, rest = clause.partition("@")
+        mode = mode.strip().lower()
+        if mode not in _MODES:
+            raise HarnessError(
+                f"unknown fault mode {mode!r}; choose from {', '.join(_MODES)}"
+            )
+        fields = rest.split(":")
+        if len(fields) < 3:
+            raise HarnessError(
+                f"malformed {ENV_VAR} clause {clause!r}: "
+                "expected MODE@DATASET:ALGORITHM:REP[:key=value...]"
+            )
+        dataset, algorithm, rep = (f.strip() for f in fields[:3])
+        times: Optional[int] = None
+        seconds = 30.0
+        kind = "transient"
+        for kv in fields[3:]:
+            key, _, value = kv.partition("=")
+            key = key.strip().lower()
+            if key == "times":
+                times = int(value)
+            elif key == "s":
+                seconds = float(value)
+            elif key == "kind":
+                kind = value.strip().lower()
+                if kind not in ("transient", "fatal"):
+                    raise HarnessError(
+                        f"unknown raise kind {kind!r} in {clause!r}"
+                    )
+            else:
+                raise HarnessError(
+                    f"unknown fault option {key!r} in {clause!r}"
+                )
+        out.append(
+            FaultSpec(
+                mode=mode,
+                dataset=dataset,
+                algorithm=algorithm,
+                rep=rep,
+                times=times,
+                seconds=seconds,
+                kind=kind,
+            )
+        )
+    return out
+
+
+# -- firing-budget accounting -------------------------------------------------
+#
+# ``times=N`` must hold across processes: a fault that kills a worker
+# is re-encountered by the retried repetition in a *different* process.
+# When REPRO_FAULTS_STATE names a directory, each firing claims one of
+# N tick files with O_CREAT|O_EXCL — atomic on every POSIX filesystem,
+# no locks.  Without a state directory the count is per-process.
+
+_local_ticks: Dict[str, int] = {}
+
+
+def _claim_tick(spec: FaultSpec) -> bool:
+    """Try to consume one firing of a bounded fault; True if claimed."""
+    if spec.times is None:
+        return True
+    state_dir = os.environ.get(STATE_ENV_VAR)
+    key = spec.key()
+    if not state_dir:
+        used = _local_ticks.get(key, 0)
+        if used >= spec.times:
+            return False
+        _local_ticks[key] = used + 1
+        return True
+    root = Path(state_dir)
+    root.mkdir(parents=True, exist_ok=True)
+    for tick in range(spec.times):
+        try:
+            fd = os.open(
+                root / f"{key}.t{tick}", os.O_CREAT | os.O_EXCL | os.O_WRONLY
+            )
+        except FileExistsError:
+            continue
+        os.write(fd, str(os.getpid()).encode())
+        os.close(fd)
+        return True
+    return False
+
+
+# -- injection points ---------------------------------------------------------
+
+_hooks: List[Callable[[FaultSite], None]] = []
+
+# (env string) -> parsed specs, memoized per process; forked workers
+# inherit the memo, reseeded workers re-parse the (inherited) env.
+_parsed_env: Optional[Tuple[str, List[FaultSpec]]] = None
+
+
+def install(hook: Callable[[FaultSite], None]) -> None:
+    """Register an in-process injector hook (fires before each rep)."""
+    _hooks.append(hook)
+
+
+def uninstall(hook: Callable[[FaultSite], None]) -> None:
+    """Remove a previously installed hook (no-op if absent)."""
+    try:
+        _hooks.remove(hook)
+    except ValueError:
+        pass
+
+
+class injected:
+    """Context manager: install a hook for the duration of a block."""
+
+    def __init__(self, hook: Callable[[FaultSite], None]):
+        self._hook = hook
+
+    def __enter__(self) -> "injected":
+        install(self._hook)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        uninstall(self._hook)
+
+
+def _env_specs() -> List[FaultSpec]:
+    global _parsed_env
+    text = os.environ.get(ENV_VAR, "")
+    if _parsed_env is None or _parsed_env[0] != text:
+        _parsed_env = (text, parse_faults(text) if text else [])
+    return _parsed_env[1]
+
+
+def _fire(spec: FaultSpec, site: FaultSite) -> None:
+    if spec.mode == "delay":
+        time.sleep(spec.seconds)
+        return
+    if spec.mode == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+        return  # pragma: no cover — unreachable
+    if spec.kind == "fatal":
+        raise FaultError(
+            f"injected fatal fault at {site.dataset}:{site.algorithm}"
+            f":rep{site.rep}"
+        )
+    raise TransientFaultError(
+        f"injected transient fault at {site.dataset}:{site.algorithm}"
+        f":rep{site.rep}"
+    )
+
+
+def maybe_fire(dataset: str, algorithm: str, rep: int) -> None:
+    """Fire any matching fault for this repetition (called by the
+    runner at the top of every repetition, in every process)."""
+    if not _hooks and ENV_VAR not in os.environ:
+        return  # fast path: fault injection inactive
+    site = FaultSite(
+        dataset=dataset, algorithm=algorithm, rep=rep, pid=os.getpid()
+    )
+    for hook in list(_hooks):
+        hook(site)
+    for spec in _env_specs():
+        if spec.matches(site) and _claim_tick(spec):
+            _fire(spec, site)
+
+
+def corrupt_cache_entry(
+    name: str, *, scale_div: int, seed: int, truncate_to: int = 0
+) -> Optional[Path]:
+    """Truncate an on-disk dataset snapshot in place.
+
+    Returns the corrupted path, or None when no entry exists.  Used by
+    chaos tests to prove :func:`repro.harness.cache.load_cached`
+    regenerates rather than crashing on a torn/zero-byte snapshot.
+    """
+    from .cache import cache_path
+
+    path = cache_path(name, scale_div, seed)
+    if not path.exists():
+        return None
+    with open(path, "r+b") as fh:
+        fh.truncate(truncate_to)
+    return path

@@ -10,6 +10,12 @@ the same series the paper plots:
 * :func:`fig3_series` — Fig. 3a–d RGG scaling: runtime and colors as a
   function of vertex and edge counts for the best Gunrock and
   GraphBLAST implementations (both IS, per §V-E).
+
+All three degrade gracefully on partial grids: a failed cell renders
+as ``"failed"`` (and is excluded from speedups and geomeans) instead
+of aborting the figure — the fault-tolerant runner guarantees the
+other cells still arrive.  The runner's ``timeout`` / ``retries`` /
+``resume`` knobs pass straight through.
 """
 
 from __future__ import annotations
@@ -18,11 +24,12 @@ from typing import Dict, List, Optional, Sequence
 
 from .._rng import DEFAULT_SEED
 from ..core.registry import FIGURE1_ALGORITHMS
+from ..errors import HarnessError
 from ..gpusim.device import DeviceSpec
 from ..graph.generators.suitesparse import DEFAULT_SCALE_DIV
 from . import datasets as ds
 from .report import geomean
-from .runner import CellResult, run_grid, speedup_vs
+from .runner import CellResult, DEFAULT_RETRIES, run_grid, speedup_vs
 
 __all__ = [
     "fig1_series",
@@ -35,6 +42,9 @@ __all__ = [
 FIG2_GUNROCK_PAIR = ["gunrock.is", "gunrock.hash"]
 FIG2_GRAPHBLAST_PAIR = ["graphblas.is", "graphblas.mis"]
 
+#: Rendered in place of a number when the underlying cell failed.
+FAILED_MARKER = "failed"
+
 
 def fig1_series(
     *,
@@ -45,6 +55,10 @@ def fig1_series(
     repetitions: int = 3,
     device: Optional[DeviceSpec] = None,
     jobs: int = 1,
+    timeout: Optional[float] = None,
+    retries: int = DEFAULT_RETRIES,
+    resume: bool = False,
+    journal: Optional[bool] = None,
 ) -> Dict:
     """Figure 1: run the full real-world grid.
 
@@ -52,7 +66,10 @@ def fig1_series(
     the row lists are directly printable: one row per dataset with one
     column per implementation (speedup vs naumov.jpl for 1a, color
     count for 1b), and ``geomean`` maps implementation → geometric-mean
-    speedup (the paper's 1.3× headline for gunrock.is).
+    speedup (the paper's 1.3× headline for gunrock.is) over the
+    datasets where both the implementation and the baseline succeeded.
+    Failed cells render as ``"failed"``; an implementation with no
+    surviving cells maps to ``None`` in ``geomean``.
     """
     algos = list(algorithms or FIGURE1_ALGORITHMS)
     names = list(datasets or ds.REAL_WORLD_DATASETS)
@@ -64,8 +81,15 @@ def fig1_series(
         seed=seed,
         device=device,
         jobs=jobs,
+        timeout=timeout,
+        retries=retries,
+        resume=resume,
+        journal=journal,
     )
-    per_algo = speedup_vs(cells, "naumov.jpl")
+    try:
+        per_algo = speedup_vs(cells, "naumov.jpl")
+    except HarnessError:
+        per_algo = {}  # baseline failed everywhere: no speedups at all
     speedup_rows: List[Dict] = []
     color_rows: List[Dict] = []
     by_ds_algo = {(c.dataset, c.algorithm): c for c in cells}
@@ -74,11 +98,15 @@ def fig1_series(
         crow: Dict = {"Dataset": name}
         for a in algos:
             cell = by_ds_algo[(name, a)]
-            srow[a] = round(per_algo[a][name], 3)
-            crow[a] = round(cell.colors, 1)
+            value = per_algo.get(a, {}).get(name)
+            srow[a] = round(value, 3) if value is not None else FAILED_MARKER
+            crow[a] = round(cell.colors, 1) if cell.ok else FAILED_MARKER
         speedup_rows.append(srow)
         color_rows.append(crow)
-    gmeans = {a: geomean(per_algo[a].values()) for a in algos}
+    gmeans = {
+        a: geomean(per_algo[a].values()) if per_algo.get(a) else None
+        for a in algos
+    }
     return {
         "cells": cells,
         "speedup_rows": speedup_rows,
@@ -95,16 +123,21 @@ def fig2_series(
     repetitions: int = 3,
     device: Optional[DeviceSpec] = None,
     jobs: int = 1,
+    timeout: Optional[float] = None,
+    retries: int = DEFAULT_RETRIES,
+    resume: bool = False,
+    journal: Optional[bool] = None,
 ) -> Dict:
     """Figure 2: time-quality scatter points.
 
-    Returns ``{"gunrock": rows, "graphblast": rows}``, each row being
-    one (dataset, implementation) point with runtime and colors — the
-    scatter the paper uses to show "a more expensive implementation …
-    achieve[s] better color counts".
+    Returns ``{"gunrock": rows, "graphblast": rows, "cells": cells}``,
+    each row being one (dataset, implementation) point with runtime and
+    colors — the scatter the paper uses to show "a more expensive
+    implementation … achieve[s] better color counts".  A failed cell's
+    point carries ``"failed"`` in place of its numbers.
     """
     names = list(datasets or ds.REAL_WORLD_DATASETS)
-    out = {}
+    out: Dict = {"cells": []}
     for key, pair in (
         ("gunrock", FIG2_GUNROCK_PAIR),
         ("graphblast", FIG2_GRAPHBLAST_PAIR),
@@ -117,13 +150,18 @@ def fig2_series(
             seed=seed,
             device=device,
             jobs=jobs,
+            timeout=timeout,
+            retries=retries,
+            resume=resume,
+            journal=journal,
         )
+        out["cells"].extend(cells)
         out[key] = [
             {
                 "Dataset": c.dataset,
                 "Implementation": c.algorithm,
-                "Runtime (ms)": round(c.sim_ms, 4),
-                "Colors": round(c.colors, 1),
+                "Runtime (ms)": round(c.sim_ms, 4) if c.ok else FAILED_MARKER,
+                "Colors": round(c.colors, 1) if c.ok else FAILED_MARKER,
             }
             for c in cells
         ]
@@ -137,13 +175,20 @@ def fig3_series(
     repetitions: int = 2,
     device: Optional[DeviceSpec] = None,
     jobs: int = 1,
+    timeout: Optional[float] = None,
+    retries: int = DEFAULT_RETRIES,
+    resume: bool = False,
+    journal: Optional[bool] = None,
+    cells_out: Optional[List[CellResult]] = None,
 ) -> List[Dict]:
     """Figure 3: RGG scaling sweep.
 
     One row per (scale, implementation) carrying vertex count, edge
     count, runtime, and colors — enough to plot all four panels
     (runtime/colors vs vertices/edges).  Implementations are the best
-    per framework: the two IS variants (§V-E).
+    per framework: the two IS variants (§V-E).  Pass ``cells_out`` to
+    additionally receive the raw :class:`CellResult` objects (the CLI
+    uses it to detect partial failure).
     """
     scale_list = list(scales or ds.DEFAULT_RGG_SCALES)
     names = [f"rgg_n_2_{s}_s0" for s in scale_list]
@@ -155,7 +200,13 @@ def fig3_series(
         seed=seed,
         device=device,
         jobs=jobs,
+        timeout=timeout,
+        retries=retries,
+        resume=resume,
+        journal=journal,
     )
+    if cells_out is not None:
+        cells_out.extend(cells)
     by_name = dict(zip(names, scale_list))
     return [
         {
@@ -163,8 +214,10 @@ def fig3_series(
             "Implementation": cell.algorithm,
             "Vertices": cell.num_vertices,
             "Edges": cell.num_edges,
-            "Runtime (ms)": round(cell.sim_ms, 4),
-            "Colors": round(cell.colors, 1),
+            "Runtime (ms)": (
+                round(cell.sim_ms, 4) if cell.ok else FAILED_MARKER
+            ),
+            "Colors": round(cell.colors, 1) if cell.ok else FAILED_MARKER,
         }
         for cell in cells
     ]

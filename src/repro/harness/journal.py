@@ -1,0 +1,204 @@
+"""Append-only checkpoint journal for grid runs — the resume layer.
+
+Long (dataset × algorithm × repetition) sweeps must survive
+interruption: a SIGINT at repetition 300 of 324 should not discard the
+299 completed ones.  :class:`GridJournal` records every *successful*
+repetition as one JSON line in an append-only file under
+``<cache root>/journal/``, keyed by a :func:`config_hash` of everything
+that determines the grid's results — dataset and algorithm lists,
+``scale_div``, base seed, repetition count, device constants, the
+generator version, and the package version.  Rerunning the same grid
+with ``resume=True`` (CLI: ``--resume``) replays journaled repetitions
+and executes only the missing ones.
+
+Durability and exactness:
+
+* Every :meth:`GridJournal.record` call writes one complete line, then
+  flushes and ``fsync``\\ s, so a journal is never more than one
+  repetition behind reality and a kill mid-write costs at most the
+  final (partial, and therefore skipped-on-load) line.
+* Floats round-trip exactly through JSON (``repr`` shortest-float
+  semantics), so a resumed grid is **bit-identical** — ``colors``,
+  ``sim_ms``, ``iterations``, even ``wall_s`` — to the interrupted run
+  that wrote the journal, and hence to an uninterrupted run.
+* Loading tolerates a torn final line and unknown keys; any malformed
+  line is simply skipped (that repetition reruns).
+* A *different* config hashes to a different journal file, so stale
+  checkpoints can never leak into a changed experiment.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..errors import JournalError
+
+__all__ = ["config_hash", "journal_root", "GridJournal"]
+
+_CACHE_ENV = "REPRO_CACHE_DIR"
+
+#: Bump when the journal record format changes incompatibly.
+JOURNAL_FORMAT = 1
+
+#: (dataset, algorithm, repetition) — the journal's record key.
+RepKey = Tuple[str, str, int]
+
+
+def config_hash(
+    *,
+    datasets: Iterable[str],
+    algorithms: Iterable[str],
+    scale_div: int,
+    seed: int,
+    repetitions: int,
+    device=None,
+) -> str:
+    """Digest of everything that determines a grid's results.
+
+    Two runs share a journal iff they would produce identical cells;
+    the package version and generator version are included so a code
+    change invalidates old checkpoints instead of resuming into wrong
+    results.
+    """
+    from .. import __version__
+    from .cache import GENERATOR_VERSION
+
+    payload = {
+        "format": JOURNAL_FORMAT,
+        "datasets": list(datasets),
+        "algorithms": list(algorithms),
+        "scale_div": int(scale_div),
+        "seed": int(seed),
+        "repetitions": int(repetitions),
+        "device": (
+            dataclasses.asdict(device) if device is not None else None
+        ),
+        "generator_version": GENERATOR_VERSION,
+        "version": __version__,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:20]
+
+
+def journal_root() -> Path:
+    """Journal directory (sibling of the dataset cache; created lazily)."""
+    root = Path(os.environ.get(_CACHE_ENV, ".repro-cache")) / "journal"
+    root.mkdir(parents=True, exist_ok=True)
+    return root
+
+
+class GridJournal:
+    """One grid run's checkpoint file (``<root>/grid-<hash>.jsonl``)."""
+
+    def __init__(self, path: Path):
+        self.path = Path(path)
+        self._fh = None
+
+    @classmethod
+    def for_config(
+        cls,
+        *,
+        datasets: Iterable[str],
+        algorithms: Iterable[str],
+        scale_div: int,
+        seed: int,
+        repetitions: int,
+        device=None,
+        root: Optional[Path] = None,
+    ) -> "GridJournal":
+        digest = config_hash(
+            datasets=datasets,
+            algorithms=algorithms,
+            scale_div=scale_div,
+            seed=seed,
+            repetitions=repetitions,
+            device=device,
+        )
+        base = Path(root) if root is not None else journal_root()
+        base.mkdir(parents=True, exist_ok=True)
+        return cls(base / f"grid-{digest}.jsonl")
+
+    # -- reading -------------------------------------------------------------
+
+    def load(self) -> Dict[RepKey, Dict]:
+        """All journaled repetitions, keyed by (dataset, algorithm, rep).
+
+        Malformed lines (a write torn by a kill) and records missing
+        required fields are skipped — those repetitions simply rerun.
+        Later records win, so a rerun that re-journals a repetition is
+        harmless.
+        """
+        out: Dict[RepKey, Dict] = {}
+        if not self.path.exists():
+            return out
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise JournalError(
+                f"cannot read journal {self.path}: {exc}"
+            ) from exc
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+                key = (
+                    str(rec["dataset"]),
+                    str(rec["algorithm"]),
+                    int(rec["rep"]),
+                )
+                # Minimal completeness check before trusting the record.
+                for field in ("num_colors", "sim_ms", "iterations"):
+                    rec[field]
+            except (ValueError, KeyError, TypeError):
+                continue  # torn or foreign line: rerun that repetition
+            out[key] = rec
+        return out
+
+    # -- writing -------------------------------------------------------------
+
+    def open(self, *, resume: bool) -> "GridJournal":
+        """Open for writing: append when resuming, truncate otherwise
+        (a fresh non-resume run supersedes any prior checkpoint)."""
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(
+                self.path, "a" if resume else "w", encoding="utf-8"
+            )
+        return self
+
+    def record(
+        self, dataset: str, algorithm: str, rep: int, payload: Dict
+    ) -> None:
+        """Durably append one completed repetition (flush + fsync)."""
+        if self._fh is None:
+            raise JournalError("journal is not open for writing")
+        rec = dict(payload)
+        rec.update(dataset=dataset, algorithm=algorithm, rep=int(rep))
+        self._fh.write(json.dumps(rec, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            finally:
+                self._fh = None
+
+    def discard(self) -> None:
+        """Delete the checkpoint file (e.g. after a clean full run)."""
+        self.close()
+        self.path.unlink(missing_ok=True)
+
+    def __enter__(self) -> "GridJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -20,6 +20,7 @@ __all__ = [
     "snapshot",
     "save_snapshot",
     "load_snapshot",
+    "failure_summary",
 ]
 
 
@@ -41,7 +42,11 @@ def speedup(baseline_ms: float, candidate_ms: float) -> float:
 
 
 def _fmt(value) -> str:
+    if value is None:
+        return "—"
     if isinstance(value, float):
+        if math.isnan(value):
+            return "—"
         if value == 0:
             return "0"
         if abs(value) >= 1000:
@@ -88,6 +93,30 @@ def to_csv(rows: Sequence[Dict], *, columns: Optional[List[str]] = None) -> str:
     for r in rows:
         writer.writerow(r)
     return buf.getvalue()
+
+
+def failure_summary(cells) -> str:
+    """One line per failed/invalid cell of a grid ('' when all clean).
+
+    The CLI prints this to stderr (and exits non-zero) so scripts and
+    CI detect partial runs without parsing tables.
+    """
+    lines = []
+    for c in cells:
+        status = getattr(c, "status", "ok")
+        valid = getattr(c, "valid", True)
+        if status == "ok" and valid:
+            continue
+        detail = getattr(c, "error", None) or (
+            "invalid coloring" if not valid else "unknown failure"
+        )
+        failed = getattr(c, "failed_repetitions", 0)
+        reps = getattr(c, "repetitions", 0)
+        lines.append(
+            f"FAILED {c.dataset}:{c.algorithm} "
+            f"({failed}/{reps} repetitions lost) — {detail}"
+        )
+    return "\n".join(lines)
 
 
 def snapshot(

@@ -1,4 +1,5 @@
-"""The (dataset × algorithm) grid runner — sequential or process-pool.
+"""The (dataset × algorithm) grid runner — sequential or process-pool,
+fault-tolerant either way.
 
 One :class:`CellResult` per (dataset, implementation) pair, averaged
 over repetitions with independent seeds — the paper runs each test 10
@@ -13,7 +14,8 @@ repetition)* executions over a ``ProcessPoolExecutor``:
   derives them (``seed + 7919 * rep``), and every repetition is a pure
   function of (graph, algorithm, seed), so the parallel grid is
   bit-identical — same ``colors``, ``sim_ms``, ``iterations`` — to
-  ``jobs=1``, regardless of worker count or completion order.
+  ``jobs=1``, regardless of worker count, completion order, or how
+  many times a repetition had to be retried.
 * Workers load datasets by name through the default-on disk cache
   (:mod:`repro.harness.cache`); the parent warms the cache for every
   distinct dataset *before* forking, so forked workers inherit the
@@ -21,14 +23,42 @@ repetition)* executions over a ``ProcessPoolExecutor``:
 * Results are collected in submission order (dataset-major, then
   algorithm, then repetition) and aggregated host-side.
 * ``jobs=1`` — and any platform without the ``fork`` start method —
-  executes in-process with no pool at all.
+  executes in-process with no pool at all (with an explicit
+  ``RuntimeWarning`` when parallelism was requested but unavailable).
+
+Fault tolerance (see ``docs/robustness.md``):
+
+* **Per-cell isolation** — a repetition that raises no longer aborts
+  the grid: the failure is captured into its cell
+  (``status="failed"``, ``error=...``), every other cell completes,
+  and the emitters render the partial grid.
+* **Timeouts** — ``timeout=SECONDS`` bounds each repetition's wall
+  clock (SIGALRM inside the executing process, plus a parent-side
+  backstop that reseeds the pool when a worker hangs in native code).
+* **Retries** — transient failures (worker crash / ``kill``-injected
+  SIGKILL → ``BrokenProcessPool``, timeouts, and
+  :class:`~repro.errors.TransientFaultError`) are retried with bounded
+  exponential backoff; the retried repetition reuses the original
+  seed, so a retry is bit-identical to a first-try success.
+  Deterministic failures (e.g. strict-mode ``ValidationError``) fail
+  the repetition immediately.
+* **Journaled resume** — every completed repetition is durably
+  appended to a JSONL journal keyed by a config hash
+  (:mod:`repro.harness.journal`); ``resume=True`` replays journaled
+  repetitions and runs only the missing ones.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
+import signal
+import threading
 import time
-from concurrent.futures import ProcessPoolExecutor
+import warnings
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -37,10 +67,17 @@ import numpy as np
 from .._rng import DEFAULT_SEED
 from ..core.registry import run_algorithm
 from ..core.validate import is_valid_coloring
-from ..errors import HarnessError, ValidationError
+from ..errors import (
+    HarnessError,
+    RepetitionTimeout,
+    TransientFaultError,
+    ValidationError,
+)
 from ..gpusim.device import DeviceSpec
 from ..graph.csr import CSRGraph
 from . import datasets as ds
+from . import faults
+from .journal import GridJournal
 from .report import geomean
 
 __all__ = ["CellResult", "run_cell", "run_grid", "grid_to_rows"]
@@ -49,22 +86,44 @@ __all__ = ["CellResult", "run_cell", "run_grid", "grid_to_rows"]
 #: the repo's recorded experiment snapshots).
 _REP_SEED_STRIDE = 7919
 
+#: Default bound on retries of *transient* failures per repetition.
+DEFAULT_RETRIES = 2
+
+#: Base of the exponential retry backoff (seconds).
+_RETRY_BACKOFF_S = 0.05
+
+#: Environment gate for the always-on completion journal.
+_JOURNAL_ENV = "REPRO_JOURNAL"
+
 
 @dataclass(frozen=True)
 class CellResult:
-    """Aggregated outcome of one (dataset, algorithm) cell."""
+    """Aggregated outcome of one (dataset, algorithm) cell.
+
+    ``status`` is ``"ok"`` when every repetition completed, otherwise
+    ``"failed"`` with ``error`` carrying the first captured failure
+    (``"ExceptionType: message"``) and the numeric fields averaged over
+    the surviving repetitions (NaN when none survived).
+    """
 
     dataset: str
     algorithm: str
     num_vertices: int
     num_edges: int
-    colors: float  # mean over repetitions
-    sim_ms: float  # mean over repetitions
-    iterations: float  # mean over repetitions
+    colors: float  # mean over successful repetitions
+    sim_ms: float  # mean over successful repetitions
+    iterations: float  # mean over successful repetitions
     wall_s: float  # host wall time inside the algorithm, summed over reps
     repetitions: int
     valid: bool
     validate_s: float = 0.0  # host wall time spent checking validity
+    status: str = "ok"  # "ok" | "failed"
+    error: Optional[str] = None
+    failed_repetitions: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
 
 
 @dataclass(frozen=True)
@@ -77,6 +136,76 @@ class _RepResult:
     wall_s: float
     validate_s: float
     valid: bool
+    status: str = "ok"  # "ok" | "failed" | "timeout"
+    error: Optional[str] = None
+    transient: bool = False  # True when the failure is retryable
+
+
+def _failed_rep(exc: BaseException) -> _RepResult:
+    """Capture an exception as a failed repetition record."""
+    return _RepResult(
+        num_colors=0,
+        sim_ms=float("nan"),
+        iterations=0,
+        wall_s=0.0,
+        validate_s=0.0,
+        valid=False,
+        status="timeout" if isinstance(exc, RepetitionTimeout) else "failed",
+        error=f"{type(exc).__name__}: {exc}",
+        transient=isinstance(exc, (RepetitionTimeout, TransientFaultError)),
+    )
+
+
+def _crashed_rep(detail: str) -> _RepResult:
+    """A repetition lost to a dead worker (no exception object exists)."""
+    return _RepResult(
+        num_colors=0,
+        sim_ms=float("nan"),
+        iterations=0,
+        wall_s=0.0,
+        validate_s=0.0,
+        valid=False,
+        status="failed",
+        error=f"WorkerCrash: {detail}",
+        transient=True,
+    )
+
+
+class _rep_timeout:
+    """Arm a wall-clock budget for the current repetition.
+
+    Uses ``SIGALRM``/``setitimer`` when running on the main thread of a
+    Unix process (both the sequential runner and pool workers qualify);
+    otherwise a no-op — the pool's parent-side deadline is the backstop.
+    """
+
+    def __init__(self, seconds: Optional[float]):
+        self.seconds = seconds
+        self._armed = False
+        self._prev = None
+
+    def _fire(self, signum, frame):
+        raise RepetitionTimeout(
+            f"repetition exceeded its {self.seconds:g}s wall-clock budget"
+        )
+
+    def __enter__(self) -> "_rep_timeout":
+        if (
+            self.seconds
+            and self.seconds > 0
+            and hasattr(signal, "setitimer")
+            and threading.current_thread() is threading.main_thread()
+        ):
+            self._prev = signal.signal(signal.SIGALRM, self._fire)
+            signal.setitimer(signal.ITIMER_REAL, self.seconds)
+            self._armed = True
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._armed:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, self._prev)
+            self._armed = False
 
 
 def _run_rep(
@@ -87,9 +216,11 @@ def _run_rep(
     dataset_name: str,
     device: Optional[DeviceSpec],
     strict: bool,
+    rep: int = 0,
     **kwargs,
 ) -> _RepResult:
     """Run one repetition; algorithm and validation timed separately."""
+    faults.maybe_fire(dataset_name or graph.name, algorithm, rep)
     t0 = time.perf_counter()
     result = run_algorithm(
         algorithm, graph, rng=rep_seed, device=device, **kwargs
@@ -113,25 +244,60 @@ def _run_rep(
     )
 
 
+def _guarded_rep(
+    graph: CSRGraph,
+    algorithm: str,
+    rep_seed: int,
+    *,
+    dataset_name: str,
+    device: Optional[DeviceSpec],
+    strict: bool,
+    rep: int,
+    timeout: Optional[float],
+) -> _RepResult:
+    """One repetition with error isolation: never raises (except
+    ``KeyboardInterrupt``/``SystemExit``, which must stay fatal)."""
+    try:
+        with _rep_timeout(timeout):
+            return _run_rep(
+                graph,
+                algorithm,
+                rep_seed,
+                dataset_name=dataset_name,
+                device=device,
+                strict=strict,
+                rep=rep,
+            )
+    except Exception as exc:
+        return _failed_rep(exc)
+
+
 def _aggregate(
     reps: Sequence[_RepResult],
     *,
     dataset: str,
     algorithm: str,
-    graph: CSRGraph,
+    graph: Optional[CSRGraph],
 ) -> CellResult:
+    ok = [r for r in reps if r.status == "ok"]
+    failed = len(reps) - len(ok)
     return CellResult(
-        dataset=dataset or graph.name,
+        dataset=dataset or (graph.name if graph is not None else ""),
         algorithm=algorithm,
-        num_vertices=graph.num_vertices,
-        num_edges=graph.num_edges,
-        colors=float(np.mean([r.num_colors for r in reps])),
-        sim_ms=float(np.mean([r.sim_ms for r in reps])),
-        iterations=float(np.mean([r.iterations for r in reps])),
+        num_vertices=graph.num_vertices if graph is not None else 0,
+        num_edges=graph.num_edges if graph is not None else 0,
+        colors=float(np.mean([r.num_colors for r in ok])) if ok else float("nan"),
+        sim_ms=float(np.mean([r.sim_ms for r in ok])) if ok else float("nan"),
+        iterations=(
+            float(np.mean([r.iterations for r in ok])) if ok else float("nan")
+        ),
         wall_s=float(sum(r.wall_s for r in reps)),
         repetitions=len(reps),
-        valid=all(r.valid for r in reps),
+        valid=all(r.valid for r in reps) and bool(reps),
         validate_s=float(sum(r.validate_s for r in reps)),
+        status="ok" if failed == 0 else "failed",
+        error=next((r.error for r in reps if r.error is not None), None),
+        failed_repetitions=failed,
     )
 
 
@@ -150,10 +316,12 @@ def run_cell(
 
     ``strict=True`` validates every produced coloring and raises
     :class:`ValidationError` on any conflict — experiments never
-    tolerate invalid output.  ``wall_s`` covers the algorithm
-    executions only; validity checking is accounted separately in
-    ``validate_s`` so speedup numbers measure the algorithm, not the
-    checker.
+    tolerate invalid output.  Unlike :func:`run_grid`, this direct
+    entry point does **not** isolate errors: exceptions propagate to
+    the caller (the behaviour strict-mode tests rely on).  ``wall_s``
+    covers the algorithm executions only; validity checking is
+    accounted separately in ``validate_s`` so speedup numbers measure
+    the algorithm, not the checker.
     """
     if repetitions < 1:
         raise HarnessError("repetitions must be >= 1")
@@ -165,6 +333,7 @@ def run_cell(
             dataset_name=dataset_name,
             device=device,
             strict=strict,
+            rep=rep,
             **kwargs,
         )
         for rep in range(repetitions)
@@ -174,27 +343,56 @@ def run_cell(
     )
 
 
-# -- process-pool plumbing ---------------------------------------------------
+# -- fault-tolerant grid machinery -------------------------------------------
 
 
-def _worker_rep(
-    task: Tuple[str, str, int, int, int, Optional[DeviceSpec], bool]
-) -> _RepResult:
-    """Pool task: one (dataset, algorithm, repetition) execution.
+@dataclass
+class _Task:
+    """One (dataset, algorithm, repetition) execution and its retry state."""
 
-    The worker loads the graph by name through :func:`datasets.load`:
-    usually a free hit on the memo inherited from the pre-warmed
-    parent at fork time, otherwise one read of the (warm) disk cache.
-    """
-    name, algorithm, scale_div, seed, rep, device, strict = task
-    graph = ds.load(name, scale_div=scale_div, seed=seed)
-    return _run_rep(
-        graph,
-        algorithm,
-        seed + _REP_SEED_STRIDE * rep,
-        dataset_name=name,
-        device=device,
-        strict=strict,
+    index: int  # position in the canonical dataset-major order
+    dataset: str
+    algorithm: str
+    rep: int
+    attempts: int = 0  # transient-failure retries consumed
+
+
+def _backoff(attempt: int) -> float:
+    return min(_RETRY_BACKOFF_S * (2 ** (attempt - 1)), 1.0)
+
+
+def _journal_enabled(journal: Optional[bool]) -> bool:
+    if journal is not None:
+        return journal
+    return os.environ.get(_JOURNAL_ENV, "1").strip().lower() not in (
+        "0",
+        "false",
+        "no",
+        "off",
+    )
+
+
+def _rep_payload(r: _RepResult) -> Dict:
+    """Journal record body for a successful repetition."""
+    return {
+        "num_colors": int(r.num_colors),
+        "sim_ms": float(r.sim_ms),
+        "iterations": int(r.iterations),
+        "wall_s": float(r.wall_s),
+        "validate_s": float(r.validate_s),
+        "valid": bool(r.valid),
+    }
+
+
+def _rep_from_record(rec: Dict) -> _RepResult:
+    """Rebuild a journaled repetition (floats round-trip exactly)."""
+    return _RepResult(
+        num_colors=int(rec["num_colors"]),
+        sim_ms=float(rec["sim_ms"]),
+        iterations=int(rec["iterations"]),
+        wall_s=float(rec.get("wall_s", 0.0)),
+        validate_s=float(rec.get("validate_s", 0.0)),
+        valid=bool(rec.get("valid", True)),
     )
 
 
@@ -204,13 +402,11 @@ def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
     Workers are forked so they inherit the parent's imports (and any
     already-memoized graphs) without pickling; on platforms without
     ``fork`` (Windows, macOS spawn-default configurations) the runner
-    degrades gracefully to in-process execution.
+    falls back to in-process execution — :func:`run_grid` warns when
+    that downgrade discards a ``jobs > 1`` request.
     """
-    try:
-        if "fork" in multiprocessing.get_all_start_methods():
-            return multiprocessing.get_context("fork")
-    except Exception:
-        pass
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
     return None
 
 
@@ -224,118 +420,402 @@ def run_grid(
     device: Optional[DeviceSpec] = None,
     jobs: int = 1,
     verbose: bool = False,
+    timeout: Optional[float] = None,
+    retries: int = DEFAULT_RETRIES,
+    resume: bool = False,
+    journal: Optional[bool] = None,
 ) -> List[CellResult]:
     """Run every algorithm on every dataset; returns one cell per pair.
 
     ``jobs`` > 1 distributes individual repetitions over that many
     worker processes (see the module docstring for the determinism
     guarantees); ``jobs=1`` runs sequentially in-process.
+
+    Failures are isolated per repetition: the grid always returns one
+    cell per (dataset, algorithm) pair, with failures captured in
+    ``CellResult.status`` / ``.error`` instead of raised.  ``timeout``
+    bounds each repetition's wall clock; transient failures are retried
+    up to ``retries`` times with the original seed.  Completed
+    repetitions are journaled (disable with ``journal=False`` or
+    ``REPRO_JOURNAL=0``); ``resume=True`` replays a previous
+    interrupted run's journal and executes only the missing
+    repetitions.
     """
     if jobs < 1:
         raise HarnessError("jobs must be >= 1")
     if repetitions < 1:
         raise HarnessError("repetitions must be >= 1")
+    if retries < 0:
+        raise HarnessError("retries must be >= 0")
+    names = list(dataset_names)
+    algos = list(algorithms)
+    tasks = [
+        _Task(index=i, dataset=name, algorithm=algorithm, rep=rep)
+        for i, (name, algorithm, rep) in enumerate(
+            (name, algorithm, rep)
+            for name in names
+            for algorithm in algos
+            for rep in range(repetitions)
+        )
+    ]
+    results: Dict[int, _RepResult] = {}
+    jrnl: Optional[GridJournal] = None
+    if _journal_enabled(journal) or resume:
+        jrnl = GridJournal.for_config(
+            datasets=names,
+            algorithms=algos,
+            scale_div=scale_div,
+            seed=seed,
+            repetitions=repetitions,
+            device=device,
+        )
+        if resume:
+            prior = jrnl.load()
+            for t in tasks:
+                rec = prior.get((t.dataset, t.algorithm, t.rep))
+                if rec is not None:
+                    results[t.index] = _rep_from_record(rec)
+        jrnl.open(resume=resume)
+    todo = [t for t in tasks if t.index not in results]
     ctx = _fork_context() if jobs > 1 else None
-    if jobs > 1 and ctx is not None:
-        cells = _run_grid_pool(
-            list(dataset_names),
-            list(algorithms),
-            scale_div=scale_div,
-            repetitions=repetitions,
-            seed=seed,
-            device=device,
-            jobs=jobs,
-            ctx=ctx,
+    if jobs > 1 and ctx is None:
+        warnings.warn(
+            f"jobs={jobs} requested but the 'fork' start method is "
+            "unavailable on this platform; running sequentially "
+            "in-process",
+            RuntimeWarning,
+            stacklevel=2,
         )
-    else:
-        cells = _run_grid_sequential(
-            list(dataset_names),
-            list(algorithms),
-            scale_div=scale_div,
-            repetitions=repetitions,
-            seed=seed,
-            device=device,
-        )
+    try:
+        if jobs > 1 and ctx is not None and todo:
+            _run_tasks_pool(
+                todo,
+                results,
+                jrnl,
+                scale_div=scale_div,
+                seed=seed,
+                device=device,
+                jobs=jobs,
+                ctx=ctx,
+                timeout=timeout,
+                retries=retries,
+            )
+        else:
+            _run_tasks_sequential(
+                todo,
+                results,
+                jrnl,
+                scale_div=scale_div,
+                seed=seed,
+                device=device,
+                timeout=timeout,
+                retries=retries,
+            )
+    finally:
+        if jrnl is not None:
+            jrnl.close()
+    cells: List[CellResult] = []
+    i = 0
+    for name in names:
+        try:
+            graph: Optional[CSRGraph] = ds.load(
+                name, scale_div=scale_div, seed=seed
+            )
+        except Exception:
+            graph = None  # load failure already captured per repetition
+        for algorithm in algos:
+            reps = [results[j] for j in range(i, i + repetitions)]
+            i += repetitions
+            cells.append(
+                _aggregate(
+                    reps, dataset=name, algorithm=algorithm, graph=graph
+                )
+            )
     if verbose:
         for cell in cells:
             print(
                 f"  {cell.dataset:>18s} {cell.algorithm:14s} "
                 f"{cell.colors:6.1f} colors {cell.sim_ms:10.4f} ms"
+                + ("" if cell.ok else f"  [FAILED: {cell.error}]")
             )
     return cells
 
 
-def _run_grid_sequential(
-    dataset_names: List[str],
-    algorithms: List[str],
+def _settle(
+    task: _Task,
+    rep: _RepResult,
+    results: Dict[int, _RepResult],
+    jrnl: Optional[GridJournal],
+    requeue,
+    retries: int,
+) -> None:
+    """Accept a repetition outcome: record it, or requeue a retryable
+    failure (with backoff) while attempts remain."""
+    if rep.status != "ok" and rep.transient and task.attempts < retries:
+        task.attempts += 1
+        time.sleep(_backoff(task.attempts))
+        requeue(task)
+        return
+    results[task.index] = rep
+    if jrnl is not None and rep.status == "ok":
+        jrnl.record(task.dataset, task.algorithm, task.rep, _rep_payload(rep))
+
+
+def _run_tasks_sequential(
+    todo: List[_Task],
+    results: Dict[int, _RepResult],
+    jrnl: Optional[GridJournal],
     *,
     scale_div: int,
-    repetitions: int,
     seed: int,
     device: Optional[DeviceSpec],
-) -> List[CellResult]:
-    out: List[CellResult] = []
-    for name in dataset_names:
+    timeout: Optional[float],
+    retries: int,
+) -> None:
+    pending = deque(todo)
+    while pending:
+        task = pending.popleft()
+        try:
+            graph = ds.load(task.dataset, scale_div=scale_div, seed=seed)
+        except Exception as exc:
+            results[task.index] = _failed_rep(exc)
+            continue
+        rep = _guarded_rep(
+            graph,
+            task.algorithm,
+            seed + _REP_SEED_STRIDE * task.rep,
+            dataset_name=task.dataset,
+            device=device,
+            strict=True,
+            rep=task.rep,
+            timeout=timeout,
+        )
+        _settle(task, rep, results, jrnl, pending.appendleft, retries)
+
+
+# -- process-pool plumbing ---------------------------------------------------
+
+
+def _worker_rep(
+    task: Tuple[str, str, int, int, int, Optional[DeviceSpec], bool, Optional[float]]
+) -> _RepResult:
+    """Pool task: one (dataset, algorithm, repetition) execution.
+
+    The worker loads the graph by name through :func:`datasets.load`
+    (usually a free hit on the memo inherited from the pre-warmed
+    parent at fork time, otherwise one read of the warm disk cache),
+    self-enforces the repetition timeout via SIGALRM, and returns
+    failures as data — a worker only dies when a fault kills it.
+    """
+    name, algorithm, scale_div, seed, rep, device, strict, timeout = task
+    try:
         graph = ds.load(name, scale_div=scale_div, seed=seed)
-        for algorithm in algorithms:
-            out.append(
-                run_cell(
-                    graph,
-                    algorithm,
-                    dataset_name=name,
-                    repetitions=repetitions,
-                    seed=seed,
-                    device=device,
-                )
-            )
-    return out
+    except Exception as exc:
+        return _failed_rep(exc)
+    return _guarded_rep(
+        graph,
+        algorithm,
+        seed + _REP_SEED_STRIDE * rep,
+        dataset_name=name,
+        device=device,
+        strict=strict,
+        rep=rep,
+        timeout=timeout,
+    )
 
 
-def _run_grid_pool(
-    dataset_names: List[str],
-    algorithms: List[str],
+def _reseed_pool(
+    pool: ProcessPoolExecutor, jobs: int, ctx
+) -> ProcessPoolExecutor:
+    """Tear down a broken/hung pool and start a fresh one.
+
+    Outstanding futures are cancelled and live workers terminated; the
+    caller resubmits whatever was in flight (same task tuples → same
+    seeds → bit-identical results)."""
+    for proc in list(getattr(pool, "_processes", {}).values()):
+        try:
+            proc.terminate()
+        except Exception:  # already dead
+            pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+    return ProcessPoolExecutor(max_workers=jobs, mp_context=ctx)
+
+
+def _run_tasks_pool(
+    todo: List[_Task],
+    results: Dict[int, _RepResult],
+    jrnl: Optional[GridJournal],
     *,
     scale_div: int,
-    repetitions: int,
     seed: int,
     device: Optional[DeviceSpec],
     jobs: int,
     ctx,
-) -> List[CellResult]:
-    tasks = [
-        (name, algorithm, scale_div, seed, rep, device, True)
-        for name in dataset_names
-        for algorithm in algorithms
-        for rep in range(repetitions)
-    ]
+    timeout: Optional[float],
+    retries: int,
+) -> None:
     # Warm every distinct dataset in the parent first: this fills the
     # disk cache once per graph (no worker ever generates, and
     # concurrent workers never race to fill the same key) and — since
     # workers are forked below — every worker inherits the loaded
-    # graphs copy-on-write, making its ds.load() calls free.
-    seen: Dict[str, None] = {}
-    for name in dataset_names:
-        seen.setdefault(name)
-    for name in seen:
-        ds.load(name, scale_div=scale_div, seed=seed)
-    with ProcessPoolExecutor(max_workers=jobs, mp_context=ctx) as pool:
-        # Every repetition of every cell, collected in submission
-        # order (dataset-major, then algorithm, then repetition).
-        futures = [pool.submit(_worker_rep, task) for task in tasks]
-        rep_results = [f.result() for f in futures]
-    out: List[CellResult] = []
-    i = 0
-    for name in dataset_names:
-        graph = ds.load(name, scale_div=scale_div, seed=seed)
-        for algorithm in algorithms:
-            reps = rep_results[i : i + repetitions]
-            i += repetitions
-            out.append(
-                _aggregate(
-                    reps, dataset=name, algorithm=algorithm, graph=graph
-                )
+    # graphs copy-on-write, making its ds.load() calls free.  A
+    # dataset whose generator fails marks its repetitions failed here;
+    # nothing is submitted for it.
+    load_errors: Dict[str, _RepResult] = {}
+    for name in dict.fromkeys(t.dataset for t in todo):
+        try:
+            ds.load(name, scale_div=scale_div, seed=seed)
+        except Exception as exc:
+            load_errors[name] = _failed_rep(exc)
+    queue: deque = deque()
+    for t in todo:
+        if t.dataset in load_errors:
+            results[t.index] = load_errors[t.dataset]
+        else:
+            queue.append(t)
+    # Parent-side deadline: generous (timeout + slack) because the
+    # worker's own SIGALRM fires first in every case except a worker
+    # hung inside native code or lost before it could arm the timer.
+    grace = (timeout * 1.5 + 5.0) if timeout else None
+    pool = ProcessPoolExecutor(max_workers=jobs, mp_context=ctx)
+    inflight: Dict = {}  # future -> (task, submitted_at)
+    try:
+        while queue or inflight:
+            # Sliding window of at most `jobs` in-flight repetitions,
+            # so a submitted task is (approximately) a running task
+            # and the parent-side deadline is meaningful.
+            while queue and len(inflight) < jobs:
+                task = queue.popleft()
+                try:
+                    fut = pool.submit(
+                        _worker_rep,
+                        (
+                            task.dataset,
+                            task.algorithm,
+                            scale_div,
+                            seed,
+                            task.rep,
+                            device,
+                            True,
+                            timeout,
+                        ),
+                    )
+                except BrokenProcessPool:
+                    # A worker died while we were filling the window:
+                    # the task never ran (resubmit free of charge), the
+                    # in-flight ones are lost (charged an attempt).
+                    queue.appendleft(task)
+                    pool = _reseed_pool(pool, jobs, ctx)
+                    for f in list(inflight):
+                        lost, _started = inflight.pop(f)
+                        _settle(
+                            lost,
+                            _crashed_rep(
+                                "repetition was in flight when the "
+                                "worker pool broke"
+                            ),
+                            results,
+                            jrnl,
+                            queue.appendleft,
+                            retries,
+                        )
+                    continue
+                inflight[fut] = (task, time.monotonic())
+            ready, _ = wait(
+                list(inflight),
+                timeout=0.05 if grace is not None else None,
+                return_when=FIRST_COMPLETED,
             )
-    return out
+            if not ready:
+                if grace is None:
+                    continue
+                now = time.monotonic()
+                expired = {
+                    f
+                    for f, (t, started) in inflight.items()
+                    if now - started > grace
+                }
+                if not expired:
+                    continue
+                # A worker is hung past the backstop deadline and
+                # SIGALRM did not fire (native-code hang): the only
+                # recovery is to kill the pool.  Expired tasks are
+                # charged a timeout; innocent in-flight tasks are
+                # resubmitted free of charge.
+                pool = _reseed_pool(pool, jobs, ctx)
+                for f in list(inflight):
+                    task, _started = inflight.pop(f)
+                    if f in expired:
+                        _settle(
+                            task,
+                            _failed_rep(
+                                RepetitionTimeout(
+                                    "repetition exceeded its "
+                                    f"{timeout:g}s budget and the worker "
+                                    "had to be killed"
+                                )
+                            ),
+                            results,
+                            jrnl,
+                            queue.appendleft,
+                            retries,
+                        )
+                    else:
+                        queue.appendleft(task)
+                continue
+            broken = False
+            for f in ready:
+                task, _started = inflight.pop(f)
+                try:
+                    rep = f.result()
+                except BrokenProcessPool:
+                    broken = True
+                    _settle(
+                        task,
+                        _crashed_rep(
+                            "worker process died before returning "
+                            f"{task.dataset}:{task.algorithm}:rep{task.rep}"
+                        ),
+                        results,
+                        jrnl,
+                        queue.appendleft,
+                        retries,
+                    )
+                except Exception as exc:
+                    _settle(
+                        task,
+                        _failed_rep(exc),
+                        results,
+                        jrnl,
+                        queue.appendleft,
+                        retries,
+                    )
+                else:
+                    _settle(
+                        task, rep, results, jrnl, queue.appendleft, retries
+                    )
+            if broken:
+                # Every other in-flight future of a broken pool is
+                # doomed too; salvage the tasks and reseed once.
+                pool = _reseed_pool(pool, jobs, ctx)
+                for f in list(inflight):
+                    task, _started = inflight.pop(f)
+                    _settle(
+                        task,
+                        _crashed_rep(
+                            "repetition was in flight when the worker "
+                            "pool broke"
+                        ),
+                        results,
+                        jrnl,
+                        queue.appendleft,
+                        retries,
+                    )
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
 
 
 def grid_to_rows(cells: Sequence[CellResult]) -> List[Dict]:
@@ -353,6 +833,8 @@ def grid_to_rows(cells: Sequence[CellResult]) -> List[Dict]:
             "Validate s": round(c.validate_s, 6),
             "Repetitions": c.repetitions,
             "Valid": c.valid,
+            "Status": c.status,
+            "Error": c.error or "",
         }
         for c in cells
     ]
@@ -364,10 +846,14 @@ def speedup_vs(
     """Per-dataset speedups of every algorithm against a baseline.
 
     Returns ``{algorithm: {dataset: speedup}}`` — the structure of
-    Fig. 1a, whose y-axis is speedup vs Naumov/JPL.
+    Fig. 1a, whose y-axis is speedup vs Naumov/JPL.  Failed cells (and
+    datasets whose baseline cell failed) are omitted rather than
+    poisoning the ratios with NaN.
     """
     base: Dict[str, float] = {
-        c.dataset: c.sim_ms for c in cells if c.algorithm == baseline_algorithm
+        c.dataset: c.sim_ms
+        for c in cells
+        if c.algorithm == baseline_algorithm and c.ok
     }
     if not base:
         raise HarnessError(
@@ -375,7 +861,7 @@ def speedup_vs(
         )
     out: Dict[str, Dict[str, float]] = {}
     for c in cells:
-        if c.dataset not in base:
+        if c.dataset not in base or not c.ok:
             continue
         out.setdefault(c.algorithm, {})[c.dataset] = base[c.dataset] / c.sim_ms
     return out

@@ -18,7 +18,7 @@ from ..gpusim.device import DeviceSpec
 from ..graph.generators.suitesparse import DEFAULT_SCALE_DIV
 from ..graph.stats import graph_stats
 from . import datasets as ds
-from .runner import run_grid
+from .runner import CellResult, DEFAULT_RETRIES, run_grid
 
 __all__ = ["table1_rows", "table2_rows", "TABLE2_LADDER", "PAPER_TABLE2_MS"]
 
@@ -106,11 +106,20 @@ def table2_rows(
     repetitions: int = 3,
     device: Optional[DeviceSpec] = None,
     jobs: int = 1,
+    timeout: Optional[float] = None,
+    retries: int = DEFAULT_RETRIES,
+    resume: bool = False,
+    journal: Optional[bool] = None,
+    cells_out: Optional[List[CellResult]] = None,
 ) -> List[Dict]:
     """Regenerate Table II on the G3_circuit analogue.
 
     The ``Speedup`` column follows the paper's convention: each row's
-    speedup over the *previous* row (the AR baseline shows "—").
+    speedup over the *previous* row (the AR baseline shows "—").  A
+    failed rung renders ``"failed"`` for its measurement and "—" for
+    the step speedups on either side of it; the other rungs still
+    print.  Pass ``cells_out`` to receive the raw cells (the CLI uses
+    it to detect partial failure).
     """
     cells = run_grid(
         ["G3_circuit"],
@@ -120,27 +129,40 @@ def table2_rows(
         seed=seed,
         device=device,
         jobs=jobs,
+        timeout=timeout,
+        retries=retries,
+        resume=resume,
+        journal=journal,
     )
+    if cells_out is not None:
+        cells_out.extend(cells)
     rows: List[Dict] = []
     prev_ms: Optional[float] = None
+    prev_label: Optional[str] = None
     for (label, _algo), cell in zip(TABLE2_LADDER, cells):
-        speed = "—" if prev_ms is None else f"{prev_ms / cell.sim_ms:.2f}x"
+        speed = (
+            f"{prev_ms / cell.sim_ms:.2f}x"
+            if cell.ok and prev_ms is not None
+            else "—"
+        )
         paper_ms = PAPER_TABLE2_MS[label]
         paper_speed = (
             "—"
-            if label == TABLE2_LADDER[0][0]
+            if prev_label is None
             else f"{PAPER_TABLE2_MS[prev_label] / paper_ms:.2f}x"
         )
         rows.append(
             {
                 "Optimization": label,
-                "Performance (ms)": round(cell.sim_ms, 3),
+                "Performance (ms)": (
+                    round(cell.sim_ms, 3) if cell.ok else "failed"
+                ),
                 "Speedup": speed,
                 "paper ms": paper_ms,
                 "paper speedup": paper_speed,
-                "Colors": cell.colors,
+                "Colors": cell.colors if cell.ok else "failed",
             }
         )
-        prev_ms = cell.sim_ms
+        prev_ms = cell.sim_ms if cell.ok else None
         prev_label = label
     return rows

@@ -1,0 +1,352 @@
+"""Chaos suite: every recovery path of the fault-tolerant runner must
+demonstrably fire.
+
+Uses :mod:`repro.harness.faults` to kill workers, raise in chosen
+repetitions, delay past timeouts, and corrupt cache entries — then
+asserts the grid isolates, retries, or regenerates, and that recovered
+results are bit-identical to undisturbed runs.
+"""
+
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.registry import ALGORITHMS
+from repro.core.result import ColoringResult
+from repro.errors import FaultError, HarnessError, TransientFaultError
+from repro.harness import faults
+from repro.harness.figures import fig1_series
+from repro.harness.runner import grid_to_rows, run_grid
+from repro.harness.tables import table2_rows
+
+SMALL_DIV = 512
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+def _sig(cells):
+    """The bit-identity fields of a grid (timing floats excluded)."""
+    return [
+        (c.dataset, c.algorithm, c.colors, c.sim_ms, c.iterations, c.valid)
+        for c in cells
+    ]
+
+
+@pytest.fixture(autouse=True)
+def _fault_env(tmp_path, monkeypatch):
+    """Clean fault configuration per test, with cross-process counters."""
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    monkeypatch.setenv(faults.STATE_ENV_VAR, str(tmp_path / "fault-state"))
+    yield
+
+
+@pytest.fixture
+def broken_algorithm():
+    """A registered algorithm that always raises."""
+
+    def bad(graph, *, rng=None, device=None, **kw):
+        raise RuntimeError("chaos: deliberately broken algorithm")
+
+    ALGORITHMS["test.chaos_broken"] = bad
+    yield "test.chaos_broken"
+    del ALGORITHMS["test.chaos_broken"]
+
+
+@pytest.fixture
+def invalid_algorithm():
+    """A registered algorithm producing a conflicted coloring (strict
+    mode turns it into a ValidationError inside the repetition)."""
+
+    def conflicted(graph, *, rng=None, device=None, **kw):
+        return ColoringResult(
+            colors=np.ones(graph.num_vertices, dtype=np.int64),
+            algorithm="conflicted",
+            graph_name=graph.name,
+        )
+
+    ALGORITHMS["test.chaos_invalid"] = conflicted
+    yield "test.chaos_invalid"
+    del ALGORITHMS["test.chaos_invalid"]
+
+
+class TestPerCellIsolation:
+    def test_broken_algorithm_does_not_abort_grid(self, broken_algorithm):
+        cells = run_grid(
+            ["ecology2", "offshore"],
+            ["cpu.greedy", broken_algorithm, "naumov.jpl"],
+            scale_div=SMALL_DIV,
+            repetitions=2,
+            retries=0,
+            journal=False,
+        )
+        assert len(cells) == 6  # every cell present despite the failures
+        by_algo = {}
+        for c in cells:
+            by_algo.setdefault(c.algorithm, []).append(c)
+        for c in by_algo[broken_algorithm]:
+            assert c.status == "failed"
+            assert not c.valid
+            assert c.failed_repetitions == 2
+            assert "RuntimeError" in c.error
+            assert np.isnan(c.colors) and np.isnan(c.sim_ms)
+        for algo in ("cpu.greedy", "naumov.jpl"):
+            for c in by_algo[algo]:
+                assert c.status == "ok" and c.valid
+
+    def test_healthy_cells_bit_identical_to_clean_run(self, broken_algorithm):
+        ref = run_grid(
+            ["ecology2"],
+            ["cpu.greedy", "naumov.jpl"],
+            scale_div=SMALL_DIV,
+            repetitions=2,
+            journal=False,
+        )
+        mixed = run_grid(
+            ["ecology2"],
+            ["cpu.greedy", broken_algorithm, "naumov.jpl"],
+            scale_div=SMALL_DIV,
+            repetitions=2,
+            retries=0,
+            journal=False,
+        )
+        healthy = [c for c in mixed if c.algorithm != broken_algorithm]
+        assert _sig(healthy) == _sig(ref)
+
+    def test_invalid_coloring_marks_cell_failed(self, invalid_algorithm):
+        cells = run_grid(
+            ["ecology2"],
+            [invalid_algorithm],
+            scale_div=SMALL_DIV,
+            repetitions=1,
+            retries=0,
+            journal=False,
+        )
+        (cell,) = cells
+        assert cell.status == "failed"
+        assert "ValidationError" in cell.error
+
+    def test_rows_and_emitters_render_partial_grid(self, broken_algorithm):
+        cells = run_grid(
+            ["ecology2"],
+            ["cpu.greedy", broken_algorithm],
+            scale_div=SMALL_DIV,
+            repetitions=1,
+            retries=0,
+            journal=False,
+        )
+        rows = grid_to_rows(cells)  # must not raise
+        assert rows[1]["Status"] == "failed"
+        assert "RuntimeError" in rows[1]["Error"]
+        from repro.harness.report import format_table
+
+        text = format_table(rows, title="partial")
+        assert "failed" in text
+
+    def test_fig1_renders_with_failed_cells(self, broken_algorithm):
+        series = fig1_series(
+            datasets=["ecology2"],
+            algorithms=["naumov.jpl", broken_algorithm],
+            scale_div=SMALL_DIV,
+            repetitions=1,
+            retries=0,
+            journal=False,
+        )
+        (srow,) = series["speedup_rows"]
+        assert srow[broken_algorithm] == "failed"
+        assert srow["naumov.jpl"] == pytest.approx(1.0)
+        assert series["geomean"][broken_algorithm] is None
+        assert series["geomean"]["naumov.jpl"] == pytest.approx(1.0)
+
+    def test_table2_renders_with_failed_rung(self, monkeypatch):
+        monkeypatch.setenv(
+            faults.ENV_VAR, "raise@G3_circuit:gunrock.hash:*:kind=fatal"
+        )
+        rows = table2_rows(
+            scale_div=SMALL_DIV, repetitions=1, retries=0, journal=False
+        )
+        assert len(rows) == 5
+        assert rows[1]["Performance (ms)"] == "failed"
+        assert rows[1]["Speedup"] == "—"
+        assert rows[2]["Speedup"] == "—"  # no prior rung to compare against
+        assert isinstance(rows[0]["Performance (ms)"], float)
+
+
+class TestTransientRetry:
+    def test_injected_transient_is_retried_to_success(self):
+        ref = run_grid(
+            ["ecology2"],
+            ["cpu.greedy"],
+            scale_div=SMALL_DIV,
+            repetitions=2,
+            journal=False,
+        )
+        fired = {"n": 0}
+
+        def flaky_once(site):
+            if site.algorithm == "cpu.greedy" and site.rep == 1:
+                fired["n"] += 1
+                if fired["n"] == 1:
+                    raise TransientFaultError("flake")
+
+        with faults.injected(flaky_once):
+            cells = run_grid(
+                ["ecology2"],
+                ["cpu.greedy"],
+                scale_div=SMALL_DIV,
+                repetitions=2,
+                retries=2,
+                journal=False,
+            )
+        assert fired["n"] == 2  # failed once, retried once
+        assert cells[0].status == "ok"
+        assert _sig(cells) == _sig(ref)
+
+    def test_retry_budget_exhausted_fails_cell(self):
+        def always(site):
+            raise TransientFaultError("permanent flake")
+
+        with faults.injected(always):
+            cells = run_grid(
+                ["ecology2"],
+                ["cpu.greedy"],
+                scale_div=SMALL_DIV,
+                repetitions=1,
+                retries=1,
+                journal=False,
+            )
+        assert cells[0].status == "failed"
+        assert "TransientFaultError" in cells[0].error
+
+    def test_deterministic_failure_not_retried(self):
+        calls = {"n": 0}
+
+        def fatal(site):
+            calls["n"] += 1
+            raise FaultError("deterministic")
+
+        with faults.injected(fatal):
+            cells = run_grid(
+                ["ecology2"],
+                ["cpu.greedy"],
+                scale_div=SMALL_DIV,
+                repetitions=1,
+                retries=3,
+                journal=False,
+            )
+        assert calls["n"] == 1  # no retry wasted on a non-transient error
+        assert cells[0].status == "failed"
+
+
+class TestTimeouts:
+    def test_delayed_rep_times_out_and_fails(self, monkeypatch):
+        monkeypatch.setenv(
+            faults.ENV_VAR, "delay@ecology2:naumov.jpl:*:s=10"
+        )
+        cells = run_grid(
+            ["ecology2"],
+            ["cpu.greedy", "naumov.jpl"],
+            scale_div=SMALL_DIV,
+            repetitions=1,
+            timeout=0.5,
+            retries=0,
+            journal=False,
+        )
+        by_algo = {c.algorithm: c for c in cells}
+        assert by_algo["cpu.greedy"].status == "ok"
+        assert by_algo["naumov.jpl"].status == "failed"
+        assert "RepetitionTimeout" in by_algo["naumov.jpl"].error
+
+    def test_transient_delay_recovers_via_retry(self, monkeypatch):
+        ref = run_grid(
+            ["ecology2"],
+            ["naumov.jpl"],
+            scale_div=SMALL_DIV,
+            repetitions=1,
+            journal=False,
+        )
+        monkeypatch.setenv(
+            faults.ENV_VAR, "delay@ecology2:naumov.jpl:0:s=10:times=1"
+        )
+        cells = run_grid(
+            ["ecology2"],
+            ["naumov.jpl"],
+            scale_div=SMALL_DIV,
+            repetitions=1,
+            timeout=0.5,
+            retries=1,
+            journal=False,
+        )
+        assert cells[0].status == "ok"
+        assert _sig(cells) == _sig(ref)
+
+
+@pytest.mark.skipif(not HAVE_FORK, reason="fork start method unavailable")
+class TestWorkerCrash:
+    def test_killed_worker_recovered_bit_identical(self, monkeypatch):
+        ref = run_grid(
+            ["ecology2", "offshore"],
+            ["cpu.greedy", "naumov.jpl"],
+            scale_div=SMALL_DIV,
+            repetitions=2,
+            journal=False,
+        )
+        monkeypatch.setenv(
+            faults.ENV_VAR, "kill@offshore:naumov.jpl:1:times=1"
+        )
+        cells = run_grid(
+            ["ecology2", "offshore"],
+            ["cpu.greedy", "naumov.jpl"],
+            scale_div=SMALL_DIV,
+            repetitions=2,
+            jobs=2,
+            retries=2,
+            journal=False,
+        )
+        assert all(c.status == "ok" for c in cells)
+        assert _sig(cells) == _sig(ref)
+
+    def test_repeated_kills_exhaust_retries_and_fail_cell(self, monkeypatch):
+        # unlimited kill budget: every attempt dies, retries run out
+        monkeypatch.setenv(faults.ENV_VAR, "kill@ecology2:cpu.greedy:0")
+        cells = run_grid(
+            ["ecology2"],
+            ["cpu.greedy"],
+            scale_div=SMALL_DIV,
+            repetitions=1,
+            jobs=2,
+            retries=1,
+            journal=False,
+        )
+        (cell,) = cells
+        assert cell.status == "failed"
+        assert "WorkerCrash" in cell.error
+
+
+class TestFaultSpecParsing:
+    def test_round_trip(self):
+        specs = faults.parse_faults(
+            "raise@a:b:0:times=2;kill@*:*:1;delay@x:y:*:s=2.5:kind=transient"
+        )
+        assert [s.mode for s in specs] == ["raise", "kill", "delay"]
+        assert specs[0].times == 2
+        assert specs[1].dataset == "*"
+        assert specs[2].seconds == 2.5
+
+    def test_malformed_rejected(self):
+        with pytest.raises(HarnessError):
+            faults.parse_faults("explode@a:b:c")
+        with pytest.raises(HarnessError):
+            faults.parse_faults("raise@onlyone")
+        with pytest.raises(HarnessError):
+            faults.parse_faults("raise@a:b:0:bogus=1")
+
+    def test_times_budget_shared_across_processes(self, tmp_path):
+        spec = faults.parse_faults("raise@a:b:0:times=2")[0]
+        assert faults._claim_tick(spec)
+        assert faults._claim_tick(spec)
+        assert not faults._claim_tick(spec)  # budget spent
+
+    def test_fault_env_inactive_is_free(self):
+        # no env, no hooks: maybe_fire must be a no-op
+        faults.maybe_fire("any", "algo", 0)

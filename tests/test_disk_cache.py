@@ -82,6 +82,55 @@ class TestCorruption:
         g = load_cached("ecology2", scale_div=512, seed=8)
         assert g == ds.generate("ecology2", scale_div=512, seed=8)
 
+    def test_zero_byte_entry_regenerated(self):
+        """A writer killed before its first write leaves a 0-byte file;
+        the reader must regenerate, not crash."""
+        load_cached("ecology2", scale_div=512, seed=21)
+        path = cache_path("ecology2", 512, 21)
+        path.write_bytes(b"")
+        g = load_cached("ecology2", scale_div=512, seed=21)
+        assert g == ds.generate("ecology2", scale_div=512, seed=21)
+        assert path.stat().st_size > 0  # replaced with a good entry
+
+    def test_corrupt_via_fault_helper(self):
+        from repro.harness.faults import corrupt_cache_entry
+
+        load_cached("offshore", scale_div=512, seed=22)
+        path = corrupt_cache_entry("offshore", scale_div=512, seed=22)
+        assert path is not None and path.stat().st_size == 0
+        g = load_cached("offshore", scale_div=512, seed=22)
+        assert g == ds.generate("offshore", scale_div=512, seed=22)
+
+
+class TestStaleTmpSweep:
+    def test_old_tmp_swept_young_kept(self):
+        from repro.harness.cache import sweep_stale_tmp
+
+        root = cache_dir()
+        old = root / "ecology2__div512__seed1__g1.123.tmp.npz"
+        old.write_bytes(b"orphaned by a killed writer")
+        young = root / "offshore__div512__seed1__g1.456.tmp.npz"
+        young.write_bytes(b"live writer, mid-publish")
+        past = os.stat(old).st_mtime - 7200
+        os.utime(old, (past, past))
+        assert sweep_stale_tmp(root=root) == 1
+        assert not old.exists()
+        assert young.exists()
+
+    def test_sweep_runs_once_per_process_per_root(self):
+        root = cache_dir()
+        stale = root / "g__div1__seed0__g1.9.tmp.npz"
+        stale.write_bytes(b"x")
+        past = os.stat(stale).st_mtime - 7200
+        os.utime(stale, (past, past))
+        # cache_dir() already swept this root once this process; the
+        # stale file survives until an explicit sweep.
+        cache_dir()
+        from repro.harness.cache import sweep_stale_tmp
+
+        assert sweep_stale_tmp(root=root, max_age_s=0) >= 1
+        assert not stale.exists()
+
 
 class TestDisableSwitch:
     @pytest.mark.parametrize("value", ["0", "false", "no", "off", " OFF "])

@@ -1,0 +1,137 @@
+"""Custom exceptions must cross the process boundary intact.
+
+The parallel grid runner ships work to pool workers; an exception
+raised there is pickled, sent over the result pipe, and re-raised in
+the parent.  The standard-library pitfall: an ``Exception`` subclass
+whose ``__init__`` signature differs from its stored ``args`` explodes
+with a ``TypeError`` *during unpickling*, replacing the real error
+with noise.  ``ReproError.__reduce__`` exists to prevent exactly that;
+these tests pin the contract for the whole hierarchy, including
+subclasses with constructor args.
+"""
+
+import multiprocessing
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+import repro.errors as errors_mod
+from repro.errors import (
+    DatasetError,
+    FaultError,
+    HarnessError,
+    RepetitionTimeout,
+    ReproError,
+    TransientFaultError,
+    ValidationError,
+)
+
+ALL_ERROR_CLASSES = [
+    cls
+    for cls in vars(errors_mod).values()
+    if isinstance(cls, type) and issubclass(cls, ReproError)
+]
+
+
+class ConstructorArgsError(HarnessError):
+    """A subclass whose __init__ signature differs from its args —
+    the shape that breaks naive exception pickling."""
+
+    def __init__(self, dataset, algorithm, rep):
+        super().__init__(f"{dataset}:{algorithm} failed at rep {rep}")
+        self.dataset = dataset
+        self.algorithm = algorithm
+        self.rep = rep
+
+
+def _raise_validation(_):
+    raise ValidationError("worker saw an invalid coloring")
+
+
+def _raise_constructor_args(_):
+    raise ConstructorArgsError("ecology2", "cpu.greedy", 2)
+
+
+class TestPickleRoundTrip:
+    @pytest.mark.parametrize(
+        "cls", ALL_ERROR_CLASSES, ids=lambda c: c.__name__
+    )
+    def test_every_class_round_trips(self, cls):
+        err = cls("some message")
+        clone = pickle.loads(pickle.dumps(err))
+        assert type(clone) is cls
+        assert str(clone) == "some message"
+        assert clone.args == err.args
+
+    def test_constructor_args_subclass_round_trips(self):
+        err = ConstructorArgsError("offshore", "gunrock.is", 1)
+        clone = pickle.loads(pickle.dumps(err))
+        assert type(clone) is ConstructorArgsError
+        assert str(clone) == "offshore:gunrock.is failed at rep 1"
+        assert clone.dataset == "offshore"
+        assert clone.algorithm == "gunrock.is"
+        assert clone.rep == 1
+
+    def test_attributes_survive(self):
+        err = HarnessError("base message")
+        err.context = {"dataset": "ecology2", "rep": 3}
+        clone = pickle.loads(pickle.dumps(err))
+        assert clone.context == {"dataset": "ecology2", "rep": 3}
+
+    def test_subclassing_relationships_survive(self):
+        clone = pickle.loads(pickle.dumps(TransientFaultError("t")))
+        assert isinstance(clone, FaultError)
+        assert isinstance(clone, HarnessError)
+        clone = pickle.loads(pickle.dumps(RepetitionTimeout("t")))
+        assert isinstance(clone, HarnessError)
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fork start method unavailable",
+)
+class TestAcrossProcessBoundary:
+    def test_validation_error_from_worker(self):
+        ctx = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(max_workers=1, mp_context=ctx) as pool:
+            fut = pool.submit(_raise_validation, None)
+            with pytest.raises(ValidationError, match="invalid coloring"):
+                fut.result()
+
+    def test_constructor_args_error_from_worker(self):
+        ctx = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(max_workers=1, mp_context=ctx) as pool:
+            fut = pool.submit(_raise_constructor_args, None)
+            with pytest.raises(ConstructorArgsError) as exc_info:
+                fut.result()
+        err = exc_info.value
+        assert err.dataset == "ecology2"
+        assert err.rep == 2
+        assert "failed at rep 2" in str(err)
+
+    def test_grid_captures_original_type_name(self):
+        """run_grid's error isolation records the worker exception's
+        original type and message, not a pickling artifact."""
+        from repro.core.registry import ALGORITHMS
+        from repro.harness.runner import run_grid
+
+        def bad(graph, *, rng=None, device=None, **kw):
+            raise DatasetError("deliberately unusable input")
+
+        ALGORITHMS["test.pickle_bad"] = bad
+        try:
+            cells = run_grid(
+                ["ecology2"],
+                ["test.pickle_bad"],
+                scale_div=512,
+                repetitions=1,
+                jobs=2,
+                retries=0,
+                journal=False,
+            )
+        finally:
+            del ALGORITHMS["test.pickle_bad"]
+        (cell,) = cells
+        assert cell.status == "failed"
+        assert cell.error == "DatasetError: deliberately unusable input"

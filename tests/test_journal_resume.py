@@ -1,0 +1,213 @@
+"""Checkpoint-resume: the journal must make interrupted grids cheap to
+finish and impossible to finish *wrong* (resumed results bit-identical
+to an uninterrupted run)."""
+
+import json
+
+import pytest
+
+from repro.errors import TransientFaultError
+from repro.harness import faults
+from repro.harness.journal import GridJournal, config_hash, journal_root
+from repro.harness.runner import run_grid
+
+SMALL_DIV = 512
+DATASETS = ["ecology2", "offshore"]
+ALGOS = ["cpu.greedy", "naumov.jpl"]
+CONFIG = dict(scale_div=SMALL_DIV, repetitions=3)
+
+
+def _sig(cells):
+    return [
+        (c.dataset, c.algorithm, c.colors, c.sim_ms, c.iterations, c.valid)
+        for c in cells
+    ]
+
+
+def _journal_for(datasets=DATASETS, algos=ALGOS, seed=11):
+    return GridJournal.for_config(
+        datasets=datasets,
+        algorithms=algos,
+        scale_div=SMALL_DIV,
+        seed=seed,
+        repetitions=3,
+    )
+
+
+class TestConfigHash:
+    BASE = dict(
+        datasets=["a", "b"],
+        algorithms=["x"],
+        scale_div=64,
+        seed=1,
+        repetitions=3,
+    )
+
+    def test_stable(self):
+        assert config_hash(**self.BASE) == config_hash(**self.BASE)
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"datasets": ["a"]},
+            {"datasets": ["b", "a"]},  # order matters: cells are ordered
+            {"algorithms": ["y"]},
+            {"scale_div": 128},
+            {"seed": 2},
+            {"repetitions": 4},
+        ],
+        ids=lambda c: next(iter(c)),
+    )
+    def test_any_config_field_changes_hash(self, change):
+        assert config_hash(**{**self.BASE, **change}) != config_hash(
+            **self.BASE
+        )
+
+    def test_journal_file_is_under_cache_root(self):
+        j = _journal_for()
+        assert j.path.parent == journal_root()
+        assert j.path.name.startswith("grid-")
+
+
+class TestJournalFile:
+    def test_record_then_load_round_trips(self):
+        j = _journal_for()
+        with j.open(resume=False):
+            j.record("ecology2", "cpu.greedy", 0, {
+                "num_colors": 7, "sim_ms": 1.2345678901234567,
+                "iterations": 4, "wall_s": 0.01, "validate_s": 0.001,
+                "valid": True,
+            })
+        loaded = j.load()
+        rec = loaded[("ecology2", "cpu.greedy", 0)]
+        assert rec["sim_ms"] == 1.2345678901234567  # exact float round-trip
+        assert rec["num_colors"] == 7
+
+    def test_torn_final_line_skipped(self):
+        j = _journal_for()
+        with j.open(resume=False):
+            j.record("ecology2", "cpu.greedy", 0, {
+                "num_colors": 7, "sim_ms": 1.0, "iterations": 4,
+            })
+        with open(j.path, "a", encoding="utf-8") as fh:
+            fh.write('{"dataset": "ecology2", "algorithm": "cpu.gr')  # torn
+        loaded = j.load()
+        assert len(loaded) == 1  # the torn line reruns, the good one loads
+
+    def test_incomplete_record_skipped(self):
+        j = _journal_for()
+        with j.open(resume=False):
+            pass
+        with open(j.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps({
+                "dataset": "d", "algorithm": "a", "rep": 0,
+            }) + "\n")  # missing num_colors/sim_ms/iterations
+        assert j.load() == {}
+
+    def test_fresh_open_truncates_resume_appends(self):
+        j = _journal_for()
+        with j.open(resume=False):
+            j.record("d", "a", 0, {
+                "num_colors": 1, "sim_ms": 1.0, "iterations": 1,
+            })
+        with j.open(resume=True):
+            j.record("d", "a", 1, {
+                "num_colors": 1, "sim_ms": 1.0, "iterations": 1,
+            })
+        assert len(j.load()) == 2  # resume appended
+        with j.open(resume=False):
+            pass
+        assert j.load() == {}  # fresh run truncated
+
+
+class TestResume:
+    def test_interrupted_then_resumed_is_bit_identical(self):
+        """Kill a grid partway (via an injected KeyboardInterrupt),
+        resume it, and require the stitched results to exactly match an
+        uninterrupted run."""
+        ref = run_grid(DATASETS, ALGOS, seed=11, **CONFIG)
+
+        fired = {"n": 0}
+
+        def interrupt_at_fifth_rep(site):
+            fired["n"] += 1
+            if fired["n"] == 5:
+                raise KeyboardInterrupt
+
+        with faults.injected(interrupt_at_fifth_rep):
+            with pytest.raises(KeyboardInterrupt):
+                run_grid(DATASETS, ALGOS, seed=11, **CONFIG)
+
+        journaled = _journal_for().load()
+        assert len(journaled) == 4  # reps 1-4 checkpointed, rep 5 lost
+
+        executed = []
+
+        def count(site):
+            executed.append((site.dataset, site.algorithm, site.rep))
+
+        with faults.injected(count):
+            cells = run_grid(DATASETS, ALGOS, seed=11, resume=True, **CONFIG)
+
+        assert len(executed) == 8  # only the 12 - 4 missing reps ran
+        assert _sig(cells) == _sig(ref)
+
+    def test_second_resume_runs_nothing(self):
+        run_grid(DATASETS, ALGOS, seed=13, **CONFIG)
+        executed = []
+        with faults.injected(
+            lambda s: executed.append((s.dataset, s.algorithm, s.rep))
+        ):
+            cells = run_grid(DATASETS, ALGOS, seed=13, resume=True, **CONFIG)
+        assert executed == []  # fully journaled: pure replay
+        assert len(cells) == 4
+        assert all(c.ok for c in cells)
+
+    def test_resume_with_empty_journal_runs_everything(self):
+        executed = []
+        with faults.injected(
+            lambda s: executed.append(s.rep)
+        ):
+            cells = run_grid(
+                ["ecology2"], ["cpu.greedy"], seed=17, resume=True, **CONFIG
+            )
+        assert len(executed) == 3
+        assert all(c.ok for c in cells)
+
+    def test_failed_reps_are_not_journaled(self):
+        def flake(site):
+            if site.rep == 1:
+                raise TransientFaultError("flake")
+
+        with faults.injected(flake):
+            run_grid(
+                ["ecology2"], ["cpu.greedy"], seed=19,
+                scale_div=SMALL_DIV, repetitions=3, retries=0,
+            )
+        journaled = GridJournal.for_config(
+            datasets=["ecology2"], algorithms=["cpu.greedy"],
+            scale_div=SMALL_DIV, seed=19, repetitions=3,
+        ).load()
+        assert set(k[2] for k in journaled) == {0, 2}  # rep 1 failed
+
+    def test_journal_disabled_writes_nothing(self):
+        run_grid(
+            ["ecology2"], ["cpu.greedy"], seed=23, journal=False, **CONFIG
+        )
+        assert not _journal_for(["ecology2"], ["cpu.greedy"], 23).path.exists()
+
+    def test_journal_env_gate(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOURNAL", "0")
+        run_grid(["ecology2"], ["cpu.greedy"], seed=29, **CONFIG)
+        assert not _journal_for(["ecology2"], ["cpu.greedy"], 29).path.exists()
+
+    def test_different_seed_does_not_cross_resume(self):
+        """A journal written at one seed must never feed a resume at
+        another: the config hash keeps the files apart."""
+        run_grid(["ecology2"], ["cpu.greedy"], seed=31, **CONFIG)
+        executed = []
+        with faults.injected(lambda s: executed.append(s.rep)):
+            run_grid(
+                ["ecology2"], ["cpu.greedy"], seed=32, resume=True, **CONFIG
+            )
+        assert len(executed) == 3  # nothing replayed across seeds
