@@ -37,10 +37,23 @@ def spawn(rng: RngLike, n: int) -> list:
 
     Used by the harness to hand each (dataset, algorithm, rep) cell its
     own stream so results do not depend on execution order.
+
+    Children are derived through ``SeedSequence.spawn`` — the mechanism
+    NumPy provides exactly for this — rather than by sampling raw integer
+    seeds from the parent, which both perturbs the parent's stream and
+    gives birthday-bounded (not guaranteed) independence.
     """
-    base = ensure_rng(rng)
-    seeds = base.integers(0, 2**63 - 1, size=n, dtype=np.int64)
-    return [np.random.default_rng(int(s)) for s in seeds]
+    if isinstance(rng, np.random.Generator):
+        seq = rng.bit_generator.seed_seq
+        if not isinstance(seq, np.random.SeedSequence):  # pragma: no cover
+            raise TypeError(
+                "cannot spawn from a Generator without a SeedSequence"
+            )
+    elif isinstance(rng, np.random.SeedSequence):
+        seq = rng
+    else:
+        seq = np.random.SeedSequence(DEFAULT_SEED if rng is None else rng)
+    return [np.random.default_rng(child) for child in seq.spawn(n)]
 
 
 def random_weights(n: int, rng: RngLike = None, dtype=np.int64) -> np.ndarray:

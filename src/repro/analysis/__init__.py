@@ -1,0 +1,10 @@
+"""Static analysis for the reproduction: the repro-lint rule engine.
+
+``python -m repro.analysis lint [paths]`` checks the determinism and
+simulation invariants documented in :mod:`repro.analysis.lint` (rules
+RPL000–RPL006).  See ``docs/static-analysis.md`` for the catalogue.
+"""
+
+from .lint import RULES, Violation, lint_file, lint_paths, lint_source
+
+__all__ = ["RULES", "Violation", "lint_file", "lint_paths", "lint_source"]

@@ -1,0 +1,92 @@
+"""Command-line entry point for the repro static analysis suite.
+
+Usage::
+
+    python -m repro.analysis lint [PATH ...] [--format=text|json]
+    python -m repro.analysis lint --list-rules
+
+With no paths the installed ``repro`` package itself is linted.
+
+Exit codes: 0 — clean; 1 — violations found; 2 — usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .lint import RULES, lint_paths
+
+EXIT_CLEAN = 0
+EXIT_VIOLATIONS = 1
+EXIT_USAGE = 2
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis",
+        description="Static analysis for the graph-coloring reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    lint = sub.add_parser(
+        "lint", help="check determinism / simulation-invariant rules"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command != "lint":  # pragma: no cover — argparse enforces this
+        return EXIT_USAGE
+
+    if args.list_rules:
+        for rule_id in sorted(RULES):
+            print(f"{rule_id}  {RULES[rule_id]}")
+        return EXIT_CLEAN
+
+    paths = args.paths or [Path(__file__).resolve().parents[1]]
+    try:
+        violations = lint_paths(paths)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "violations": [v.to_dict() for v in violations],
+                    "count": len(violations),
+                },
+                indent=2,
+            )
+        )
+    else:
+        for v in violations:
+            print(v.render())
+        if violations:
+            print(f"{len(violations)} violation(s)", file=sys.stderr)
+    return EXIT_VIOLATIONS if violations else EXIT_CLEAN
+
+
+if __name__ == "__main__":
+    sys.exit(main())

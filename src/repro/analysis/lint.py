@@ -1,0 +1,494 @@
+"""repro-lint: AST checks for determinism and simulation invariants.
+
+The reproduction's headline guarantees — bit-identical reruns from one
+seed and ``sim_ms`` values that come only from the structural cost
+model — are easy to break with a single careless line: a stray
+``np.random.shuffle``, a ``time.perf_counter()`` folded into a kernel,
+a hand-rolled ``sim_ms +=``.  This module turns those conventions into
+machine-checked rules so they cannot regress silently.
+
+Rules
+-----
+
+========  ==============================================================
+RPL000    Suppression comment without a justification (or malformed).
+RPL001    Global / unseeded randomness: any ``np.random.*`` use other
+          than type references, stdlib ``random`` imports; all
+          randomness must be routed through :mod:`repro._rng`
+          (the only module allowed to call ``default_rng``).
+RPL002    Wall-clock reads (``time.time``/``perf_counter``/…,
+          ``datetime.now``) inside simulation code (``gpusim``,
+          ``core``, ``gunrock``, ``graphblas``, ``graph``), where all
+          timing must come from the cost model.  ``_clock.py`` is the
+          sanctioned escape hatch for wall-clock *measurement*.
+RPL003    Hand-rolled ``sim_ms`` arithmetic bypassing the
+          :class:`~repro.gpusim.cost_model.CostModel`: any
+          ``sim_ms += …`` anywhere; plain ``sim_ms = …`` inside the
+          device-simulation layers (``gpusim``, ``gunrock``,
+          ``graphblas``).  Closed-form CPU formulas in ``core`` stay
+          legal — rewriting them would perturb golden float values.
+RPL004    Silent int64→int32 narrowing in CSR/frontier code (``graph``,
+          ``gunrock``, ``graphblas``): ``.astype(np.int32)``,
+          ``dtype=np.int32`` and ``np.int32(…)`` truncate vertex/edge
+          ids above 2**31 without warning.
+RPL005    Bare ``except:`` — swallows ``KeyboardInterrupt`` and masks
+          real failures.
+RPL006    ``except Exception/BaseException/ReproError`` whose body is
+          exactly ``pass`` — a silently swallowed error.
+RPL999    File does not parse.
+========  ==============================================================
+
+Suppressions
+------------
+
+A violation is waived with a same-line comment::
+
+    risky_line()  # repro-lint: disable=RPL004 — scipy requires int32 here
+
+Multiple ids separate with commas (``disable=RPL004,RPL002``).  The
+text after the rule list is the justification; leaving it empty raises
+RPL000, which is itself never suppressible.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path, PurePath
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["Violation", "RULES", "lint_file", "lint_paths", "lint_source"]
+
+
+#: rule id -> one-line summary (the catalogue ``--list-rules`` prints).
+RULES: Dict[str, str] = {
+    "RPL000": "suppression comment is malformed or lacks a justification",
+    "RPL001": "global/unseeded randomness outside repro._rng",
+    "RPL002": "wall-clock read inside simulation code (use the cost model)",
+    "RPL003": "hand-rolled sim_ms arithmetic bypassing CostModel",
+    "RPL004": "silent int64->int32 narrowing in CSR/frontier code",
+    "RPL005": "bare except:",
+    "RPL006": "swallowed exception (except Exception: pass)",
+    "RPL999": "file does not parse",
+}
+
+# Directory scopes (matched against any path component, so the rules
+# apply equally to src/repro/<dir>/ and to fixture trees mirroring it).
+_WALL_CLOCK_DIRS = frozenset({"gpusim", "core", "gunrock", "graphblas", "graph"})
+_NARROWING_DIRS = frozenset({"graph", "gunrock", "graphblas"})
+_SIM_MS_ASSIGN_DIRS = frozenset({"gpusim", "gunrock", "graphblas"})
+
+# np.random members that are type/class references, not stream draws.
+_RNG_TYPE_NAMES = frozenset(
+    {
+        "Generator",
+        "BitGenerator",
+        "SeedSequence",
+        "RandomState",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+    }
+)
+_WALL_CLOCK_FROM_IMPORTS = frozenset(
+    {
+        ("time", "time"),
+        ("time", "time_ns"),
+        ("time", "perf_counter"),
+        ("time", "perf_counter_ns"),
+        ("time", "monotonic"),
+        ("time", "monotonic_ns"),
+        ("time", "process_time"),
+        ("time", "process_time_ns"),
+        ("datetime", "datetime"),
+    }
+)
+
+_SWALLOWABLE = frozenset({"Exception", "BaseException", "ReproError"})
+
+_SUPPRESS_MARK = "repro-lint:"
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)(.*)$"
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule hit at one source location."""
+
+    file: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class _Suppression:
+    line: int
+    col: int
+    rules: frozenset
+    justified: bool
+    malformed: bool = False
+
+
+def _in_dirs(path: PurePath, dirs: frozenset) -> bool:
+    return any(part in dirs for part in path.parts[:-1])
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for pure Name/Attribute chains, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _is_int32(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and node.value == "int32":
+        return True
+    return _dotted(node) in ("np.int32", "numpy.int32")
+
+
+def _collect_suppressions(source: str) -> List[_Suppression]:
+    found: List[_Suppression] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT or _SUPPRESS_MARK not in tok.string:
+                continue
+            m = _SUPPRESS_RE.search(tok.string)
+            if m is None:
+                found.append(
+                    _Suppression(
+                        line=tok.start[0],
+                        col=tok.start[1],
+                        rules=frozenset(),
+                        justified=False,
+                        malformed=True,
+                    )
+                )
+                continue
+            rules = frozenset(r.strip() for r in m.group(1).split(","))
+            justification = m.group(2).strip().lstrip("—–-:").strip()
+            found.append(
+                _Suppression(
+                    line=tok.start[0],
+                    col=tok.start[1],
+                    rules=rules,
+                    justified=bool(justification),
+                )
+            )
+    except tokenize.TokenError:
+        pass  # the AST pass will report RPL999 for truncated sources
+    return found
+
+
+class _Checker(ast.NodeVisitor):
+    def __init__(self, path: PurePath):
+        self.path = path
+        base = path.name
+        self.is_rng_module = base == "_rng.py"
+        self.check_wall_clock = (
+            _in_dirs(path, _WALL_CLOCK_DIRS) and base != "_clock.py"
+        )
+        self.check_narrowing = _in_dirs(path, _NARROWING_DIRS)
+        self.check_sim_ms_assign = _in_dirs(path, _SIM_MS_ASSIGN_DIRS)
+        self.violations: List[Violation] = []
+
+    # -- helpers ------------------------------------------------------------
+
+    def _hit(self, node: ast.AST, rule: str, message: str) -> None:
+        self.violations.append(
+            Violation(
+                file=str(self.path),
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                rule=rule,
+                message=message,
+            )
+        )
+
+    # -- RPL001: global randomness ------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "random" or alias.name.startswith("random."):
+                self._hit(
+                    node,
+                    "RPL001",
+                    "stdlib 'random' import; route randomness through "
+                    "repro._rng",
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        mod = node.module or ""
+        if mod == "random" or mod.startswith("random."):
+            self._hit(
+                node,
+                "RPL001",
+                "stdlib 'random' import; route randomness through repro._rng",
+            )
+        if self.check_wall_clock:
+            for alias in node.names:
+                if (mod, alias.name) in _WALL_CLOCK_FROM_IMPORTS:
+                    self._hit(
+                        node,
+                        "RPL002",
+                        f"wall-clock import '{mod}.{alias.name}' in "
+                        "simulation code; sim_ms must come from the cost "
+                        "model (repro._clock for wall measurement)",
+                    )
+        self.generic_visit(node)
+
+    def _check_np_random(self, node: ast.Attribute) -> bool:
+        """RPL001 on np.random uses; True when handled (skip children)."""
+        dotted = _dotted(node)
+        if dotted is None:
+            return False
+        if dotted in ("np.random", "numpy.random"):
+            self._hit(
+                node,
+                "RPL001",
+                "bare np.random namespace use (global RNG state); route "
+                "randomness through repro._rng",
+            )
+            return True
+        if dotted.startswith(("np.random.", "numpy.random.")):
+            leaf = node.attr
+            if leaf in _RNG_TYPE_NAMES:
+                return True  # type reference, not a draw
+            if leaf == "default_rng" and self.is_rng_module:
+                return True
+            self._hit(
+                node,
+                "RPL001",
+                f"np.random.{leaf}: global/unseeded randomness; route "
+                "randomness through repro._rng",
+            )
+            return True
+        return False
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if self._check_np_random(node):
+            return  # do not descend: the inner np.random would re-fire
+        self.generic_visit(node)
+
+    # -- RPL002: wall clock ---------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func)
+        if self.check_wall_clock and dotted in _WALL_CLOCK_CALLS:
+            self._hit(
+                node,
+                "RPL002",
+                f"wall-clock call {dotted}() in simulation code; sim_ms "
+                "must come from the cost model (repro._clock for wall "
+                "measurement)",
+            )
+        if self.check_narrowing:
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "astype"
+                and node.args
+                and _is_int32(node.args[0])
+            ):
+                self._hit(
+                    node,
+                    "RPL004",
+                    ".astype(int32) silently narrows vertex/edge ids",
+                )
+            if dotted in ("np.int32", "numpy.int32"):
+                self._hit(
+                    node,
+                    "RPL004",
+                    "np.int32(...) silently narrows vertex/edge ids",
+                )
+            for kw in node.keywords:
+                if kw.arg == "dtype" and _is_int32(kw.value):
+                    self._hit(
+                        node,
+                        "RPL004",
+                        "dtype=int32 silently narrows vertex/edge ids",
+                    )
+        self.generic_visit(node)
+
+    # -- RPL003: sim_ms bypass ----------------------------------------------
+
+    @staticmethod
+    def _targets_sim_ms(target: ast.AST) -> bool:
+        if isinstance(target, ast.Name):
+            return target.id == "sim_ms"
+        if isinstance(target, ast.Attribute):
+            return target.attr == "sim_ms"
+        return False
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if self._targets_sim_ms(node.target):
+            self._hit(
+                node,
+                "RPL003",
+                "sim_ms updated in place, bypassing CostModel; charge the "
+                "cost model and read .total_ms",
+            )
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self.check_sim_ms_assign and any(
+            self._targets_sim_ms(t) for t in node.targets
+        ):
+            self._hit(
+                node,
+                "RPL003",
+                "sim_ms assigned directly inside the device-simulation "
+                "layer; charge the cost model and read .total_ms",
+            )
+        self.generic_visit(node)
+
+    # -- RPL005/RPL006: exception hygiene -------------------------------------
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._hit(
+                node,
+                "RPL005",
+                "bare except: also swallows KeyboardInterrupt; name the "
+                "exception type",
+            )
+        elif len(node.body) == 1 and isinstance(node.body[0], ast.Pass):
+            names = []
+            types = (
+                node.type.elts if isinstance(node.type, ast.Tuple) else [node.type]
+            )
+            for t in types:
+                if isinstance(t, ast.Name):
+                    names.append(t.id)
+                elif isinstance(t, ast.Attribute):
+                    names.append(t.attr)
+            swallowed = sorted(set(names) & _SWALLOWABLE)
+            if swallowed:
+                self._hit(
+                    node,
+                    "RPL006",
+                    f"except {'/'.join(swallowed)} with a pass body "
+                    "silently swallows the error; handle or re-raise",
+                )
+        self.generic_visit(node)
+
+
+def lint_source(source: str, path) -> List[Violation]:
+    """Lint one source string; ``path`` scopes the directory rules."""
+    path = PurePath(path)
+    suppressions = _collect_suppressions(source)
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Violation(
+                file=str(path),
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                rule="RPL999",
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    checker = _Checker(path)
+    checker.visit(tree)
+
+    by_line: Dict[int, _Suppression] = {s.line: s for s in suppressions}
+    kept = [
+        v
+        for v in checker.violations
+        if not (v.line in by_line and v.rule in by_line[v.line].rules)
+    ]
+    for s in suppressions:
+        if s.malformed:
+            kept.append(
+                Violation(
+                    file=str(path),
+                    line=s.line,
+                    col=s.col,
+                    rule="RPL000",
+                    message="malformed repro-lint suppression; expected "
+                    "'# repro-lint: disable=RPLxxx — justification'",
+                )
+            )
+        elif not s.justified:
+            kept.append(
+                Violation(
+                    file=str(path),
+                    line=s.line,
+                    col=s.col,
+                    rule="RPL000",
+                    message="suppression lacks a justification; state why "
+                    "after the rule list",
+                )
+            )
+    kept.sort(key=lambda v: (v.file, v.line, v.col, v.rule))
+    return kept
+
+
+def lint_file(path) -> List[Violation]:
+    """Lint one Python file on disk."""
+    p = Path(path)
+    return lint_source(p.read_text(encoding="utf-8"), p)
+
+
+def _iter_python_files(paths: Sequence) -> Iterator[Path]:
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            yield from sorted(p.rglob("*.py"))
+        elif p.suffix == ".py" or p.is_file():
+            yield p
+        else:
+            raise FileNotFoundError(f"no such file or directory: {p}")
+
+
+def lint_paths(paths: Sequence) -> List[Violation]:
+    """Lint every ``.py`` file under the given files/directories."""
+    out: List[Violation] = []
+    for p in _iter_python_files(paths):
+        out.extend(lint_file(p))
+    return out

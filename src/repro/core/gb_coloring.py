@@ -33,11 +33,11 @@ reproduce the unmasked cost for the ``ablate.masking`` bench.
 
 from __future__ import annotations
 
-import time
 from typing import Optional
 
 import numpy as np
 
+from .._clock import wall_timer
 from .._rng import RngLike, ensure_rng
 from ..errors import ColoringError
 from ..gpusim.cost_model import CostModel
@@ -119,6 +119,18 @@ def _find_frontier(
         if cost is not None:
             cost.charge_gb_overhead(name="vxm_max.dispatch")
             cost.charge_vxm(A.nvals, n, name="vxm_max")
+            san = cost.sanitizer
+            if san is not None:
+                # The op ran uncharged (cost=None) so it did not record
+                # itself; certify the same push-scatter reduction here.
+                with san.kernel("vxm_max") as k:
+                    widx = np.flatnonzero(weight.present)
+                    k.read("u@vxm_max", widx, lane=widx)
+                    k.write(
+                        "out@vxm_max",
+                        np.flatnonzero(max_v.present),
+                        reduction=True,
+                    )
     frontier = Vector.new(BOOL, n)
     ewise_add(
         frontier, None, None, binaryop.GT, weight, max_v, cost=cost, name="frontier_gt"
@@ -147,7 +159,7 @@ def graphblas_is_coloring(
     """
     if weights not in ("random", "degree"):
         raise ColoringError(f"unknown weights scheme {weights!r}")
-    t0 = time.perf_counter()
+    timer = wall_timer()
     n = graph.num_vertices
     gen = ensure_rng(rng)
     cost = CostModel(device)
@@ -180,7 +192,7 @@ def graphblas_is_coloring(
         graph_name=graph.name,
         iterations=iterations,
         sim_ms=cost.total_ms,
-        wall_s=time.perf_counter() - t0,
+        wall_s=timer.elapsed_s(),
         counters=cost.counters,
     )
 
@@ -217,6 +229,18 @@ def _mis_inner(
         if cost is not None:
             cost.charge_gb_overhead(name="vxm_nbr.dispatch")
             cost.charge_vxm(uncolored_arcs, frontier.nvals, name="vxm_nbr")
+            san = cost.sanitizer
+            if san is not None:
+                # Charged manually (no work-skipping, §V-C), so record
+                # the boolean-semiring scatter reduction manually too.
+                with san.kernel("vxm_nbr") as k:
+                    fidx = np.flatnonzero(frontier.present)
+                    k.read("u@vxm_nbr", fidx, lane=fidx)
+                    k.write(
+                        "out@vxm_nbr",
+                        np.flatnonzero(nbrs.present),
+                        reduction=True,
+                    )
         assign(weight, nbrs, None, 0, cost=cost, name="drop_nbrs")
         cost.charge_sync(name="mis_inner_sync")
     raise ColoringError("MIS inner loop failed to converge")
@@ -233,7 +257,7 @@ def graphblas_mis_coloring(
     Each outer iteration draws fresh random weights over the uncolored
     vertices, extracts one *maximal* independent set, and colors it.
     """
-    t0 = time.perf_counter()
+    timer = wall_timer()
     n = graph.num_vertices
     gen = ensure_rng(rng)
     cost = CostModel(device)
@@ -267,7 +291,7 @@ def graphblas_mis_coloring(
         graph_name=graph.name,
         iterations=iterations,
         sim_ms=cost.total_ms,
-        wall_s=time.perf_counter() - t0,
+        wall_s=timer.elapsed_s(),
         counters=cost.counters,
     )
 
@@ -319,6 +343,13 @@ def _jpl_min_color(
         cost.charge_host_transfer(4 * used, name="jpl_h2d_fill")
         cost.charge_gb_overhead(name="jpl_scatter.dispatch")
         cost.charge_map(len(used_positions), name="jpl_scatter")
+        san = cost.sanitizer
+        if san is not None:
+            # Mirror of the GxB_scatter the literal formulation issues
+            # (several neighbors may share a color slot; idempotent
+            # atomic store — same declaration gxb_scatter itself makes).
+            with san.kernel("jpl_scatter") as k:
+                k.write("colors_arr@jpl_scatter", used_positions, atomic=True)
         # Masked identity over the ascending array, then the min-reduce
         # over the entries surviving the complement mask.
         cost.charge_gb_overhead(name="jpl_mask_unused.dispatch")
@@ -394,7 +425,7 @@ def graphblas_jpl_coloring(
     plain IS (Fig. 1b) at roughly double the per-iteration cost
     (Fig. 1a / §V-C).
     """
-    t0 = time.perf_counter()
+    timer = wall_timer()
     n = graph.num_vertices
     gen = ensure_rng(rng)
     cost = CostModel(device)
@@ -432,6 +463,6 @@ def graphblas_jpl_coloring(
         graph_name=graph.name,
         iterations=iterations,
         sim_ms=cost.total_ms,
-        wall_s=time.perf_counter() - t0,
+        wall_s=timer.elapsed_s(),
         counters=cost.counters,
     )

@@ -21,11 +21,11 @@ divide edge work by ``num_threads``; the sequential resolution does not.
 
 from __future__ import annotations
 
-import time
 from typing import Optional
 
 import numpy as np
 
+from .._clock import wall_timer
 from .._rng import RngLike, ensure_rng
 from ..errors import ColoringError
 from ..gpusim.device import CPUSpec, HOST_CPU
@@ -62,7 +62,7 @@ def gebremedhin_manne_coloring(
         raise ColoringError("num_threads must be >= 1")
     if superstep < 1:
         raise ColoringError("superstep must be >= 1")
-    t0 = time.perf_counter()
+    timer = wall_timer()
     n = graph.num_vertices
     gen = ensure_rng(rng)
     offsets, indices = graph.offsets, graph.indices
@@ -124,5 +124,5 @@ def gebremedhin_manne_coloring(
         graph_name=graph.name,
         iterations=1,
         sim_ms=sim_ms,
-        wall_s=time.perf_counter() - t0,
+        wall_s=timer.elapsed_s(),
     )

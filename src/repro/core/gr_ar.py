@@ -15,11 +15,11 @@ why Table II reports it as the slowest variant by a wide margin.
 
 from __future__ import annotations
 
-import time
 from typing import Optional
 
 import numpy as np
 
+from .._clock import wall_timer
 from .._rng import RngLike, ensure_rng
 from ..gpusim.cost_model import CostModel
 from ..gpusim.device import DeviceSpec
@@ -46,7 +46,7 @@ def gunrock_ar_coloring(
     device: Optional[DeviceSpec] = None,
 ) -> ColoringResult:
     """Color ``graph`` with the Gunrock Advance-Reduce primitive (Alg. 7)."""
-    t0 = time.perf_counter()
+    timer = wall_timer()
     n = graph.num_vertices
     gen = ensure_rng(rng)
     cost = CostModel(device)
@@ -63,6 +63,11 @@ def gunrock_ar_coloring(
         # Fresh randomness per iteration, matching the other variants.
         keys = _tie_broken_keys(n, gen)
         cost.charge_map(len(frontier), name="rand_kernel")
+        san = cost.sanitizer
+        if san is not None:
+            with san.kernel("rand_kernel") as k:
+                lanes = np.arange(n, dtype=np.int64)
+                k.write("keys", lanes, lane=lanes)
         # Advance: materialize the neighbor frontier of active vertices,
         # keeping only neighbors not yet removed/colored (Alg. 7 line 17).
         ef = advance(ctx, frontier, name="advance_op")
@@ -77,6 +82,18 @@ def gunrock_ar_coloring(
         def color_removed_op(ids: np.ndarray) -> None:
             winners = keys[ids] > seg_max
             colors[ids[winners]] = it + 1
+            if san is not None:
+                with san.kernel("color_removed_op") as k:
+                    # Thread v compares its own key with its segment's
+                    # reduced max and writes only its own color slot.
+                    k.read("keys", ids, lane=ids)
+                    k.read(
+                        "seg_max",
+                        np.arange(len(ids), dtype=np.int64),
+                        lane=ids,
+                    )
+                    won = ids[winners]
+                    k.write("colors", won, lane=won)
 
         compute(ctx, frontier, color_removed_op, name="color_removed_op", loop="map")
         ctx.sync(name="color_sync")
@@ -93,6 +110,6 @@ def gunrock_ar_coloring(
         graph_name=graph.name,
         iterations=iterations,
         sim_ms=cost.total_ms,
-        wall_s=time.perf_counter() - t0,
+        wall_s=timer.elapsed_s(),
         counters=cost.counters,
     )

@@ -26,11 +26,11 @@ progress.
 
 from __future__ import annotations
 
-import time
 from typing import Optional
 
 import numpy as np
 
+from .._clock import wall_timer
 from .._rng import RngLike, ensure_rng
 from ..gpusim.cost_model import CostModel
 from ..gpusim.device import DeviceSpec
@@ -63,7 +63,7 @@ def gunrock_hash_coloring(
     device: Optional[DeviceSpec] = None,
 ) -> ColoringResult:
     """Color ``graph`` with the Gunrock hash primitive (Alg. 6)."""
-    t0 = time.perf_counter()
+    timer = wall_timer()
     n = graph.num_vertices
     gen = ensure_rng(rng)
     cost = CostModel(device)
@@ -144,13 +144,29 @@ def gunrock_hash_coloring(
         )
         colors[losers] = 0
         failed_reuse[losers] = True
+        champion = -1
         if not (colors[proposed] > 0).any():
             # Whole round wiped: the top-priority proposal retakes this
             # iteration's fresh color, which no *finalized* vertex holds
             # (every earlier taker of it was just uncolored above).
-            champion = proposed[np.argmax(keys[proposed])]
+            champion = int(proposed[np.argmax(keys[proposed])])
             colors[champion] = max_color_used + 1
             max_color_used += 1
+        san = cost.sanitizer
+        if san is not None:
+            with san.kernel("conflict_op") as k:
+                # Each proposal's thread rescans its neighborhood; both
+                # endpoints of a violation may try to uncolor the same
+                # loser — an idempotent store of 0, declared atomic (the
+                # hazard class Alg. 6's conflict resolution embraces).
+                k.read("colors", nbrs, lane=owners)
+                k.read("keys", nbrs, lane=owners)
+                k.write("colors", losers, atomic=True)
+                k.write("failed_reuse", losers, atomic=True)
+                if champion >= 0:
+                    # Champion re-issue: a single CAS claiming the
+                    # iteration's fresh color.
+                    k.write("colors", np.array([champion]), atomic=True)
 
     def update_tables(survivors: np.ndarray) -> None:
         """Fold this round's new colors into the neighbors' prohibited-
@@ -182,17 +198,49 @@ def gunrock_hash_coloring(
         ok = slot < hash_size
         table[w[ok], slot[ok]] = c[ok]
         np.add.at(table_used, w[ok], (np.int64(1)))
+        san = cost.sanitizer
+        if san is not None:
+            with san.kernel("hash_gen_op") as k:
+                # Each survivor's thread folds its color into its
+                # uncolored neighbors' tables: slots are claimed with an
+                # atomicAdd on table_used, so concurrent inserts into
+                # one vertex's table are serialized by the counter.
+                k.read("colors", np.concatenate([owners, nbrs]))
+                k.write("table_used", w[ok], reduction=True)
+                k.write(
+                    "table",
+                    w[ok] * np.int64(table.shape[1]) + slot[ok],
+                    atomic=True,
+                )
 
     def iteration(it: int) -> bool:
         nonlocal frontier, keys
         keys = _tie_broken_keys(n, gen)
         cost.charge_map(len(frontier), name="rand_kernel")
+        san = cost.sanitizer
+        if san is not None:
+            with san.kernel("rand_kernel") as k:
+                lanes = np.arange(n, dtype=np.int64)
+                k.write("keys", lanes, lane=lanes)
         holder = {}
 
         def hash_color_op(ids: np.ndarray) -> None:
             proposed = propose(ids)
             reuse_colors(proposed)
             holder["proposed"] = proposed
+            if san is not None:
+                owners, nbrs = _segments(graph, ids)
+                with san.kernel("hash_color_op") as k:
+                    # Each active thread scans its neighbors' colors and
+                    # keys, consults the nominee's prohibited-color
+                    # table, and nominates by storing a color — several
+                    # owners may nominate the same neighbor, so the
+                    # store is an atomicCAS arbitrated later by the
+                    # conflict-resolution pass.
+                    k.read("colors", nbrs, lane=owners)
+                    k.read("keys", nbrs, lane=owners)
+                    k.read("table", proposed)
+                    k.write("colors", proposed, atomic=True)
 
         compute(ctx, frontier, hash_color_op, name="hash_color_op", loop="serial")
         ctx.sync(name="propose_sync")
@@ -218,6 +266,6 @@ def gunrock_hash_coloring(
         graph_name=graph.name,
         iterations=iterations,
         sim_ms=cost.total_ms,
-        wall_s=time.perf_counter() - t0,
+        wall_s=timer.elapsed_s(),
         counters=cost.counters,
     )

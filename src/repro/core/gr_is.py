@@ -20,11 +20,11 @@ Variants (the rows of Table II):
 
 from __future__ import annotations
 
-import time
 from typing import Optional
 
 import numpy as np
 
+from .._clock import wall_timer
 from .._rng import RngLike, ensure_rng, random_weights
 from ..gpusim.cost_model import CostModel
 from ..gpusim.device import DeviceSpec
@@ -70,7 +70,7 @@ def gunrock_is_coloring(
     device: Optional[DeviceSpec] = None,
 ) -> ColoringResult:
     """Color ``graph`` with the Gunrock IS primitive (Alg. 5)."""
-    t0 = time.perf_counter()
+    timer = wall_timer()
     n = graph.num_vertices
     gen = ensure_rng(rng)
     cost = CostModel(device)
@@ -92,6 +92,11 @@ def gunrock_is_coloring(
         # is unaffected, and color counts become directly comparable).
         keys = _tie_broken_keys(n, gen)
         cost.charge_map(len(frontier), name="rand_kernel")
+        san = cost.sanitizer
+        if san is not None:
+            with san.kernel("rand_kernel") as k:
+                lanes = np.arange(n, dtype=np.int64)
+                k.write("keys", lanes, lane=lanes)
 
         def color_op(ids: np.ndarray) -> None:
             # Serial neighbor loop: compare own key with every active
@@ -106,6 +111,24 @@ def gunrock_is_coloring(
                 # vertex with no active neighbor ends at color + 2.
                 colors[colormin] = base + 2
                 newly[:] = colormax | colormin
+            if san is not None:
+                with san.kernel("color_op") as k:
+                    # Thread v scans its own neighbor list: it reads the
+                    # superstep-start snapshot mask and its neighbors'
+                    # keys, then writes only its own color slot (twice,
+                    # max then min, for a lonely vertex — same lane, so
+                    # kernel-internal program order, not a race).
+                    src = np.repeat(
+                        np.arange(n, dtype=np.int64), graph.degrees
+                    )
+                    k.read("active", graph.indices, lane=src)
+                    k.read("keys", graph.indices, lane=src)
+                    wmax = np.flatnonzero(colormax)
+                    k.write("colors", wmax, lane=wmax)
+                    if min_max:
+                        wmin = np.flatnonzero(colormin)
+                        k.write("colors", wmin, lane=wmin)
+                    k.write("newly", ids, lane=ids)
 
         compute(ctx, frontier, color_op, name="color_op", loop="serial")
 
@@ -122,9 +145,28 @@ def gunrock_is_coloring(
                 loop="map",
                 atomics=n_new,
             )
+            if san is not None:
+                with san.kernel("check_op") as k:
+                    # Every newly colored thread atomically increments
+                    # one global counter (the Table II atomics variant).
+                    k.read("newly", frontier.ids, lane=frontier.ids)
+                    k.write(
+                        "colored_counter",
+                        np.zeros(n_new, dtype=np.int64),
+                        atomic=True,
+                    )
         else:
             compute(ctx, frontier, lambda ids: None, name="check_op", loop="map")
             cost.charge_reduce(len(frontier), name="check_reduce")
+            if san is not None:
+                with san.kernel("check_reduce") as k:
+                    # Separate tree-reduction kernel over the flags.
+                    k.read("newly", frontier.ids, lane=frontier.ids)
+                    k.write(
+                        "colored_count",
+                        np.zeros(len(frontier), dtype=np.int64),
+                        reduction=True,
+                    )
         ctx.sync(name="check_sync")
 
         frontier = filter_frontier(
@@ -140,6 +182,6 @@ def gunrock_is_coloring(
         graph_name=graph.name,
         iterations=iterations,
         sim_ms=cost.total_ms,
-        wall_s=time.perf_counter() - t0,
+        wall_s=timer.elapsed_s(),
         counters=cost.counters,
     )

@@ -27,11 +27,11 @@ reproduced without the authors' Xeon.
 
 from __future__ import annotations
 
-import time
 from typing import Optional, Union
 
 import numpy as np
 
+from .._clock import wall_timer
 from .._rng import RngLike
 from ..errors import ColoringError
 from ..gpusim.device import CPUSpec, HOST_CPU
@@ -189,12 +189,12 @@ def greedy_coloring(
         if sorted(order.tolist()) != list(range(n)):
             raise ColoringError("ordering must be a permutation of range(n)")
 
-    t0 = time.perf_counter()
+    timer = wall_timer()
     if n < 4 * _MIN_FRONTIER:
         colors = _greedy_colors_scalar(graph, order)
     else:
         colors = _greedy_colors_vectorized(graph, order)
-    wall = time.perf_counter() - t0
+    wall = timer.elapsed_s()
 
     spec = cpu if cpu is not None else HOST_CPU
     sim_ms = (graph.num_arcs * spec.edge_ns + n * spec.vertex_ns) / 1e6
@@ -220,7 +220,7 @@ def dsatur_coloring(
     EXPERIMENTS.md and the ordering ablation.
     """
     n = graph.num_vertices
-    t0 = time.perf_counter()
+    timer = wall_timer()
     colors = np.zeros(n, dtype=np.int64)
     offsets, indices = graph.offsets, graph.indices
     degrees = graph.degrees
@@ -247,7 +247,7 @@ def dsatur_coloring(
             if uncolored[u] and c not in seen[u]:
                 seen[u].add(c)
                 saturation[u] += 1
-    wall = time.perf_counter() - t0
+    wall = timer.elapsed_s()
     spec = cpu if cpu is not None else HOST_CPU
     # DSATUR pays an extra priority-queue factor over plain greedy.
     sim_ms = (

@@ -22,11 +22,11 @@ apples-to-apples with the Gunrock/GraphBLAST implementations.
 
 from __future__ import annotations
 
-import time
 from typing import Optional
 
 import numpy as np
 
+from .._clock import wall_timer
 from .._rng import RngLike, ensure_rng
 from ..errors import ColoringError
 from ..gpusim.cost_model import CostModel
@@ -113,7 +113,7 @@ def naumov_jpl_coloring(
     device: Optional[DeviceSpec] = None,
 ) -> ColoringResult:
     """The JPL comparator: one re-randomized independent set per color."""
-    t0 = time.perf_counter()
+    timer = wall_timer()
     n = graph.num_vertices
     gen = ensure_rng(rng)
     cost = CostModel(device)
@@ -136,6 +136,16 @@ def naumov_jpl_coloring(
         nmax, _ = _active_extrema(graph, keys, active)
         winners = active & (keys > nmax)
         colors[winners] = iterations
+        san = cost.sanitizer
+        if san is not None:
+            with san.kernel("jpl_kernel") as k:
+                # Thread v scans its arcs against the iteration-start
+                # activity snapshot and writes only its own color slot.
+                src = np.repeat(np.arange(n, dtype=np.int64), graph.degrees)
+                k.read("active", graph.indices, lane=src)
+                k.read("keys", graph.indices, lane=src)
+                won = np.flatnonzero(winners)
+                k.write("colors", won, lane=won)
         cost.charge_reduce(n_active, name="done_check")
         cost.charge_sync(name="iter_sync")
 
@@ -145,7 +155,7 @@ def naumov_jpl_coloring(
         graph_name=graph.name,
         iterations=iterations,
         sim_ms=cost.total_ms,
-        wall_s=time.perf_counter() - t0,
+        wall_s=timer.elapsed_s(),
         counters=cost.counters,
     )
 
@@ -169,7 +179,7 @@ def naumov_cc_coloring(
     """
     if num_hashes < 1:
         raise ColoringError("num_hashes must be >= 1")
-    t0 = time.perf_counter()
+    timer = wall_timer()
     n = graph.num_vertices
     gen = ensure_rng(rng)
     cost = CostModel(device)
@@ -198,6 +208,8 @@ def naumov_cc_coloring(
         snapshot = active
         compressed = _active_snapshot(graph, active) if graph.undirected else None
         remaining = active.copy()
+        san = cost.sanitizer
+        sweep_writes = []
         for k in range(num_hashes):
             keys = _fresh_keys(n, gen)
             if compressed is not None:
@@ -216,6 +228,21 @@ def naumov_cc_coloring(
             colors[maxima] = base + 2 * k + 1
             colors[minima] = base + 2 * k + 2
             remaining = remaining & (colors == 0)
+            if san is not None:
+                sweep_writes.append(np.flatnonzero(maxima))
+                sweep_writes.append(np.flatnonzero(minima))
+        if san is not None:
+            with san.kernel("cc_kernel") as sk:
+                # One kernel evaluates every hash of the sweep against
+                # the sweep-start snapshot; thread v writes only its own
+                # color slot, and the ``remaining`` exclusion guarantees
+                # the hash classes never double-write a vertex.
+                src = np.repeat(np.arange(n, dtype=np.int64), graph.degrees)
+                sk.read("active_snapshot", graph.indices, lane=src)
+                won = np.concatenate(sweep_writes) if sweep_writes else (
+                    np.empty(0, dtype=np.int64)
+                )
+                sk.write("colors", won, lane=won)
         cost.charge_reduce(n_active, name="done_check")
         cost.charge_sync(name="iter_sync")
 
@@ -225,6 +252,6 @@ def naumov_cc_coloring(
         graph_name=graph.name,
         iterations=sweeps,
         sim_ms=cost.total_ms,
-        wall_s=time.perf_counter() - t0,
+        wall_s=timer.elapsed_s(),
         counters=cost.counters,
     )

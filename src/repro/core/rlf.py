@@ -17,11 +17,11 @@ vertex, instead of the naive O(n²·Δ) rescan.
 
 from __future__ import annotations
 
-import time
 from typing import Optional
 
 import numpy as np
 
+from .._clock import wall_timer
 from ..gpusim.device import CPUSpec, HOST_CPU
 from ..graph.csr import CSRGraph
 from .result import ColoringResult
@@ -34,7 +34,7 @@ def rlf_coloring(graph: CSRGraph, *, cpu: Optional[CPUSpec] = None) -> ColoringR
 
     Deterministic (ties broken toward lower vertex id).
     """
-    t0 = time.perf_counter()
+    timer = wall_timer()
     n = graph.num_vertices
     colors = np.zeros(n, dtype=np.int64)
     offsets, indices = graph.offsets, graph.indices
@@ -81,7 +81,7 @@ def rlf_coloring(graph: CSRGraph, *, cpu: Optional[CPUSpec] = None) -> ColoringR
                 np.add.at(score, neighbors_of(int(w)), 1)
             if len(fresh):
                 key = score * S_SCORE + sub_deg * S_ID + id_term
-    wall = time.perf_counter() - t0
+    wall = timer.elapsed_s()
     spec = cpu if cpu is not None else HOST_CPU
     # Each color class rescans the remaining subgraph's arcs (the RLF
     # scoring), so sequential cost scales with arcs x classes.

@@ -19,11 +19,11 @@ rounds on dense regions.
 
 from __future__ import annotations
 
-import time
 from typing import Optional
 
 import numpy as np
 
+from .._clock import wall_timer
 from .._rng import RngLike, ensure_rng
 from ..errors import ColoringError
 from ..gpusim.cost_model import CostModel
@@ -80,7 +80,7 @@ def speculative_gpu_coloring(
     device: Optional[DeviceSpec] = None,
 ) -> ColoringResult:
     """Deveci-style speculative GPU coloring with conflict rework."""
-    t0 = time.perf_counter()
+    timer = wall_timer()
     n = graph.num_vertices
     gen = ensure_rng(rng)
     cost = CostModel(device)
@@ -128,6 +128,6 @@ def speculative_gpu_coloring(
         graph_name=graph.name,
         iterations=rounds,
         sim_ms=cost.total_ms,
-        wall_s=time.perf_counter() - t0,
+        wall_s=timer.elapsed_s(),
         counters=cost.counters,
     )

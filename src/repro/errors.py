@@ -79,6 +79,33 @@ class SimulationError(ReproError):
     """Cost-model / device-spec configuration problems."""
 
 
+class RaceError(SimulationError):
+    """The superstep race sanitizer detected an intra-kernel data race.
+
+    Raised (only when ``REPRO_SANITIZE=1``) when two distinct logical
+    GPU threads write the same array element in one kernel launch, or
+    one thread writes an element another thread reads, without the
+    kernel declaring the access atomic or a reduction.  Carries
+    ``kernel``, ``array``, ``superstep`` and ``index`` attributes for
+    diagnostics.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        kernel: str = "",
+        array: str = "",
+        superstep: int = -1,
+        index: int = -1,
+    ) -> None:
+        super().__init__(message)
+        self.kernel = kernel
+        self.array = array
+        self.superstep = superstep
+        self.index = index
+
+
 class ColoringError(ReproError):
     """A coloring algorithm was invoked with unusable inputs."""
 

@@ -9,6 +9,11 @@ copies) is charged to a :class:`CostModel` parameterized by a
 from .cost_model import CostModel
 from .counters import KernelRecord, SimCounters
 from .device import CPUSpec, DeviceSpec, HOST_CPU, K40C
+from .sanitizer import (
+    KernelCertificate,
+    SuperstepSanitizer,
+    sanitize_enabled,
+)
 from .warp import warp_imbalance_factor, warp_lockstep_work
 
 __all__ = [
@@ -19,6 +24,9 @@ __all__ = [
     "CPUSpec",
     "K40C",
     "HOST_CPU",
+    "SuperstepSanitizer",
+    "KernelCertificate",
+    "sanitize_enabled",
     "warp_lockstep_work",
     "warp_imbalance_factor",
 ]

@@ -39,6 +39,7 @@ import numpy as np
 from ..errors import SimulationError
 from .counters import KernelRecord, SimCounters
 from .device import K40C, DeviceSpec
+from .sanitizer import SuperstepSanitizer, sanitize_enabled
 from .warp import warp_lockstep_work
 
 __all__ = ["CostModel"]
@@ -47,11 +48,21 @@ _NS_PER_MS = 1e6
 
 
 class CostModel:
-    """Accumulates simulated kernel costs for one algorithm run."""
+    """Accumulates simulated kernel costs for one algorithm run.
+
+    When ``REPRO_SANITIZE=1`` the model also carries a
+    :class:`~repro.gpusim.sanitizer.SuperstepSanitizer` on
+    ``self.sanitizer`` (``None`` otherwise); instrumented kernels use
+    it to record per-lane array accesses, and :meth:`charge_sync`
+    advances its superstep counter.
+    """
 
     def __init__(self, device: Optional[DeviceSpec] = None) -> None:
         self.device = device if device is not None else K40C
         self.counters = SimCounters()
+        self.sanitizer: Optional[SuperstepSanitizer] = (
+            SuperstepSanitizer() if sanitize_enabled() else None
+        )
 
     # -- generic helpers ----------------------------------------------------
 
@@ -149,6 +160,8 @@ class CostModel:
 
     def charge_sync(self, *, name: str = "sync") -> float:
         """One global synchronization (kernel boundary / enactor barrier)."""
+        if self.sanitizer is not None:
+            self.sanitizer.advance_superstep()
         return self._record(name, "sync", 0, self.device.sync_ms)
 
     def charge_gb_overhead(self, *, name: str = "gb_dispatch") -> float:

@@ -1,0 +1,300 @@
+"""Runtime superstep race sanitizer for the bulk-synchronous GPU model.
+
+Our kernels execute as vectorized NumPy, which hides a class of bug the
+real GPU implementations must design around: two CUDA threads of one
+kernel launch writing the same array element (the hazard behind the
+paper's hash-coloring conflict-resolution pass, Alg. 6, and the "with
+atomics" row of Table II).  NumPy serializes such writes and silently
+picks a winner, so a port that would be racy on the device can look
+deterministic here.  The sanitizer makes the hazard visible again.
+
+When ``REPRO_SANITIZE=1``, every :class:`~repro.gpusim.CostModel`
+carries a :class:`SuperstepSanitizer`.  Instrumented kernels open a
+scope with :meth:`SuperstepSanitizer.kernel` and record which array
+elements each *logical GPU thread* (a "lane") reads and writes::
+
+    san = cost.sanitizer
+    if san is not None:
+        with san.kernel("color_op") as k:
+            k.read("keys", nbrs, lane=owners)
+            k.write("colors", winners, lane=winners)           # own-slot
+            k.write("colors", proposed, atomic=True)           # atomicCAS
+            k.write("degree_sum", seg_of, reduction=True)      # ufunc.at
+
+At scope close the sanitizer checks, per array:
+
+* **write–write**: an element written by two *distinct* lanes races,
+  unless every write to it is declared ``atomic=True`` or
+  ``reduction=True``;
+* **read–write**: an element both read and (plainly) written races
+  unless every such read comes from the writing lane itself.
+
+Violations raise :class:`~repro.errors.RaceError`.  ``lane=None``
+means the accesses come from anonymous, pairwise-distinct threads
+(e.g. one thread per edge-frontier slot), so duplicate plain-write
+indices always race.  Repeated accesses from one lane never race —
+a thread may rewrite its own slot freely (kernel-internal program
+order).
+
+The race scope is a single kernel launch: kernels issued to one GPU
+stream serialize, so a later kernel reading what an earlier one wrote
+is ordered, not racy.  :meth:`advance_superstep` (called by
+``CostModel.charge_sync``) only advances a counter used to timestamp
+certificates and error messages.
+
+Certification: each checked scope appends a :class:`KernelCertificate`
+to the sanitizer; :func:`take_reports` hands tests the sanitizers
+created since the last :func:`reset_reports`, so a suite can assert
+every kernel of an algorithm was checked race-free or atomic-declared.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..errors import RaceError
+
+__all__ = [
+    "ENV_VAR",
+    "sanitize_enabled",
+    "SuperstepSanitizer",
+    "KernelScope",
+    "KernelCertificate",
+    "reset_reports",
+    "take_reports",
+]
+
+ENV_VAR = "REPRO_SANITIZE"
+
+
+def sanitize_enabled() -> bool:
+    """Whether the sanitizer is switched on (``REPRO_SANITIZE``)."""
+    return os.environ.get(ENV_VAR, "").strip().lower() in (
+        "1",
+        "true",
+        "yes",
+        "on",
+    )
+
+
+@dataclass
+class KernelCertificate:
+    """The outcome of checking one kernel launch (no race found)."""
+
+    kernel: str
+    superstep: int
+    #: Arrays whose access sets were checked in this launch.
+    arrays: Set[str] = field(default_factory=set)
+    #: ``(array, "atomic" | "reduction")`` declarations the kernel made.
+    declared: Set[Tuple[str, str]] = field(default_factory=set)
+
+
+class KernelScope:
+    """Accumulates one kernel launch's per-array access records."""
+
+    def __init__(self, sanitizer: "SuperstepSanitizer", name: str) -> None:
+        self._san = sanitizer
+        self.name = name
+        self._anon = 0
+        # array -> list of (idx, lane, declared_kind or None)
+        self._writes: Dict[str, List[tuple]] = {}
+        self._reads: Dict[str, List[tuple]] = {}
+        self._declared: Set[Tuple[str, str]] = set()
+
+    # -- recording ----------------------------------------------------------
+
+    def _coerce(self, idx, lane) -> Tuple[np.ndarray, np.ndarray]:
+        i = np.asarray(idx)
+        if i.dtype == bool:
+            i = np.flatnonzero(i)
+        i = i.reshape(-1).astype(np.int64, copy=False)
+        if lane is None:
+            # Anonymous accesses: each element comes from its own fresh
+            # lane, pairwise distinct from every other lane in the scope.
+            lanes = -(self._anon + 1 + np.arange(len(i), dtype=np.int64))
+            self._anon += len(i)
+        else:
+            lanes = np.asarray(lane).reshape(-1).astype(np.int64, copy=False)
+            if len(lanes) != len(i):
+                raise ValueError(
+                    f"kernel {self.name!r}: lane array length {len(lanes)} "
+                    f"!= index array length {len(i)}"
+                )
+        return i, lanes
+
+    def read(self, array: str, idx, *, lane=None) -> None:
+        """Record that lanes ``lane`` read ``array[idx]`` elementwise."""
+        i, lanes = self._coerce(idx, lane)
+        if len(i):
+            self._reads.setdefault(array, []).append((i, lanes))
+
+    def write(
+        self,
+        array: str,
+        idx,
+        *,
+        lane=None,
+        atomic: bool = False,
+        reduction: bool = False,
+    ) -> None:
+        """Record that lanes ``lane`` wrote ``array[idx]`` elementwise.
+
+        ``atomic=True`` declares the store a hardware atomic (CAS /
+        exchange); ``reduction=True`` declares it a commutative
+        read-modify-write combine (``ufunc.at`` / segmented reduce).
+        Declared writes are exempt from race checks — the declaration
+        *is* the certification that cross-lane collisions are resolved
+        by the device, and it is recorded in the kernel certificate.
+        """
+        i, lanes = self._coerce(idx, lane)
+        kind = "atomic" if atomic else ("reduction" if reduction else None)
+        if kind is not None:
+            self._declared.add((array, kind))
+        if len(i):
+            self._writes.setdefault(array, []).append((i, lanes, kind))
+
+    # -- checking -----------------------------------------------------------
+
+    def _check_array(self, array: str, superstep: int) -> None:
+        writes = self._writes.get(array, [])
+        idx = np.concatenate([w[0] for w in writes])
+        lane = np.concatenate([w[1] for w in writes])
+        declared = np.concatenate(
+            [np.full(len(w[0]), w[2] is not None) for w in writes]
+        )
+        order = np.lexsort((lane, idx))
+        i, l, d = idx[order], lane[order], declared[order]
+        # Group writes by element: an element is safe iff all its writes
+        # are declared, or they all come from a single lane.
+        starts = np.ones(len(i), dtype=bool)
+        starts[1:] = i[1:] != i[:-1]
+        start_pos = np.flatnonzero(starts)
+        first_lane = np.repeat(l[start_pos], np.diff(np.append(start_pos, len(i))))
+        multi = np.logical_or.reduceat(l != first_lane, start_pos)
+        any_plain = np.logical_or.reduceat(~d, start_pos)
+        bad = multi & any_plain
+        if bad.any():
+            elem = int(i[start_pos[np.flatnonzero(bad)[0]]])
+            raise RaceError(
+                f"write-write race in kernel {self.name!r} "
+                f"(superstep {superstep}): array {array!r} element "
+                f"{elem} is written by multiple lanes without an "
+                "atomic/reduction declaration",
+                kernel=self.name,
+                array=array,
+                superstep=superstep,
+                index=elem,
+            )
+        # Read–write: plain writes only (declared writes arbitrate their
+        # visibility on the device).  After the WW pass every plainly
+        # written element has a single writer lane.
+        reads = self._reads.get(array, [])
+        if not reads or not (~declared).any():
+            return
+        plain = ~d
+        pi, pl = i[plain], l[plain]
+        keep = np.ones(len(pi), dtype=bool)
+        keep[1:] = pi[1:] != pi[:-1]
+        uniq_i, uniq_l = pi[keep], pl[keep]
+        for ridx, rlane in reads:
+            pos = np.searchsorted(uniq_i, ridx)
+            pos_ok = pos < len(uniq_i)
+            hit = np.zeros(len(ridx), dtype=bool)
+            hit[pos_ok] = uniq_i[pos[pos_ok]] == ridx[pos_ok]
+            if not hit.any():
+                continue
+            clash = rlane[hit] != uniq_l[pos[hit]]
+            if clash.any():
+                elem = int(ridx[hit][np.flatnonzero(clash)[0]])
+                raise RaceError(
+                    f"read-write race in kernel {self.name!r} "
+                    f"(superstep {superstep}): array {array!r} element "
+                    f"{elem} is read by a lane other than its writer "
+                    "without an atomic/reduction declaration",
+                    kernel=self.name,
+                    array=array,
+                    superstep=superstep,
+                    index=elem,
+                )
+
+    def _close(self) -> KernelCertificate:
+        superstep = self._san.superstep
+        for array in self._writes:
+            self._check_array(array, superstep)
+        cert = KernelCertificate(
+            kernel=self.name,
+            superstep=superstep,
+            arrays=set(self._writes) | set(self._reads),
+            declared=set(self._declared),
+        )
+        self._san.certificates.append(cert)
+        return cert
+
+
+class _ScopeContext:
+    def __init__(self, scope: KernelScope):
+        self._scope = scope
+
+    def __enter__(self) -> KernelScope:
+        return self._scope
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self._scope._close()
+
+
+class SuperstepSanitizer:
+    """Per-run race checker owned by a :class:`CostModel` when
+    ``REPRO_SANITIZE=1`` (``cost.sanitizer`` is ``None`` otherwise, so
+    instrumentation sites cost one attribute load when disabled)."""
+
+    def __init__(self) -> None:
+        self.superstep = 0
+        self.certificates: List[KernelCertificate] = []
+        _reports.append(self)
+
+    def advance_superstep(self) -> None:
+        """Called at every global sync (kernel-stream barrier)."""
+        self.superstep += 1
+
+    def kernel(self, name: str) -> _ScopeContext:
+        """Open an access-recording scope for one kernel launch; checks
+        run when the ``with`` block exits cleanly."""
+        return _ScopeContext(KernelScope(self, name))
+
+    # -- certification summaries -------------------------------------------
+
+    def declared(self) -> Set[Tuple[str, str]]:
+        """All ``(array, kind)`` atomic/reduction declarations made."""
+        out: Set[Tuple[str, str]] = set()
+        for cert in self.certificates:
+            out |= cert.declared
+        return out
+
+    def kernels_checked(self) -> Set[str]:
+        """Names of kernels that passed at least one checked launch."""
+        return {c.kernel for c in self.certificates}
+
+
+# -- report registry for tests ------------------------------------------------
+
+_reports: List[SuperstepSanitizer] = []
+
+
+def reset_reports() -> None:
+    """Forget all sanitizers created so far (test isolation)."""
+    _reports.clear()
+
+
+def take_reports() -> List[SuperstepSanitizer]:
+    """Return (and clear) the sanitizers created since the last reset.
+
+    Empty when ``REPRO_SANITIZE`` is off — no sanitizers are built.
+    """
+    out = list(_reports)
+    _reports.clear()
+    return out

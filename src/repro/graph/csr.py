@@ -176,7 +176,7 @@ class CSRGraph:
         n = self.num_vertices
         data = np.ones(self.num_arcs, dtype=np.int8)
         return csr_matrix(
-            (data, self._indices.astype(np.int32, copy=False), self._offsets),
+            (data, self._indices, self._offsets),
             shape=(n, n),
         )
 

@@ -48,6 +48,13 @@ def gxb_scatter(
     if cost is not None:
         cost.charge_gb_overhead(name=f"{name}.dispatch")
         cost.charge_map(len(positions), name=name)
+    san = cost.sanitizer if cost is not None else None
+    if san is not None:
+        with san.kernel(name) as k:
+            # Distinct source threads may scatter to the same target
+            # slot; declared atomic because every colliding write stores
+            # the same ``value`` (idempotent atomic exchange).
+            k.write(f"target@{name}", positions, atomic=True)
     target.values[positions] = value
     target.present[positions] = True
     return target

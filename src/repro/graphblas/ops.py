@@ -54,6 +54,23 @@ __all__ = [
 ]
 
 
+def _sanitizer(cost: Optional[CostModel]):
+    """The cost model's race sanitizer, or ``None`` when disabled.
+
+    GraphBLAS operations certify their kernels through the operator
+    layer: algorithm code built purely from these ops inherits the
+    race-freedom (or atomic/reduction declarations) recorded here.
+    """
+    return cost.sanitizer if cost is not None else None
+
+
+def _record_masked_write(k, name: str, target: np.ndarray) -> None:
+    """Record the masked merge into the output vector: one thread per
+    output position writes (or skips) its own slot."""
+    idx = np.flatnonzero(target)
+    k.write(f"w@{name}", idx, lane=idx)
+
+
 def _mask_array(
     mask: Optional[Vector], size: int, desc: Descriptor
 ) -> np.ndarray:
@@ -122,6 +139,10 @@ def assign(
     if cost is not None:
         cost.charge_gb_overhead(name=f"{name}.dispatch")
         cost.charge_map(int(m.sum()), name=name)
+    san = _sanitizer(cost)
+    if san is not None:
+        with san.kernel(name) as k:
+            _record_masked_write(k, name, m)
     zero = w.gtype.zero
     if not np.isscalar(value) and not isinstance(value, (int, float, bool, np.generic)):
         raise InvalidValue("assign expects a scalar value")
@@ -155,6 +176,14 @@ def apply(
     if cost is not None:
         cost.charge_gb_overhead(name=f"{name}.dispatch")
         cost.charge_map(u.nvals, name=name)
+    san = _sanitizer(cost)
+    if san is not None:
+        with san.kernel(name) as k:
+            src = np.flatnonzero(u.present)
+            k.read(f"u@{name}", src, lane=src)
+            _record_masked_write(
+                k, name, _mask_array(mask, w.size, desc) & u.present
+            )
     _write(w, mask, accum, res, u.present.copy(), desc)
     return w
 
@@ -216,6 +245,17 @@ def vxm(
         assert monoid.op.ufunc is not None, "additive monoid needs a ufunc"
         monoid.op.ufunc.at(out, dst, prod)
         hit[dst] = True
+    san = _sanitizer(cost)
+    if san is not None:
+        with san.kernel(name) as k:
+            # Push-style vxm: each present-row thread reads its own value
+            # and combines contributions into the destination slots — a
+            # declared cross-lane monoid reduction (ufunc.at above).
+            k.read(f"u@{name}", uidx, lane=uidx)
+            if push_edges:
+                k.write(f"out@{name}", dst, reduction=True)
+            final = _mask_array(mask, w.size, desc) & hit
+            _record_masked_write(k, name, final)
     _write(w, mask, accum, out, hit, desc)
     return w
 
@@ -269,6 +309,16 @@ def mxv(
             assert monoid.op.ufunc is not None
             monoid.op.ufunc.at(out, row_of[ok], prod)
             hit[row_of[ok]] = True
+    san = _sanitizer(cost)
+    if san is not None:
+        with san.kernel(name) as k:
+            # Pull-style mxv: each masked row's thread gathers its own
+            # neighbors and reduces into its own output slot.
+            if total:
+                row_lanes = np.repeat(rows, degs)
+                k.read(f"u@{name}", cols, lane=row_lanes)
+                k.write(f"out@{name}", row_lanes, lane=row_lanes)
+            _record_masked_write(k, name, m & hit)
     _write(w, mask, accum, out, hit, desc)
     return w
 
@@ -303,6 +353,15 @@ def _ewise(
     if cost is not None:
         cost.charge_gb_overhead(name=f"{name}.dispatch")
         cost.charge_map(int(present.sum()), name=name)
+    san = _sanitizer(cost)
+    if san is not None:
+        with san.kernel(name) as k:
+            src = np.flatnonzero(present)
+            k.read(f"u@{name}", src, lane=src)
+            k.read(f"v@{name}", src, lane=src)
+            _record_masked_write(
+                k, name, _mask_array(mask, w.size, desc) & present
+            )
     _write(w, mask, accum, res, present, desc)
     return w
 
@@ -355,6 +414,15 @@ def reduce_scalar(
     if cost is not None:
         cost.charge_gb_overhead(name=f"{name}.dispatch")
         cost.charge_reduce(len(vals), name=name)
+    san = _sanitizer(cost)
+    if san is not None:
+        with san.kernel(name) as k:
+            # Tree reduction: all lanes combine into one scalar slot.
+            k.write(
+                f"scalar@{name}",
+                np.zeros(int(u.present.sum()), dtype=np.int64),
+                reduction=True,
+            )
     return monoid.reduce(vals, dtype=u.gtype.dtype)
 
 
@@ -380,6 +448,14 @@ def extract(
     if cost is not None:
         cost.charge_gb_overhead(name=f"{name}.dispatch")
         cost.charge_map(len(idx), name=name)
+    san = _sanitizer(cost)
+    if san is not None:
+        with san.kernel(name) as k:
+            # Gather: output thread k reads u[indices[k]], writes slot k.
+            k.read(f"u@{name}", idx)
+            _record_masked_write(
+                k, name, _mask_array(mask, w.size, desc) & present
+            )
     _write(w, mask, accum, res, present, desc)
     return w
 
@@ -480,6 +556,10 @@ def assign_indexed(
     if cost is not None:
         cost.charge_gb_overhead(name=f"{name}.dispatch")
         cost.charge_map(int(target.sum()), name=name)
+    san = _sanitizer(cost)
+    if san is not None:
+        with san.kernel(name) as k:
+            _record_masked_write(k, name, target)
     zero = w.gtype.zero
     if desc.replace:
         w.present[:] = False
@@ -515,6 +595,14 @@ def apply_bind_second(
     if cost is not None:
         cost.charge_gb_overhead(name=f"{name}.dispatch")
         cost.charge_map(u.nvals, name=name)
+    san = _sanitizer(cost)
+    if san is not None:
+        with san.kernel(name) as k:
+            src = np.flatnonzero(u.present)
+            k.read(f"u@{name}", src, lane=src)
+            _record_masked_write(
+                k, name, _mask_array(mask, w.size, desc) & u.present
+            )
     _write(w, mask, accum, res, u.present.copy(), desc)
     return w
 
@@ -537,6 +625,14 @@ def select(
     if cost is not None:
         cost.charge_gb_overhead(name=f"{name}.dispatch")
         cost.charge_map(u.nvals, name=name)
+    san = _sanitizer(cost)
+    if san is not None:
+        with san.kernel(name) as k:
+            src = np.flatnonzero(u.present)
+            k.read(f"u@{name}", src, lane=src)
+            _record_masked_write(
+                k, name, _mask_array(mask, w.size, desc) & keep
+            )
     res = u.values.astype(w.gtype.dtype, copy=True)
     _write(w, mask, None, res, keep, desc)
     return w
@@ -570,5 +666,14 @@ def reduce_rows(
         rows = np.repeat(np.arange(A.nrows, dtype=np.int64), degs)
         assert monoid.op.ufunc is not None
         monoid.op.ufunc.at(out, rows, A.values.astype(w.gtype.dtype, copy=False))
+    san = _sanitizer(cost)
+    if san is not None:
+        with san.kernel(name) as k:
+            # Row-segmented reduction: each row's thread owns its slot.
+            if A.nvals:
+                k.write(f"out@{name}", rows, lane=rows)
+            _record_masked_write(
+                k, name, _mask_array(mask, w.size, desc) & (degs > 0)
+            )
     _write(w, mask, accum, out, degs > 0, desc)
     return w

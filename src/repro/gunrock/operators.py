@@ -105,6 +105,12 @@ def advance(
     # Load-balanced edge-parallel kernel that also materializes the
     # frontier to memory (the overhead §V-B attributes to AR).
     ctx.cost.charge_edge_balanced(total, name=name, eff=1.5)
+    san = ctx.cost.sanitizer
+    if san is not None:
+        with san.kernel(name) as k:
+            # One thread per output edge slot writes its own slot.
+            slots = np.arange(total, dtype=np.int64)
+            k.write(f"edge_frontier@{name}", slots, lane=slots)
     return EdgeFrontier(sources, targets, seg, frontier)
 
 
@@ -142,6 +148,17 @@ def neighbor_reduce(
     ctx.cost.charge_segmented_reduce(
         edge_frontier.num_edges, nseg, name=name
     )
+    san = ctx.cost.sanitizer
+    if san is not None:
+        with san.kernel(name) as k:
+            # Each edge thread reads its target's value and combines it
+            # into the segment slot — a declared cross-lane reduction.
+            k.read(f"values@{name}", edge_frontier.targets)
+            if edge_frontier.num_edges:
+                seg_lanes = np.repeat(
+                    np.arange(nseg, dtype=np.int64), np.diff(seg)
+                )
+                k.write(f"reduce_out@{name}", seg_lanes, reduction=True)
     if edge_frontier.num_edges == 0:
         out = np.full(nseg, identity, dtype=values.dtype)
         return out
@@ -181,4 +198,12 @@ def filter_frontier(
     if len(keep) != len(frontier):
         raise FrontierError("keep mask must align with the frontier")
     ctx.cost.charge_map(len(frontier), name=name)
-    return Frontier(frontier.ids[np.asarray(keep, dtype=bool)], _trusted=True)
+    kept = frontier.ids[np.asarray(keep, dtype=bool)]
+    san = ctx.cost.sanitizer
+    if san is not None:
+        with san.kernel(name) as k:
+            # Stream compaction: each surviving element lands in its own
+            # (prefix-sum-assigned) output slot.
+            slots = np.arange(len(kept), dtype=np.int64)
+            k.write(f"compacted@{name}", slots, lane=slots)
+    return Frontier(kept, _trusted=True)

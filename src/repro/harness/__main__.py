@@ -9,11 +9,15 @@ Examples::
     python -m repro.harness fig1 --jobs 8 --resume        # after a SIGINT
     python -m repro.harness all
 
+``python -m repro.harness lint`` runs the repro-lint static checks
+(:mod:`repro.analysis`) over the installed package — the same gate CI
+applies — without touching any experiment machinery.
+
 Exit status: 0 when every cell of every requested experiment
 completed with a valid coloring; 1 on usage errors; 3 when the run
 finished but one or more cells failed or produced an invalid coloring
 (the partial tables are still printed — scripts and CI use the exit
-code to detect degraded runs).
+code to detect degraded runs); 4 when ``lint`` found violations.
 """
 
 from __future__ import annotations
@@ -34,6 +38,9 @@ PROFILE_USAGE = "profile:DATASET:ALGO[,ALGO2]"
 
 #: Exit code for a run that completed with failed/invalid cells.
 EXIT_PARTIAL = 3
+
+#: Exit code for ``lint`` when repro-lint violations were found.
+EXIT_LINT = 4
 
 
 def _emit(rows, title: str, csv_path: Optional[str], json_path: Optional[str] = None, *, seed: int = 0, scale_div: Optional[int] = None) -> None:
@@ -60,7 +67,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="one of %s, 'all', or 'profile'" % ", ".join(EXPERIMENTS),
+        help="one of %s, 'all', 'profile', or 'lint'" % ", ".join(EXPERIMENTS),
     )
     parser.add_argument(
         "--dataset", default="G3_circuit", help="dataset for 'profile'"
@@ -143,6 +150,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         journal=False if args.no_journal else None,
     )
 
+    if args.experiment == "lint":
+        from pathlib import Path
+
+        from ..analysis.lint import lint_paths
+
+        package_root = Path(__file__).resolve().parents[1]
+        violations = lint_paths([package_root])
+        for v in violations:
+            print(v.render())
+        if violations:
+            print(
+                f"error: {len(violations)} repro-lint violation(s); see "
+                "docs/static-analysis.md",
+                file=sys.stderr,
+            )
+            return EXIT_LINT
+        print("repro-lint: clean")
+        return 0
     if args.experiment == "profile":
         from .profile import run_profile
 
@@ -161,7 +186,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.experiment not in EXPERIMENTS + ("all",):
         parser.error(
             f"unknown experiment {args.experiment!r}; choose from "
-            f"{', '.join(EXPERIMENTS + ('all', 'profile'))}"
+            f"{', '.join(EXPERIMENTS + ('all', 'profile', 'lint'))}"
         )
     todo = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     bad_cells = []  # every failed/invalid cell across all experiments

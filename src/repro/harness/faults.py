@@ -26,9 +26,13 @@ top of every repetition:
 
    * ``MODE`` — ``raise`` (raise :class:`TransientFaultError`, or
      :class:`FaultError` with ``kind=fatal``), ``kill`` (SIGKILL the
-     executing process — simulates a crashed/OOM-killed worker), or
+     executing process — simulates a crashed/OOM-killed worker),
      ``delay`` (sleep ``s=<seconds>``, default 30 — used to trip
-     per-repetition timeouts).
+     per-repetition timeouts), or ``race`` (issue a deliberate
+     write-write superstep race through a fresh cost model — raises
+     :class:`~repro.errors.RaceError` when the ``REPRO_SANITIZE``
+     sanitizer is on, and is a silent no-op otherwise; proves the
+     sanitizer composes with fault injection).
    * ``DATASET`` / ``ALGORITHM`` / ``REP`` — match a specific
      repetition; each may be ``*`` (any).
    * ``times=N`` — fire at most N times *across all processes*
@@ -74,7 +78,7 @@ __all__ = [
 ENV_VAR = "REPRO_FAULTS"
 STATE_ENV_VAR = "REPRO_FAULTS_STATE"
 
-_MODES = ("raise", "kill", "delay")
+_MODES = ("raise", "kill", "delay", "race")
 
 
 @dataclass(frozen=True)
@@ -259,6 +263,9 @@ def _fire(spec: FaultSpec, site: FaultSite) -> None:
     if spec.mode == "delay":
         time.sleep(spec.seconds)
         return
+    if spec.mode == "race":
+        _fire_race(site)
+        return
     if spec.mode == "kill":
         os.kill(os.getpid(), signal.SIGKILL)
         return  # pragma: no cover — unreachable
@@ -271,6 +278,29 @@ def _fire(spec: FaultSpec, site: FaultSite) -> None:
         f"injected transient fault at {site.dataset}:{site.algorithm}"
         f":rep{site.rep}"
     )
+
+
+def _fire_race(site: FaultSite) -> None:
+    """Issue a deliberate write-write race through a fresh cost model.
+
+    Two anonymous lanes store to the same element of one array inside a
+    single kernel launch — the exact hazard the superstep sanitizer
+    exists to catch.  With ``REPRO_SANITIZE`` on this raises
+    :class:`~repro.errors.RaceError`; with the sanitizer off the
+    conflicting accesses are never recorded and the fault is a no-op.
+    """
+    import numpy as np
+
+    from ..gpusim.cost_model import CostModel
+
+    cost = CostModel()
+    san = cost.sanitizer
+    if san is None:
+        return
+    with san.kernel(
+        f"injected_race@{site.dataset}:{site.algorithm}:rep{site.rep}"
+    ) as k:
+        k.write("injected", np.array([0, 0], dtype=np.int64))
 
 
 def maybe_fire(dataset: str, algorithm: str, rep: int) -> None:

@@ -635,11 +635,11 @@ def _reseed_pool(
     for proc in list(getattr(pool, "_processes", {}).values()):
         try:
             proc.terminate()
-        except Exception:  # already dead
+        except Exception:  # repro-lint: disable=RPL006 — worker already dead; nothing to report
             pass
     try:
         pool.shutdown(wait=False, cancel_futures=True)
-    except Exception:
+    except Exception:  # repro-lint: disable=RPL006 — best-effort teardown of a broken pool
         pass
     return ProcessPoolExecutor(max_workers=jobs, mp_context=ctx)
 

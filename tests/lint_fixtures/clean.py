@@ -1,0 +1,15 @@
+"""A clean file: allowed constructs the linter must not flag."""
+import numpy as np
+
+# Type references into np.random are fine — only stream draws are not.
+RngType = np.random.Generator
+SeqType = np.random.SeedSequence
+
+# A differently named accumulator is not sim_ms.
+total_ms = 0.0
+total_ms += 1.0
+
+try:
+    y = 1
+except ValueError:
+    pass  # narrow, named exception types may pass

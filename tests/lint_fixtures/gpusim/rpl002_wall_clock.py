@@ -1,0 +1,5 @@
+"""RPL002 fixture: wall-clock reads inside simulation code."""
+import time
+from time import perf_counter  # noqa: F401  (line 3: clock from-import)
+
+t0 = time.perf_counter()  # line 5: wall-clock call

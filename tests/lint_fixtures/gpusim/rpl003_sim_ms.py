@@ -1,0 +1,3 @@
+"""RPL003 fixture: hand-rolled sim_ms arithmetic."""
+sim_ms = 0.0  # line 2: direct assignment in the device layer
+sim_ms += 1.5  # line 3: in-place update bypassing CostModel

@@ -1,0 +1,6 @@
+"""RPL004 fixture: silent int64->int32 narrowing."""
+import numpy as np
+
+a = np.arange(4).astype(np.int32)  # line 4: astype narrowing
+b = np.zeros(3, dtype=np.int32)  # line 5: dtype kwarg narrowing
+c = np.int32(7)  # line 6: scalar constructor narrowing

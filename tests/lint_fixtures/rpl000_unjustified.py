@@ -1,0 +1,5 @@
+"""RPL000 fixture: a suppression with no justification text."""
+try:
+    x = 1
+except Exception:  # repro-lint: disable=RPL006
+    pass

@@ -1,0 +1,5 @@
+"""RPL001 fixture: global / unseeded randomness."""
+import random  # noqa: F401  (line 2: stdlib random import)
+import numpy as np
+
+x = np.random.rand(3)  # line 5: global NumPy RNG draw

@@ -1,0 +1,5 @@
+"""RPL005 fixture: bare except."""
+try:
+    x = 1
+except:  # noqa: E722  (line 4)
+    x = 2

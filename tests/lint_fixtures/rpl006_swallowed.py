@@ -1,0 +1,5 @@
+"""RPL006 fixture: silently swallowed exception."""
+try:
+    x = 1
+except Exception:  # line 4
+    pass

@@ -1,0 +1,5 @@
+"""A justified suppression waives the rule and raises nothing."""
+try:
+    x = 1
+except Exception:  # repro-lint: disable=RPL006 — fixture demonstrating a justified waiver
+    pass

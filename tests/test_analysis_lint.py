@@ -1,0 +1,238 @@
+"""repro-lint rule engine: fixture corpus, suppressions, CLI contract.
+
+Every rule is pinned to a minimal offending fixture under
+``tests/lint_fixtures/`` with exact rule ids *and* line numbers, the
+shipped source tree must lint clean, and the two CLIs
+(``python -m repro.analysis lint`` and ``python -m repro.harness
+lint``) must honor their documented exit codes.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import RULES, Violation, lint_file, lint_paths, lint_source
+from repro.analysis.__main__ import (
+    EXIT_CLEAN,
+    EXIT_USAGE,
+    EXIT_VIOLATIONS,
+    main as analysis_main,
+)
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+SRC_REPRO = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+
+def hits(relpath):
+    return [(v.rule, v.line) for v in lint_file(FIXTURES / relpath)]
+
+
+class TestRuleFixtures:
+    def test_rpl001_randomness(self):
+        assert hits("rpl001_randomness.py") == [("RPL001", 2), ("RPL001", 5)]
+
+    def test_rpl002_wall_clock(self):
+        assert hits("gpusim/rpl002_wall_clock.py") == [
+            ("RPL002", 3),
+            ("RPL002", 5),
+        ]
+
+    def test_rpl003_sim_ms(self):
+        assert hits("gpusim/rpl003_sim_ms.py") == [
+            ("RPL003", 2),
+            ("RPL003", 3),
+        ]
+
+    def test_rpl004_narrowing(self):
+        assert hits("graph/rpl004_narrowing.py") == [
+            ("RPL004", 4),
+            ("RPL004", 5),
+            ("RPL004", 6),
+        ]
+
+    def test_rpl005_bare_except(self):
+        assert hits("rpl005_bare_except.py") == [("RPL005", 4)]
+
+    def test_rpl006_swallowed(self):
+        assert hits("rpl006_swallowed.py") == [("RPL006", 4)]
+
+    def test_clean_fixture_has_no_violations(self):
+        assert hits("clean.py") == []
+
+    def test_whole_corpus_rule_ids(self):
+        """The corpus covers every lintable rule at least once."""
+        seen = {v.rule for v in lint_paths([FIXTURES])}
+        assert seen == {
+            "RPL000",
+            "RPL001",
+            "RPL002",
+            "RPL003",
+            "RPL004",
+            "RPL005",
+            "RPL006",
+        }
+
+
+class TestScoping:
+    """Directory scoping: the same source is clean outside scoped dirs."""
+
+    def test_wall_clock_unscoped(self, tmp_path):
+        src = (FIXTURES / "gpusim" / "rpl002_wall_clock.py").read_text()
+        assert lint_source(src, tmp_path / "harness" / "x.py") == []
+
+    def test_narrowing_unscoped(self, tmp_path):
+        src = (FIXTURES / "graph" / "rpl004_narrowing.py").read_text()
+        assert lint_source(src, tmp_path / "core" / "x.py") == []
+
+    def test_sim_ms_assign_allowed_in_core(self, tmp_path):
+        # Closed-form CPU formulas in core/ may assign sim_ms...
+        assert lint_source("sim_ms = 1.0\n", tmp_path / "core" / "x.py") == []
+        # ...but in-place updates are banned everywhere.
+        [v] = lint_source("sim_ms += 1.0\n", tmp_path / "core" / "x.py")
+        assert v.rule == "RPL003"
+
+    def test_clock_module_exempt(self, tmp_path):
+        src = "import time\nt = time.perf_counter()\n"
+        assert lint_source(src, tmp_path / "gpusim" / "_clock.py") == []
+        assert [v.rule for v in lint_source(src, tmp_path / "gpusim" / "x.py")] == [
+            "RPL002"
+        ]
+
+    def test_default_rng_only_in_rng_module(self, tmp_path):
+        src = "import numpy as np\ng = np.random.default_rng(0)\n"
+        assert lint_source(src, tmp_path / "_rng.py") == []
+        [v] = lint_source(src, tmp_path / "other.py")
+        assert v.rule == "RPL001"
+
+
+class TestSuppressions:
+    def test_justified_suppression_waives_rule(self):
+        assert hits("suppressed_clean.py") == []
+
+    def test_unjustified_suppression_raises_rpl000(self):
+        assert hits("rpl000_unjustified.py") == [("RPL000", 4)]
+
+    def test_multi_rule_suppression(self, tmp_path):
+        src = (
+            "import numpy as np\n"
+            "a = np.zeros(3, dtype=np.int32).astype(np.int32)"
+            "  # repro-lint: disable=RPL004 — both hits waived\n"
+        )
+        assert lint_source(src, tmp_path / "graph" / "x.py") == []
+
+    def test_suppression_only_covers_listed_rules(self, tmp_path):
+        src = (
+            "import numpy as np\n"
+            "a = np.random.rand(np.int32(3))"
+            "  # repro-lint: disable=RPL004 — int32 waived, RPL001 is not\n"
+        )
+        rules = [v.rule for v in lint_source(src, tmp_path / "graph" / "x.py")]
+        assert rules == ["RPL001"]
+
+    def test_malformed_suppression_is_rpl000(self, tmp_path):
+        src = "x = 1  # repro-lint: disable=bogus\n"
+        [v] = lint_source(src, tmp_path / "x.py")
+        assert v.rule == "RPL000"
+        assert "malformed" in v.message
+
+    def test_rpl000_is_never_suppressible(self, tmp_path):
+        src = (
+            "try:\n    x = 1\n"
+            "except Exception:  # repro-lint: disable=RPL006,RPL000\n"
+            "    pass\n"
+        )
+        [v] = lint_source(src, tmp_path / "x.py")
+        assert v.rule == "RPL000"
+
+
+class TestShippedTree:
+    def test_src_lints_clean(self):
+        violations = lint_paths([SRC_REPRO])
+        assert violations == [], "\n".join(v.render() for v in violations)
+
+    def test_syntax_error_reports_rpl999(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        [v] = lint_file(bad)
+        assert v.rule == "RPL999"
+
+
+class TestCli:
+    def test_exit_zero_on_clean(self, capsys):
+        rc = analysis_main(["lint", str(FIXTURES / "clean.py")])
+        assert rc == EXIT_CLEAN
+        assert capsys.readouterr().out == ""
+
+    def test_exit_one_with_rule_and_location(self, capsys):
+        rc = analysis_main(["lint", str(FIXTURES / "rpl005_bare_except.py")])
+        assert rc == EXIT_VIOLATIONS
+        out = capsys.readouterr().out
+        assert "RPL005" in out
+        assert "rpl005_bare_except.py:4:" in out
+
+    def test_json_format(self, capsys):
+        rc = analysis_main(
+            [
+                "lint",
+                str(FIXTURES / "rpl006_swallowed.py"),
+                "--format",
+                "json",
+            ]
+        )
+        assert rc == EXIT_VIOLATIONS
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 1
+        [v] = payload["violations"]
+        assert v["rule"] == "RPL006"
+        assert v["line"] == 4
+        assert v["file"].endswith("rpl006_swallowed.py")
+
+    def test_json_clean_is_empty_list(self, capsys):
+        rc = analysis_main(
+            ["lint", str(FIXTURES / "clean.py"), "--format", "json"]
+        )
+        assert rc == EXIT_CLEAN
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == {"violations": [], "count": 0}
+
+    def test_list_rules(self, capsys):
+        rc = analysis_main(["lint", "--list-rules"])
+        assert rc == EXIT_CLEAN
+        out = capsys.readouterr().out
+        for rule_id in RULES:
+            assert rule_id in out
+
+    def test_default_path_is_package(self, capsys):
+        assert analysis_main(["lint"]) == EXIT_CLEAN
+
+    def test_missing_path_is_usage_error(self, capsys):
+        rc = analysis_main(["lint", "/nonexistent/nowhere.py"])
+        assert rc == EXIT_USAGE
+
+    def test_unknown_command_is_usage_error(self):
+        with pytest.raises(SystemExit) as exc:
+            analysis_main(["frobnicate"])
+        assert exc.value.code == EXIT_USAGE
+
+
+class TestHarnessLintGate:
+    def test_harness_lint_clean(self, capsys):
+        from repro.harness.__main__ import EXIT_LINT, main as harness_main
+
+        assert EXIT_LINT == 4
+        assert harness_main(["lint"]) == 0
+        assert "repro-lint: clean" in capsys.readouterr().out
+
+
+class TestViolationRendering:
+    def test_render_and_dict_round_trip(self):
+        v = Violation(file="a.py", line=3, col=7, rule="RPL001", message="m")
+        assert v.render() == "a.py:3:7: RPL001 m"
+        assert v.to_dict() == {
+            "file": "a.py",
+            "line": 3,
+            "col": 7,
+            "rule": "RPL001",
+            "message": "m",
+        }

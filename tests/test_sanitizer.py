@@ -1,0 +1,329 @@
+"""Superstep race sanitizer: detection semantics, algorithm
+certification, and composition with fault injection.
+
+The certification classes run the full algorithm suite with
+``REPRO_SANITIZE=1`` and assert every instrumented kernel of all six
+paper algorithms passes its race checks (or declared its collisions
+atomic/reduction); the fault tests prove a deliberately injected race
+is caught and that the ``race`` fault clause is a silent no-op when the
+sanitizer is off.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.gb_coloring import (
+    graphblas_is_coloring,
+    graphblas_jpl_coloring,
+    graphblas_mis_coloring,
+)
+from repro.core.gr_ar import gunrock_ar_coloring
+from repro.core.gr_hash import gunrock_hash_coloring
+from repro.core.gr_is import gunrock_is_coloring
+from repro.core.naumov import naumov_cc_coloring, naumov_jpl_coloring
+from repro.core.validate import assert_valid_coloring
+from repro.errors import RaceError, SimulationError
+from repro.gpusim import CostModel, SuperstepSanitizer, sanitize_enabled
+from repro.gpusim import sanitizer as S
+from repro.graph.generators import erdos_renyi
+from repro.harness import faults
+
+
+@pytest.fixture(autouse=True)
+def _clean_reports():
+    S.reset_reports()
+    yield
+    S.reset_reports()
+
+
+@pytest.fixture
+def san():
+    return SuperstepSanitizer()
+
+
+class TestWriteWrite:
+    def test_anonymous_duplicate_write_races(self, san):
+        with pytest.raises(RaceError) as exc:
+            with san.kernel("k") as k:
+                k.write("a", np.array([3, 3]))
+        assert exc.value.kernel == "k"
+        assert exc.value.array == "a"
+        assert exc.value.index == 3
+
+    def test_two_lanes_same_element_races(self, san):
+        with pytest.raises(RaceError):
+            with san.kernel("k") as k:
+                k.write("a", np.array([5]), lane=np.array([0]))
+                k.write("a", np.array([5]), lane=np.array([1]))
+
+    def test_same_lane_rewrite_is_program_order(self, san):
+        with san.kernel("k") as k:
+            k.write("a", np.array([5]), lane=np.array([7]))
+            k.write("a", np.array([5]), lane=np.array([7]))
+        assert san.kernels_checked() == {"k"}
+
+    def test_distinct_elements_do_not_race(self, san):
+        with san.kernel("k") as k:
+            k.write("a", np.arange(100))
+
+    def test_atomic_declaration_exempts(self, san):
+        with san.kernel("k") as k:
+            k.write("a", np.array([3, 3, 3]), atomic=True)
+        assert ("a", "atomic") in san.declared()
+
+    def test_reduction_declaration_exempts(self, san):
+        with san.kernel("k") as k:
+            k.write("a", np.zeros(8, dtype=np.int64), reduction=True)
+        assert ("a", "reduction") in san.declared()
+
+    def test_mixed_plain_and_declared_still_races(self, san):
+        # A plain store into an element other lanes hit atomically is
+        # still unordered relative to them.
+        with pytest.raises(RaceError):
+            with san.kernel("k") as k:
+                k.write("a", np.array([2]), atomic=True)
+                k.write("a", np.array([2]))
+
+    def test_races_are_per_array(self, san):
+        with san.kernel("k") as k:
+            k.write("a", np.array([1]))
+            k.write("b", np.array([1]))
+
+    def test_boolean_mask_indices(self, san):
+        mask = np.zeros(6, dtype=bool)
+        mask[2] = mask[4] = True
+        with san.kernel("k") as k:
+            k.write("a", mask, lane=np.array([2, 4]))
+
+    def test_lane_length_mismatch_is_an_error(self, san):
+        with pytest.raises(ValueError):
+            with san.kernel("k") as k:
+                k.write("a", np.array([1, 2]), lane=np.array([0]))
+
+
+class TestReadWrite:
+    def test_foreign_read_of_plain_write_races(self, san):
+        with pytest.raises(RaceError) as exc:
+            with san.kernel("k") as k:
+                k.write("a", np.array([4]), lane=np.array([4]))
+                k.read("a", np.array([4]), lane=np.array([9]))
+        assert "read-write" in str(exc.value)
+
+    def test_own_lane_read_is_fine(self, san):
+        with san.kernel("k") as k:
+            k.write("a", np.array([4]), lane=np.array([4]))
+            k.read("a", np.array([4]), lane=np.array([4]))
+
+    def test_read_of_declared_write_is_fine(self, san):
+        with san.kernel("k") as k:
+            k.write("a", np.array([4]), atomic=True)
+            k.read("a", np.array([4]), lane=np.array([9]))
+
+    def test_read_of_unwritten_elements_is_fine(self, san):
+        with san.kernel("k") as k:
+            k.write("a", np.array([0]), lane=np.array([0]))
+            k.read("a", np.array([1, 2, 3]), lane=np.array([5, 6, 7]))
+
+    def test_anonymous_read_of_plain_write_races(self, san):
+        with pytest.raises(RaceError):
+            with san.kernel("k") as k:
+                k.write("a", np.array([4]), lane=np.array([4]))
+                k.read("a", np.array([4]))
+
+
+class TestScopesAndReports:
+    def test_cross_kernel_accesses_do_not_race(self, san):
+        # Kernels on one stream serialize: a later launch may read or
+        # rewrite what an earlier one wrote.
+        with san.kernel("k1") as k:
+            k.write("a", np.array([0]), lane=np.array([0]))
+        with san.kernel("k2") as k:
+            k.write("a", np.array([0]), lane=np.array([1]))
+            k.read("a", np.array([0]), lane=np.array([1]))
+        assert san.kernels_checked() == {"k1", "k2"}
+
+    def test_certificates_record_arrays_and_superstep(self, san):
+        with san.kernel("k") as k:
+            k.write("w", np.array([0]), lane=np.array([0]))
+            k.read("r", np.array([1]))
+        san.advance_superstep()
+        with san.kernel("k2") as k:
+            k.write("w", np.array([0]), lane=np.array([0]))
+        c1, c2 = san.certificates
+        assert c1.arrays == {"w", "r"}
+        assert (c1.superstep, c2.superstep) == (0, 1)
+
+    def test_raising_scope_leaves_no_certificate(self, san):
+        with pytest.raises(RuntimeError):
+            with san.kernel("k") as k:
+                k.write("a", np.array([0, 0]))  # would race at close
+                raise RuntimeError("kernel body failed first")
+        assert san.certificates == []
+
+    def test_empty_declared_write_still_certifies(self, san):
+        with san.kernel("k") as k:
+            k.write("a", np.empty(0, dtype=np.int64), reduction=True)
+        assert ("a", "reduction") in san.declared()
+
+    def test_take_reports_returns_and_clears(self):
+        S.reset_reports()
+        a, b = SuperstepSanitizer(), SuperstepSanitizer()
+        assert S.take_reports() == [a, b]
+        assert S.take_reports() == []
+
+    def test_race_error_is_a_simulation_error(self):
+        assert issubclass(RaceError, SimulationError)
+
+
+class TestEnableSwitch:
+    @pytest.mark.parametrize("value", ["1", "true", "YES", "on"])
+    def test_enabled_values(self, monkeypatch, value):
+        monkeypatch.setenv(S.ENV_VAR, value)
+        assert sanitize_enabled()
+        assert CostModel().sanitizer is not None
+
+    @pytest.mark.parametrize("value", ["", "0", "false", "off", "no"])
+    def test_disabled_values(self, monkeypatch, value):
+        monkeypatch.setenv(S.ENV_VAR, value)
+        assert not sanitize_enabled()
+        assert CostModel().sanitizer is None
+
+    def test_unset_is_disabled(self, monkeypatch):
+        monkeypatch.delenv(S.ENV_VAR, raising=False)
+        assert CostModel().sanitizer is None
+
+    def test_charge_sync_advances_superstep(self, monkeypatch):
+        monkeypatch.setenv(S.ENV_VAR, "1")
+        cost = CostModel()
+        assert cost.sanitizer.superstep == 0
+        cost.charge_sync(name="s")
+        assert cost.sanitizer.superstep == 1
+
+    def test_disabled_run_registers_no_reports(self, monkeypatch):
+        monkeypatch.delenv(S.ENV_VAR, raising=False)
+        S.reset_reports()
+        g = erdos_renyi(60, p=0.1, rng=3)
+        gunrock_is_coloring(g, rng=1)
+        assert S.take_reports() == []
+
+
+# The six paper algorithms (plus the two Naumov comparators, which are
+# instrumented too) — each must certify race-free or atomic-declared.
+ALGORITHMS = [
+    ("gunrock.is", lambda g: gunrock_is_coloring(g, rng=1)),
+    ("gunrock.hash", lambda g: gunrock_hash_coloring(g, rng=2)),
+    ("gunrock.ar", lambda g: gunrock_ar_coloring(g, rng=3)),
+    ("graphblas.is", lambda g: graphblas_is_coloring(g, rng=4)),
+    ("graphblas.mis", lambda g: graphblas_mis_coloring(g, rng=5)),
+    ("graphblas.jpl", lambda g: graphblas_jpl_coloring(g, rng=6)),
+    ("naumov.jpl", lambda g: naumov_jpl_coloring(g, rng=7)),
+    ("naumov.cc", lambda g: naumov_cc_coloring(g, rng=8)),
+]
+
+# Kernels each algorithm must have had checked at least once.
+EXPECTED_KERNELS = {
+    "gunrock.is": {"rand_kernel", "color_op", "check_reduce", "compact"},
+    "gunrock.hash": {
+        "rand_kernel",
+        "hash_color_op",
+        "conflict_op",
+        "hash_gen_op",
+        "compact",
+    },
+    "gunrock.ar": {
+        "rand_kernel",
+        "advance_op",
+        "reduce_max_op",
+        "color_removed_op",
+        "compact",
+    },
+    "graphblas.is": {"vxm_max"},
+    "graphblas.mis": {"vxm_max", "vxm_nbr"},
+    "graphblas.jpl": {"vxm_max", "jpl_scatter"},
+    "naumov.jpl": {"jpl_kernel"},
+    "naumov.cc": {"cc_kernel"},
+}
+
+# Declarations each algorithm is expected to make (subset check).
+EXPECTED_DECLARED = {
+    "gunrock.is": {("colored_count", "reduction")},
+    "gunrock.hash": {("colors", "atomic"), ("table", "atomic")},
+    "graphblas.jpl": {("colors_arr@jpl_scatter", "atomic")},
+}
+
+
+class TestAlgorithmCertification:
+    @pytest.fixture(autouse=True)
+    def _sanitized(self, monkeypatch):
+        monkeypatch.setenv(S.ENV_VAR, "1")
+
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return erdos_renyi(250, p=0.05, rng=11)
+
+    @pytest.mark.parametrize(
+        "name,run", ALGORITHMS, ids=[a[0] for a in ALGORITHMS]
+    )
+    def test_certified_race_free(self, graph, name, run):
+        S.reset_reports()
+        result = run(graph)
+        assert_valid_coloring(graph, result.colors)
+        reports = S.take_reports()
+        assert reports, "sanitized run must register its sanitizers"
+        checked = set().union(*(r.kernels_checked() for r in reports))
+        assert EXPECTED_KERNELS[name] <= checked
+        declared = set().union(*(r.declared() for r in reports))
+        assert EXPECTED_DECLARED.get(name, set()) <= declared
+
+    def test_sanitized_sim_ms_matches_unsanitized(self, graph, monkeypatch):
+        """Recording accesses must never change the cost model's answer."""
+        sanitized = gunrock_hash_coloring(graph, rng=9)
+        monkeypatch.delenv(S.ENV_VAR)
+        plain = gunrock_hash_coloring(graph, rng=9)
+        assert sanitized.sim_ms == plain.sim_ms
+        assert np.array_equal(sanitized.colors, plain.colors)
+
+
+class TestInjectedRace:
+    """The `race` fault mode composes the sanitizer with fault injection."""
+
+    @pytest.fixture(autouse=True)
+    def _fault_env(self, monkeypatch):
+        monkeypatch.delenv(faults.ENV_VAR, raising=False)
+        monkeypatch.delenv(faults.STATE_ENV_VAR, raising=False)
+        yield
+
+    def test_race_clause_parses(self):
+        [spec] = faults.parse_faults("race@ecology2:gunrock.is:0:times=1")
+        assert spec.mode == "race"
+        assert spec.times == 1
+
+    def test_injected_race_is_caught(self, monkeypatch):
+        monkeypatch.setenv(S.ENV_VAR, "1")
+        monkeypatch.setenv(faults.ENV_VAR, "race@*:*:*")
+        with pytest.raises(RaceError) as exc:
+            faults.maybe_fire("ecology2", "gunrock.is", 0)
+        assert "injected_race@ecology2:gunrock.is:rep0" in str(exc.value)
+
+    def test_race_clause_silent_without_sanitizer(self, monkeypatch):
+        monkeypatch.delenv(S.ENV_VAR, raising=False)
+        monkeypatch.setenv(faults.ENV_VAR, "race@*:*:*")
+        faults.maybe_fire("ecology2", "gunrock.is", 0)  # must not raise
+
+    def test_injected_race_fails_grid_cell(self, monkeypatch):
+        from repro.harness.runner import run_grid
+
+        monkeypatch.setenv(S.ENV_VAR, "1")
+        monkeypatch.setenv(faults.ENV_VAR, "race@*:naumov.jpl:*")
+        cells = run_grid(
+            ["ecology2"],
+            ["naumov.jpl", "cpu.greedy"],
+            scale_div=512,
+            repetitions=1,
+            retries=0,
+            journal=False,
+        )
+        by_algo = {c.algorithm: c for c in cells}
+        assert by_algo["naumov.jpl"].status == "failed"
+        assert "RaceError" in by_algo["naumov.jpl"].error
+        assert by_algo["cpu.greedy"].status == "ok"
