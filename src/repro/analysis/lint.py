@@ -35,6 +35,13 @@ RPL005    Bare ``except:`` — swallows ``KeyboardInterrupt`` and masks
           real failures.
 RPL006    ``except Exception/BaseException/ReproError`` whose body is
           exactly ``pass`` — a silently swallowed error.
+RPL007    Manual :class:`~repro.trace.TraceSpan` construction (or a
+          ``TraceSpan`` import) outside :mod:`repro.trace` itself.
+          Spans must be emitted through ``Trace.emit`` /
+          ``span_phase`` so the simulated-time cursor, phase stack,
+          and superstep tags stay consistent; a hand-built span would
+          silently break the tiling invariant the property tests
+          assert.
 RPL999    File does not parse.
 ========  ==============================================================
 
@@ -72,6 +79,7 @@ RULES: Dict[str, str] = {
     "RPL004": "silent int64->int32 narrowing in CSR/frontier code",
     "RPL005": "bare except:",
     "RPL006": "swallowed exception (except Exception: pass)",
+    "RPL007": "manual TraceSpan construction outside repro.trace",
     "RPL999": "file does not parse",
 }
 
@@ -229,6 +237,7 @@ class _Checker(ast.NodeVisitor):
         self.path = path
         base = path.name
         self.is_rng_module = base == "_rng.py"
+        self.is_trace_module = base == "trace.py"
         self.check_wall_clock = (
             _in_dirs(path, _WALL_CLOCK_DIRS) and base != "_clock.py"
         )
@@ -280,6 +289,18 @@ class _Checker(ast.NodeVisitor):
                         "simulation code; sim_ms must come from the cost "
                         "model (repro._clock for wall measurement)",
                     )
+        if not self.is_trace_module and (
+            mod == "trace" or mod.endswith(".trace")
+        ):
+            for alias in node.names:
+                if alias.name == "TraceSpan":
+                    self._hit(
+                        node,
+                        "RPL007",
+                        "TraceSpan imported outside repro.trace; emit spans "
+                        "through Trace.emit/span_phase so the simulated-time "
+                        "cursor stays consistent",
+                    )
         self.generic_visit(node)
 
     def _check_np_random(self, node: ast.Attribute) -> bool:
@@ -319,6 +340,18 @@ class _Checker(ast.NodeVisitor):
 
     def visit_Call(self, node: ast.Call) -> None:
         dotted = _dotted(node.func)
+        if (
+            not self.is_trace_module
+            and dotted is not None
+            and (dotted == "TraceSpan" or dotted.endswith(".TraceSpan"))
+        ):
+            self._hit(
+                node,
+                "RPL007",
+                "manual TraceSpan construction outside repro.trace; emit "
+                "spans through Trace.emit/span_phase so the simulated-time "
+                "cursor stays consistent",
+            )
         if self.check_wall_clock and dotted in _WALL_CLOCK_CALLS:
             self._hit(
                 node,

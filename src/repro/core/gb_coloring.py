@@ -64,6 +64,7 @@ from ..graphblas import (
     reduce_scalar,
     vxm,
 )
+from ..trace import span_phase, tag_iteration
 from .result import ColoringResult
 
 __all__ = [
@@ -107,40 +108,43 @@ def _find_frontier(
     its candidate neighbors (vacuously true when it has none).
     """
     n = weight.size
-    max_v = Vector.new(INT64, n)
-    if masked:
-        vxm(max_v, weight, None, MAX_TIMES, weight, A, _STRUCT, cost=cost, name="vxm_max")
-    else:
-        # Unmasked execution treats the candidate vector as dense (the
-        # runtime cannot skip colored rows), so the kernel touches every
-        # stored arc — the work §III-A1 says masking avoids.  Results
-        # are identical; only the charged cost differs.
-        vxm(max_v, None, None, MAX_TIMES, weight, A, _STRUCT, cost=None, name="vxm_max")
-        if cost is not None:
-            cost.charge_gb_overhead(name="vxm_max.dispatch")
-            cost.charge_vxm(A.nvals, n, name="vxm_max")
-            san = cost.sanitizer
-            if san is not None:
-                # The op ran uncharged (cost=None) so it did not record
-                # itself; certify the same push-scatter reduction here.
-                with san.kernel("vxm_max") as k:
-                    widx = np.flatnonzero(weight.present)
-                    k.read("u@vxm_max", widx, lane=widx)
-                    k.write(
-                        "out@vxm_max",
-                        np.flatnonzero(max_v.present),
-                        reduction=True,
-                    )
-    frontier = Vector.new(BOOL, n)
-    ewise_add(
-        frontier, None, None, binaryop.GT, weight, max_v, cost=cost, name="frontier_gt"
-    )
-    if not masked:
-        # Without the output mask, max_v has entries at colored vertices
-        # too; restrict the frontier to actual candidates.
-        frontier.present &= weight.present
-    frontier.prune_zeros()
-    return frontier
+    trace = cost.trace if cost is not None else None
+    with span_phase(trace, "find_frontier"):
+        max_v = Vector.new(INT64, n)
+        if masked:
+            vxm(max_v, weight, None, MAX_TIMES, weight, A, _STRUCT, cost=cost, name="vxm_max")
+        else:
+            # Unmasked execution treats the candidate vector as dense (the
+            # runtime cannot skip colored rows), so the kernel touches every
+            # stored arc — the work §III-A1 says masking avoids.  Results
+            # are identical; only the charged cost differs.
+            vxm(max_v, None, None, MAX_TIMES, weight, A, _STRUCT, cost=None, name="vxm_max")
+            if cost is not None:
+                with span_phase(trace, "vxm_max"):
+                    cost.charge_gb_overhead(name="vxm_max.dispatch")
+                    cost.charge_vxm(A.nvals, n, name="vxm_max")
+                san = cost.sanitizer
+                if san is not None:
+                    # The op ran uncharged (cost=None) so it did not record
+                    # itself; certify the same push-scatter reduction here.
+                    with san.kernel("vxm_max") as k:
+                        widx = np.flatnonzero(weight.present)
+                        k.read("u@vxm_max", widx, lane=widx)
+                        k.write(
+                            "out@vxm_max",
+                            np.flatnonzero(max_v.present),
+                            reduction=True,
+                        )
+        frontier = Vector.new(BOOL, n)
+        ewise_add(
+            frontier, None, None, binaryop.GT, weight, max_v, cost=cost, name="frontier_gt"
+        )
+        if not masked:
+            # Without the output mask, max_v has entries at colored vertices
+            # too; restrict the frontier to actual candidates.
+            frontier.present &= weight.present
+        frontier.prune_zeros()
+        return frontier
 
 
 def graphblas_is_coloring(
@@ -175,14 +179,16 @@ def graphblas_is_coloring(
 
     iterations = 0
     for color in range(1, n + 2):  # line 6
-        frontier = _find_frontier(weight, A, cost, masked=masked)  # 8–9
-        succ = int(reduce_scalar(PLUS_MONOID, frontier, cost=cost, name="succ"))  # 11
-        if succ == 0:  # lines 13–15
-            break
-        iterations += 1
-        assign(C, frontier, None, color, cost=cost, name="assign_color")  # 17
-        assign(weight, frontier, None, 0, cost=cost, name="drop_colored")  # 19
-        cost.charge_sync(name="iter_sync")
+        tag_iteration(cost.trace, color - 1)
+        with span_phase(cost.trace, "superstep"):
+            frontier = _find_frontier(weight, A, cost, masked=masked)  # 8–9
+            succ = int(reduce_scalar(PLUS_MONOID, frontier, cost=cost, name="succ"))  # 11
+            if succ == 0:  # lines 13–15
+                break
+            iterations += 1
+            assign(C, frontier, None, color, cost=cost, name="assign_color")  # 17
+            assign(weight, frontier, None, 0, cost=cost, name="drop_colored")  # 19
+            cost.charge_sync(name="iter_sync")
     else:
         raise ColoringError("graphblas.is failed to converge")
 
@@ -194,6 +200,7 @@ def graphblas_is_coloring(
         sim_ms=cost.total_ms,
         wall_s=timer.elapsed_s(),
         counters=cost.counters,
+        trace=cost.trace,
     )
 
 
@@ -214,35 +221,38 @@ def _mis_inner(
     GrB_vxm ends up taking nearly 50% of the runtime" (§V-C).
     """
     n = weight.size
-    mis = Vector.new(BOOL, n)
-    assign(mis, None, None, 0, cost=cost, name="init_mis")  # line 3
-    for _ in range(n + 1):
-        frontier = _find_frontier(weight, A, cost, masked=True)  # lines 6–8
-        succ = int(reduce_scalar(PLUS_MONOID, frontier, cost=cost, name="mis_succ"))
-        if succ == 0:  # lines 14–17
-            return mis
-        assign(mis, frontier, None, 1, cost=cost, name="mis_add")  # line 10
-        assign(weight, frontier, None, 0, cost=cost, name="mis_drop")  # line 12
-        # Lines 18–20: remove the new members' neighbors from candidacy.
-        nbrs = Vector.new(BOOL, n)
-        vxm(nbrs, weight, None, BOOLEAN, frontier, A, _STRUCT, cost=None, name="vxm_nbr")
-        if cost is not None:
-            cost.charge_gb_overhead(name="vxm_nbr.dispatch")
-            cost.charge_vxm(uncolored_arcs, frontier.nvals, name="vxm_nbr")
-            san = cost.sanitizer
-            if san is not None:
-                # Charged manually (no work-skipping, §V-C), so record
-                # the boolean-semiring scatter reduction manually too.
-                with san.kernel("vxm_nbr") as k:
-                    fidx = np.flatnonzero(frontier.present)
-                    k.read("u@vxm_nbr", fidx, lane=fidx)
-                    k.write(
-                        "out@vxm_nbr",
-                        np.flatnonzero(nbrs.present),
-                        reduction=True,
-                    )
-        assign(weight, nbrs, None, 0, cost=cost, name="drop_nbrs")
-        cost.charge_sync(name="mis_inner_sync")
+    trace = cost.trace if cost is not None else None
+    with span_phase(trace, "mis_inner"):
+        mis = Vector.new(BOOL, n)
+        assign(mis, None, None, 0, cost=cost, name="init_mis")  # line 3
+        for _ in range(n + 1):
+            frontier = _find_frontier(weight, A, cost, masked=True)  # lines 6–8
+            succ = int(reduce_scalar(PLUS_MONOID, frontier, cost=cost, name="mis_succ"))
+            if succ == 0:  # lines 14–17
+                return mis
+            assign(mis, frontier, None, 1, cost=cost, name="mis_add")  # line 10
+            assign(weight, frontier, None, 0, cost=cost, name="mis_drop")  # line 12
+            # Lines 18–20: remove the new members' neighbors from candidacy.
+            nbrs = Vector.new(BOOL, n)
+            vxm(nbrs, weight, None, BOOLEAN, frontier, A, _STRUCT, cost=None, name="vxm_nbr")
+            if cost is not None:
+                with span_phase(trace, "vxm_nbr"):
+                    cost.charge_gb_overhead(name="vxm_nbr.dispatch")
+                    cost.charge_vxm(uncolored_arcs, frontier.nvals, name="vxm_nbr")
+                san = cost.sanitizer
+                if san is not None:
+                    # Charged manually (no work-skipping, §V-C), so record
+                    # the boolean-semiring scatter reduction manually too.
+                    with san.kernel("vxm_nbr") as k:
+                        fidx = np.flatnonzero(frontier.present)
+                        k.read("u@vxm_nbr", fidx, lane=fidx)
+                        k.write(
+                            "out@vxm_nbr",
+                            np.flatnonzero(nbrs.present),
+                            reduction=True,
+                        )
+            assign(weight, nbrs, None, 0, cost=cost, name="drop_nbrs")
+            cost.charge_sync(name="mis_inner_sync")
     raise ColoringError("MIS inner loop failed to converge")
 
 
@@ -272,16 +282,18 @@ def graphblas_mis_coloring(
         if not uncolored.any():
             break
         iterations += 1
-        # Fresh Monte-Carlo draw restricted to the uncolored vertices.
-        weight = _init_weights(n, gen)
-        weight.present &= uncolored
-        cost.charge_gb_overhead(name="apply.dispatch")
-        cost.charge_map(int(uncolored.sum()), name="set_random")
-        uncolored_arcs = int(A.row_degrees()[uncolored].sum())
-        mis = _mis_inner(weight, A, cost, uncolored_arcs=uncolored_arcs)
-        assign(C, mis, None, color, cost=cost, name="assign_color")
-        uncolored &= ~mis.mask_array()
-        cost.charge_sync(name="iter_sync")
+        tag_iteration(cost.trace, color - 1)
+        with span_phase(cost.trace, "superstep"):
+            # Fresh Monte-Carlo draw restricted to the uncolored vertices.
+            weight = _init_weights(n, gen)
+            weight.present &= uncolored
+            cost.charge_gb_overhead(name="apply.dispatch")
+            cost.charge_map(int(uncolored.sum()), name="set_random")
+            uncolored_arcs = int(A.row_degrees()[uncolored].sum())
+            mis = _mis_inner(weight, A, cost, uncolored_arcs=uncolored_arcs)
+            assign(C, mis, None, color, cost=cost, name="assign_color")
+            uncolored &= ~mis.mask_array()
+            cost.charge_sync(name="iter_sync")
     else:
         raise ColoringError("graphblas.mis failed to converge")
 
@@ -293,6 +305,7 @@ def graphblas_mis_coloring(
         sim_ms=cost.total_ms,
         wall_s=timer.elapsed_s(),
         counters=cost.counters,
+        trace=cost.trace,
     )
 
 
@@ -318,45 +331,54 @@ def _jpl_min_color(
     ``sim_ms`` is bit-identical alongside the returned color.
     """
     n = frontier.size
-    # Line 3: which colored vertices are adjacent to the frontier.
-    nbrs = Vector.new(BOOL, n)
-    vxm(nbrs, C, None, BOOLEAN, frontier, A, _STRUCT, cost=cost, name="jpl_vxm_nbr")
-    # Line 5 (eWiseMult SECOND): the colors of those neighbors.
-    both = nbrs.present & C.present
-    used_positions = C.values[both].astype(np.int64, copy=False)
-    # Lines 7–14 on the used-color range only.  Every scattered position
-    # is <= maxv, so index maxv + 1 is always absent and the argmin-style
-    # scan below always terminates inside the small window.
-    maxv = int(used_positions.max(initial=0))
-    present_mask = np.zeros(maxv + 2, dtype=bool)
-    present_mask[used_positions] = True
-    present_mask[0] = True  # color 0 is reserved for "uncolored"
-    min_color = int(np.flatnonzero(~present_mask)[0])
-    if cost is not None:
-        cost.charge_gb_overhead(name="jpl_nbr_colors.dispatch")
-        cost.charge_map(int(both.sum()), name="jpl_nbr_colors")
-        # The workspace clear (a full-width GrB_assign) and the
-        # host-to-device fill of the used prefix (§V-C).
-        cost.charge_gb_overhead(name="jpl_clear.dispatch")
-        cost.charge_map(colors_arr.size, name="jpl_clear")
-        used = int(C.values.max(initial=0)) + 2
-        cost.charge_host_transfer(4 * used, name="jpl_h2d_fill")
-        cost.charge_gb_overhead(name="jpl_scatter.dispatch")
-        cost.charge_map(len(used_positions), name="jpl_scatter")
-        san = cost.sanitizer
-        if san is not None:
-            # Mirror of the GxB_scatter the literal formulation issues
-            # (several neighbors may share a color slot; idempotent
-            # atomic store — same declaration gxb_scatter itself makes).
-            with san.kernel("jpl_scatter") as k:
-                k.write("colors_arr@jpl_scatter", used_positions, atomic=True)
-        # Masked identity over the ascending array, then the min-reduce
-        # over the entries surviving the complement mask.
-        cost.charge_gb_overhead(name="jpl_mask_unused.dispatch")
-        cost.charge_map(ascending.nvals, name="jpl_mask_unused")
-        cost.charge_gb_overhead(name="jpl_min.dispatch")
-        cost.charge_reduce(colors_arr.size - int(present_mask.sum()), name="jpl_min")
-    return min_color
+    trace = cost.trace if cost is not None else None
+    with span_phase(trace, "jpl_min_color"):
+        # Line 3: which colored vertices are adjacent to the frontier.
+        nbrs = Vector.new(BOOL, n)
+        vxm(nbrs, C, None, BOOLEAN, frontier, A, _STRUCT, cost=cost, name="jpl_vxm_nbr")
+        # Line 5 (eWiseMult SECOND): the colors of those neighbors.
+        both = nbrs.present & C.present
+        used_positions = C.values[both].astype(np.int64, copy=False)
+        # Lines 7–14 on the used-color range only.  Every scattered position
+        # is <= maxv, so index maxv + 1 is always absent and the argmin-style
+        # scan below always terminates inside the small window.
+        maxv = int(used_positions.max(initial=0))
+        present_mask = np.zeros(maxv + 2, dtype=bool)
+        present_mask[used_positions] = True
+        present_mask[0] = True  # color 0 is reserved for "uncolored"
+        min_color = int(np.flatnonzero(~present_mask)[0])
+        if cost is not None:
+            with span_phase(trace, "jpl_nbr_colors"):
+                cost.charge_gb_overhead(name="jpl_nbr_colors.dispatch")
+                cost.charge_map(int(both.sum()), name="jpl_nbr_colors")
+            # The workspace clear (a full-width GrB_assign) and the
+            # host-to-device fill of the used prefix (§V-C).
+            with span_phase(trace, "jpl_clear"):
+                cost.charge_gb_overhead(name="jpl_clear.dispatch")
+                cost.charge_map(colors_arr.size, name="jpl_clear")
+                used = int(C.values.max(initial=0)) + 2
+                cost.charge_host_transfer(4 * used, name="jpl_h2d_fill")
+            with span_phase(trace, "jpl_scatter"):
+                cost.charge_gb_overhead(name="jpl_scatter.dispatch")
+                cost.charge_map(len(used_positions), name="jpl_scatter")
+            san = cost.sanitizer
+            if san is not None:
+                # Mirror of the GxB_scatter the literal formulation issues
+                # (several neighbors may share a color slot; idempotent
+                # atomic store — same declaration gxb_scatter itself makes).
+                with san.kernel("jpl_scatter") as k:
+                    k.write("colors_arr@jpl_scatter", used_positions, atomic=True)
+            # Masked identity over the ascending array, then the min-reduce
+            # over the entries surviving the complement mask.
+            with span_phase(trace, "jpl_mask_unused"):
+                cost.charge_gb_overhead(name="jpl_mask_unused.dispatch")
+                cost.charge_map(ascending.nvals, name="jpl_mask_unused")
+            with span_phase(trace, "jpl_min"):
+                cost.charge_gb_overhead(name="jpl_min.dispatch")
+                cost.charge_reduce(
+                    colors_arr.size - int(present_mask.sum()), name="jpl_min"
+                )
+        return min_color
 
 
 def _jpl_min_color_ops(
@@ -444,16 +466,18 @@ def graphblas_jpl_coloring(
     ascending = Vector.from_dense(np.arange(n + 2, dtype=np.int64))
 
     iterations = 0
-    for _ in range(1, n + 2):
-        frontier = _find_frontier(weight, A, cost, masked=True)
-        succ = int(reduce_scalar(PLUS_MONOID, frontier, cost=cost, name="succ"))
-        if succ == 0:
-            break
-        iterations += 1
-        min_color = _jpl_min_color(frontier, C, A, colors_arr, ascending, cost)
-        assign(C, frontier, None, min_color, cost=cost, name="assign_color")
-        assign(weight, frontier, None, 0, cost=cost, name="drop_colored")
-        cost.charge_sync(name="iter_sync")
+    for it in range(1, n + 2):
+        tag_iteration(cost.trace, it - 1)
+        with span_phase(cost.trace, "superstep"):
+            frontier = _find_frontier(weight, A, cost, masked=True)
+            succ = int(reduce_scalar(PLUS_MONOID, frontier, cost=cost, name="succ"))
+            if succ == 0:
+                break
+            iterations += 1
+            min_color = _jpl_min_color(frontier, C, A, colors_arr, ascending, cost)
+            assign(C, frontier, None, min_color, cost=cost, name="assign_color")
+            assign(weight, frontier, None, 0, cost=cost, name="drop_colored")
+            cost.charge_sync(name="iter_sync")
     else:
         raise ColoringError("graphblas.jpl failed to converge")
 
@@ -465,4 +489,5 @@ def graphblas_jpl_coloring(
         sim_ms=cost.total_ms,
         wall_s=timer.elapsed_s(),
         counters=cost.counters,
+        trace=cost.trace,
     )

@@ -112,4 +112,5 @@ def gunrock_ar_coloring(
         sim_ms=cost.total_ms,
         wall_s=timer.elapsed_s(),
         counters=cost.counters,
+        trace=cost.trace,
     )

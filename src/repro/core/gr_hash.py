@@ -36,6 +36,7 @@ from ..gpusim.cost_model import CostModel
 from ..gpusim.device import DeviceSpec
 from ..graph.csr import CSRGraph
 from ..gunrock import Enactor, Frontier, GunrockContext, compute, filter_frontier
+from ..trace import span_phase
 from .gr_is import _tie_broken_keys
 from .result import ColoringResult
 
@@ -242,17 +243,22 @@ def gunrock_hash_coloring(
                     k.read("table", proposed)
                     k.write("colors", proposed, atomic=True)
 
-        compute(ctx, frontier, hash_color_op, name="hash_color_op", loop="serial")
-        ctx.sync(name="propose_sync")
+        # Named algorithm phases (Alg. 6's three operators) so the trace
+        # shows the paper's propose → resolve → hash-update shape.
+        with span_phase(cost.trace, "propose"):
+            compute(ctx, frontier, hash_color_op, name="hash_color_op", loop="serial")
+            ctx.sync(name="propose_sync")
 
         proposed = holder["proposed"]
-        pf = Frontier(proposed, _trusted=True)
-        compute(ctx, pf, resolve_conflicts, name="conflict_op", loop="serial")
-        ctx.sync(name="conflict_sync")
+        with span_phase(cost.trace, "resolve_conflicts"):
+            pf = Frontier(proposed, _trusted=True)
+            compute(ctx, pf, resolve_conflicts, name="conflict_op", loop="serial")
+            ctx.sync(name="conflict_sync")
 
-        survivors = proposed[colors[proposed] > 0]
-        sf = Frontier(survivors, _trusted=True)
-        compute(ctx, sf, update_tables, name="hash_gen_op", loop="serial")
+        with span_phase(cost.trace, "update_tables"):
+            survivors = proposed[colors[proposed] > 0]
+            sf = Frontier(survivors, _trusted=True)
+            compute(ctx, sf, update_tables, name="hash_gen_op", loop="serial")
 
         frontier = filter_frontier(
             ctx, frontier, colors[frontier.ids] == 0, name="compact"
@@ -268,4 +274,5 @@ def gunrock_hash_coloring(
         sim_ms=cost.total_ms,
         wall_s=timer.elapsed_s(),
         counters=cost.counters,
+        trace=cost.trace,
     )

@@ -184,4 +184,5 @@ def gunrock_is_coloring(
         sim_ms=cost.total_ms,
         wall_s=timer.elapsed_s(),
         counters=cost.counters,
+        trace=cost.trace,
     )

@@ -32,6 +32,7 @@ from ..errors import ColoringError
 from ..gpusim.cost_model import CostModel
 from ..gpusim.device import DeviceSpec
 from ..graph.csr import CSRGraph
+from ..trace import span_phase, tag_iteration
 from .result import ColoringResult
 
 __all__ = ["naumov_jpl_coloring", "naumov_cc_coloring"]
@@ -128,26 +129,28 @@ def naumov_jpl_coloring(
         if iterations > 2 * n + 16:
             raise ColoringError("naumov.jpl failed to converge")
         iterations += 1
-        keys = _fresh_keys(n, gen)
-        cost.charge_map(n_active, name="rand_kernel")
-        # Hardwired load-balanced kernel over the arcs of active vertices.
-        active_arcs = int(graph.degrees[active].sum())
-        cost.charge_edge_balanced(active_arcs, name="jpl_kernel", eff=1.85)
-        nmax, _ = _active_extrema(graph, keys, active)
-        winners = active & (keys > nmax)
-        colors[winners] = iterations
-        san = cost.sanitizer
-        if san is not None:
-            with san.kernel("jpl_kernel") as k:
-                # Thread v scans its arcs against the iteration-start
-                # activity snapshot and writes only its own color slot.
-                src = np.repeat(np.arange(n, dtype=np.int64), graph.degrees)
-                k.read("active", graph.indices, lane=src)
-                k.read("keys", graph.indices, lane=src)
-                won = np.flatnonzero(winners)
-                k.write("colors", won, lane=won)
-        cost.charge_reduce(n_active, name="done_check")
-        cost.charge_sync(name="iter_sync")
+        tag_iteration(cost.trace, iterations - 1)
+        with span_phase(cost.trace, "superstep"):
+            keys = _fresh_keys(n, gen)
+            cost.charge_map(n_active, name="rand_kernel")
+            # Hardwired load-balanced kernel over the arcs of active vertices.
+            active_arcs = int(graph.degrees[active].sum())
+            cost.charge_edge_balanced(active_arcs, name="jpl_kernel", eff=1.85)
+            nmax, _ = _active_extrema(graph, keys, active)
+            winners = active & (keys > nmax)
+            colors[winners] = iterations
+            san = cost.sanitizer
+            if san is not None:
+                with san.kernel("jpl_kernel") as k:
+                    # Thread v scans its arcs against the iteration-start
+                    # activity snapshot and writes only its own color slot.
+                    src = np.repeat(np.arange(n, dtype=np.int64), graph.degrees)
+                    k.read("active", graph.indices, lane=src)
+                    k.read("keys", graph.indices, lane=src)
+                    won = np.flatnonzero(winners)
+                    k.write("colors", won, lane=won)
+            cost.charge_reduce(n_active, name="done_check")
+            cost.charge_sync(name="iter_sync")
 
     return ColoringResult(
         colors=colors,
@@ -157,6 +160,7 @@ def naumov_jpl_coloring(
         sim_ms=cost.total_ms,
         wall_s=timer.elapsed_s(),
         counters=cost.counters,
+        trace=cost.trace,
     )
 
 
@@ -194,57 +198,59 @@ def naumov_cc_coloring(
         if sweeps > 2 * n + 16:
             raise ColoringError("naumov.cc failed to converge")
         sweeps += 1
-        base = 2 * num_hashes * (sweeps - 1)
-        cost.charge_map(n_active, name="rand_kernel")
-        active_arcs = int(graph.degrees[active].sum())
-        # One kernel evaluates all hashes: per-edge cost grows mildly
-        # with the number of hash evaluations.
-        cost.charge_edge_balanced(
-            active_arcs, name="cc_kernel", eff=1.0 + 0.3 * num_hashes
-        )
-        # All hashes compare against the sweep-start snapshot, so the
-        # compressed active-neighbor structure is shared across them
-        # (undirected graphs only; directed fall back to the scatter).
-        snapshot = active
-        compressed = _active_snapshot(graph, active) if graph.undirected else None
-        remaining = active.copy()
-        san = cost.sanitizer
-        sweep_writes = []
-        for k in range(num_hashes):
-            keys = _fresh_keys(n, gen)
-            if compressed is not None:
-                nmax, nmin = _snapshot_extrema(keys, compressed, n)
-            else:
-                nmax, nmin = _active_extrema(graph, keys, snapshot)
-            # Extremal w.r.t. the snapshot: each (hash, extremum) class
-            # is an independent set, and classes take distinct colors,
-            # so intra-sweep assignments never conflict.  Comparing
-            # against the stale snapshot (rather than the shrinking
-            # active set) is what makes csrcolor burn through color
-            # slots: later hashes color few vertices but still consume
-            # two fresh colors each.
-            maxima = remaining & (keys > nmax)
-            minima = remaining & (keys < nmin) & ~maxima
-            colors[maxima] = base + 2 * k + 1
-            colors[minima] = base + 2 * k + 2
-            remaining = remaining & (colors == 0)
+        tag_iteration(cost.trace, sweeps - 1)
+        with span_phase(cost.trace, "superstep"):
+            base = 2 * num_hashes * (sweeps - 1)
+            cost.charge_map(n_active, name="rand_kernel")
+            active_arcs = int(graph.degrees[active].sum())
+            # One kernel evaluates all hashes: per-edge cost grows mildly
+            # with the number of hash evaluations.
+            cost.charge_edge_balanced(
+                active_arcs, name="cc_kernel", eff=1.0 + 0.3 * num_hashes
+            )
+            # All hashes compare against the sweep-start snapshot, so the
+            # compressed active-neighbor structure is shared across them
+            # (undirected graphs only; directed fall back to the scatter).
+            snapshot = active
+            compressed = _active_snapshot(graph, active) if graph.undirected else None
+            remaining = active.copy()
+            san = cost.sanitizer
+            sweep_writes = []
+            for k in range(num_hashes):
+                keys = _fresh_keys(n, gen)
+                if compressed is not None:
+                    nmax, nmin = _snapshot_extrema(keys, compressed, n)
+                else:
+                    nmax, nmin = _active_extrema(graph, keys, snapshot)
+                # Extremal w.r.t. the snapshot: each (hash, extremum) class
+                # is an independent set, and classes take distinct colors,
+                # so intra-sweep assignments never conflict.  Comparing
+                # against the stale snapshot (rather than the shrinking
+                # active set) is what makes csrcolor burn through color
+                # slots: later hashes color few vertices but still consume
+                # two fresh colors each.
+                maxima = remaining & (keys > nmax)
+                minima = remaining & (keys < nmin) & ~maxima
+                colors[maxima] = base + 2 * k + 1
+                colors[minima] = base + 2 * k + 2
+                remaining = remaining & (colors == 0)
+                if san is not None:
+                    sweep_writes.append(np.flatnonzero(maxima))
+                    sweep_writes.append(np.flatnonzero(minima))
             if san is not None:
-                sweep_writes.append(np.flatnonzero(maxima))
-                sweep_writes.append(np.flatnonzero(minima))
-        if san is not None:
-            with san.kernel("cc_kernel") as sk:
-                # One kernel evaluates every hash of the sweep against
-                # the sweep-start snapshot; thread v writes only its own
-                # color slot, and the ``remaining`` exclusion guarantees
-                # the hash classes never double-write a vertex.
-                src = np.repeat(np.arange(n, dtype=np.int64), graph.degrees)
-                sk.read("active_snapshot", graph.indices, lane=src)
-                won = np.concatenate(sweep_writes) if sweep_writes else (
-                    np.empty(0, dtype=np.int64)
-                )
-                sk.write("colors", won, lane=won)
-        cost.charge_reduce(n_active, name="done_check")
-        cost.charge_sync(name="iter_sync")
+                with san.kernel("cc_kernel") as sk:
+                    # One kernel evaluates every hash of the sweep against
+                    # the sweep-start snapshot; thread v writes only its own
+                    # color slot, and the ``remaining`` exclusion guarantees
+                    # the hash classes never double-write a vertex.
+                    src = np.repeat(np.arange(n, dtype=np.int64), graph.degrees)
+                    sk.read("active_snapshot", graph.indices, lane=src)
+                    won = np.concatenate(sweep_writes) if sweep_writes else (
+                        np.empty(0, dtype=np.int64)
+                    )
+                    sk.write("colors", won, lane=won)
+            cost.charge_reduce(n_active, name="done_check")
+            cost.charge_sync(name="iter_sync")
 
     return ColoringResult(
         colors=colors,
@@ -254,4 +260,5 @@ def naumov_cc_coloring(
         sim_ms=cost.total_ms,
         wall_s=timer.elapsed_s(),
         counters=cost.counters,
+        trace=cost.trace,
     )

@@ -132,5 +132,14 @@ def run_algorithm(
     device: Optional[DeviceSpec] = None,
     **kwargs,
 ) -> ColoringResult:
-    """Run a registered implementation by id."""
-    return get_algorithm(name)(graph, rng=rng, device=device, **kwargs)
+    """Run a registered implementation by id.
+
+    When tracing is enabled the result's trace is labeled here with the
+    algorithm id and graph name, so exports are self-describing without
+    each implementation stamping its own.
+    """
+    result = get_algorithm(name)(graph, rng=rng, device=device, **kwargs)
+    if result.trace is not None:
+        result.trace.algorithm = result.algorithm or name
+        result.trace.dataset = result.graph_name or graph.name
+    return result

@@ -14,6 +14,7 @@ from typing import Optional
 import numpy as np
 
 from ..gpusim.counters import SimCounters
+from ..trace import Trace
 
 __all__ = ["ColoringResult"]
 
@@ -40,6 +41,11 @@ class ColoringResult:
         comparable to the paper; tracked for regressions).
     counters:
         Full kernel-level accounting, when a cost model was attached.
+    trace:
+        Structured :class:`~repro.trace.Trace` of the run when tracing
+        was enabled (``REPRO_TRACE=1`` / ``run_grid(trace=True)``);
+        ``None`` otherwise, and always ``None`` for ``cpu.greedy``
+        (closed-form timing, no cost model).
     """
 
     colors: np.ndarray
@@ -49,6 +55,7 @@ class ColoringResult:
     sim_ms: float = 0.0
     wall_s: float = 0.0
     counters: Optional[SimCounters] = None
+    trace: Optional[Trace] = None
 
     @property
     def num_vertices(self) -> int:

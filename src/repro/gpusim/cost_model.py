@@ -37,6 +37,7 @@ from typing import Optional
 import numpy as np
 
 from ..errors import SimulationError
+from ..trace import Trace, trace_enabled
 from .counters import KernelRecord, SimCounters
 from .device import K40C, DeviceSpec
 from .sanitizer import SuperstepSanitizer, sanitize_enabled
@@ -55,6 +56,13 @@ class CostModel:
     ``self.sanitizer`` (``None`` otherwise); instrumented kernels use
     it to record per-lane array accesses, and :meth:`charge_sync`
     advances its superstep counter.
+
+    When tracing is on (``REPRO_TRACE=1`` or ``repro.trace.activate``)
+    the model likewise carries a :class:`~repro.trace.Trace` on
+    ``self.trace`` (``None`` otherwise); every charge mirrors its
+    kernel record into a trace span, and :meth:`charge_sync` advances
+    the trace superstep.  Emission happens after the cost is computed
+    and recorded, so tracing cannot perturb ``sim_ms`` or counters.
     """
 
     def __init__(self, device: Optional[DeviceSpec] = None) -> None:
@@ -63,6 +71,7 @@ class CostModel:
         self.sanitizer: Optional[SuperstepSanitizer] = (
             SuperstepSanitizer() if sanitize_enabled() else None
         )
+        self.trace: Optional[Trace] = Trace() if trace_enabled() else None
 
     # -- generic helpers ----------------------------------------------------
 
@@ -70,6 +79,8 @@ class CostModel:
         if ms < 0:
             raise SimulationError(f"negative cost for kernel {name!r}")
         self.counters.add(KernelRecord(name=name, kind=kind, work=int(work), ms=ms))
+        if self.trace is not None:
+            self.trace.emit(name, kind, int(work), ms)
         return ms
 
     @property
@@ -162,7 +173,10 @@ class CostModel:
         """One global synchronization (kernel boundary / enactor barrier)."""
         if self.sanitizer is not None:
             self.sanitizer.advance_superstep()
-        return self._record(name, "sync", 0, self.device.sync_ms)
+        ms = self._record(name, "sync", 0, self.device.sync_ms)
+        if self.trace is not None:
+            self.trace.advance_superstep()
+        return ms
 
     def charge_gb_overhead(self, *, name: str = "gb_dispatch") -> float:
         """Per-operation GraphBLAS runtime overhead (descriptor dispatch,

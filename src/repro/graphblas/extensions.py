@@ -14,6 +14,7 @@ import numpy as np
 
 from ..errors import InvalidValue
 from ..gpusim.cost_model import CostModel
+from ..trace import span_phase
 from .vector import Vector
 
 __all__ = ["gxb_scatter"]
@@ -46,8 +47,9 @@ def gxb_scatter(
             f"[{positions.min()}, {positions.max()}]"
         )
     if cost is not None:
-        cost.charge_gb_overhead(name=f"{name}.dispatch")
-        cost.charge_map(len(positions), name=name)
+        with span_phase(cost.trace, name):
+            cost.charge_gb_overhead(name=f"{name}.dispatch")
+            cost.charge_map(len(positions), name=name)
     san = cost.sanitizer if cost is not None else None
     if san is not None:
         with san.kernel(name) as k:

@@ -29,6 +29,7 @@ import numpy as np
 
 from ..errors import DimensionMismatch, InvalidValue
 from ..gpusim.cost_model import CostModel
+from ..trace import span_phase
 from .binaryop import BinaryOp, UnaryOp
 from .descriptor import DEFAULT, Descriptor
 from .matrix import Matrix
@@ -137,8 +138,9 @@ def assign(
     """
     m = _mask_array(mask, w.size, desc)
     if cost is not None:
-        cost.charge_gb_overhead(name=f"{name}.dispatch")
-        cost.charge_map(int(m.sum()), name=name)
+        with span_phase(cost.trace, name):
+            cost.charge_gb_overhead(name=f"{name}.dispatch")
+            cost.charge_map(int(m.sum()), name=name)
     san = _sanitizer(cost)
     if san is not None:
         with san.kernel(name) as k:
@@ -174,8 +176,9 @@ def apply(
     check_same_size(w, u)
     res = np.asarray(op(u.values)).astype(w.gtype.dtype, copy=False)
     if cost is not None:
-        cost.charge_gb_overhead(name=f"{name}.dispatch")
-        cost.charge_map(u.nvals, name=name)
+        with span_phase(cost.trace, name):
+            cost.charge_gb_overhead(name=f"{name}.dispatch")
+            cost.charge_map(u.nvals, name=name)
     san = _sanitizer(cost)
     if san is not None:
         with san.kernel(name) as k:
@@ -225,8 +228,9 @@ def vxm(
         if mask is not None and A.nrows == w.size:
             m = _mask_array(mask, w.size, desc)
             work = min(push_edges, int(A.row_degrees()[m].sum()))
-        cost.charge_gb_overhead(name=f"{name}.dispatch")
-        cost.charge_vxm(work, len(uidx), name=name)
+        with span_phase(cost.trace, name):
+            cost.charge_gb_overhead(name=f"{name}.dispatch")
+            cost.charge_vxm(work, len(uidx), name=name)
     monoid = semiring.add
     identity = monoid.identity(w.gtype.dtype)
     out = np.full(w.size, identity, dtype=w.gtype.dtype)
@@ -287,8 +291,9 @@ def mxv(
     degs = A.offsets[rows + 1] - A.offsets[rows]
     total = int(degs.sum())
     if cost is not None:
-        cost.charge_gb_overhead(name=f"{name}.dispatch")
-        cost.charge_vxm(total, len(rows), name=name)
+        with span_phase(cost.trace, name):
+            cost.charge_gb_overhead(name=f"{name}.dispatch")
+            cost.charge_vxm(total, len(rows), name=name)
     monoid = semiring.add
     identity = monoid.identity(w.gtype.dtype)
     out = np.full(w.size, identity, dtype=w.gtype.dtype)
@@ -351,8 +356,9 @@ def _ewise(
     else:
         present = both
     if cost is not None:
-        cost.charge_gb_overhead(name=f"{name}.dispatch")
-        cost.charge_map(int(present.sum()), name=name)
+        with span_phase(cost.trace, name):
+            cost.charge_gb_overhead(name=f"{name}.dispatch")
+            cost.charge_map(int(present.sum()), name=name)
     san = _sanitizer(cost)
     if san is not None:
         with san.kernel(name) as k:
@@ -412,8 +418,9 @@ def reduce_scalar(
     """
     vals = u.values[u.present]
     if cost is not None:
-        cost.charge_gb_overhead(name=f"{name}.dispatch")
-        cost.charge_reduce(len(vals), name=name)
+        with span_phase(cost.trace, name):
+            cost.charge_gb_overhead(name=f"{name}.dispatch")
+            cost.charge_reduce(len(vals), name=name)
     san = _sanitizer(cost)
     if san is not None:
         with san.kernel(name) as k:
@@ -446,8 +453,9 @@ def extract(
     res = u.values[idx].astype(w.gtype.dtype, copy=False)
     present = u.present[idx].copy()
     if cost is not None:
-        cost.charge_gb_overhead(name=f"{name}.dispatch")
-        cost.charge_map(len(idx), name=name)
+        with span_phase(cost.trace, name):
+            cost.charge_gb_overhead(name=f"{name}.dispatch")
+            cost.charge_map(len(idx), name=name)
     san = _sanitizer(cost)
     if san is not None:
         with san.kernel(name) as k:
@@ -488,8 +496,9 @@ def mxm(
     expand = B.offsets[a_cols + 1] - B.offsets[a_cols]  # nnz of B row k
     flops = int(expand.sum())
     if cost is not None:
-        cost.charge_gb_overhead(name=f"{name}.dispatch")
-        cost.charge_vxm(flops, A.nrows, name=name)
+        with span_phase(cost.trace, name):
+            cost.charge_gb_overhead(name=f"{name}.dispatch")
+            cost.charge_vxm(flops, A.nrows, name=name)
     if flops == 0:
         return Matrix.from_coo(
             A.gtype,
@@ -554,8 +563,9 @@ def assign_indexed(
     target[idx] = True
     target &= m
     if cost is not None:
-        cost.charge_gb_overhead(name=f"{name}.dispatch")
-        cost.charge_map(int(target.sum()), name=name)
+        with span_phase(cost.trace, name):
+            cost.charge_gb_overhead(name=f"{name}.dispatch")
+            cost.charge_map(int(target.sum()), name=name)
     san = _sanitizer(cost)
     if san is not None:
         with san.kernel(name) as k:
@@ -593,8 +603,9 @@ def apply_bind_second(
     check_same_size(w, u)
     res = np.asarray(op(u.values, scalar)).astype(w.gtype.dtype, copy=False)
     if cost is not None:
-        cost.charge_gb_overhead(name=f"{name}.dispatch")
-        cost.charge_map(u.nvals, name=name)
+        with span_phase(cost.trace, name):
+            cost.charge_gb_overhead(name=f"{name}.dispatch")
+            cost.charge_map(u.nvals, name=name)
     san = _sanitizer(cost)
     if san is not None:
         with san.kernel(name) as k:
@@ -623,8 +634,9 @@ def select(
     check_same_size(w, u)
     keep = np.asarray(predicate(u.values), dtype=bool) & u.present
     if cost is not None:
-        cost.charge_gb_overhead(name=f"{name}.dispatch")
-        cost.charge_map(u.nvals, name=name)
+        with span_phase(cost.trace, name):
+            cost.charge_gb_overhead(name=f"{name}.dispatch")
+            cost.charge_map(u.nvals, name=name)
     san = _sanitizer(cost)
     if san is not None:
         with san.kernel(name) as k:
@@ -659,8 +671,9 @@ def reduce_rows(
         raise DimensionMismatch(f"w size {w.size} != A nrows {A.nrows}")
     degs = A.row_degrees()
     if cost is not None:
-        cost.charge_gb_overhead(name=f"{name}.dispatch")
-        cost.charge_vxm(A.nvals, A.nrows, name=name)
+        with span_phase(cost.trace, name):
+            cost.charge_gb_overhead(name=f"{name}.dispatch")
+            cost.charge_vxm(A.nvals, A.nrows, name=name)
     out = np.full(w.size, monoid.identity(w.gtype.dtype), dtype=w.gtype.dtype)
     if A.nvals:
         rows = np.repeat(np.arange(A.nrows, dtype=np.int64), degs)

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Callable
 
 from ..errors import GunrockError
+from ..trace import span_phase, tag_iteration
 from .operators import GunrockContext
 
 __all__ = ["Enactor"]
@@ -38,14 +39,17 @@ class Enactor:
         primitive failed to converge, which is always a bug.
         """
         self.iteration = 0
+        trace = self.ctx.cost.trace
         while True:
             if self.iteration >= self.max_iterations:
                 raise GunrockError(
                     f"enactor exceeded {self.max_iterations} iterations "
                     "without converging"
                 )
-            keep_going = body(self.iteration)
-            self.ctx.sync(name="enactor_sync")
+            tag_iteration(trace, self.iteration)
+            with span_phase(trace, "superstep"):
+                keep_going = body(self.iteration)
+                self.ctx.sync(name="enactor_sync")
             self.iteration += 1
             if not keep_going:
                 return self.iteration

@@ -29,6 +29,7 @@ import numpy as np
 from ..errors import FrontierError, GunrockError
 from ..gpusim.cost_model import CostModel
 from ..graph.csr import CSRGraph
+from ..trace import span_phase
 from .frontier import EdgeFrontier, Frontier
 
 __all__ = ["GunrockContext", "compute", "advance", "neighbor_reduce", "filter_frontier"]
@@ -67,14 +68,15 @@ def compute(
     if loop not in ("map", "serial"):
         raise GunrockError(f"unknown compute loop kind {loop!r}")
     kernel(frontier.ids)
-    if loop == "serial":
-        ctx.cost.charge_serial_loop(
-            frontier.degrees(ctx.graph), name=name, passes=passes
-        )
-    else:
-        ctx.cost.charge_map(len(frontier), name=name)
-    if atomics:
-        ctx.cost.charge_atomics(atomics, name=f"{name}.atomics")
+    with span_phase(ctx.cost.trace, f"compute:{name}"):
+        if loop == "serial":
+            ctx.cost.charge_serial_loop(
+                frontier.degrees(ctx.graph), name=name, passes=passes
+            )
+        else:
+            ctx.cost.charge_map(len(frontier), name=name)
+        if atomics:
+            ctx.cost.charge_atomics(atomics, name=f"{name}.atomics")
 
 
 def advance(
@@ -104,7 +106,8 @@ def advance(
         sources = np.empty(0, dtype=np.int64)
     # Load-balanced edge-parallel kernel that also materializes the
     # frontier to memory (the overhead §V-B attributes to AR).
-    ctx.cost.charge_edge_balanced(total, name=name, eff=1.5)
+    with span_phase(ctx.cost.trace, f"advance:{name}"):
+        ctx.cost.charge_edge_balanced(total, name=name, eff=1.5)
     san = ctx.cost.sanitizer
     if san is not None:
         with san.kernel(name) as k:
@@ -145,9 +148,10 @@ def neighbor_reduce(
     seg = edge_frontier.segment_offsets
     nseg = len(seg) - 1
     vals = values[edge_frontier.targets]
-    ctx.cost.charge_segmented_reduce(
-        edge_frontier.num_edges, nseg, name=name
-    )
+    with span_phase(ctx.cost.trace, f"neighbor_reduce:{name}"):
+        ctx.cost.charge_segmented_reduce(
+            edge_frontier.num_edges, nseg, name=name
+        )
     san = ctx.cost.sanitizer
     if san is not None:
         with san.kernel(name) as k:
@@ -197,7 +201,8 @@ def filter_frontier(
     """
     if len(keep) != len(frontier):
         raise FrontierError("keep mask must align with the frontier")
-    ctx.cost.charge_map(len(frontier), name=name)
+    with span_phase(ctx.cost.trace, f"filter:{name}"):
+        ctx.cost.charge_map(len(frontier), name=name)
     kept = frontier.ids[np.asarray(keep, dtype=bool)]
     san = ctx.cost.sanitizer
     if san is not None:

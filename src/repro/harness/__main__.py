@@ -7,17 +7,26 @@ Examples::
     python -m repro.harness fig1 --csv out.csv
     python -m repro.harness fig1 --jobs 8 --timeout 120   # fault-tolerant
     python -m repro.harness fig1 --jobs 8 --resume        # after a SIGINT
+    python -m repro.harness fig1 --trace                  # per-phase columns
+    python -m repro.harness trace G3_circuit gunrock.hash --out t.json
     python -m repro.harness all
 
 ``python -m repro.harness lint`` runs the repro-lint static checks
 (:mod:`repro.analysis`) over the installed package — the same gate CI
 applies — without touching any experiment machinery.
 
+``python -m repro.harness trace <dataset> <impl>`` runs one traced
+repetition and prints the per-kernel and per-phase breakdowns recorded
+by :mod:`repro.trace`; ``--out`` additionally writes the Chrome
+``trace_event`` JSON that chrome://tracing and https://ui.perfetto.dev
+load directly (see docs/observability.md).
+
 Exit status: 0 when every cell of every requested experiment
-completed with a valid coloring; 1 on usage errors; 3 when the run
-finished but one or more cells failed or produced an invalid coloring
-(the partial tables are still printed — scripts and CI use the exit
-code to detect degraded runs); 4 when ``lint`` found violations.
+completed with a valid coloring; 2 on usage errors (argparse's
+convention); 3 when the run finished but one or more cells failed or
+produced an invalid coloring (the partial tables are still printed —
+scripts and CI use the exit code to detect degraded runs); 4 when
+``lint`` found violations.
 """
 
 from __future__ import annotations
@@ -59,6 +68,19 @@ def _emit(rows, title: str, csv_path: Optional[str], json_path: Optional[str] = 
         )
 
 
+def _emit_phase_breakdown(cells, title: str, csv_path: Optional[str]) -> None:
+    """The per-phase ``Sim ms [...]`` columns for a traced grid run."""
+    from .runner import grid_to_rows
+
+    rows = grid_to_rows(cells)
+    if not rows:
+        return
+    keep = ["Dataset", "Algorithm"] + [
+        k for k in rows[0] if k.startswith("Sim ms")
+    ]
+    _emit([{k: r[k] for k in keep} for r in rows], title, csv_path)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
@@ -67,7 +89,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="one of %s, 'all', 'profile', or 'lint'" % ", ".join(EXPERIMENTS),
+        help="one of %s, 'all', 'profile', 'trace', or 'lint'"
+        % ", ".join(EXPERIMENTS),
+    )
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        help="for 'trace': the <dataset> <implementation> pair to record",
     )
     parser.add_argument(
         "--dataset", default="G3_circuit", help="dataset for 'profile'"
@@ -134,7 +162,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="render ASCII charts of the figure series",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record structured traces during grid experiments and add "
+        "per-phase 'Sim ms [...]' columns (see docs/observability.md)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="for 'trace': write the Chrome trace_event JSON here "
+        "(load it in chrome://tracing or ui.perfetto.dev)",
+    )
     args = parser.parse_args(argv)
+
+    if args.experiment != "trace" and args.targets:
+        parser.error(
+            f"unexpected positional arguments {args.targets!r}; only the "
+            "'trace' experiment takes targets (<dataset> <implementation>)"
+        )
 
     if args.jobs > 1 and _fork_context() is None:
         print(
@@ -148,6 +195,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         retries=args.retries,
         resume=args.resume,
         journal=False if args.no_journal else None,
+        trace=args.trace,
     )
 
     if args.experiment == "lint":
@@ -168,6 +216,40 @@ def main(argv: Optional[List[str]] = None) -> int:
             return EXIT_LINT
         print("repro-lint: clean")
         return 0
+    if args.experiment == "trace":
+        from ..errors import ReproError
+        from .profile import run_trace, trace_phase_rows, trace_rows
+
+        if len(args.targets) != 2:
+            parser.error(
+                "trace takes exactly two positional arguments: "
+                "<dataset> <implementation> (e.g. 'trace offshore "
+                "graphblas.mis')"
+            )
+        dataset, algorithm = args.targets
+        try:
+            result = run_trace(
+                dataset, algorithm, scale_div=args.scale_div, seed=args.seed
+            )
+        except ReproError as exc:
+            print(f"error: trace run failed: {exc}", file=sys.stderr)
+            return EXIT_PARTIAL
+        trace = result.trace
+        _emit(
+            trace_rows(trace),
+            f"Trace: {trace.algorithm} on {trace.dataset} "
+            f"(total {trace.total_ms:.4f} ms, {len(trace)} spans)",
+            args.csv,
+        )
+        _emit(
+            trace_phase_rows(trace),
+            f"Phases: {trace.algorithm} on {trace.dataset}",
+            args.csv,
+        )
+        if args.out:
+            trace.to_chrome_json(args.out)
+            print(f"wrote Chrome trace_event JSON to {args.out}")
+        return 0
     if args.experiment == "profile":
         from .profile import run_profile
 
@@ -186,7 +268,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.experiment not in EXPERIMENTS + ("all",):
         parser.error(
             f"unknown experiment {args.experiment!r}; choose from "
-            f"{', '.join(EXPERIMENTS + ('all', 'profile', 'lint'))}"
+            f"{', '.join(EXPERIMENTS + ('all', 'profile', 'trace', 'lint'))}"
         )
     todo = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     bad_cells = []  # every failed/invalid cell across all experiments
@@ -206,6 +288,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
             bad_cells += [c for c in cells if not c.ok or not c.valid]
             _emit(rows, "Table II: Gunrock optimization impact (G3_circuit)", args.csv, args.json, seed=args.seed, scale_div=args.scale_div)
+            if args.trace:
+                _emit_phase_breakdown(
+                    cells, "Table II: per-phase sim_ms (traced)", args.csv
+                )
         elif exp == "fig1":
             series = fig1_series(
                 scale_div=args.scale_div,
@@ -227,6 +313,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                 for a, v in series["geomean"].items()
             ]
             _emit(gm_rows, "Figure 1a: geometric-mean speedups", args.csv, args.json, seed=args.seed, scale_div=args.scale_div)
+            if args.trace:
+                _emit_phase_breakdown(
+                    series["cells"],
+                    "Figure 1: per-phase sim_ms (traced)",
+                    args.csv,
+                )
             if args.chart:
                 from .charts import bar_chart
 
@@ -254,6 +346,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             ]
             _emit(series["gunrock"], "Figure 2a: Gunrock time-quality", args.csv, args.json, seed=args.seed, scale_div=args.scale_div)
             _emit(series["graphblast"], "Figure 2b: GraphBLAST time-quality", args.csv, args.json, seed=args.seed, scale_div=args.scale_div)
+            if args.trace:
+                _emit_phase_breakdown(
+                    series["cells"],
+                    "Figure 2: per-phase sim_ms (traced)",
+                    args.csv,
+                )
         elif exp == "fig3":
             cells = []
             rows = fig3_series(
@@ -265,6 +363,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
             bad_cells += [c for c in cells if not c.ok or not c.valid]
             _emit(rows, "Figure 3: RGG scaling (runtime & colors vs n, m)", args.csv, args.json, seed=args.seed, scale_div=args.scale_div)
+            if args.trace:
+                _emit_phase_breakdown(
+                    cells, "Figure 3: per-phase sim_ms (traced)", args.csv
+                )
             if args.chart:
                 from .charts import scatter_plot
 

@@ -59,6 +59,7 @@ def fig1_series(
     retries: int = DEFAULT_RETRIES,
     resume: bool = False,
     journal: Optional[bool] = None,
+    trace: bool = False,
 ) -> Dict:
     """Figure 1: run the full real-world grid.
 
@@ -85,6 +86,7 @@ def fig1_series(
         retries=retries,
         resume=resume,
         journal=journal,
+        trace=trace,
     )
     try:
         per_algo = speedup_vs(cells, "naumov.jpl")
@@ -127,6 +129,7 @@ def fig2_series(
     retries: int = DEFAULT_RETRIES,
     resume: bool = False,
     journal: Optional[bool] = None,
+    trace: bool = False,
 ) -> Dict:
     """Figure 2: time-quality scatter points.
 
@@ -154,6 +157,7 @@ def fig2_series(
             retries=retries,
             resume=resume,
             journal=journal,
+            trace=trace,
         )
         out["cells"].extend(cells)
         out[key] = [
@@ -179,6 +183,7 @@ def fig3_series(
     retries: int = DEFAULT_RETRIES,
     resume: bool = False,
     journal: Optional[bool] = None,
+    trace: bool = False,
     cells_out: Optional[List[CellResult]] = None,
 ) -> List[Dict]:
     """Figure 3: RGG scaling sweep.
@@ -204,6 +209,7 @@ def fig3_series(
         retries=retries,
         resume=resume,
         journal=journal,
+        trace=trace,
     )
     if cells_out is not None:
         cells_out.extend(cells)

@@ -11,7 +11,13 @@ algorithm here carries the same information in its
   implementations on the same dataset (how §V-B/V-C arguments are
   made).
 
-CLI: ``python -m repro.harness profile <dataset> <algo> [<algo2>]``.
+CLI: ``python -m repro.harness profile --dataset D --algorithms A[,B]``.
+
+The structured counterpart lives next door: :func:`run_trace` runs one
+repetition with :mod:`repro.trace` recording enabled and
+:func:`trace_rows` / :func:`trace_phase_rows` render the per-kernel and
+per-phase breakdowns (``python -m repro.harness trace <dataset>
+<impl>``; see docs/observability.md).
 """
 
 from __future__ import annotations
@@ -24,9 +30,17 @@ from ..core.result import ColoringResult
 from ..errors import HarnessError
 from ..gpusim.device import DeviceSpec
 from ..graph.generators.suitesparse import DEFAULT_SCALE_DIV
+from ..trace import Trace, activate as trace_activate
 from . import datasets as ds
 
-__all__ = ["profile_rows", "compare_rows", "run_profile"]
+__all__ = [
+    "profile_rows",
+    "compare_rows",
+    "run_profile",
+    "run_trace",
+    "trace_rows",
+    "trace_phase_rows",
+]
 
 
 def profile_rows(result: ColoringResult) -> List[Dict]:
@@ -95,3 +109,50 @@ def run_profile(
     if len(results) == 1:
         return profile_rows(results[0])
     return compare_rows(results[0], results[1])
+
+
+def run_trace(
+    dataset: str,
+    algorithm: str,
+    *,
+    scale_div: int = DEFAULT_SCALE_DIV,
+    seed: int = DEFAULT_SEED,
+    device: Optional[DeviceSpec] = None,
+) -> ColoringResult:
+    """Run one repetition with span recording on; result carries ``.trace``.
+
+    Tracing is enabled via :class:`repro.trace.activate`, so the
+    recorded run is bit-identical (colors, ``sim_ms``, counters) to an
+    untraced one.  Raises :class:`HarnessError` for implementations that
+    never touch the cost model (the closed-form CPU baseline).
+    """
+    graph = ds.load(dataset, scale_div=scale_div, seed=seed)
+    with trace_activate():
+        result = run_algorithm(algorithm, graph, rng=seed, device=device)
+    if result.trace is None:
+        raise HarnessError(
+            f"{algorithm} records no trace (closed-form CPU baseline?); "
+            "pick a simulated implementation"
+        )
+    return result
+
+
+def trace_rows(trace: Trace) -> List[Dict]:
+    """Per-kernel aggregate rows of a trace, hottest first."""
+    total = trace.total_ms or 1.0
+    rows = trace.aggregate()
+    for r in rows:
+        r["ms"] = round(r["ms"], 5)
+        r["Share"] = f"{100.0 * r['ms'] / total:.1f}%"
+    return rows
+
+
+def trace_phase_rows(trace: Trace) -> List[Dict]:
+    """Per-phase (top-level scope) breakdown rows, hottest first."""
+    total = trace.total_ms or 1.0
+    rows = [
+        {"Phase": phase, "ms": round(ms, 5), "Share": f"{100.0 * ms / total:.1f}%"}
+        for phase, ms in sorted(trace.by_phase().items(), key=lambda kv: -kv[1])
+    ]
+    rows.append({"Phase": "TOTAL", "ms": round(trace.total_ms, 5), "Share": "100.0%"})
+    return rows

@@ -75,6 +75,7 @@ from ..errors import (
 )
 from ..gpusim.device import DeviceSpec
 from ..graph.csr import CSRGraph
+from ..trace import Trace, activate as trace_activate, trace_enabled
 from . import datasets as ds
 from . import faults
 from .journal import GridJournal
@@ -104,6 +105,12 @@ class CellResult:
     ``"failed"`` with ``error`` carrying the first captured failure
     (``"ExceptionType: message"``) and the numeric fields averaged over
     the surviving repetitions (NaN when none survived).
+
+    When tracing was requested (``run_grid(trace=True)`` /
+    ``REPRO_TRACE=1``), ``traces`` holds one entry per repetition in
+    rep order — a :class:`~repro.trace.Trace`, or ``None`` for
+    repetitions without one (failures, ``cpu.greedy``'s closed-form
+    path, and journal-replayed repetitions, which store only scalars).
     """
 
     dataset: str
@@ -120,10 +127,18 @@ class CellResult:
     status: str = "ok"  # "ok" | "failed"
     error: Optional[str] = None
     failed_repetitions: int = 0
+    traces: Optional[Tuple[Optional[Trace], ...]] = None
 
     @property
     def ok(self) -> bool:
         return self.status == "ok"
+
+    @property
+    def trace(self) -> Optional[Trace]:
+        """The first repetition's trace, when one was captured."""
+        if not self.traces:
+            return None
+        return next((t for t in self.traces if t is not None), None)
 
 
 @dataclass(frozen=True)
@@ -139,6 +154,7 @@ class _RepResult:
     status: str = "ok"  # "ok" | "failed" | "timeout"
     error: Optional[str] = None
     transient: bool = False  # True when the failure is retryable
+    trace: Optional[Trace] = None  # plain data; ships back from pool workers
 
 
 def _failed_rep(exc: BaseException) -> _RepResult:
@@ -217,14 +233,27 @@ def _run_rep(
     device: Optional[DeviceSpec],
     strict: bool,
     rep: int = 0,
+    trace: bool = False,
     **kwargs,
 ) -> _RepResult:
-    """Run one repetition; algorithm and validation timed separately."""
+    """Run one repetition; algorithm and validation timed separately.
+
+    ``trace=True`` opts this repetition into structured tracing (the
+    explicit form of ``REPRO_TRACE=1``); the captured trace rides back
+    on the repetition record.  Tracing never changes the numbers — the
+    cost model emits spans strictly after recording each charge.
+    """
     faults.maybe_fire(dataset_name or graph.name, algorithm, rep)
     t0 = time.perf_counter()
-    result = run_algorithm(
-        algorithm, graph, rng=rep_seed, device=device, **kwargs
-    )
+    if trace:
+        with trace_activate():
+            result = run_algorithm(
+                algorithm, graph, rng=rep_seed, device=device, **kwargs
+            )
+    else:
+        result = run_algorithm(
+            algorithm, graph, rng=rep_seed, device=device, **kwargs
+        )
     wall = time.perf_counter() - t0
     t0 = time.perf_counter()
     valid = is_valid_coloring(graph, result.colors)
@@ -241,6 +270,7 @@ def _run_rep(
         wall_s=wall,
         validate_s=validate,
         valid=valid,
+        trace=result.trace,
     )
 
 
@@ -254,6 +284,7 @@ def _guarded_rep(
     strict: bool,
     rep: int,
     timeout: Optional[float],
+    trace: bool = False,
 ) -> _RepResult:
     """One repetition with error isolation: never raises (except
     ``KeyboardInterrupt``/``SystemExit``, which must stay fatal)."""
@@ -267,6 +298,7 @@ def _guarded_rep(
                 device=device,
                 strict=strict,
                 rep=rep,
+                trace=trace,
             )
     except Exception as exc:
         return _failed_rep(exc)
@@ -281,6 +313,9 @@ def _aggregate(
 ) -> CellResult:
     ok = [r for r in reps if r.status == "ok"]
     failed = len(reps) - len(ok)
+    traces: Optional[Tuple[Optional[Trace], ...]] = None
+    if any(r.trace is not None for r in reps):
+        traces = tuple(r.trace for r in reps)
     return CellResult(
         dataset=dataset or (graph.name if graph is not None else ""),
         algorithm=algorithm,
@@ -298,6 +333,7 @@ def _aggregate(
         status="ok" if failed == 0 else "failed",
         error=next((r.error for r in reps if r.error is not None), None),
         failed_repetitions=failed,
+        traces=traces,
     )
 
 
@@ -310,6 +346,7 @@ def run_cell(
     seed: int = DEFAULT_SEED,
     device: Optional[DeviceSpec] = None,
     strict: bool = True,
+    trace: bool = False,
     **kwargs,
 ) -> CellResult:
     """Run one implementation ``repetitions`` times and aggregate.
@@ -334,6 +371,7 @@ def run_cell(
             device=device,
             strict=strict,
             rep=rep,
+            trace=trace,
             **kwargs,
         )
         for rep in range(repetitions)
@@ -424,6 +462,7 @@ def run_grid(
     retries: int = DEFAULT_RETRIES,
     resume: bool = False,
     journal: Optional[bool] = None,
+    trace: bool = False,
 ) -> List[CellResult]:
     """Run every algorithm on every dataset; returns one cell per pair.
 
@@ -440,6 +479,12 @@ def run_grid(
     ``REPRO_JOURNAL=0``); ``resume=True`` replays a previous
     interrupted run's journal and executes only the missing
     repetitions.
+
+    ``trace=True`` captures a structured trace per repetition into
+    ``CellResult.traces`` (see :mod:`repro.trace`).  Traces are plain
+    picklable data, so parallel grids return exactly the same traces
+    as sequential runs.  The journal stores scalars only: repetitions
+    replayed by ``resume=True`` carry ``None`` in the trace slot.
     """
     if jobs < 1:
         raise HarnessError("jobs must be >= 1")
@@ -499,6 +544,7 @@ def run_grid(
                 ctx=ctx,
                 timeout=timeout,
                 retries=retries,
+                trace=trace,
             )
         else:
             _run_tasks_sequential(
@@ -510,6 +556,7 @@ def run_grid(
                 device=device,
                 timeout=timeout,
                 retries=retries,
+                trace=trace,
             )
     finally:
         if jrnl is not None:
@@ -571,6 +618,7 @@ def _run_tasks_sequential(
     device: Optional[DeviceSpec],
     timeout: Optional[float],
     retries: int,
+    trace: bool = False,
 ) -> None:
     pending = deque(todo)
     while pending:
@@ -589,6 +637,7 @@ def _run_tasks_sequential(
             strict=True,
             rep=task.rep,
             timeout=timeout,
+            trace=trace,
         )
         _settle(task, rep, results, jrnl, pending.appendleft, retries)
 
@@ -597,7 +646,9 @@ def _run_tasks_sequential(
 
 
 def _worker_rep(
-    task: Tuple[str, str, int, int, int, Optional[DeviceSpec], bool, Optional[float]]
+    task: Tuple[
+        str, str, int, int, int, Optional[DeviceSpec], bool, Optional[float], bool
+    ]
 ) -> _RepResult:
     """Pool task: one (dataset, algorithm, repetition) execution.
 
@@ -605,9 +656,11 @@ def _worker_rep(
     (usually a free hit on the memo inherited from the pre-warmed
     parent at fork time, otherwise one read of the warm disk cache),
     self-enforces the repetition timeout via SIGALRM, and returns
-    failures as data — a worker only dies when a fault kills it.
+    failures as data — a worker only dies when a fault kills it.  When
+    the task requests tracing, the captured trace (plain picklable
+    data) rides back on the repetition record.
     """
-    name, algorithm, scale_div, seed, rep, device, strict, timeout = task
+    name, algorithm, scale_div, seed, rep, device, strict, timeout, trace = task
     try:
         graph = ds.load(name, scale_div=scale_div, seed=seed)
     except Exception as exc:
@@ -621,6 +674,7 @@ def _worker_rep(
         strict=strict,
         rep=rep,
         timeout=timeout,
+        trace=trace,
     )
 
 
@@ -656,6 +710,7 @@ def _run_tasks_pool(
     ctx,
     timeout: Optional[float],
     retries: int,
+    trace: bool = False,
 ) -> None:
     # Warm every distinct dataset in the parent first: this fills the
     # disk cache once per graph (no worker ever generates, and
@@ -701,6 +756,7 @@ def _run_tasks_pool(
                             device,
                             True,
                             timeout,
+                            trace,
                         ),
                     )
                 except BrokenProcessPool:
@@ -818,10 +874,33 @@ def _run_tasks_pool(
         pool.shutdown(wait=False, cancel_futures=True)
 
 
+def _cell_phase_ms(cell: CellResult) -> Dict[str, float]:
+    """Mean simulated ms per top-level phase over the cell's traced
+    repetitions (empty when the cell carries no traces)."""
+    traced = [t for t in (cell.traces or ()) if t is not None]
+    if not traced:
+        return {}
+    out: Dict[str, float] = {}
+    for t in traced:
+        for phase, ms in t.by_phase().items():
+            out[phase] = out.get(phase, 0.0) + ms
+    return {phase: ms / len(traced) for phase, ms in out.items()}
+
+
 def grid_to_rows(cells: Sequence[CellResult]) -> List[Dict]:
-    """Flatten cells into table rows (the full cell record)."""
-    return [
-        {
+    """Flatten cells into table rows (the full cell record).
+
+    When any cell carries traces (``run_grid(trace=True)`` /
+    ``REPRO_TRACE=1``), the rows gain one ``Sim ms [<phase>]`` column
+    per top-level phase seen anywhere in the grid — the per-phase
+    breakdown of ``Sim ms`` (mean over traced repetitions; empty string
+    for cells without traces, e.g. ``cpu.greedy``).
+    """
+    per_cell = [_cell_phase_ms(c) for c in cells]
+    phases = sorted({p for m in per_cell for p in m})
+    rows = []
+    for c, phase_ms in zip(cells, per_cell):
+        row = {
             "Dataset": c.dataset,
             "Algorithm": c.algorithm,
             "Vertices": c.num_vertices,
@@ -836,8 +915,12 @@ def grid_to_rows(cells: Sequence[CellResult]) -> List[Dict]:
             "Status": c.status,
             "Error": c.error or "",
         }
-        for c in cells
-    ]
+        for phase in phases:
+            row[f"Sim ms [{phase}]"] = (
+                phase_ms[phase] if phase in phase_ms else ""
+            )
+        rows.append(row)
+    return rows
 
 
 def speedup_vs(

@@ -110,6 +110,7 @@ def table2_rows(
     retries: int = DEFAULT_RETRIES,
     resume: bool = False,
     journal: Optional[bool] = None,
+    trace: bool = False,
     cells_out: Optional[List[CellResult]] = None,
 ) -> List[Dict]:
     """Regenerate Table II on the G3_circuit analogue.
@@ -133,6 +134,7 @@ def table2_rows(
         retries=retries,
         resume=resume,
         journal=journal,
+        trace=trace,
     )
     if cells_out is not None:
         cells_out.extend(cells)

@@ -1,0 +1,441 @@
+"""Structured tracing for the simulated GPU stack (``repro.trace``).
+
+The harness's end-of-run aggregates (``sim_ms``, ``colors``,
+``iterations``) say *how much* simulated time an algorithm spent, not
+*where*.  The paper's analysis depends on the where: Gunrock explains
+load-imbalance effects with per-operator profiles, and GraphBLAST
+attributes runtime to individual masked-semiring operations ("a second
+call to GrB_vxm ends up taking nearly 50% of the runtime", §V-C).  This
+module is the attribution layer that makes those per-kernel /
+per-iteration shapes visible for our simulated runs.
+
+How it works
+------------
+
+When tracing is enabled — ``REPRO_TRACE=1`` in the environment, or an
+:func:`activate` scope — every :class:`~repro.gpusim.CostModel` carries
+a :class:`Trace` on ``cost.trace`` (``None`` otherwise, so every
+instrumented site pays exactly one attribute check when tracing is
+off).  Each ``charge_*`` call then emits a :class:`TraceSpan` carrying
+the kernel's semantic name, charge kind, work count, simulated
+milliseconds, the superstep it ran in, the enclosing *phase path*
+(e.g. ``"superstep/advance_op"``), and the algorithm iteration.
+
+Phases come from scopes the framework layers open with
+:meth:`Trace.phase`: the Gunrock enactor wraps each bulk-synchronous
+iteration in a ``"superstep"`` scope, the Gunrock operators and every
+GraphBLAS operation open a scope named after themselves, and the
+``core`` algorithms tag iterations via :meth:`Trace.set_iteration` —
+so spans nest (``advance`` → segmented reduce, ``vxm`` → eWiseMult)
+without the algorithms hand-building any span objects.  Constructing
+:class:`TraceSpan` anywhere outside this module is a lint violation
+(rule ``RPL007``, see ``docs/static-analysis.md``).
+
+The trace clock is *simulated* time: a span starts at the cumulative
+``sim_ms`` charged before it and lasts exactly its charge.  Exports:
+
+* :meth:`Trace.to_chrome` — Chrome/Perfetto ``trace_event`` JSON
+  (load in https://ui.perfetto.dev or ``chrome://tracing``);
+* :meth:`Trace.aggregate` — the per-kernel totals table;
+* :meth:`Trace.by_phase` — simulated ms per top-level phase (the
+  breakdown columns ``grid_to_rows`` emits).
+
+Invariants (locked down by ``tests/test_trace_properties.py`` and the
+golden suite):
+
+* tracing never perturbs results — ``sim_ms``, ``colors``,
+  ``iterations`` and every :class:`~repro.gpusim.SimCounters` record
+  are bit-identical with tracing on or off;
+* span ``ms`` values sum exactly (same float additions, in order) to
+  ``counters.total_ms``;
+* spans within one run never overlap: each begins where the previous
+  ended, and phase scopes strictly nest.
+
+Traces are plain picklable data, so process-pool grid workers ship
+them back to the parent unchanged (``run_grid(trace=True)`` returns
+the same traces at any worker count).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "ENV_VAR",
+    "trace_enabled",
+    "activate",
+    "TraceSpan",
+    "Trace",
+    "span_phase",
+    "tag_iteration",
+    "validate_chrome_trace",
+]
+
+ENV_VAR = "REPRO_TRACE"
+
+#: Explicit (non-environment) activation depth; see :func:`activate`.
+_active_depth = 0
+
+
+def trace_enabled() -> bool:
+    """Whether new :class:`~repro.gpusim.CostModel` instances should
+    carry a trace (``REPRO_TRACE`` truthy, or an :func:`activate`
+    scope is open)."""
+    if _active_depth > 0:
+        return True
+    return os.environ.get(ENV_VAR, "").strip().lower() in (
+        "1",
+        "true",
+        "yes",
+        "on",
+    )
+
+
+class activate:
+    """Context manager: enable tracing for the dynamic extent of the
+    block without touching the environment (the explicit opt-in behind
+    ``run_grid(trace=True)``).  Re-entrant."""
+
+    def __enter__(self) -> "activate":
+        global _active_depth
+        _active_depth += 1
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        global _active_depth
+        _active_depth -= 1
+
+
+@dataclass(frozen=True)
+class TraceSpan:
+    """One traced event: a simulated kernel charge or a phase scope.
+
+    Only :class:`Trace` may construct these (lint rule ``RPL007``);
+    everything else reads them.
+    """
+
+    name: str  # semantic label ("vxm_max", "advance_op", …)
+    kind: str  # charge kind, or "phase" for scope spans
+    work: int  # work items charged (0 for phase spans)
+    ms: float  # duration in simulated milliseconds
+    ts_ms: float  # start time on the cumulative sim_ms clock
+    end_ms: float  # end time: the exact clock value, NOT ts_ms + ms
+    # (ts_ms + ms can differ from the cursor by one ULP; storing the
+    # cursor keeps "each span starts where the previous ended" exact)
+    superstep: int  # superstep counter at emission
+    phase: str  # "/"-joined enclosing phase path ("" at top level)
+    iteration: int  # algorithm iteration tag (-1 before the first)
+
+
+class _PhaseScope:
+    """Context manager returned by :meth:`Trace.phase`."""
+
+    __slots__ = ("_trace", "_name")
+
+    def __init__(self, trace: "Trace", name: str) -> None:
+        self._trace = trace
+        self._name = name
+
+    def __enter__(self) -> "Trace":
+        self._trace._open_phase(self._name)
+        return self._trace
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._trace._close_phase()
+
+
+class _NullScope:
+    """Shared no-op scope for untraced runs (no per-call allocation)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SCOPE = _NullScope()
+
+
+class Trace:
+    """Per-run structured trace: an append-only list of spans plus the
+    scope state (phase stack, superstep, iteration) used to tag them.
+
+    The clock is the cumulative simulated milliseconds charged so far;
+    :meth:`emit` advances it by exactly the charge, so consecutive
+    kernel spans tile the timeline without gaps or overlaps, and the
+    sum of kernel-span ``ms`` equals ``SimCounters.total_ms`` term for
+    term.
+    """
+
+    def __init__(self, *, algorithm: str = "", dataset: str = "") -> None:
+        self.algorithm = algorithm
+        self.dataset = dataset
+        self.spans: List[TraceSpan] = []
+        self.superstep = 0
+        self.iteration = -1
+        self._cursor_ms = 0.0
+        # (name, start_ms, start_superstep, start_iteration) per open scope
+        self._phase_stack: List[Tuple[str, float, int, int]] = []
+
+    # -- recording ----------------------------------------------------------
+
+    def emit(self, name: str, kind: str, work: int, ms: float) -> None:
+        """Record one kernel charge (called by ``CostModel._record``)."""
+        end = self._cursor_ms + ms
+        self.spans.append(
+            TraceSpan(
+                name=name,
+                kind=kind,
+                work=int(work),
+                ms=ms,
+                ts_ms=self._cursor_ms,
+                end_ms=end,
+                superstep=self.superstep,
+                phase="/".join(s[0] for s in self._phase_stack),
+                iteration=self.iteration,
+            )
+        )
+        self._cursor_ms = end
+
+    def phase(self, name: str) -> _PhaseScope:
+        """Open a named phase scope; kernel spans emitted inside carry
+        the scope path, and a ``kind="phase"`` span covering the scope's
+        extent is recorded when it closes."""
+        return _PhaseScope(self, name)
+
+    def _open_phase(self, name: str) -> None:
+        self._phase_stack.append(
+            (name, self._cursor_ms, self.superstep, self.iteration)
+        )
+
+    def _close_phase(self) -> None:
+        name, start_ms, start_step, start_iter = self._phase_stack.pop()
+        self.spans.append(
+            TraceSpan(
+                name=name,
+                kind="phase",
+                work=0,
+                ms=self._cursor_ms - start_ms,
+                ts_ms=start_ms,
+                end_ms=self._cursor_ms,
+                superstep=start_step,
+                phase="/".join(s[0] for s in self._phase_stack),
+                iteration=start_iter,
+            )
+        )
+
+    def advance_superstep(self) -> None:
+        """Called at every global sync (``CostModel.charge_sync``)."""
+        self.superstep += 1
+
+    def set_iteration(self, iteration: int) -> None:
+        """Tag subsequent spans with the algorithm's outer iteration."""
+        self.iteration = int(iteration)
+
+    # -- views --------------------------------------------------------------
+
+    @property
+    def total_ms(self) -> float:
+        """Cumulative simulated ms of all kernel spans (the clock)."""
+        return self._cursor_ms
+
+    def kernel_spans(self) -> List[TraceSpan]:
+        """Spans from cost-model charges (phase scope spans excluded)."""
+        return [s for s in self.spans if s.kind != "phase"]
+
+    def phase_spans(self) -> List[TraceSpan]:
+        """The ``kind="phase"`` scope spans, in close order."""
+        return [s for s in self.spans if s.kind == "phase"]
+
+    def aggregate(self) -> List[Dict]:
+        """Per-kernel totals (name, kind, calls, work, ms), hottest
+        first — the profile table the CLI prints."""
+        agg: Dict[str, Dict] = {}
+        for s in self.kernel_spans():
+            row = agg.setdefault(
+                s.name,
+                {"Kernel": s.name, "Kind": s.kind, "Calls": 0, "Work": 0, "ms": 0.0},
+            )
+            row["Calls"] += 1
+            row["Work"] += s.work
+            row["ms"] += s.ms
+        return sorted(agg.values(), key=lambda r: (-r["ms"], r["Kernel"]))
+
+    def by_phase(self) -> Dict[str, float]:
+        """Simulated ms per *top-level* phase (kernel spans grouped by
+        the first segment of their phase path; ``"(untracked)"`` for
+        spans outside any scope)."""
+        out: Dict[str, float] = {}
+        for s in self.kernel_spans():
+            top = s.phase.split("/", 1)[0] if s.phase else "(untracked)"
+            out[top] = out.get(top, 0.0) + s.ms
+        return out
+
+    def by_iteration(self) -> Dict[int, float]:
+        """Simulated ms per tagged algorithm iteration."""
+        out: Dict[int, float] = {}
+        for s in self.kernel_spans():
+            out[s.iteration] = out.get(s.iteration, 0.0) + s.ms
+        return out
+
+    # -- export -------------------------------------------------------------
+
+    def to_chrome(self) -> Dict:
+        """The run as a Chrome/Perfetto ``trace_event`` JSON object.
+
+        Kernel charges and phase scopes become complete (``"ph": "X"``)
+        events on one track; timestamps are the simulated clock in
+        microseconds (Perfetto's native unit), so the rendered timeline
+        *is* the simulated execution.  Metadata events name the process
+        after the algorithm and the thread after the dataset.
+        """
+        events: List[Dict] = [
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": 1,
+                "tid": 1,
+                "args": {"name": self.algorithm or "repro-sim"},
+            },
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": 1,
+                "tid": 1,
+                "args": {"name": self.dataset or "sim-stream"},
+            },
+        ]
+        for s in self.spans:
+            events.append(
+                {
+                    "ph": "X",
+                    "name": s.name,
+                    "cat": s.kind,
+                    "pid": 1,
+                    "tid": 1,
+                    "ts": s.ts_ms * 1000.0,
+                    "dur": s.ms * 1000.0,
+                    "args": {
+                        "work": s.work,
+                        "superstep": s.superstep,
+                        "phase": s.phase,
+                        "iteration": s.iteration,
+                    },
+                }
+            )
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "algorithm": self.algorithm,
+                "dataset": self.dataset,
+                "total_sim_ms": self.total_ms,
+            },
+        }
+
+    def to_chrome_json(self, path=None) -> str:
+        """Serialize :meth:`to_chrome`; optionally also write ``path``."""
+        text = json.dumps(self.to_chrome(), indent=1)
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(text)
+        return text
+
+    # -- comparison / pickling ----------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trace):
+            return NotImplemented
+        return (
+            self.algorithm == other.algorithm
+            and self.dataset == other.dataset
+            and self.spans == other.spans
+        )
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __repr__(self) -> str:
+        return (
+            f"Trace({self.algorithm or '?'} on {self.dataset or '?'}: "
+            f"{len(self.spans)} spans, {self.total_ms:.4f} sim-ms)"
+        )
+
+
+# -- instrumentation helpers --------------------------------------------------
+
+
+def span_phase(trace: Optional[Trace], name: str):
+    """``trace.phase(name)`` when tracing, a shared no-op scope
+    otherwise — the one-attribute-check-when-disabled idiom every
+    instrumented site uses."""
+    if trace is None:
+        return _NULL_SCOPE
+    return trace.phase(name)
+
+
+def tag_iteration(trace: Optional[Trace], iteration: int) -> None:
+    """Tag the current algorithm iteration (no-op when untraced)."""
+    if trace is not None:
+        trace.set_iteration(iteration)
+
+
+# -- trace_event schema validation --------------------------------------------
+
+_REQUIRED_BY_PH = {
+    "X": ("name", "ts", "dur", "pid", "tid"),
+    "B": ("name", "ts", "pid", "tid"),
+    "E": ("ts", "pid", "tid"),
+    "M": ("name", "pid"),
+    "i": ("name", "ts", "pid", "tid"),
+    "C": ("name", "ts", "pid", "tid"),
+}
+
+
+def validate_chrome_trace(obj) -> List[str]:
+    """Check ``obj`` (a parsed JSON value) against the Chrome
+    ``trace_event`` format; returns a list of problems (empty = valid).
+
+    Accepts the JSON-object form (``{"traceEvents": [...]}``) or the
+    bare JSON-array form.  Used by the CI trace smoke job and the CLI
+    tests, so the exported format is pinned by machine check rather
+    than by eyeballing Perfetto.
+    """
+    problems: List[str] = []
+    if isinstance(obj, dict):
+        events = obj.get("traceEvents")
+        if not isinstance(events, list):
+            return ["top-level object lacks a 'traceEvents' array"]
+    elif isinstance(obj, list):
+        events = obj
+    else:
+        return ["trace must be a JSON object or array"]
+    if not events:
+        problems.append("trace contains no events")
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        ph = ev.get("ph")
+        if not isinstance(ph, str) or not ph:
+            problems.append(f"event {i}: missing 'ph' (event type)")
+            continue
+        for key in _REQUIRED_BY_PH.get(ph, ("ts", "pid")):
+            if key not in ev:
+                problems.append(f"event {i} (ph={ph!r}): missing {key!r}")
+        ts = ev.get("ts")
+        if ts is not None and not isinstance(ts, (int, float)):
+            problems.append(f"event {i}: 'ts' is not a number")
+        dur = ev.get("dur")
+        if dur is not None:
+            if not isinstance(dur, (int, float)):
+                problems.append(f"event {i}: 'dur' is not a number")
+            elif dur < 0:
+                problems.append(f"event {i}: negative 'dur'")
+    return problems

@@ -48,3 +48,28 @@ def graphs(draw, max_vertices: int = 24, max_edges: int = 80):
     """Hypothesis strategy producing a CSRGraph directly."""
     n, edges = draw(edge_lists(max_vertices=max_vertices, max_edges=max_edges))
     return from_edges(edges, num_vertices=n)
+
+
+#: The simulated (cost-model-backed) Figure 1 implementations — every
+#: registry id that records kernel counters and, when tracing is on, a
+#: :class:`repro.trace.Trace`.  ``cpu.greedy`` is excluded: closed-form
+#: timing, no cost model, no trace.
+TRACED_ALGORITHMS = (
+    "graphblas.is",
+    "graphblas.jpl",
+    "graphblas.mis",
+    "gunrock.ar",
+    "gunrock.hash",
+    "gunrock.is",
+    "naumov.cc",
+    "naumov.jpl",
+)
+
+
+@st.composite
+def traced_runs(draw, max_vertices: int = 20, max_edges: int = 60):
+    """(graph, algorithm id, seed) triple for trace property tests."""
+    graph = draw(graphs(max_vertices=max_vertices, max_edges=max_edges))
+    algo = draw(st.sampled_from(TRACED_ALGORITHMS))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return graph, algo, seed

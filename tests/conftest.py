@@ -11,6 +11,21 @@ from repro.graph.build import from_edges
 from repro.graph.csr import CSRGraph
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/*.json from the current implementation "
+        "instead of comparing against it (commit the diff deliberately)",
+    )
+
+
+@pytest.fixture(scope="session")
+def regen_golden(request) -> bool:
+    return bool(request.config.getoption("--regen-golden"))
+
+
 @pytest.fixture(scope="session", autouse=True)
 def _isolated_disk_cache(tmp_path_factory):
     """Keep the default-on dataset cache out of the working tree.

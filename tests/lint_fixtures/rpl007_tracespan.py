@@ -1,0 +1,5 @@
+"""RPL007 fixture: manual TraceSpan construction outside repro.trace."""
+from repro.trace import TraceSpan
+
+span = TraceSpan(name="k", kind="map", work=1, ms=0.1, ts_ms=0.0)
+also = repro.trace.TraceSpan("k", "map", 1, 0.1, 0.0)

@@ -57,6 +57,13 @@ class TestRuleFixtures:
     def test_rpl006_swallowed(self):
         assert hits("rpl006_swallowed.py") == [("RPL006", 4)]
 
+    def test_rpl007_tracespan(self):
+        assert hits("rpl007_tracespan.py") == [
+            ("RPL007", 2),
+            ("RPL007", 4),
+            ("RPL007", 5),
+        ]
+
     def test_clean_fixture_has_no_violations(self):
         assert hits("clean.py") == []
 
@@ -71,6 +78,7 @@ class TestRuleFixtures:
             "RPL004",
             "RPL005",
             "RPL006",
+            "RPL007",
         }
 
 
@@ -104,6 +112,18 @@ class TestScoping:
         assert lint_source(src, tmp_path / "_rng.py") == []
         [v] = lint_source(src, tmp_path / "other.py")
         assert v.rule == "RPL001"
+
+    def test_tracespan_only_in_trace_module(self, tmp_path):
+        src = (FIXTURES / "rpl007_tracespan.py").read_text()
+        assert lint_source(src, tmp_path / "trace.py") == []
+        rules = [v.rule for v in lint_source(src, tmp_path / "gpusim" / "x.py")]
+        assert rules == ["RPL007", "RPL007", "RPL007"]
+
+    def test_relative_trace_import_caught(self, tmp_path):
+        [v] = lint_source(
+            "from ..trace import TraceSpan\n", tmp_path / "gpusim" / "x.py"
+        )
+        assert v.rule == "RPL007"
 
 
 class TestSuppressions:

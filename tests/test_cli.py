@@ -1,4 +1,7 @@
-"""Tests for the ``python -m repro`` command-line tool."""
+"""Tests for the ``python -m repro`` command-line tool and the
+``python -m repro.harness`` trace subcommand's exit-code contract."""
+
+import json
 
 import numpy as np
 import pytest
@@ -6,6 +9,11 @@ import pytest
 from repro.__main__ import main
 from repro.graph.build import from_edges
 from repro.graph.io import read_matrix_market, write_matrix_market
+from repro.harness.__main__ import (
+    EXIT_LINT,
+    EXIT_PARTIAL,
+    main as harness_main,
+)
 
 
 @pytest.fixture
@@ -102,3 +110,82 @@ class TestOtherCommands:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestHarnessTraceCommand:
+    """``python -m repro.harness trace`` and its exit-code contract:
+    0 success, 2 usage (argparse), 3 runtime failure, 4 lint."""
+
+    ARGS = ["trace", "offshore", "graphblas.mis", "--scale-div", "2048"]
+
+    def test_success_prints_tables(self, capsys):
+        assert harness_main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "Trace: graphblas.mis on offshore" in out
+        assert "Phases: graphblas.mis on offshore" in out
+        assert "superstep" in out
+        assert "vxm" in out
+
+    def test_out_writes_loadable_chrome_json(self, tmp_path, capsys):
+        from repro.trace import validate_chrome_trace
+
+        path = tmp_path / "trace.json"
+        assert harness_main(self.ARGS + ["--out", str(path)]) == 0
+        obj = json.loads(path.read_text())
+        assert validate_chrome_trace(obj) == []
+        assert obj["otherData"]["algorithm"] == "graphblas.mis"
+        assert obj["otherData"]["dataset"] == "offshore"
+        assert any(ev.get("ph") == "X" for ev in obj["traceEvents"])
+
+    def test_missing_targets_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            harness_main(["trace", "offshore"])
+        assert exc.value.code == 2
+
+    def test_extra_targets_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            harness_main(["trace", "offshore", "graphblas.mis", "surplus"])
+        assert exc.value.code == 2
+
+    def test_targets_rejected_outside_trace(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            harness_main(["table1", "offshore"])
+        assert exc.value.code == 2
+
+    def test_unknown_dataset_is_partial_failure(self, capsys):
+        rc = harness_main(["trace", "atlantis", "graphblas.mis"])
+        assert rc == EXIT_PARTIAL == 3
+        assert "trace run failed" in capsys.readouterr().err
+
+    def test_untraceable_algorithm_is_partial_failure(self, capsys):
+        rc = harness_main(self.ARGS[:2] + ["cpu.greedy"] + self.ARGS[3:])
+        assert rc == EXIT_PARTIAL
+        assert "records no trace" in capsys.readouterr().err
+
+    def test_lint_exit_code_contract(self, capsys, monkeypatch):
+        from repro.analysis.lint import Violation
+
+        monkeypatch.setattr(
+            "repro.analysis.lint.lint_paths",
+            lambda paths: [
+                Violation(file="x.py", line=1, col=0, rule="RPL007", message="m")
+            ],
+        )
+        assert harness_main(["lint"]) == EXIT_LINT == 4
+        assert "RPL007" in capsys.readouterr().out
+
+    def test_grid_trace_flag_adds_phase_columns(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)  # keep the journal out of the repo
+        rc = harness_main(
+            [
+                "table2",
+                "--trace",
+                "--scale-div",
+                "2048",
+                "--repetitions",
+                "1",
+                "--no-journal",
+            ]
+        )
+        assert rc == 0
+        assert "Sim ms [superstep]" in capsys.readouterr().out

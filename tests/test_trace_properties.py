@@ -1,0 +1,169 @@
+"""Property tests for the structured tracing layer (repro.trace).
+
+Three invariants, each checked on hypothesis-generated graphs across
+every simulated implementation:
+
+1. **Accounting** — kernel span milliseconds sum (in emission order) to
+   exactly ``counters.total_ms``; the trace is the counters, reshaped.
+2. **Structure** — spans tile simulated time gaplessly, phase scopes
+   nest without partial overlap, and superstep tags never decrease.
+3. **Non-interference** — running with tracing enabled is bit-identical
+   (colors, sim_ms, iteration count, every kernel record) to running
+   with it disabled.
+
+The golden suite (test_golden.py) pins the same guarantees to fixed
+trajectories; these tests generalize them to arbitrary small graphs.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+
+from _strategies import TRACED_ALGORITHMS, traced_runs
+from repro.core.registry import run_algorithm
+from repro.trace import Trace, activate as trace_activate, span_phase
+
+
+def _traced(graph, algo, seed):
+    with trace_activate():
+        return run_algorithm(algo, graph, rng=seed)
+
+
+class TestAccounting:
+    @settings(max_examples=30, deadline=None)
+    @given(run=traced_runs())
+    def test_kernel_spans_sum_to_counter_total(self, run):
+        graph, algo, seed = run
+        result = _traced(graph, algo, seed)
+        trace = result.trace
+        assert trace is not None
+        # Same floats added in the same order: exact equality, not isclose.
+        acc = 0.0
+        for span in trace.kernel_spans():
+            acc += span.ms
+        assert acc == result.counters.total_ms
+        assert trace.total_ms == result.counters.total_ms
+        assert trace.total_ms == result.sim_ms
+
+    @settings(max_examples=30, deadline=None)
+    @given(run=traced_runs())
+    def test_one_span_per_counter_record(self, run):
+        graph, algo, seed = run
+        result = _traced(graph, algo, seed)
+        kernel_spans = result.trace.kernel_spans()
+        records = result.counters.records
+        assert len(kernel_spans) == len(records)
+        for span, rec in zip(kernel_spans, records):
+            assert (span.name, span.kind, span.work, span.ms) == (
+                rec.name,
+                rec.kind,
+                rec.work,
+                rec.ms,
+            )
+
+
+class TestStructure:
+    @settings(max_examples=30, deadline=None)
+    @given(run=traced_runs())
+    def test_kernel_spans_tile_time_gaplessly(self, run):
+        graph, algo, seed = run
+        trace = _traced(graph, algo, seed).trace
+        cursor = 0.0
+        for span in trace.kernel_spans():
+            assert span.ts_ms == cursor
+            assert span.ms >= 0.0
+            cursor = span.end_ms
+        assert cursor == trace.total_ms
+
+    @settings(max_examples=30, deadline=None)
+    @given(run=traced_runs())
+    def test_phase_spans_nest_without_overlap(self, run):
+        """Any two phase spans are disjoint or one contains the other."""
+        graph, algo, seed = run
+        phases = _traced(graph, algo, seed).trace.phase_spans()
+        for i, a in enumerate(phases):
+            assert a.end_ms >= a.ts_ms
+            for b in phases[i + 1 :]:
+                disjoint = a.end_ms <= b.ts_ms or b.end_ms <= a.ts_ms
+                a_in_b = b.ts_ms <= a.ts_ms and a.end_ms <= b.end_ms
+                b_in_a = a.ts_ms <= b.ts_ms and b.end_ms <= a.end_ms
+                assert disjoint or a_in_b or b_in_a
+
+    @settings(max_examples=30, deadline=None)
+    @given(run=traced_runs())
+    def test_supersteps_monotonic_and_scopes_closed(self, run):
+        graph, algo, seed = run
+        trace = _traced(graph, algo, seed).trace
+        steps = [s.superstep for s in trace.kernel_spans()]
+        assert steps == sorted(steps)
+        # Every phase scope was closed: no span still carries an open
+        # stack deeper than its own recorded path, and the Chrome export
+        # validates (which requires well-formed events).
+        from repro.trace import validate_chrome_trace
+
+        assert validate_chrome_trace(trace.to_chrome()) == []
+
+
+class TestNonInterference:
+    @settings(max_examples=20, deadline=None)
+    @given(run=traced_runs())
+    def test_trace_on_off_bit_identical(self, run):
+        graph, algo, seed = run
+        off = run_algorithm(algo, graph, rng=seed)
+        on = _traced(graph, algo, seed)
+        assert np.array_equal(off.colors, on.colors)
+        assert off.sim_ms == on.sim_ms
+        assert off.iterations == on.iterations
+        assert off.counters.records == on.counters.records
+        assert off.trace is None
+        assert on.trace is not None
+
+
+class TestTracePrimitives:
+    """Direct unit properties of Trace, independent of any algorithm."""
+
+    def test_null_scope_when_disabled(self):
+        # span_phase on a disabled run must be free: the shared no-op
+        # scope, not a fresh object per call site.
+        a = span_phase(None, "x")
+        b = span_phase(None, "y")
+        assert a is b
+        with a:
+            pass  # usable as a context manager
+
+    def test_emit_advances_cursor_and_records_phase(self):
+        t = Trace(algorithm="a", dataset="d")
+        with t.phase("outer"):
+            t.emit("k1", "map", 10, 1.5)
+            with t.phase("inner"):
+                t.emit("k2", "map", 5, 0.5)
+        t.emit("k3", "sync", 0, 0.25)
+        k1, k2, k3 = t.kernel_spans()
+        assert (k1.phase, k2.phase, k3.phase) == ("outer", "outer/inner", "")
+        assert (k1.ts_ms, k2.ts_ms, k3.ts_ms) == (0.0, 1.5, 2.0)
+        assert t.total_ms == 2.25
+        outer = [s for s in t.phase_spans() if s.name == "outer"][0]
+        inner = [s for s in t.phase_spans() if s.name == "inner"][0]
+        assert outer.ts_ms == 0.0 and outer.end_ms == 2.0
+        assert inner.ts_ms == 1.5 and inner.end_ms == 2.0
+
+    def test_aggregate_totals_match(self):
+        t = Trace()
+        for _ in range(3):
+            t.emit("k", "map", 7, 0.125)
+        t.emit("other", "sync", 0, 1.0)
+        rows = {r["Kernel"]: r for r in t.aggregate()}
+        assert rows["k"]["Calls"] == 3
+        assert rows["k"]["Work"] == 21
+        assert math.isclose(rows["k"]["ms"], 0.375)
+        assert sum(r["ms"] for r in rows.values()) == t.total_ms
+
+    def test_traced_algorithms_matches_registry(self):
+        from repro.core.registry import FIGURE1_ALGORITHMS
+
+        assert sorted(TRACED_ALGORITHMS) == sorted(
+            a for a in FIGURE1_ALGORITHMS if a != "cpu.greedy"
+        )
