@@ -42,6 +42,14 @@ RPL007    Manual :class:`~repro.trace.TraceSpan` construction (or a
           and superstep tags stay consistent; a hand-built span would
           silently break the tiling invariant the property tests
           assert.
+RPL008    Ad-hoc module-level metric state: a module-global counter /
+          tally dict (``cache_hits = 0``, ``_retry_counts = {}``,
+          ``METRICS = Counter()``, …) anywhere except
+          :mod:`repro.metrics` itself and the gpusim counter bridge
+          (``gpusim/counters.py``).  Metrics must go through the
+          :mod:`repro.metrics` registry — module globals are invisible
+          to exporters, unlabelled, racy under the process pool, and
+          reset on import order.
 RPL999    File does not parse.
 ========  ==============================================================
 
@@ -80,6 +88,7 @@ RULES: Dict[str, str] = {
     "RPL005": "bare except:",
     "RPL006": "swallowed exception (except Exception: pass)",
     "RPL007": "manual TraceSpan construction outside repro.trace",
+    "RPL008": "ad-hoc module-level metric state outside repro.metrics",
     "RPL999": "file does not parse",
 }
 
@@ -137,6 +146,30 @@ _WALL_CLOCK_FROM_IMPORTS = frozenset(
 )
 
 _SWALLOWABLE = frozenset({"Exception", "BaseException", "ReproError"})
+
+# RPL008: module-level names that read as metric state.  Matching is on
+# the lowercased name with leading underscores stripped.
+_METRICISH_EXACT = frozenset(
+    {"metrics", "counters", "counter", "count", "total", "hits", "misses"}
+)
+_METRICISH_SUFFIXES = (
+    "_count",
+    "_counts",
+    "_counter",
+    "_counters",
+    "_total",
+    "_totals",
+    "_hits",
+    "_misses",
+)
+
+# RPL008 exemption scoping: a file named metrics.py is only *the*
+# metrics module when it is not nested under one of the package's
+# subsystem directories (repro/core/metrics.py — the coloring-quality
+# metrics — is NOT the registry and gets no exemption).
+_METRIC_EXEMPT_DENY_DIRS = frozenset(
+    {"core", "harness", "graph", "gunrock", "graphblas", "apps", "analysis"}
+)
 
 _SUPPRESS_MARK = "repro-lint:"
 _SUPPRESS_RE = re.compile(
@@ -243,6 +276,13 @@ class _Checker(ast.NodeVisitor):
         )
         self.check_narrowing = _in_dirs(path, _NARROWING_DIRS)
         self.check_sim_ms_assign = _in_dirs(path, _SIM_MS_ASSIGN_DIRS)
+        self.check_adhoc_metrics = not (
+            (
+                base == "metrics.py"
+                and not _in_dirs(path, _METRIC_EXEMPT_DENY_DIRS)
+            )
+            or (base == "counters.py" and "gpusim" in path.parts)
+        )
         self.violations: List[Violation] = []
 
     # -- helpers ------------------------------------------------------------
@@ -257,6 +297,56 @@ class _Checker(ast.NodeVisitor):
                 message=message,
             )
         )
+
+    # -- RPL008: ad-hoc module-level metric state -----------------------------
+
+    @staticmethod
+    def _is_metricish_name(name: str) -> bool:
+        norm = name.lower().lstrip("_")
+        return norm in _METRICISH_EXACT or norm.endswith(_METRICISH_SUFFIXES)
+
+    @staticmethod
+    def _is_metric_state(value: ast.AST) -> bool:
+        """Initializers that read as a tally: numeric zero-state, a dict
+        literal, or Counter()/defaultdict()/dict()."""
+        if isinstance(value, ast.Constant):
+            return isinstance(value.value, (int, float)) and not isinstance(
+                value.value, bool
+            )
+        if isinstance(value, ast.Dict):
+            return True
+        if isinstance(value, ast.Call):
+            dotted = _dotted(value.func)
+            return dotted is not None and (
+                dotted in ("Counter", "defaultdict", "dict")
+                or dotted.endswith((".Counter", ".defaultdict"))
+            )
+        return False
+
+    def visit_Module(self, node: ast.Module) -> None:
+        if self.check_adhoc_metrics:
+            for stmt in node.body:
+                if isinstance(stmt, ast.Assign):
+                    targets, value = stmt.targets, stmt.value
+                elif isinstance(stmt, ast.AnnAssign):
+                    targets, value = [stmt.target], stmt.value
+                else:
+                    continue
+                if value is None or not self._is_metric_state(value):
+                    continue
+                for t in targets:
+                    if isinstance(t, ast.Name) and self._is_metricish_name(
+                        t.id
+                    ):
+                        self._hit(
+                            stmt,
+                            "RPL008",
+                            f"module-level metric state {t.id!r}; emit "
+                            "through the repro.metrics registry instead "
+                            "(module globals are unlabelled, unexported, "
+                            "and lost across pool workers)",
+                        )
+        self.generic_visit(node)
 
     # -- RPL001: global randomness ------------------------------------------
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
+from .. import metrics
 from .._rng import RngLike
 from ..errors import ColoringError
 from ..gpusim.device import DeviceSpec
@@ -136,10 +137,15 @@ def run_algorithm(
 
     When tracing is enabled the result's trace is labeled here with the
     algorithm id and graph name, so exports are self-describing without
-    each implementation stamping its own.
+    each implementation stamping its own.  When the metrics registry is
+    active the finished result is mirrored into it
+    (:func:`repro.metrics.observe_result`) — strictly after the run, so
+    metrics can never perturb it.
     """
     result = get_algorithm(name)(graph, rng=rng, device=device, **kwargs)
     if result.trace is not None:
         result.trace.algorithm = result.algorithm or name
         result.trace.dataset = result.graph_name or graph.name
+    if metrics.active() is not None:
+        metrics.observe_result(result)
     return result

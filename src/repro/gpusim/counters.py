@@ -6,12 +6,26 @@ aggregates them.  The records double as the profiling facility the
 paper uses in §V-C ("we ran some profiling of GPU kernels … a second
 call to GrB_vxm ends up taking nearly 50% of the runtime"): the test
 suite asserts the same profile shape on our MIS implementation.
+
+Aggregates are memoized behind the append-only :meth:`SimCounters.add`
+path: adding a record folds it into the cached totals in O(1) instead
+of re-summing the record list, and the fold uses the same left-to-right
+accumulation order as a full recompute, so the memoized values are
+bit-identical to the naive sums (asserted in ``test_gpusim.py``).  Any
+out-of-band mutation of ``records`` (``merge``, direct list surgery)
+is detected by length and triggers a full recompute on next read.
+
+:meth:`SimCounters.publish` is the bridge into the session-wide
+metrics layer: it mirrors the aggregates into a
+:class:`repro.metrics.MetricsRegistry` passed by the caller (this
+module deliberately does not import ``repro.metrics`` — the bridge
+stays dependency-free and the registry stays optional).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List
+from typing import Dict, List
 
 __all__ = ["KernelRecord", "SimCounters"]
 
@@ -32,42 +46,94 @@ class SimCounters:
 
     records: List[KernelRecord] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        # Memo state lives outside the dataclass fields so eq/repr/
+        # pickle semantics are unchanged; _memo_len == len(records)
+        # marks the cache valid.
+        self._memo_len = -1
+        self._memo_total_ms = 0.0
+        self._memo_kernels = 0
+        self._memo_syncs = 0
+        self._memo_atomics = 0
+        self._memo_by_name: Dict[str, float] = {}
+        self._memo_by_kind: Dict[str, float] = {}
+
+    def __setstate__(self, state) -> None:
+        # Unpickled instances from older pickles lack memo attrs.
+        self.__dict__.update(state)
+        if "_memo_len" not in self.__dict__:
+            self.__post_init__()
+
+    def _fold(self, r: KernelRecord) -> None:
+        """Fold one record into the memo, in record order — the same
+        left-to-right float accumulation a full recompute performs."""
+        self._memo_total_ms += r.ms
+        if r.kind not in ("sync", "transfer"):
+            self._memo_kernels += 1
+        if r.kind == "sync":
+            self._memo_syncs += 1
+        if r.kind == "atomic":
+            self._memo_atomics += r.work
+        self._memo_by_name[r.name] = self._memo_by_name.get(r.name, 0.0) + r.ms
+        self._memo_by_kind[r.kind] = self._memo_by_kind.get(r.kind, 0.0) + r.ms
+
+    def _refresh(self) -> None:
+        """Ensure the memo reflects ``records`` (O(1) when valid,
+        full left-fold recompute when stale)."""
+        if self._memo_len == len(self.records):
+            return
+        self._memo_total_ms = 0.0
+        self._memo_kernels = 0
+        self._memo_syncs = 0
+        self._memo_atomics = 0
+        self._memo_by_name = {}
+        self._memo_by_kind = {}
+        for r in self.records:
+            self._fold(r)
+        self._memo_len = len(self.records)
+
     def add(self, record: KernelRecord) -> None:
-        self.records.append(record)
+        if self._memo_len == len(self.records):
+            # Memo is current: extend it incrementally.
+            self.records.append(record)
+            self._fold(record)
+            self._memo_len += 1
+        else:
+            self.records.append(record)
 
     @property
     def total_ms(self) -> float:
         """Total simulated milliseconds across all records."""
-        return sum(r.ms for r in self.records)
+        self._refresh()
+        return self._memo_total_ms
 
     @property
     def num_kernels(self) -> int:
         """Number of kernel launches (syncs and transfers excluded)."""
-        return sum(1 for r in self.records if r.kind not in ("sync", "transfer"))
+        self._refresh()
+        return self._memo_kernels
 
     @property
     def num_syncs(self) -> int:
         """Number of global synchronizations."""
-        return sum(1 for r in self.records if r.kind == "sync")
+        self._refresh()
+        return self._memo_syncs
 
     @property
     def num_atomics(self) -> int:
         """Total atomic operations charged."""
-        return sum(r.work for r in self.records if r.kind == "atomic")
+        self._refresh()
+        return self._memo_atomics
 
     def ms_by_name(self) -> Dict[str, float]:
         """Simulated ms grouped by kernel label — the profile view."""
-        out: Dict[str, float] = {}
-        for r in self.records:
-            out[r.name] = out.get(r.name, 0.0) + r.ms
-        return out
+        self._refresh()
+        return dict(self._memo_by_name)
 
     def ms_by_kind(self) -> Dict[str, float]:
         """Simulated ms grouped by charge kind."""
-        out: Dict[str, float] = {}
-        for r in self.records:
-            out[r.kind] = out.get(r.kind, 0.0) + r.ms
-        return out
+        self._refresh()
+        return dict(self._memo_by_kind)
 
     def top(self, k: int = 5) -> List[tuple]:
         """The ``k`` most expensive kernel labels, hottest first."""
@@ -76,6 +142,28 @@ class SimCounters:
     def merge(self, other: "SimCounters") -> None:
         """Append another counter set's records (e.g. sub-phase merge)."""
         self.records.extend(other.records)
+
+    def publish(self, registry, **labels: str) -> None:
+        """Mirror the aggregates into a metrics registry.
+
+        Emits ``repro_kernel_launches_total``, ``repro_syncs_total``,
+        ``repro_atomics_total``, per-kernel ``repro_kernel_ms_total``
+        (label ``kernel``) and per-kind ``repro_kind_ms_total`` (label
+        ``kind``), each under the caller's extra ``labels``.  Every
+        aggregate transfers as one addition of the memoized value, so a
+        fresh registry series equals the corresponding property /
+        ``ms_by_name()`` entry bit-for-bit.
+        """
+        self._refresh()
+        registry.inc(
+            "repro_kernel_launches_total", float(self._memo_kernels), **labels
+        )
+        registry.inc("repro_syncs_total", float(self._memo_syncs), **labels)
+        registry.inc("repro_atomics_total", float(self._memo_atomics), **labels)
+        for name, ms in self._memo_by_name.items():
+            registry.inc("repro_kernel_ms_total", ms, kernel=name, **labels)
+        for kind, ms in self._memo_by_kind.items():
+            registry.inc("repro_kind_ms_total", ms, kind=kind, **labels)
 
     def __len__(self) -> int:
         return len(self.records)

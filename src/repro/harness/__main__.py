@@ -9,6 +9,7 @@ Examples::
     python -m repro.harness fig1 --jobs 8 --resume        # after a SIGINT
     python -m repro.harness fig1 --trace                  # per-phase columns
     python -m repro.harness trace G3_circuit gunrock.hash --out t.json
+    python -m repro.harness bench --compare benchmarks/baseline.json
     python -m repro.harness all
 
 ``python -m repro.harness lint`` runs the repro-lint static checks
@@ -21,20 +22,36 @@ by :mod:`repro.trace`; ``--out`` additionally writes the Chrome
 ``trace_event`` JSON that chrome://tracing and https://ui.perfetto.dev
 load directly (see docs/observability.md).
 
+``python -m repro.harness bench`` runs the pinned benchmark suite and
+writes ``BENCH_<git-sha>.json`` (``--out DIR``, default
+``benchmarks/out``); ``--compare BASELINE`` diffs the fresh run against
+a committed baseline and exits 5 on regression (see
+docs/observability.md for the workflow and ``--write-baseline``).
+
+Any experiment accepts ``--metrics-out PATH`` (dump the session's
+metrics registry as Prometheus text or JSON, by extension) and
+``--log PATH`` (append the structured JSONL run-log there) — the CLI
+faces of :mod:`repro.metrics` and :mod:`repro.log`.
+
 Exit status: 0 when every cell of every requested experiment
 completed with a valid coloring; 2 on usage errors (argparse's
 convention); 3 when the run finished but one or more cells failed or
 produced an invalid coloring (the partial tables are still printed —
-scripts and CI use the exit code to detect degraded runs); 4 when
-``lint`` found violations.
+scripts and CI use the exit code to detect degraded runs), or when
+``profile``/``trace`` targets an implementation that records no
+counters/trace; 4 when ``lint`` found violations; 5 when ``bench
+--compare`` detected a regression against the baseline.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import ExitStack
 from typing import List, Optional
 
+from .. import metrics
+from .. import log as runlog
 from .._rng import DEFAULT_SEED
 from ..graph.generators.suitesparse import DEFAULT_SCALE_DIV
 from .figures import fig1_series, fig2_series, fig3_series
@@ -50,6 +67,13 @@ EXIT_PARTIAL = 3
 
 #: Exit code for ``lint`` when repro-lint violations were found.
 EXIT_LINT = 4
+
+#: Exit code for ``bench --compare`` when the run regressed.
+EXIT_REGRESSION = 5
+
+#: Default output directory for ``bench`` documents (gitignored; the
+#: committed baseline lives at benchmarks/baseline.json).
+BENCH_OUT_DIR = "benchmarks/out"
 
 
 def _emit(rows, title: str, csv_path: Optional[str], json_path: Optional[str] = None, *, seed: int = 0, scale_div: Optional[int] = None) -> None:
@@ -81,6 +105,16 @@ def _emit_phase_breakdown(cells, title: str, csv_path: Optional[str]) -> None:
     _emit([{k: r[k] for k in keep} for r in rows], title, csv_path)
 
 
+def _write_metrics(reg, path: str) -> None:
+    """Dump a registry to ``path`` — Prometheus text for ``.prom`` /
+    ``.txt``, JSON otherwise."""
+    if path.endswith((".prom", ".txt")):
+        reg.to_prometheus(path)
+    else:
+        reg.to_json(path)
+    print(f"wrote metrics to {path}")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
@@ -89,7 +123,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="one of %s, 'all', 'profile', 'trace', or 'lint'"
+        help="one of %s, 'all', 'profile', 'trace', 'bench', or 'lint'"
         % ", ".join(EXPERIMENTS),
     )
     parser.add_argument(
@@ -112,7 +146,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="dataset down-scaling divisor (1 = paper-scale vertices)",
     )
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
-    parser.add_argument("--repetitions", type=int, default=3)
+    parser.add_argument(
+        "--repetitions",
+        type=int,
+        default=None,
+        help="repetitions per grid cell (default: 3 for experiments, "
+        "1 for 'bench' — its quantities are deterministic given the seed)",
+    )
     parser.add_argument(
         "--jobs",
         type=int,
@@ -172,8 +212,45 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--out",
         default=None,
         metavar="PATH",
-        help="for 'trace': write the Chrome trace_event JSON here "
-        "(load it in chrome://tracing or ui.perfetto.dev)",
+        help="for 'trace': write the Chrome trace_event JSON here; for "
+        "'bench': the output directory for BENCH_<sha>.json (default "
+        f"{BENCH_OUT_DIR})",
+    )
+    parser.add_argument(
+        "--compare",
+        default=None,
+        metavar="BASELINE",
+        help="for 'bench': diff the fresh run against this baseline "
+        "bench JSON and exit 5 on regression",
+    )
+    parser.add_argument(
+        "--wall-tol",
+        type=float,
+        default=None,
+        metavar="FACTOR",
+        help="for 'bench --compare': multiplicative wall_s tolerance "
+        "(default 10; sim_ms/colors are always bit-exact)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="PATH",
+        help="for 'bench': also write the fresh run to PATH (how "
+        "benchmarks/baseline.json is (re)generated)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="collect session metrics and write them to PATH on exit "
+        "(.prom/.txt = Prometheus text exposition, otherwise JSON)",
+    )
+    parser.add_argument(
+        "--log",
+        default=None,
+        metavar="PATH",
+        help="append the structured JSONL run-log to PATH "
+        "(equivalent to REPRO_LOG=PATH; see docs/observability.md)",
     )
     args = parser.parse_args(argv)
 
@@ -182,7 +259,27 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"unexpected positional arguments {args.targets!r}; only the "
             "'trace' experiment takes targets (<dataset> <implementation>)"
         )
+    if args.experiment != "bench" and (
+        args.compare or args.wall_tol is not None or args.write_baseline
+    ):
+        parser.error(
+            "--compare/--wall-tol/--write-baseline apply only to 'bench'"
+        )
 
+    with ExitStack() as stack:
+        if args.log:
+            stack.enter_context(runlog.activate(args.log))
+        reg = None
+        if args.metrics_out:
+            reg = stack.enter_context(metrics.activate())
+        rc = _dispatch(args, parser)
+        if reg is not None:
+            _write_metrics(reg, args.metrics_out)
+    return rc
+
+
+def _dispatch(args, parser) -> int:
+    """Execute the parsed command; returns the process exit code."""
     if args.jobs > 1 and _fork_context() is None:
         print(
             f"notice: --jobs {args.jobs} requested but the 'fork' start "
@@ -190,6 +287,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             file=sys.stderr,
         )
 
+    repetitions = args.repetitions if args.repetitions is not None else 3
     grid_kwargs = dict(
         timeout=args.timeout,
         retries=args.retries,
@@ -215,6 +313,73 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
             return EXIT_LINT
         print("repro-lint: clean")
+        return 0
+    if args.experiment == "bench":
+        from .bench import (
+            DEFAULT_WALL_TOL,
+            compare_bench,
+            load_bench,
+            run_bench,
+            validate_bench,
+            write_bench,
+        )
+
+        doc = run_bench(
+            scale_div=args.scale_div,
+            seed=args.seed,
+            repetitions=(
+                args.repetitions if args.repetitions is not None else 1
+            ),
+        )
+        problems = validate_bench(doc)
+        if problems:  # pragma: no cover — would be a bench.py bug
+            for p in problems:
+                print(f"error: invalid bench document: {p}", file=sys.stderr)
+            return EXIT_PARTIAL
+        path = write_bench(doc, args.out or BENCH_OUT_DIR)
+        print(f"wrote {path}")
+        if args.write_baseline:
+            import shutil
+
+            shutil.copyfile(path, args.write_baseline)
+            print(f"wrote baseline {args.write_baseline}")
+        if args.compare:
+            try:
+                baseline = load_bench(args.compare)
+            except (OSError, ValueError) as exc:
+                print(
+                    f"error: cannot load baseline {args.compare}: {exc}",
+                    file=sys.stderr,
+                )
+                return EXIT_PARTIAL
+            regressions = compare_bench(
+                doc,
+                baseline,
+                wall_tol=(
+                    args.wall_tol
+                    if args.wall_tol is not None
+                    else DEFAULT_WALL_TOL
+                ),
+            )
+            if regressions:
+                for r in regressions:
+                    print(f"regression: {r}", file=sys.stderr)
+                print(
+                    f"error: {len(regressions)} benchmark regression(s) vs "
+                    f"{args.compare}",
+                    file=sys.stderr,
+                )
+                return EXIT_REGRESSION
+            print(f"bench: no regressions vs {args.compare}")
+        failed = [c for c in doc["cells"] if c["status"] != "ok"]
+        if failed:
+            for c in failed:
+                print(
+                    f"error: bench cell {c['dataset']}:{c['algorithm']} "
+                    f"failed: {c.get('error')}",
+                    file=sys.stderr,
+                )
+            return EXIT_PARTIAL
         return 0
     if args.experiment == "trace":
         from ..errors import ReproError
@@ -251,14 +416,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"wrote Chrome trace_event JSON to {args.out}")
         return 0
     if args.experiment == "profile":
+        from ..errors import ReproError
         from .profile import run_profile
 
-        rows = run_profile(
-            args.dataset,
-            [a for a in args.algorithms.split(",") if a],
-            scale_div=args.scale_div,
-            seed=args.seed,
-        )
+        try:
+            rows = run_profile(
+                args.dataset,
+                [a for a in args.algorithms.split(",") if a],
+                scale_div=args.scale_div,
+                seed=args.seed,
+            )
+        except ReproError as exc:
+            print(f"error: profile failed: {exc}", file=sys.stderr)
+            return EXIT_PARTIAL
         _emit(
             rows,
             f"Kernel profile: {args.algorithms} on {args.dataset}",
@@ -268,7 +438,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.experiment not in EXPERIMENTS + ("all",):
         parser.error(
             f"unknown experiment {args.experiment!r}; choose from "
-            f"{', '.join(EXPERIMENTS + ('all', 'profile', 'trace', 'lint'))}"
+            f"{', '.join(EXPERIMENTS + ('all', 'profile', 'trace', 'bench', 'lint'))}"
         )
     todo = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     bad_cells = []  # every failed/invalid cell across all experiments
@@ -281,7 +451,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             rows = table2_rows(
                 scale_div=args.scale_div,
                 seed=args.seed,
-                repetitions=args.repetitions,
+                repetitions=repetitions,
                 jobs=args.jobs,
                 cells_out=cells,
                 **grid_kwargs,
@@ -296,7 +466,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             series = fig1_series(
                 scale_div=args.scale_div,
                 seed=args.seed,
-                repetitions=args.repetitions,
+                repetitions=repetitions,
                 jobs=args.jobs,
                 **grid_kwargs,
             )
@@ -337,7 +507,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             series = fig2_series(
                 scale_div=args.scale_div,
                 seed=args.seed,
-                repetitions=args.repetitions,
+                repetitions=repetitions,
                 jobs=args.jobs,
                 **grid_kwargs,
             )
@@ -356,7 +526,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             cells = []
             rows = fig3_series(
                 seed=args.seed,
-                repetitions=args.repetitions,
+                repetitions=repetitions,
                 jobs=args.jobs,
                 cells_out=cells,
                 **grid_kwargs,

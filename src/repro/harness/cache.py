@@ -34,6 +34,7 @@ import time
 from pathlib import Path
 from typing import Optional
 
+from .. import metrics
 from .._rng import DEFAULT_SEED
 from ..graph.csr import CSRGraph
 from ..graph.io import load_npz, save_npz
@@ -141,6 +142,11 @@ def load_cached(
     Corrupt cache entries are regenerated rather than failing the run.
     With the cache disabled (``REPRO_DISK_CACHE=0``) this is a plain
     regeneration.
+
+    Hits, misses, and corrupt-entry regenerations are counted into the
+    active metrics registry (``repro_cache_hits_total`` /
+    ``repro_cache_misses_total`` / ``repro_cache_corrupt_total``,
+    labelled by dataset).
     """
     if not cache_enabled():
         return ds.generate(name, scale_div=scale_div, seed=seed)
@@ -152,9 +158,13 @@ def load_cached(
             # attempting the parse.
             if path.stat().st_size == 0:
                 raise OSError("zero-byte cache entry")
-            return load_npz(path)
+            graph = load_npz(path)
+            metrics.inc("repro_cache_hits_total", dataset=name)
+            return graph
         except Exception:
             path.unlink(missing_ok=True)  # corrupt: fall through
+            metrics.inc("repro_cache_corrupt_total", dataset=name)
+    metrics.inc("repro_cache_misses_total", dataset=name)
     graph = ds.generate(name, scale_div=scale_div, seed=seed)
     _atomic_save(graph, path)
     return graph

@@ -60,6 +60,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
+from .. import metrics
 from ..errors import FaultError, HarnessError, TransientFaultError
 
 __all__ = [
@@ -315,6 +316,14 @@ def maybe_fire(dataset: str, algorithm: str, rep: int) -> None:
         hook(site)
     for spec in _env_specs():
         if spec.matches(site) and _claim_tick(spec):
+            # Counted before firing: a "kill" fault never returns, and
+            # a raise would skip any accounting placed after.
+            metrics.inc(
+                "repro_faults_fired_total",
+                mode=spec.mode,
+                dataset=dataset,
+                algorithm=algorithm,
+            )
             _fire(spec, site)
 
 

@@ -36,6 +36,7 @@ import os
 from pathlib import Path
 from typing import Dict, Iterable, Optional, Tuple
 
+from .. import metrics
 from ..errors import JournalError
 
 __all__ = ["config_hash", "journal_root", "GridJournal"]
@@ -184,6 +185,9 @@ class GridJournal:
         self._fh.write(json.dumps(rec, sort_keys=True) + "\n")
         self._fh.flush()
         os.fsync(self._fh.fileno())
+        metrics.inc(
+            "repro_journal_records_total", dataset=dataset, algorithm=algorithm
+        )
 
     def close(self) -> None:
         if self._fh is not None:

@@ -64,6 +64,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import metrics
+from .. import log as runlog
 from .._rng import DEFAULT_SEED
 from ..core.registry import run_algorithm
 from ..core.validate import is_valid_coloring
@@ -520,8 +522,24 @@ def run_grid(
                 rec = prior.get((t.dataset, t.algorithm, t.rep))
                 if rec is not None:
                     results[t.index] = _rep_from_record(rec)
+            if results:
+                metrics.inc(
+                    "repro_journal_replayed_total", float(len(results))
+                )
+                runlog.emit("journal_replay", replayed=len(results))
         jrnl.open(resume=resume)
     todo = [t for t in tasks if t.index not in results]
+    runlog.emit(
+        "grid_start",
+        datasets=names,
+        algorithms=algos,
+        scale_div=scale_div,
+        seed=seed,
+        repetitions=repetitions,
+        jobs=jobs,
+        tasks=len(todo),
+        replayed=len(results),
+    )
     ctx = _fork_context() if jobs > 1 else None
     if jobs > 1 and ctx is None:
         warnings.warn(
@@ -578,6 +596,11 @@ def run_grid(
                     reps, dataset=name, algorithm=algorithm, graph=graph
                 )
             )
+    runlog.emit(
+        "grid_end",
+        cells=len(cells),
+        failed=sum(1 for c in cells if not c.ok),
+    )
     if verbose:
         for cell in cells:
             print(
@@ -597,13 +620,55 @@ def _settle(
     retries: int,
 ) -> None:
     """Accept a repetition outcome: record it, or requeue a retryable
-    failure (with backoff) while attempts remain."""
+    failure (with backoff) while attempts remain.
+
+    This is also the harness's lifecycle-telemetry choke point: every
+    retry, timeout, failure, and completion is counted into the active
+    metrics registry and emitted to the run log here, parent-side —
+    strictly after the repetition's numbers exist, so telemetry cannot
+    perturb them."""
+    labels = {"dataset": task.dataset, "algorithm": task.algorithm}
     if rep.status != "ok" and rep.transient and task.attempts < retries:
         task.attempts += 1
+        metrics.inc("repro_retries_total", **labels)
+        runlog.emit(
+            "rep_retry",
+            rep=task.rep,
+            attempt=task.attempts,
+            error=rep.error,
+            **labels,
+        )
         time.sleep(_backoff(task.attempts))
         requeue(task)
         return
     results[task.index] = rep
+    if rep.status == "ok":
+        metrics.inc("repro_reps_completed_total", **labels)
+        if runlog.active() is not None:
+            runlog.emit(
+                "rep_ok",
+                rep=task.rep,
+                colors=rep.num_colors,
+                sim_ms=rep.sim_ms,
+                iterations=rep.iterations,
+                wall_s=rep.wall_s,
+                trace_id=(
+                    rep.trace.fingerprint() if rep.trace is not None else None
+                ),
+                **labels,
+            )
+    else:
+        if rep.status == "timeout":
+            metrics.inc("repro_timeouts_total", **labels)
+        metrics.inc("repro_rep_failures_total", **labels)
+        runlog.emit(
+            "rep_failed",
+            rep=task.rep,
+            status=rep.status,
+            error=rep.error,
+            attempts=task.attempts,
+            **labels,
+        )
     if jrnl is not None and rep.status == "ok":
         jrnl.record(task.dataset, task.algorithm, task.rep, _rep_payload(rep))
 
@@ -686,6 +751,8 @@ def _reseed_pool(
     Outstanding futures are cancelled and live workers terminated; the
     caller resubmits whatever was in flight (same task tuples → same
     seeds → bit-identical results)."""
+    metrics.inc("repro_pool_reseeds_total")
+    runlog.emit("pool_reseed", jobs=jobs)
     for proc in list(getattr(pool, "_processes", {}).values()):
         try:
             proc.terminate()

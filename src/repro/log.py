@@ -1,0 +1,181 @@
+"""Structured JSON run-log (``repro.log``).
+
+Where :mod:`repro.metrics` keeps cross-run aggregates, this module
+keeps the **event stream**: one JSON object per line (JSONL) for every
+harness lifecycle event — grid start/end, repetition outcomes, retries,
+timeouts, journal replays, pool reseeds, fault firings — each stamped
+with correlation ids so a line can be joined back to its grid run
+(``run``), its cell (``dataset``/``algorithm``/``rep`` fields), and its
+trace (``trace_id`` = :meth:`repro.trace.Trace.fingerprint`).
+
+Off by default, same activation idiom as tracing and metrics::
+
+    REPRO_LOG=run.jsonl python -m repro.harness table2
+
+    from repro import log as runlog
+    with runlog.activate("run.jsonl") as rl:
+        run_grid(["offshore"], ["gunrock.is"])
+
+Every record carries:
+
+``ts``
+    Wall-clock UNIX seconds (float).  This is *harness* time, never
+    simulated time — the log is about the experiment process, so
+    repro-lint's wall-clock rule does not apply here (and the module is
+    outside ``gpusim/`` where it would).
+``run``
+    The run id: hex of ``time_ns ^ pid`` fixed at log construction, so
+    all lines of one process share it and two concurrent processes
+    almost surely differ without consuming random state (RPL001).
+``seq``
+    Monotonic per-log sequence number; total order even if two events
+    share a timestamp.
+``event``
+    The event name (``grid_start``, ``rep_ok``, ``rep_retry``, …).
+
+plus event-specific fields.  Emission is append + flush per line, so a
+crashed run keeps every event that happened before the crash.  Like
+metrics, the log is **parent-side**: pool workers do not write it, the
+parent logs each repetition as it settles.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import IO, List, Optional, Union
+
+__all__ = [
+    "ENV_VAR",
+    "RunLog",
+    "log_enabled",
+    "active",
+    "activate",
+    "emit",
+    "reset_env_log",
+]
+
+ENV_VAR = "REPRO_LOG"
+
+
+def _make_run_id() -> str:
+    # time_ns ^ pid: unique enough across concurrent harness processes
+    # without touching the random module (repro-lint RPL001).
+    return format(time.time_ns() ^ (os.getpid() << 20), "x")
+
+
+class RunLog:
+    """An append-only JSONL event log with a stable run id.
+
+    ``target`` may be a path (opened in append mode, one line per
+    event, flushed immediately) or any writable text stream.
+    """
+
+    def __init__(
+        self,
+        target: Union[str, "os.PathLike", IO[str]],
+        *,
+        run_id: Optional[str] = None,
+    ):
+        if hasattr(target, "write"):
+            self._fh: IO[str] = target  # type: ignore[assignment]
+            self._owns = False
+            self.path = getattr(target, "name", None)
+        else:
+            self.path = os.fspath(target)
+            self._fh = open(self.path, "a", encoding="utf-8")
+            self._owns = True
+        self.run_id = run_id if run_id is not None else _make_run_id()
+        self._seq = 0
+
+    def emit(self, event: str, **fields) -> dict:
+        """Write one record; returns the dict that was serialized."""
+        record = {
+            "ts": time.time(),
+            "run": self.run_id,
+            "seq": self._seq,
+            "event": event,
+        }
+        record.update(fields)
+        self._seq += 1
+        self._fh.write(json.dumps(record, sort_keys=False) + "\n")
+        self._fh.flush()
+        return record
+
+    def close(self) -> None:
+        """Close the underlying file if this log opened it."""
+        if self._owns:
+            self._fh.close()
+
+    def __enter__(self) -> "RunLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+#: Explicit activation stack (innermost scope wins).
+_active_stack: List[RunLog] = []
+
+#: Log backing ``REPRO_LOG=<path>`` runs, created on first emission.
+_env_log: Optional[RunLog] = None
+
+
+def log_enabled() -> bool:
+    """Whether :func:`emit` currently writes anywhere."""
+    return bool(_active_stack) or bool(os.environ.get(ENV_VAR, "").strip())
+
+
+def active() -> Optional[RunLog]:
+    """The log :func:`emit` targets: the innermost :func:`activate`
+    scope, else a process-wide log appending to ``$REPRO_LOG`` when
+    set, else ``None`` (events are dropped)."""
+    global _env_log
+    if _active_stack:
+        return _active_stack[-1]
+    path = os.environ.get(ENV_VAR, "").strip()
+    if path:
+        if _env_log is None or _env_log.path != path:
+            _env_log = RunLog(path)
+        return _env_log
+    return None
+
+
+def reset_env_log() -> None:
+    """Close and forget the ``$REPRO_LOG``-backed log (tests)."""
+    global _env_log
+    if _env_log is not None:
+        _env_log.close()
+        _env_log = None
+
+
+class activate:
+    """Context manager: route :func:`emit` into a log for the dynamic
+    extent of the block.  Accepts a path/stream (a fresh :class:`RunLog`
+    is built and closed on exit) or an existing :class:`RunLog` (left
+    open).  ``__enter__`` returns the log.  Re-entrant."""
+
+    def __init__(self, target: Union[str, "os.PathLike", IO[str], RunLog]):
+        if isinstance(target, RunLog):
+            self.log = target
+            self._close_on_exit = False
+        else:
+            self.log = RunLog(target)
+            self._close_on_exit = True
+
+    def __enter__(self) -> RunLog:
+        _active_stack.append(self.log)
+        return self.log
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        _active_stack.pop()
+        if self._close_on_exit:
+            self.log.close()
+
+
+def emit(event: str, **fields) -> None:
+    """Emit one record to the active log (no-op when logging is off)."""
+    log = active()
+    if log is not None:
+        log.emit(event, **fields)

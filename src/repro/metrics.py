@@ -1,0 +1,586 @@
+"""Session-wide metrics layer (``repro.metrics``).
+
+The paper's arguments are quantitative (per-kernel profiles, atomics
+counts, speedup geomeans), and the harness around the reproduction has
+grown quantitative behaviour of its own — cache hits, retries,
+timeouts, journal resumes, fault injections — that until now vanished
+when the process exited.  This module is the durable record: a
+label-aware registry of **counters**, **gauges**, and **histograms**
+populated from two directions:
+
+1. every :class:`~repro.core.result.ColoringResult` — ``sim_ms`` by
+   kernel and phase, kernel launches, syncs, atomics, iterations,
+   colors — via :func:`observe_result` (called by
+   :func:`repro.core.registry.run_algorithm` whenever the registry is
+   active) and the :meth:`repro.gpusim.SimCounters.publish` bridge;
+2. harness lifecycle events — dataset-cache hits/misses, journal
+   records and resume replays, per-repetition retries, timeouts,
+   worker-pool reseeds, fault firings — emitted by the harness modules
+   through the module-level :func:`inc`/:func:`observe`/:func:`set_gauge`
+   helpers (lint rule ``RPL008`` bans ad-hoc module-level counters
+   anywhere else).
+
+Like tracing (:mod:`repro.trace`), metrics are **off by default** and
+cost one registry lookup per emission site when off.  Opt in with
+``REPRO_METRICS=1`` or an :func:`activate` scope::
+
+    from repro import metrics
+
+    with metrics.activate() as reg:
+        result = run_algorithm("gunrock.is", graph, rng=1)
+    reg.get("repro_sim_ms_total",
+            algorithm="gunrock.is", dataset=graph.name)
+    print(reg.to_prometheus())
+
+Guarantees (locked down by ``tests/test_metrics_registry.py`` and the
+metrics twin of the golden suite):
+
+* **Non-interference** — metrics-on runs are bit-identical (colors,
+  ``sim_ms``, counters, traces) to metrics-off runs, sequentially and
+  at any ``jobs`` count: emission happens strictly after results are
+  computed and nothing ever reads the registry back into a run.
+* **Exact mirroring** — registry totals equal the
+  :class:`~repro.gpusim.SimCounters` totals they were published from,
+  to the last float digit (each total is transferred as one addition).
+* **Round-trip exports** — :meth:`MetricsRegistry.to_prometheus`
+  output parses back via :func:`parse_prometheus` to the same sample
+  values; :meth:`MetricsRegistry.to_json` is the same snapshot as JSON.
+
+Registries are per-process: parallel grid workers accumulate into
+their own (discarded) registries, while everything the parent settles
+— retries, timeouts, journal activity, aggregated results — lands in
+the parent's.  The benchmark observatory
+(:mod:`repro.harness.bench`) therefore runs its pinned suite in-process
+and snapshots the registry into every ``BENCH_<sha>.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import re
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "ENV_VAR",
+    "DEFAULT_BUCKETS",
+    "MetricsError",
+    "MetricsRegistry",
+    "metrics_enabled",
+    "active",
+    "activate",
+    "default_registry",
+    "reset_default",
+    "inc",
+    "set_gauge",
+    "observe",
+    "observe_result",
+    "result_labels",
+    "parse_prometheus",
+]
+
+ENV_VAR = "REPRO_METRICS"
+
+#: Histogram bucket upper bounds used when none are given: spans color
+#: counts (units) through simulated milliseconds (hundreds).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    25.0,
+    50.0,
+    100.0,
+    250.0,
+    500.0,
+    1000.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Canonical label identity: sorted (key, value) pairs.
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+class MetricsError(ValueError):
+    """Invalid metric name, label, kind mismatch, or bad sample value."""
+
+
+def _label_key(labels: Dict[str, str]) -> LabelKey:
+    for k in labels:
+        if not _LABEL_RE.match(k):
+            raise MetricsError(f"invalid label name {k!r}")
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _fmt_value(value: float) -> str:
+    """Prometheus sample rendering (shortest round-trip float)."""
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+class _Histogram:
+    """One labelled histogram series: bucket counts, sum, and count."""
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: Tuple[float, ...]):
+        self.buckets = buckets
+        self.counts = [0] * len(buckets)  # cumulative at export time only
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        for i, le in enumerate(self.buckets):
+            if value <= le:
+                self.counts[i] += 1
+                break
+        self.sum += value
+        self.count += 1
+
+    def cumulative(self) -> List[int]:
+        out: List[int] = []
+        running = 0
+        for c in self.counts:
+            running += c
+            out.append(running)
+        return out
+
+
+class _Family:
+    """One metric family: a name, kind, help string, and its series."""
+
+    __slots__ = ("name", "kind", "help", "values", "histograms", "buckets")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str = "",
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+    ):
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.buckets = tuple(float(b) for b in buckets)
+        self.values: Dict[LabelKey, float] = {}
+        self.histograms: Dict[LabelKey, _Histogram] = {}
+
+
+class MetricsRegistry:
+    """Label-aware registry of counters, gauges, and histograms.
+
+    Metrics self-register on first emission (``inc`` declares a
+    counter, ``set_gauge`` a gauge, ``observe`` a histogram); emitting
+    to an existing name with the wrong kind raises
+    :class:`MetricsError` instead of silently corrupting the series.
+    """
+
+    def __init__(self) -> None:
+        self._families: Dict[str, _Family] = {}
+
+    # -- declaration ---------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        kind: str,
+        *,
+        help: str = "",
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        """Declare a metric family up front (optional; emission
+        auto-declares).  Re-registration with the same kind is a no-op
+        that may add a help string."""
+        if kind not in ("counter", "gauge", "histogram"):
+            raise MetricsError(f"unknown metric kind {kind!r}")
+        if not _NAME_RE.match(name):
+            raise MetricsError(f"invalid metric name {name!r}")
+        fam = self._families.get(name)
+        if fam is None:
+            self._families[name] = _Family(
+                name, kind, help=help, buckets=tuple(buckets)
+            )
+            return
+        if fam.kind != kind:
+            raise MetricsError(
+                f"metric {name!r} already registered as {fam.kind}, "
+                f"not {kind}"
+            )
+        if help and not fam.help:
+            fam.help = help
+
+    def _family(self, name: str, kind: str) -> _Family:
+        fam = self._families.get(name)
+        if fam is None:
+            self.register(name, kind)
+            fam = self._families[name]
+        elif fam.kind != kind:
+            raise MetricsError(
+                f"metric {name!r} is a {fam.kind}; cannot emit as {kind}"
+            )
+        return fam
+
+    # -- emission ------------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1.0, **labels: str) -> None:
+        """Add ``value`` (must be >= 0) to a counter series."""
+        value = float(value)
+        if value < 0:
+            raise MetricsError(
+                f"counter {name!r} cannot decrease (inc by {value})"
+            )
+        fam = self._family(name, "counter")
+        key = _label_key(labels)
+        fam.values[key] = fam.values.get(key, 0.0) + value
+
+    def set_gauge(self, name: str, value: float, **labels: str) -> None:
+        """Set a gauge series to ``value`` (any float, last write wins)."""
+        fam = self._family(name, "gauge")
+        fam.values[_label_key(labels)] = float(value)
+
+    def observe(self, name: str, value: float, **labels: str) -> None:
+        """Record one observation into a histogram series."""
+        fam = self._family(name, "histogram")
+        key = _label_key(labels)
+        hist = fam.histograms.get(key)
+        if hist is None:
+            hist = fam.histograms[key] = _Histogram(fam.buckets)
+        hist.observe(float(value))
+
+    # -- reading -------------------------------------------------------------
+
+    def get(self, name: str, **labels: str) -> float:
+        """Current value of a counter/gauge series (0.0 when unseen)."""
+        fam = self._families.get(name)
+        if fam is None:
+            return 0.0
+        if fam.kind == "histogram":
+            raise MetricsError(
+                f"metric {name!r} is a histogram; use get_histogram()"
+            )
+        return fam.values.get(_label_key(labels), 0.0)
+
+    def get_histogram(self, name: str, **labels: str) -> Dict:
+        """``{"sum": .., "count": .., "buckets": {le: cumulative}}`` for
+        one histogram series (zeros when unseen)."""
+        fam = self._families.get(name)
+        if fam is None or fam.kind != "histogram":
+            if fam is not None:
+                raise MetricsError(f"metric {name!r} is a {fam.kind}")
+            return {"sum": 0.0, "count": 0, "buckets": {}}
+        hist = fam.histograms.get(_label_key(labels))
+        if hist is None:
+            return {"sum": 0.0, "count": 0, "buckets": {}}
+        return {
+            "sum": hist.sum,
+            "count": hist.count,
+            "buckets": {
+                _fmt_value(le): c
+                for le, c in zip(hist.buckets, hist.cumulative())
+            },
+        }
+
+    def names(self) -> List[str]:
+        """Registered family names, in registration order."""
+        return list(self._families)
+
+    def __len__(self) -> int:
+        return len(self._families)
+
+    def clear(self) -> None:
+        """Drop every family and sample (a fresh registry in place)."""
+        self._families.clear()
+
+    # -- export --------------------------------------------------------------
+
+    def snapshot(self) -> Dict:
+        """The full registry as a JSON-safe dict — the form embedded in
+        ``BENCH_<sha>.json`` and rendered by :meth:`to_json`."""
+        out: Dict[str, Dict] = {}
+        for fam in self._families.values():
+            entry: Dict = {"kind": fam.kind, "help": fam.help}
+            if fam.kind == "histogram":
+                entry["buckets"] = list(fam.buckets)
+                entry["series"] = [
+                    {
+                        "labels": dict(key),
+                        "sum": h.sum,
+                        "count": h.count,
+                        "bucket_counts": h.cumulative(),
+                    }
+                    for key, h in sorted(fam.histograms.items())
+                ]
+            else:
+                entry["series"] = [
+                    {"labels": dict(key), "value": v}
+                    for key, v in sorted(fam.values.items())
+                ]
+            out[fam.name] = entry
+        return out
+
+    def to_json(self, path=None) -> str:
+        """Serialize :meth:`snapshot`; optionally also write ``path``."""
+        text = json.dumps(self.snapshot(), indent=2, sort_keys=True)
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(text + "\n")
+        return text
+
+    def to_prometheus(self, path=None) -> str:
+        """The registry in Prometheus text exposition format (0.0.4).
+
+        Counters and gauges render one sample per labelled series;
+        histograms render the conventional ``_bucket``/``_sum``/
+        ``_count`` triples with cumulative ``le`` buckets.  The output
+        round-trips through :func:`parse_prometheus`.
+        """
+        lines: List[str] = []
+        for fam in self._families.values():
+            if fam.help:
+                lines.append(f"# HELP {fam.name} {fam.help}")
+            lines.append(f"# TYPE {fam.name} {fam.kind}")
+            if fam.kind == "histogram":
+                for key, hist in sorted(fam.histograms.items()):
+                    cum = hist.cumulative()
+                    for le, c in zip(fam.buckets, cum):
+                        lines.append(
+                            _sample(
+                                f"{fam.name}_bucket",
+                                dict(key, le=_fmt_value(le)),
+                                float(c),
+                            )
+                        )
+                    lines.append(
+                        _sample(
+                            f"{fam.name}_bucket",
+                            dict(key, le="+Inf"),
+                            float(hist.count),
+                        )
+                    )
+                    lines.append(
+                        _sample(f"{fam.name}_sum", dict(key), hist.sum)
+                    )
+                    lines.append(
+                        _sample(
+                            f"{fam.name}_count", dict(key), float(hist.count)
+                        )
+                    )
+            else:
+                for key, value in sorted(fam.values.items()):
+                    lines.append(_sample(fam.name, dict(key), value))
+        text = "\n".join(lines) + ("\n" if lines else "")
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(text)
+        return text
+
+
+def _sample(name: str, labels: Dict[str, str], value: float) -> str:
+    if labels:
+        body = ",".join(
+            f'{k}="{_escape_label(str(v))}"' for k, v in sorted(labels.items())
+        )
+        return f"{name}{{{body}}} {_fmt_value(value)}"
+    return f"{name} {_fmt_value(value)}"
+
+
+# -- exposition-format parser -------------------------------------------------
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'\s*(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)\s*=\s*"(?P<value>(?:\\.|[^"\\])*)"\s*,?'
+)
+
+
+def _unescape_label(value: str) -> str:
+    return (
+        value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+    )
+
+
+def parse_prometheus(text: str) -> Dict[Tuple[str, frozenset], float]:
+    """Parse Prometheus text exposition into
+    ``{(sample_name, frozenset(labels.items())): value}``.
+
+    Handles the subset :meth:`MetricsRegistry.to_prometheus` emits
+    (comments, labelled samples, ``+Inf``/``NaN`` values) and raises
+    :class:`MetricsError` on malformed sample lines, so it doubles as a
+    validator in the round-trip tests.
+    """
+    out: Dict[Tuple[str, frozenset], float] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise MetricsError(f"line {lineno}: unparseable sample {line!r}")
+        labels: Dict[str, str] = {}
+        raw = m.group("labels")
+        if raw:
+            consumed = 0
+            for pair in _LABEL_PAIR_RE.finditer(raw):
+                labels[pair.group("key")] = _unescape_label(
+                    pair.group("value")
+                )
+                consumed = pair.end()
+            if consumed != len(raw):
+                raise MetricsError(
+                    f"line {lineno}: malformed label set {{{raw}}}"
+                )
+        value_text = m.group("value")
+        try:
+            value = float(value_text.replace("+Inf", "inf").replace("-Inf", "-inf"))
+        except ValueError:
+            raise MetricsError(
+                f"line {lineno}: bad sample value {value_text!r}"
+            ) from None
+        out[(m.group("name"), frozenset(labels.items()))] = value
+    return out
+
+
+# -- enablement ---------------------------------------------------------------
+
+#: Explicit activation stack (innermost scope wins); see :func:`activate`.
+_active_stack: List[MetricsRegistry] = []
+
+#: Registry backing ``REPRO_METRICS=1`` runs, created on first use.
+_env_registry: Optional[MetricsRegistry] = None
+
+
+def _env_enabled() -> bool:
+    return os.environ.get(ENV_VAR, "").strip().lower() in (
+        "1",
+        "true",
+        "yes",
+        "on",
+    )
+
+
+def metrics_enabled() -> bool:
+    """Whether emissions currently land in a registry (``REPRO_METRICS``
+    truthy, or an :func:`activate` scope is open)."""
+    return bool(_active_stack) or _env_enabled()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry backing ``REPRO_METRICS=1`` runs
+    (created on first access, persists for the process)."""
+    global _env_registry
+    if _env_registry is None:
+        _env_registry = MetricsRegistry()
+    return _env_registry
+
+
+def reset_default() -> None:
+    """Discard the process-wide env-mode registry (tests)."""
+    global _env_registry
+    _env_registry = None
+
+
+def active() -> Optional[MetricsRegistry]:
+    """The registry emissions currently target: the innermost
+    :func:`activate` scope, else the process default when
+    ``REPRO_METRICS`` is on, else ``None`` (emissions are dropped)."""
+    if _active_stack:
+        return _active_stack[-1]
+    if _env_enabled():
+        return default_registry()
+    return None
+
+
+class activate:
+    """Context manager: route emissions into a registry for the dynamic
+    extent of the block (the explicit form of ``REPRO_METRICS=1``).
+    ``__enter__`` returns the registry — a fresh one unless an existing
+    registry was passed in.  Re-entrant; inner scopes shadow outer."""
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+
+    def __enter__(self) -> MetricsRegistry:
+        _active_stack.append(self.registry)
+        return self.registry
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        _active_stack.pop()
+
+
+# -- module-level emission helpers (no-ops when disabled) ---------------------
+
+
+def inc(name: str, value: float = 1.0, **labels: str) -> None:
+    """Increment a counter on the active registry (no-op when off)."""
+    reg = active()
+    if reg is not None:
+        reg.inc(name, value, **labels)
+
+
+def set_gauge(name: str, value: float, **labels: str) -> None:
+    """Set a gauge on the active registry (no-op when off)."""
+    reg = active()
+    if reg is not None:
+        reg.set_gauge(name, value, **labels)
+
+
+def observe(name: str, value: float, **labels: str) -> None:
+    """Observe into a histogram on the active registry (no-op when off)."""
+    reg = active()
+    if reg is not None:
+        reg.observe(name, value, **labels)
+
+
+# -- the result -> registry bridge --------------------------------------------
+
+
+def result_labels(result, *, dataset: str = "") -> Dict[str, str]:
+    """The canonical label set for one run's metrics: the algorithm id
+    and the dataset name (``"unnamed"`` for anonymous graphs) — shared
+    by :func:`observe_result` and the tests that read it back."""
+    return {
+        "algorithm": result.algorithm or "unknown",
+        "dataset": dataset or result.graph_name or "unnamed",
+    }
+
+
+def observe_result(result, *, dataset: str = "", registry=None) -> None:
+    """Mirror one :class:`~repro.core.result.ColoringResult` into the
+    registry: run/sim_ms/iteration counters, a colors histogram, the
+    per-kernel totals of its :class:`~repro.gpusim.SimCounters` (via
+    :meth:`~repro.gpusim.SimCounters.publish`), and per-phase simulated
+    ms when the run carried a :class:`~repro.trace.Trace`.
+
+    Each aggregate transfers as a **single** float addition, so a
+    fresh registry's totals equal the result's to the last bit.  No-op
+    when metrics are disabled and no explicit registry is given.
+    """
+    reg = registry if registry is not None else active()
+    if reg is None:
+        return
+    labels = result_labels(result, dataset=dataset)
+    reg.inc("repro_runs_total", 1.0, **labels)
+    reg.inc("repro_sim_ms_total", result.sim_ms, **labels)
+    reg.inc("repro_iterations_total", float(result.iterations), **labels)
+    reg.observe("repro_colors", float(result.num_colors), **labels)
+    if result.counters is not None:
+        result.counters.publish(reg, **labels)
+    if result.trace is not None:
+        for phase, ms in result.trace.by_phase().items():
+            reg.inc("repro_phase_ms_total", ms, phase=phase, **labels)

@@ -58,6 +58,7 @@ the same traces at any worker count).
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from dataclasses import dataclass, field
@@ -283,6 +284,27 @@ class Trace:
         for s in self.kernel_spans():
             out[s.iteration] = out.get(s.iteration, 0.0) + s.ms
         return out
+
+    def fingerprint(self) -> str:
+        """A short stable content hash of the trace (16 hex chars over
+        every span's full tuple plus the algorithm/dataset labels).
+
+        Equal traces — same spans, same run — share a fingerprint, so
+        it serves as the ``trace_id`` correlation key joining
+        ``repro.log`` records and ``BENCH_*.json`` cells back to their
+        trajectory.
+        """
+        h = hashlib.sha256()
+        h.update(f"{self.algorithm}\x1f{self.dataset}\x1e".encode())
+        for s in self.spans:
+            h.update(
+                (
+                    f"{s.name}\x1f{s.kind}\x1f{s.work}\x1f{s.ms!r}\x1f"
+                    f"{s.ts_ms!r}\x1f{s.end_ms!r}\x1f{s.superstep}\x1f"
+                    f"{s.phase}\x1f{s.iteration}\x1e"
+                ).encode()
+            )
+        return h.hexdigest()[:16]
 
     # -- export -------------------------------------------------------------
 

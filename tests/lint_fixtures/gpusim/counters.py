@@ -1,0 +1,5 @@
+"""Fixture: ``gpusim/counters.py`` is the counter->registry bridge —
+its module-level accounting state is sanctioned (no RPL008)."""
+
+launch_count = 0
+kernel_totals = {}

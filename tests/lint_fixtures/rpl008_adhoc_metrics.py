@@ -1,0 +1,22 @@
+"""Fixture: ad-hoc module-level metric state (all flagged, RPL008)."""
+
+from collections import Counter, defaultdict
+
+cache_hits = 0
+_retry_counts = {}
+total = 0.0
+METRICS = Counter()
+kernel_counters = defaultdict(int)
+launch_count: int = 0
+
+
+def bump() -> None:
+    global cache_hits, total
+    cache_hits += 1
+    total += 0.5
+
+
+# Not metric state: non-tally names and non-tally initializers.
+threshold = 0
+_names = {}
+window_count = "label"

@@ -64,6 +64,16 @@ class TestRuleFixtures:
             ("RPL007", 5),
         ]
 
+    def test_rpl008_adhoc_metrics(self):
+        assert hits("rpl008_adhoc_metrics.py") == [
+            ("RPL008", 5),
+            ("RPL008", 6),
+            ("RPL008", 7),
+            ("RPL008", 8),
+            ("RPL008", 9),
+            ("RPL008", 10),
+        ]
+
     def test_clean_fixture_has_no_violations(self):
         assert hits("clean.py") == []
 
@@ -79,6 +89,7 @@ class TestRuleFixtures:
             "RPL005",
             "RPL006",
             "RPL007",
+            "RPL008",
         }
 
 
@@ -124,6 +135,33 @@ class TestScoping:
             "from ..trace import TraceSpan\n", tmp_path / "gpusim" / "x.py"
         )
         assert v.rule == "RPL007"
+
+    def test_metric_state_exempt_in_registry_and_bridge(self):
+        # The registry module itself and the gpusim counter bridge are
+        # the two sanctioned homes for metric state.
+        assert hits("metrics.py") == []
+        assert hits("gpusim/counters.py") == []
+
+    def test_metric_state_not_exempt_in_nested_metrics_py(self, tmp_path):
+        # repro/core/metrics.py (coloring-quality metrics) is NOT the
+        # registry: the filename alone earns no exemption under
+        # subsystem directories.
+        src = "cache_hits = 0\n"
+        assert lint_source(src, tmp_path / "metrics.py") == []
+        [v] = lint_source(src, tmp_path / "core" / "metrics.py")
+        assert v.rule == "RPL008"
+
+    def test_rpl008_only_at_module_level(self, tmp_path):
+        # Function-local tallies are ordinary variables, not metrics.
+        src = "def f():\n    cache_hits = 0\n    return cache_hits\n"
+        assert lint_source(src, tmp_path / "x.py") == []
+
+    def test_rpl008_suppressible(self, tmp_path):
+        src = (
+            "cache_hits = 0  "
+            "# repro-lint: disable=RPL008 — test scaffolding, not a metric\n"
+        )
+        assert lint_source(src, tmp_path / "x.py") == []
 
 
 class TestSuppressions:

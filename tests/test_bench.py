@@ -1,0 +1,283 @@
+"""The benchmark-regression observatory: document schema, comparison
+semantics, and the ``harness bench`` CLI exit-code contract
+(0 clean, 3 runtime/partial, 5 regression — docs/observability.md)."""
+
+from __future__ import annotations
+
+import copy
+import json
+import os
+
+import pytest
+
+from repro.harness.__main__ import (
+    EXIT_PARTIAL,
+    EXIT_REGRESSION,
+    main as harness_main,
+)
+from repro.harness.bench import (
+    BENCH_SCHEMA,
+    BENCH_SUITE,
+    compare_bench,
+    git_sha,
+    load_bench,
+    run_bench,
+    validate_bench,
+    write_bench,
+)
+
+#: One tiny suite — a traced implementation plus the counter-less CPU
+#: baseline — reused by every unit test below (the comparison and
+#: validation tests mutate deep copies, never this document).
+_MINI_SUITE = [("mini", ["offshore"], ["gunrock.is", "cpu.greedy"])]
+
+
+@pytest.fixture(scope="module")
+def bench_doc(tmp_path_factory):
+    cache = tmp_path_factory.mktemp("bench-cache")
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(cache)
+    try:
+        return run_bench(scale_div=2048, seed=7, suite=_MINI_SUITE)
+    finally:
+        if old is None:
+            os.environ.pop("REPRO_CACHE_DIR", None)
+        else:
+            os.environ["REPRO_CACHE_DIR"] = old
+
+
+class TestBenchDocument:
+    def test_schema_and_suite_params(self, bench_doc):
+        assert bench_doc["schema"] == BENCH_SCHEMA
+        assert bench_doc["scale_div"] == 2048
+        assert bench_doc["seed"] == 7
+        assert bench_doc["repetitions"] == 1
+        assert bench_doc["git_sha"] == git_sha()
+        assert validate_bench(bench_doc) == []
+
+    def test_one_cell_per_suite_pair(self, bench_doc):
+        cells = bench_doc["cells"]
+        assert [(c["suite"], c["dataset"], c["algorithm"]) for c in cells] == [
+            ("mini", "offshore", "gunrock.is"),
+            ("mini", "offshore", "cpu.greedy"),
+        ]
+        assert all(c["status"] == "ok" and c["valid"] for c in cells)
+
+    def test_traced_cell_has_kernels_and_trace_id(self, bench_doc):
+        gunrock, greedy = bench_doc["cells"]
+        assert gunrock["kernels"], "traced cell must carry kernel totals"
+        for name, k in gunrock["kernels"].items():
+            assert set(k) == {"kind", "calls", "work", "ms"}
+            assert k["calls"] >= 1 and k["ms"] >= 0.0
+        assert len(gunrock["trace_id"]) == 16
+        # cpu.greedy records no trace: kernels/trace_id are explicit nulls
+        assert greedy["kernels"] is None
+        assert greedy["trace_id"] is None
+
+    def test_metrics_snapshot_embedded(self, bench_doc):
+        snap = bench_doc["metrics"]
+        assert "repro_runs_total" in snap
+        total_runs = sum(
+            s["value"] for s in snap["repro_runs_total"]["series"]
+        )
+        assert total_runs == len(bench_doc["cells"])
+
+    def test_environment_fingerprint(self, bench_doc):
+        env = bench_doc["environment"]
+        for key in ("python", "numpy", "repro_version", "device"):
+            assert key in env
+        assert env["device"]["name"]  # the simulated Tesla K40c
+
+    def test_document_is_json_serializable(self, bench_doc):
+        # json.dumps with allow_nan=False proves no NaN/Inf leaked in
+        # (failed cells store None, not NaN).
+        json.dumps(bench_doc, allow_nan=False)
+
+    def test_write_load_round_trip(self, bench_doc, tmp_path):
+        path = write_bench(bench_doc, tmp_path / "out")
+        assert path.name == f"BENCH_{bench_doc['git_sha']}.json"
+        assert load_bench(path) == json.loads(json.dumps(bench_doc))
+
+    def test_pinned_suite_covers_table2_and_fig1(self):
+        names = [name for name, _, _ in BENCH_SUITE]
+        assert names == ["table2", "fig1"]
+        table2 = BENCH_SUITE[0]
+        assert table2[1] == ["G3_circuit"]
+        assert "gunrock.is" in table2[2]
+
+
+class TestValidateBench:
+    def test_rejects_non_object(self):
+        assert validate_bench([1, 2]) != []
+
+    def test_missing_top_level_key(self, bench_doc):
+        doc = copy.deepcopy(bench_doc)
+        del doc["metrics"]
+        assert any("metrics" in p for p in validate_bench(doc))
+
+    def test_wrong_schema_version(self, bench_doc):
+        doc = copy.deepcopy(bench_doc)
+        doc["schema"] = BENCH_SCHEMA + 1
+        assert any("schema" in p for p in validate_bench(doc))
+
+    def test_empty_cells(self, bench_doc):
+        doc = copy.deepcopy(bench_doc)
+        doc["cells"] = []
+        assert any("no cells" in p for p in validate_bench(doc))
+
+    def test_ok_cell_requires_numeric_quantities(self, bench_doc):
+        doc = copy.deepcopy(bench_doc)
+        doc["cells"][0]["sim_ms"] = None
+        assert any("sim_ms" in p for p in validate_bench(doc))
+
+
+class TestCompareBench:
+    def test_identical_docs_pass(self, bench_doc):
+        assert compare_bench(bench_doc, copy.deepcopy(bench_doc)) == []
+
+    def test_sim_ms_drift_is_bit_exact_regression(self, bench_doc):
+        base = copy.deepcopy(bench_doc)
+        # a 1-ulp-ish inflation must already fail: no tolerance band
+        base["cells"][0]["sim_ms"] *= 1.0000000001
+        problems = compare_bench(bench_doc, base)
+        assert any("sim_ms drifted" in p for p in problems)
+
+    def test_color_count_drift_regresses(self, bench_doc):
+        base = copy.deepcopy(bench_doc)
+        base["cells"][1]["colors"] += 1
+        assert any(
+            "colors drifted" in p for p in compare_bench(bench_doc, base)
+        )
+
+    def test_missing_cell_regresses(self, bench_doc):
+        base = copy.deepcopy(bench_doc)
+        base["cells"].append(dict(base["cells"][0], algorithm="gunrock.hash"))
+        problems = compare_bench(bench_doc, base)
+        assert any("missing from current run" in p for p in problems)
+
+    def test_extra_current_cells_do_not_regress(self, bench_doc):
+        cur = copy.deepcopy(bench_doc)
+        cur["cells"].append(dict(cur["cells"][0], algorithm="gunrock.hash"))
+        assert compare_bench(cur, bench_doc) == []
+
+    def test_wall_s_band(self, bench_doc):
+        base = copy.deepcopy(bench_doc)
+        base["cells"][0]["wall_s"] = 0.001
+        cur = copy.deepcopy(bench_doc)
+        # inside band: 0.001 * 10 + 1s slack
+        cur["cells"][0]["wall_s"] = 0.9
+        assert compare_bench(cur, base) == []
+        cur["cells"][0]["wall_s"] = 1.2
+        assert any("wall_s" in p for p in compare_bench(cur, base))
+        # a custom tolerance widens the band
+        assert compare_bench(cur, base, wall_slack_s=5.0) == []
+
+    def test_kernel_totals_drift_regresses(self, bench_doc):
+        base = copy.deepcopy(bench_doc)
+        kernels = base["cells"][0]["kernels"]
+        name = sorted(kernels)[0]
+        kernels[name]["ms"] *= 2.0
+        problems = compare_bench(bench_doc, base)
+        assert any(f"kernel {name!r} drifted" in p for p in problems)
+
+    def test_status_flip_regresses(self, bench_doc):
+        cur = copy.deepcopy(bench_doc)
+        cur["cells"][0]["status"] = "failed"
+        cur["cells"][0]["valid"] = False
+        problems = compare_bench(cur, bench_doc)
+        assert any("status changed" in p for p in problems)
+
+    def test_suite_param_mismatch_short_circuits(self, bench_doc):
+        base = copy.deepcopy(bench_doc)
+        base["seed"] = bench_doc["seed"] + 1
+        base["cells"][0]["sim_ms"] *= 2  # must NOT be reported
+        problems = compare_bench(bench_doc, base)
+        assert problems == [
+            "suite parameter seed differs: current 7 vs baseline 8"
+        ]
+
+
+class TestBenchCli:
+    """Three full CLI invocations drive the documented workflow:
+    write + baseline, compare-clean, compare-regressed."""
+
+    ARGS = ["bench", "--scale-div", "2048"]
+
+    def test_bench_workflow_and_exit_codes(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+        # 1. fresh run: writes BENCH_<sha>.json + the baseline, exits 0,
+        #    and honors --metrics-out / --log along the way.
+        rc = harness_main(
+            self.ARGS
+            + [
+                "--write-baseline",
+                "baseline.json",
+                "--metrics-out",
+                "m.prom",
+                "--log",
+                "run.jsonl",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        sha = git_sha()
+        bench_path = tmp_path / "benchmarks" / "out" / f"BENCH_{sha}.json"
+        assert bench_path.exists()
+        assert f"wrote benchmarks/out/BENCH_{sha}.json" in out
+        assert "wrote baseline baseline.json" in out
+        doc = load_bench(bench_path)
+        assert validate_bench(doc) == []
+        assert load_bench("baseline.json") == doc
+        # the full pinned suite ran: table2 ladder + fig1 slice
+        assert {c["suite"] for c in doc["cells"]} == {"table2", "fig1"}
+        assert len(doc["cells"]) == sum(
+            len(ds) * len(algos) for _, ds, algos in BENCH_SUITE
+        )
+        # side outputs
+        assert "repro_runs_total" in (tmp_path / "m.prom").read_text()
+        log_events = [
+            json.loads(l)
+            for l in (tmp_path / "run.jsonl").read_text().splitlines()
+        ]
+        assert "bench_done" in [r["event"] for r in log_events]
+
+        # 2. same commit, same params: --compare is clean, exit 0.
+        rc = harness_main(self.ARGS + ["--compare", "baseline.json"])
+        assert rc == 0
+        assert "no regressions" in capsys.readouterr().out
+
+        # 3. doctor the baseline (deflate one sim_ms so the fresh run
+        #    looks slower): --compare exits EXIT_REGRESSION with the
+        #    drift named on stderr.
+        baseline = load_bench("baseline.json")
+        cell = next(c for c in baseline["cells"] if c["sim_ms"])
+        cell["sim_ms"] /= 1.5
+        with open("baseline.json", "w") as fh:
+            json.dump(baseline, fh)
+        rc = harness_main(self.ARGS + ["--compare", "baseline.json"])
+        assert rc == EXIT_REGRESSION == 5
+        err = capsys.readouterr().err
+        assert "sim_ms drifted" in err
+        assert "regression" in err
+
+    def test_unreadable_baseline_is_partial_failure(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        (tmp_path / "garbage.json").write_text("{not json")
+        rc = harness_main(self.ARGS + ["--compare", "garbage.json"])
+        assert rc == EXIT_PARTIAL
+        assert "cannot load baseline" in capsys.readouterr().err
+
+    def test_bench_flags_rejected_on_other_experiments(self):
+        for flag in (
+            ["--compare", "x.json"],
+            ["--wall-tol", "2"],
+            ["--write-baseline", "x.json"],
+        ):
+            with pytest.raises(SystemExit) as exc:
+                harness_main(["table2"] + flag)
+            assert exc.value.code == 2

@@ -174,6 +174,56 @@ class TestHarnessTraceCommand:
         assert harness_main(["lint"]) == EXIT_LINT == 4
         assert "RPL007" in capsys.readouterr().out
 
+    def test_profile_counterless_algorithm_is_partial_failure(self, capsys):
+        # cpu.greedy records no SimCounters: the CLI must exit with the
+        # documented partial-failure code and a one-line error, not a
+        # traceback (docs/observability.md exit-code contract).
+        rc = harness_main(
+            [
+                "profile",
+                "--dataset",
+                "offshore",
+                "--algorithms",
+                "cpu.greedy",
+                "--scale-div",
+                "2048",
+            ]
+        )
+        assert rc == EXIT_PARTIAL
+        err = capsys.readouterr().err
+        assert "profile failed" in err
+        assert "no kernel counters" in err
+        assert "Traceback" not in err
+
+    def test_metrics_out_and_log_flags(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)  # keep cache/journal out of the repo
+        rc = harness_main(
+            [
+                "table2",
+                "--scale-div",
+                "2048",
+                "--repetitions",
+                "1",
+                "--no-journal",
+                "--metrics-out",
+                "m.json",
+                "--log",
+                "run.jsonl",
+            ]
+        )
+        assert rc == 0
+        snap = json.loads((tmp_path / "m.json").read_text())
+        assert "repro_runs_total" in snap
+        assert "repro_reps_completed_total" in snap
+        assert "wrote metrics to m.json" in capsys.readouterr().out
+        events = [
+            json.loads(l)
+            for l in (tmp_path / "run.jsonl").read_text().splitlines()
+        ]
+        names = [r["event"] for r in events]
+        assert names[0] == "grid_start" and names[-1] == "grid_end"
+        assert len({r["run"] for r in events}) == 1
+
     def test_grid_trace_flag_adds_phase_columns(self, capsys, tmp_path, monkeypatch):
         monkeypatch.chdir(tmp_path)  # keep the journal out of the repo
         rc = harness_main(

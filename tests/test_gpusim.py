@@ -160,3 +160,120 @@ class TestCostModel:
         cm = CostModel(fast)
         cm.charge_map(10**9)
         assert cm.total_ms == 0.0
+
+
+def _naive_totals(counters):
+    """The pre-memoization aggregates: plain left-to-right folds over
+    ``records`` — the reference the memo must match bit-for-bit."""
+    total_ms = 0.0
+    kernels = syncs = atomics = 0
+    by_name, by_kind = {}, {}
+    for r in counters.records:
+        total_ms += r.ms
+        if r.kind not in ("sync", "transfer"):
+            kernels += 1
+        if r.kind == "sync":
+            syncs += 1
+        if r.kind == "atomic":
+            atomics += r.work
+        by_name[r.name] = by_name.get(r.name, 0.0) + r.ms
+        by_kind[r.kind] = by_kind.get(r.kind, 0.0) + r.ms
+    return total_ms, kernels, syncs, atomics, by_name, by_kind
+
+
+class TestSimCountersMemoization:
+    """The memoized aggregates behind ``add()`` are bit-identical to a
+    naive re-sum of the record list, and out-of-band mutation of
+    ``records`` is detected rather than served stale."""
+
+    def _busy_model(self, n=200, seed=12345):
+        rng = np.random.default_rng(seed)
+        cm = CostModel()
+        degs = rng.integers(0, 60, size=64)
+        for i in range(n):
+            which = i % 5
+            if which == 0:
+                cm.charge_map(int(rng.integers(1, 10**4)), name=f"k{i % 7}")
+            elif which == 1:
+                cm.charge_serial_loop(degs, name=f"k{i % 7}")
+            elif which == 2:
+                cm.charge_atomics(int(rng.integers(1, 100)), name="atom")
+            elif which == 3:
+                cm.charge_sync()
+            else:
+                cm.charge_reduce(int(rng.integers(1, 10**4)), name="red")
+        return cm
+
+    def test_incremental_memo_matches_naive_sums_bit_exactly(self):
+        c = self._busy_model().counters
+        total_ms, kernels, syncs, atomics, by_name, by_kind = _naive_totals(c)
+        assert c.total_ms == total_ms  # bit-exact: same fold order
+        assert c.num_kernels == kernels
+        assert c.num_syncs == syncs
+        assert c.num_atomics == atomics
+        assert c.ms_by_name() == by_name
+        assert c.ms_by_kind() == by_kind
+
+    def test_interleaved_reads_and_adds_stay_exact(self):
+        from repro.gpusim.counters import KernelRecord, SimCounters
+
+        c = SimCounters()
+        for i in range(50):
+            c.add(KernelRecord(f"k{i % 3}", "map", i, 0.1 * i + 1e-9))
+            # reading mid-stream must not perturb later folds
+            assert c.total_ms == _naive_totals(c)[0]
+        assert c.ms_by_name() == _naive_totals(c)[4]
+
+    def test_direct_record_surgery_invalidates_memo(self):
+        from repro.gpusim.counters import KernelRecord
+
+        c = self._busy_model(n=40).counters
+        assert c.total_ms  # prime the memo
+        c.records.append(KernelRecord("late", "map", 5, 0.25))
+        total_ms, kernels, _, _, by_name, _ = _naive_totals(c)
+        assert c.total_ms == total_ms
+        assert c.num_kernels == kernels
+        assert c.ms_by_name() == by_name
+
+    def test_merge_invalidates_memo(self):
+        a = self._busy_model(n=30, seed=1).counters
+        b = self._busy_model(n=30, seed=2).counters
+        assert a.total_ms and b.total_ms  # both memos primed
+        a.merge(b)
+        assert a.total_ms == _naive_totals(a)[0]
+        assert len(a) == 60
+
+    def test_adds_after_staleness_recover(self):
+        from repro.gpusim.counters import KernelRecord
+
+        c = self._busy_model(n=20).counters
+        c.records.append(KernelRecord("x", "map", 1, 0.5))  # stale now
+        c.add(KernelRecord("y", "map", 1, 0.5))  # add while stale
+        assert c.total_ms == _naive_totals(c)[0]
+        c.add(KernelRecord("z", "sync", 0, 0.01))  # memo valid again
+        assert c.total_ms == _naive_totals(c)[0]
+        assert c.num_syncs == _naive_totals(c)[2]
+
+    def test_views_are_copies(self):
+        c = self._busy_model(n=20).counters
+        c.ms_by_name()["injected"] = 1.0
+        assert "injected" not in c.ms_by_name()
+
+    def test_pickle_round_trip(self):
+        import pickle
+
+        c = self._busy_model(n=40).counters
+        assert c.total_ms  # prime the memo before pickling
+        clone = pickle.loads(pickle.dumps(c))
+        assert clone == c  # dataclass eq: records only
+        assert clone.total_ms == c.total_ms
+        assert clone.ms_by_name() == c.ms_by_name()
+
+    def test_eq_ignores_memo_state(self):
+        from repro.gpusim.counters import KernelRecord, SimCounters
+
+        a, b = SimCounters(), SimCounters()
+        rec = KernelRecord("k", "map", 1, 1.0)
+        a.add(rec)
+        b.records.append(rec)  # same records, memo never primed
+        assert a == b

@@ -1,0 +1,521 @@
+"""repro.metrics + repro.log: registry semantics, exporter round-trips,
+exact SimCounters mirroring, non-interference, and run-log structure.
+
+The heart of the observability contract (docs/observability.md):
+
+* registry totals published from a run equal the run's ``SimCounters``
+  totals bit-for-bit, for every simulated implementation;
+* the Prometheus text exposition round-trips through
+  :func:`repro.metrics.parse_prometheus`;
+* enabling metrics never changes results — colors and ``sim_ms`` are
+  bit-identical with the registry on or off, sequentially and under
+  ``jobs>1`` grids;
+* every run-log record carries the run/seq/event envelope and rep
+  events join back to their traces via ``trace_id``.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro import log as runlog
+from repro import metrics
+from repro.core.registry import run_algorithm
+from repro.harness.runner import run_grid
+from repro.metrics import (
+    MetricsError,
+    MetricsRegistry,
+    parse_prometheus,
+    result_labels,
+)
+
+from _strategies import TRACED_ALGORITHMS, random_graph, traced_runs
+
+
+# -- registry unit semantics --------------------------------------------------
+
+
+class TestRegistryBasics:
+    def test_counter_accumulates_and_defaults_to_zero(self):
+        reg = MetricsRegistry()
+        assert reg.get("c") == 0.0
+        reg.inc("c")
+        reg.inc("c", 2.5)
+        assert reg.get("c") == 3.5
+
+    def test_labels_identify_series(self):
+        reg = MetricsRegistry()
+        reg.inc("c", 1, a="x")
+        reg.inc("c", 2, a="y")
+        reg.inc("c", 4, a="x")
+        assert reg.get("c", a="x") == 5.0
+        assert reg.get("c", a="y") == 2.0
+        assert reg.get("c") == 0.0  # unlabelled is its own series
+
+    def test_label_order_is_irrelevant(self):
+        reg = MetricsRegistry()
+        reg.inc("c", 1, a="1", b="2")
+        assert reg.get("c", b="2", a="1") == 1.0
+
+    def test_counter_cannot_decrease(self):
+        reg = MetricsRegistry()
+        with pytest.raises(MetricsError):
+            reg.inc("c", -1)
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("g", 5.0)
+        reg.set_gauge("g", -2.0)
+        assert reg.get("g") == -2.0
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.inc("c")
+        with pytest.raises(MetricsError):
+            reg.set_gauge("c", 1.0)
+        with pytest.raises(MetricsError):
+            reg.observe("c", 1.0)
+
+    def test_invalid_metric_name_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(MetricsError):
+            reg.register("bad name", "counter")
+
+    def test_bad_label_name_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(MetricsError):
+            reg.inc("c", 1.0, **{"0bad": "v"})
+
+    def test_histogram_sum_count_buckets(self):
+        reg = MetricsRegistry()
+        for v in (0.3, 0.7, 3.0, 900.0, 5000.0):
+            reg.observe("h", v)
+        h = reg.get_histogram("h")
+        assert h["count"] == 5
+        assert h["sum"] == pytest.approx(0.3 + 0.7 + 3.0 + 900.0 + 5000.0)
+        # cumulative buckets are monotone and end <= count
+        cum = list(h["buckets"].values())
+        assert cum == sorted(cum)
+        assert cum[-1] == 4  # the 5000.0 observation is only in +Inf
+
+    def test_clear_and_len(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.observe("b", 1.0)
+        assert len(reg) == 2
+        reg.clear()
+        assert len(reg) == 0
+        assert reg.get("a") == 0.0
+
+
+class TestActivation:
+    def test_module_helpers_are_noops_when_off(self):
+        assert metrics.active() is None
+        metrics.inc("repro_never_lands_total")
+        metrics.observe("repro_never_lands", 1.0)
+        metrics.set_gauge("repro_never_lands_gauge", 1.0)
+        assert metrics.active() is None
+
+    def test_activate_routes_and_nests(self):
+        with metrics.activate() as outer:
+            metrics.inc("c")
+            with metrics.activate() as inner:
+                metrics.inc("c", 10)
+            metrics.inc("c")
+        assert outer.get("c") == 2.0
+        assert inner.get("c") == 10.0
+        assert metrics.active() is None
+
+    def test_env_var_enables_default_registry(self, monkeypatch):
+        metrics.reset_default()
+        monkeypatch.setenv(metrics.ENV_VAR, "1")
+        assert metrics.metrics_enabled()
+        metrics.inc("repro_env_test_total", 3)
+        assert metrics.default_registry().get("repro_env_test_total") == 3.0
+        monkeypatch.delenv(metrics.ENV_VAR)
+        metrics.reset_default()
+        assert not metrics.metrics_enabled()
+
+    def test_activate_accepts_existing_registry(self):
+        reg = MetricsRegistry()
+        with metrics.activate(reg) as got:
+            assert got is reg
+            metrics.inc("c")
+        assert reg.get("c") == 1.0
+
+
+# -- exporters ----------------------------------------------------------------
+
+
+class TestExporters:
+    def _populated(self):
+        reg = MetricsRegistry()
+        reg.register("runs_total", "counter", help="total runs")
+        reg.inc("runs_total", 3, algorithm="gunrock.is", dataset="offshore")
+        reg.inc("runs_total", 2, algorithm="cpu.greedy", dataset="offshore")
+        reg.set_gauge("temp", 1.25, zone="a")
+        reg.observe("lat", 0.4)
+        reg.observe("lat", 90.0)
+        return reg
+
+    def test_prometheus_round_trip(self):
+        reg = self._populated()
+        parsed = parse_prometheus(reg.to_prometheus())
+        key = frozenset(
+            {("algorithm", "gunrock.is"), ("dataset", "offshore")}
+        )
+        assert parsed[("runs_total", key)] == 3.0
+        assert parsed[("temp", frozenset({("zone", "a")}))] == 1.25
+        assert parsed[("lat_count", frozenset())] == 2.0
+        assert parsed[("lat_sum", frozenset())] == pytest.approx(90.4)
+        assert parsed[("lat_bucket", frozenset({("le", "+Inf")}))] == 2.0
+
+    def test_prometheus_label_escaping_round_trips(self):
+        reg = MetricsRegistry()
+        tricky = 'quo"te\\slash\nnewline'
+        reg.inc("c", 1, label=tricky)
+        parsed = parse_prometheus(reg.to_prometheus())
+        assert parsed[("c", frozenset({("label", tricky)}))] == 1.0
+
+    def test_parser_rejects_garbage(self):
+        with pytest.raises(MetricsError):
+            parse_prometheus("!!! not a sample\n")
+        with pytest.raises(MetricsError):
+            parse_prometheus("name{unclosed 1.0\n")
+        with pytest.raises(MetricsError):
+            parse_prometheus("name notanumber\n")
+
+    def test_json_snapshot_is_valid_json_and_complete(self, tmp_path):
+        reg = self._populated()
+        path = tmp_path / "m.json"
+        text = reg.to_json(path)
+        on_disk = json.loads(path.read_text())
+        assert on_disk == json.loads(text)
+        assert set(on_disk) == {"runs_total", "temp", "lat"}
+        assert on_disk["runs_total"]["kind"] == "counter"
+        assert on_disk["runs_total"]["help"] == "total runs"
+        assert on_disk["lat"]["kind"] == "histogram"
+        [series] = on_disk["lat"]["series"]
+        assert series["count"] == 2
+
+    def test_to_prometheus_writes_file(self, tmp_path):
+        reg = self._populated()
+        path = tmp_path / "m.prom"
+        text = reg.to_prometheus(path)
+        assert path.read_text() == text
+        assert "# TYPE runs_total counter" in text
+
+
+# -- the result bridge: exact SimCounters mirroring ---------------------------
+
+
+def _fresh_observation(impl, graph, seed):
+    """(result, registry with exactly that one run observed)."""
+    reg = MetricsRegistry()
+    result = run_algorithm(impl, graph, rng=seed)
+    metrics.observe_result(result, registry=reg)
+    return result, reg
+
+
+class TestObserveResult:
+    @pytest.mark.parametrize("impl", TRACED_ALGORITHMS)
+    def test_registry_totals_equal_simcounters_totals(self, impl):
+        graph = random_graph(28, 0.2, 99)
+        result, reg = _fresh_observation(impl, graph, 4242)
+        lab = result_labels(result)
+        assert reg.get("repro_runs_total", **lab) == 1.0
+        assert reg.get("repro_sim_ms_total", **lab) == result.sim_ms
+        assert (
+            reg.get("repro_iterations_total", **lab) == result.iterations
+        )
+        c = result.counters
+        assert (
+            reg.get("repro_kernel_launches_total", **lab) == c.num_kernels
+        )
+        assert reg.get("repro_syncs_total", **lab) == c.num_syncs
+        assert reg.get("repro_atomics_total", **lab) == c.num_atomics
+        for name, ms in c.ms_by_name().items():
+            assert reg.get("repro_kernel_ms_total", kernel=name, **lab) == ms
+        for kind, ms in c.ms_by_kind().items():
+            assert reg.get("repro_kind_ms_total", kind=kind, **lab) == ms
+        hist = reg.get_histogram("repro_colors", **lab)
+        assert hist["count"] == 1
+        assert hist["sum"] == float(result.num_colors)
+
+    @settings(max_examples=30, deadline=None)
+    @given(run=traced_runs())
+    def test_mirroring_property(self, run):
+        graph, impl, seed = run
+        result, reg = _fresh_observation(impl, graph, seed)
+        lab = result_labels(result)
+        assert reg.get("repro_sim_ms_total", **lab) == result.sim_ms
+        assert (
+            reg.get("repro_kernel_launches_total", **lab)
+            == result.counters.num_kernels
+        )
+        # per-kernel series mirror ms_by_name entry-for-entry, bit-exact
+        by_name = result.counters.ms_by_name()
+        published = {
+            dict(s["labels"])["kernel"]: s["value"]
+            for s in reg.snapshot()["repro_kernel_ms_total"]["series"]
+        }
+        assert published == by_name
+
+    def test_counterless_result_still_counted(self):
+        graph = random_graph(20, 0.2, 7)
+        reg = MetricsRegistry()
+        result = run_algorithm("cpu.greedy", graph, rng=1)
+        assert result.counters is None
+        metrics.observe_result(result, registry=reg)
+        lab = result_labels(result)
+        assert reg.get("repro_runs_total", **lab) == 1.0
+        assert reg.get("repro_sim_ms_total", **lab) == result.sim_ms
+        assert reg.get("repro_kernel_launches_total", **lab) == 0.0
+
+    def test_phase_ms_published_when_traced(self):
+        from repro.trace import activate as trace_activate
+
+        graph = random_graph(24, 0.25, 11)
+        reg = MetricsRegistry()
+        with trace_activate():
+            result = run_algorithm("gunrock.hash", graph, rng=3)
+        metrics.observe_result(result, registry=reg)
+        lab = result_labels(result)
+        by_phase = result.trace.by_phase()
+        assert by_phase
+        for phase, ms in by_phase.items():
+            assert (
+                reg.get("repro_phase_ms_total", phase=phase, **lab) == ms
+            )
+
+    def test_run_algorithm_observes_into_active_registry(self):
+        graph = random_graph(20, 0.2, 5)
+        with metrics.activate() as reg:
+            result = run_algorithm("graphblas.mis", graph, rng=2)
+        lab = result_labels(result)
+        assert reg.get("repro_runs_total", **lab) == 1.0
+        assert reg.get("repro_sim_ms_total", **lab) == result.sim_ms
+
+
+# -- non-interference ---------------------------------------------------------
+
+
+class TestNonInterference:
+    @settings(max_examples=30, deadline=None)
+    @given(run=traced_runs())
+    def test_metrics_on_is_bit_identical(self, run):
+        graph, impl, seed = run
+        base = run_algorithm(impl, graph, rng=seed)
+        with metrics.activate():
+            inst = run_algorithm(impl, graph, rng=seed)
+        assert (inst.colors == base.colors).all()
+        assert inst.sim_ms == base.sim_ms
+        assert inst.iterations == base.iterations
+        assert inst.counters.records == base.counters.records
+
+    def test_grid_bit_identical_with_metrics_and_jobs(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        kwargs = dict(
+            scale_div=2048, repetitions=2, seed=11, journal=False
+        )
+        base = run_grid(["offshore"], ["gunrock.is", "cpu.greedy"], **kwargs)
+        import warnings
+
+        with metrics.activate() as reg:
+            # jobs=2 exercises the pool path where available and the
+            # sequential fallback otherwise — identical either way.
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                inst = run_grid(
+                    ["offshore"],
+                    ["gunrock.is", "cpu.greedy"],
+                    jobs=2,
+                    **kwargs,
+                )
+        for b, i in zip(base, inst):
+            assert i.colors == b.colors
+            assert i.sim_ms == b.sim_ms
+            assert i.iterations == b.iterations
+            assert i.valid == b.valid
+        # lifecycle counters landed parent-side
+        assert (
+            reg.get(
+                "repro_reps_completed_total",
+                dataset="offshore",
+                algorithm="gunrock.is",
+            )
+            == 2.0
+        )
+
+
+# -- harness lifecycle metrics ------------------------------------------------
+
+
+class TestLifecycleMetrics:
+    def test_cache_hit_miss_counters(self, tmp_path, monkeypatch):
+        from repro.harness.cache import load_cached
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        with metrics.activate() as reg:
+            load_cached("offshore", scale_div=2048, seed=3)
+            load_cached("offshore", scale_div=2048, seed=3)
+        assert reg.get("repro_cache_misses_total", dataset="offshore") == 1.0
+        assert reg.get("repro_cache_hits_total", dataset="offshore") == 1.0
+
+    def test_corrupt_cache_counter(self, tmp_path, monkeypatch):
+        from repro.harness.cache import load_cached
+        from repro.harness.faults import corrupt_cache_entry
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        with metrics.activate() as reg:
+            load_cached("offshore", scale_div=2048, seed=3)
+            corrupt_cache_entry("offshore", scale_div=2048, seed=3)
+            load_cached("offshore", scale_div=2048, seed=3)
+        assert reg.get("repro_cache_corrupt_total", dataset="offshore") == 1.0
+        assert reg.get("repro_cache_misses_total", dataset="offshore") == 2.0
+
+    def test_retry_and_fault_counters(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setenv(
+            "REPRO_FAULTS", "raise@offshore:gunrock.is:0:times=1"
+        )
+        monkeypatch.setenv(
+            "REPRO_FAULTS_STATE", str(tmp_path / "fault-state")
+        )
+        with metrics.activate() as reg:
+            cells = run_grid(
+                ["offshore"],
+                ["gunrock.is"],
+                scale_div=2048,
+                repetitions=1,
+                journal=False,
+            )
+        assert cells[0].ok  # transient fault retried to success
+        assert (
+            reg.get(
+                "repro_retries_total",
+                dataset="offshore",
+                algorithm="gunrock.is",
+            )
+            == 1.0
+        )
+        assert (
+            reg.get(
+                "repro_faults_fired_total",
+                mode="raise",
+                dataset="offshore",
+                algorithm="gunrock.is",
+            )
+            == 1.0
+        )
+
+    def test_journal_record_counter(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        with metrics.activate() as reg:
+            run_grid(
+                ["offshore"],
+                ["cpu.greedy"],
+                scale_div=2048,
+                repetitions=2,
+                journal=True,
+            )
+        assert (
+            reg.get(
+                "repro_journal_records_total",
+                dataset="offshore",
+                algorithm="cpu.greedy",
+            )
+            == 2.0
+        )
+
+
+# -- the run log --------------------------------------------------------------
+
+
+class TestRunLog:
+    def test_record_envelope_and_sequencing(self):
+        buf = io.StringIO()
+        with runlog.activate(buf) as rl:
+            runlog.emit("alpha", x=1)
+            runlog.emit("beta", y="z")
+        records = [json.loads(l) for l in buf.getvalue().splitlines()]
+        assert [r["event"] for r in records] == ["alpha", "beta"]
+        assert [r["seq"] for r in records] == [0, 1]
+        assert all(r["run"] == rl.run_id for r in records)
+        assert all(isinstance(r["ts"], float) for r in records)
+        assert records[0]["x"] == 1 and records[1]["y"] == "z"
+
+    def test_emit_is_noop_when_off(self):
+        assert runlog.active() is None
+        runlog.emit("dropped", x=1)  # must not raise
+
+    def test_file_target_appends(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with runlog.activate(str(path)):
+            runlog.emit("one")
+        with runlog.activate(str(path)):
+            runlog.emit("two")
+        events = [
+            json.loads(l)["event"] for l in path.read_text().splitlines()
+        ]
+        assert events == ["one", "two"]
+
+    def test_env_var_backed_log(self, tmp_path, monkeypatch):
+        path = tmp_path / "env.jsonl"
+        monkeypatch.setenv(runlog.ENV_VAR, str(path))
+        try:
+            assert runlog.log_enabled()
+            runlog.emit("via_env")
+        finally:
+            runlog.reset_env_log()
+        assert (
+            json.loads(path.read_text().splitlines()[0])["event"] == "via_env"
+        )
+
+    def test_grid_emits_correlated_events(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        buf = io.StringIO()
+        with runlog.activate(buf):
+            run_grid(
+                ["offshore"],
+                ["gunrock.is"],
+                scale_div=2048,
+                repetitions=2,
+                journal=False,
+                trace=True,
+            )
+        records = [json.loads(l) for l in buf.getvalue().splitlines()]
+        events = [r["event"] for r in records]
+        assert events[0] == "grid_start"
+        assert events[-1] == "grid_end"
+        oks = [r for r in records if r["event"] == "rep_ok"]
+        assert len(oks) == 2
+        # trace correlation: each rep joins to its trace fingerprint
+        for r in oks:
+            assert isinstance(r["trace_id"], str) and len(r["trace_id"]) == 16
+        # same trajectory seed never repeats across reps -> distinct ids
+        assert oks[0]["trace_id"] != oks[1]["trace_id"]
+        assert len({r["run"] for r in records}) == 1
+
+
+# -- trace fingerprints -------------------------------------------------------
+
+
+class TestTraceFingerprint:
+    def test_fingerprint_stable_and_content_sensitive(self):
+        from repro.trace import activate as trace_activate
+
+        graph = random_graph(24, 0.2, 17)
+        with trace_activate():
+            a = run_algorithm("gunrock.is", graph, rng=5)
+            b = run_algorithm("gunrock.is", graph, rng=5)
+            c = run_algorithm("gunrock.is", graph, rng=6)
+        assert a.trace.fingerprint() == b.trace.fingerprint()
+        assert a.trace.fingerprint() != c.trace.fingerprint()
+        assert len(a.trace.fingerprint()) == 16
+        assert not math.isnan(a.sim_ms)
