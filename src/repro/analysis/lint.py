@@ -50,6 +50,17 @@ RPL008    Ad-hoc module-level metric state: a module-global counter /
           :mod:`repro.metrics` registry — module globals are invisible
           to exporters, unlabelled, racy under the process pool, and
           reset on import order.
+RPL009    Direct numpy scatter/segmented-reduce kernel calls
+          (``np.<ufunc>.at`` / ``np.<ufunc>.reduceat``) in algorithm
+          hot paths (``core``, ``gunrock``, ``graphblas``) outside
+          :mod:`repro.backend`.  These are exactly the primitives the
+          backend layer abstracts (``scatter_reduce`` /
+          ``segmented_reduce`` / …); calling numpy directly pins the
+          kernel to the reference implementation and silently exempts
+          it from the compiled backends' speedups and the cross-backend
+          bit-identity suites.  Route the call through
+          ``repro.backend.current()``; a deliberate exception takes a
+          justified suppression.
 RPL999    File does not parse.
 ========  ==============================================================
 
@@ -89,6 +100,7 @@ RULES: Dict[str, str] = {
     "RPL006": "swallowed exception (except Exception: pass)",
     "RPL007": "manual TraceSpan construction outside repro.trace",
     "RPL008": "ad-hoc module-level metric state outside repro.metrics",
+    "RPL009": "direct numpy kernel call in a hot path; use repro.backend",
     "RPL999": "file does not parse",
 }
 
@@ -97,6 +109,15 @@ RULES: Dict[str, str] = {
 _WALL_CLOCK_DIRS = frozenset({"gpusim", "core", "gunrock", "graphblas", "graph"})
 _NARROWING_DIRS = frozenset({"graph", "gunrock", "graphblas"})
 _SIM_MS_ASSIGN_DIRS = frozenset({"gpusim", "gunrock", "graphblas"})
+
+# RPL009 scope: the algorithm hot paths whose kernels the backend layer
+# (repro.backend) owns.  A "backend" path component exempts the layer's
+# own implementations.
+_BACKEND_KERNEL_DIRS = frozenset({"core", "gunrock", "graphblas"})
+
+# The ufunc methods that constitute a kernel launch: elementwise
+# scatter-reduce and segmented reduction.
+_BACKEND_KERNEL_METHODS = frozenset({"at", "reduceat"})
 
 # np.random members that are type/class references, not stream draws.
 _RNG_TYPE_NAMES = frozenset(
@@ -276,6 +297,9 @@ class _Checker(ast.NodeVisitor):
         )
         self.check_narrowing = _in_dirs(path, _NARROWING_DIRS)
         self.check_sim_ms_assign = _in_dirs(path, _SIM_MS_ASSIGN_DIRS)
+        self.check_backend_kernels = _in_dirs(
+            path, _BACKEND_KERNEL_DIRS
+        ) and "backend" not in path.parts
         self.check_adhoc_metrics = not (
             (
                 base == "metrics.py"
@@ -441,6 +465,20 @@ class _Checker(ast.NodeVisitor):
                 "manual TraceSpan construction outside repro.trace; emit "
                 "spans through Trace.emit/span_phase so the simulated-time "
                 "cursor stays consistent",
+            )
+        if (
+            self.check_backend_kernels
+            and dotted is not None
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _BACKEND_KERNEL_METHODS
+            and dotted.startswith(("np.", "numpy."))
+        ):
+            self._hit(
+                node,
+                "RPL009",
+                f"direct {dotted}() kernel call in an algorithm hot path; "
+                "route it through repro.backend.current() so compiled "
+                "backends cover it (scatter_reduce/segmented_reduce/...)",
             )
         if self.check_wall_clock and dotted in _WALL_CLOCK_CALLS:
             self._hit(

@@ -30,6 +30,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import backend as _backend
 from .._clock import wall_timer
 from .._rng import RngLike, ensure_rng
 from ..gpusim.cost_model import CostModel
@@ -198,7 +199,9 @@ def gunrock_hash_coloring(
         slot = table_used[w] + rank
         ok = slot < hash_size
         table[w[ok], slot[ok]] = c[ok]
-        np.add.at(table_used, w[ok], (np.int64(1)))
+        _backend.current().scatter_reduce(
+            table_used, w[ok], np.ones(int(ok.sum()), dtype=np.int64), "sum"
+        )
         san = cost.sanitizer
         if san is not None:
             with san.kernel("hash_gen_op") as k:

@@ -24,6 +24,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import backend as _backend
 from .._clock import wall_timer
 from .._rng import RngLike, ensure_rng, random_weights
 from ..gpusim.cost_model import CostModel
@@ -50,15 +51,9 @@ def _neighbor_extrema(
     graph: CSRGraph, keys: np.ndarray, active_mask: np.ndarray
 ):
     """Per-vertex max and min of ``keys`` over *active* neighbors."""
-    n = graph.num_vertices
-    src = np.repeat(np.arange(n, dtype=np.int64), graph.degrees)
-    dst = graph.indices
-    ok = active_mask[src]
-    nmax = np.full(n, np.iinfo(np.int64).min, dtype=np.int64)
-    nmin = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
-    np.maximum.at(nmax, dst[ok], keys[src[ok]])
-    np.minimum.at(nmin, dst[ok], keys[src[ok]])
-    return nmax, nmin
+    return _backend.current().active_extrema(
+        graph.offsets, graph.indices, keys, active_mask
+    )
 
 
 def gunrock_is_coloring(

@@ -31,6 +31,7 @@ from typing import Optional, Union
 
 import numpy as np
 
+from .. import backend as _backend
 from .._clock import wall_timer
 from .._rng import RngLike
 from ..errors import ColoringError
@@ -42,11 +43,9 @@ from .result import ColoringResult
 __all__ = ["greedy_coloring", "dsatur_coloring"]
 
 #: Below this frontier width a level-synchronous round costs more in
-#: fixed NumPy overhead than the scalar sweep would spend coloring it.
+#: fixed per-kernel overhead than the scalar sweep would spend
+#: coloring it.
 _MIN_FRONTIER = 64
-
-#: Cap on the forbidden-matrix footprint of one level (bool entries).
-_MAX_FORBIDDEN = 64_000_000
 
 
 def _greedy_colors_scalar(
@@ -84,11 +83,11 @@ def _greedy_colors_vectorized(graph: CSRGraph, order: np.ndarray) -> np.ndarray:
     Kahn-style: maintain for every vertex the count of uncolored
     *predecessors* (neighbors earlier in ``order``); each round colors
     the zero-count frontier en masse — its minimum excluded color over
-    predecessor colors is computed with one scatter into a per-frontier
-    forbidden matrix and one ``argmin`` — then decrements successor
-    counts with ``bincount``.  Falls back to the scalar sweep once the
-    frontier narrows below :data:`_MIN_FRONTIER` (long-wavefront
-    orderings), which preserves exactness.
+    predecessor colors is one backend ``segmented_mex`` call over the
+    predecessor sub-CSR (the level-sync greedy conflict scan) — then
+    decrements successor counts with ``bincount``.  Falls back to the
+    scalar sweep once the frontier narrows below :data:`_MIN_FRONTIER`
+    (long-wavefront orderings), which preserves exactness.
     """
     n = graph.num_vertices
     offsets, indices = graph.offsets, graph.indices
@@ -112,8 +111,8 @@ def _greedy_colors_vectorized(graph: CSRGraph, order: np.ndarray) -> np.ndarray:
     np.cumsum(sdeg[:-1], out=soff[1:])
 
     indeg = pdeg.copy()
-    frontier = np.flatnonzero(indeg == 0)
-    max_color = 0
+    be = _backend.current()
+    frontier = be.frontier_compact(indeg == 0)
     while frontier.size:
         if frontier.size < _MIN_FRONTIER:
             # Thin wavefront: the remaining vertices, swept in rank
@@ -123,36 +122,12 @@ def _greedy_colors_vectorized(graph: CSRGraph, order: np.ndarray) -> np.ndarray:
             return _greedy_colors_scalar(
                 graph, rest[np.argsort(rank[rest])], colors=colors
             )
-        width = max_color + 2
-        chunk = max(1, _MAX_FORBIDDEN // width)
-        for lo in range(0, frontier.size, chunk):
-            part = frontier[lo : lo + chunk]
-            f = part.size
-            fdeg = pdeg[part]
-            total = int(fdeg.sum())
-            if total:
-                starts = np.repeat(poff[part], fdeg)
-                ramp = np.arange(total, dtype=np.int64) - np.repeat(
-                    np.cumsum(fdeg) - fdeg, fdeg
-                )
-                ncol = colors[pdst[starts + ramp]]
-                owner = np.repeat(np.arange(f, dtype=np.int64), fdeg)
-                forbidden = np.zeros(f * width, dtype=bool)
-                forbidden[owner * width + ncol] = True
-                # Column ``width - 1`` can never be forbidden (mex of at
-                # most ``width - 2`` distinct colors), so argmin always
-                # finds a False column.
-                mex = (
-                    np.argmin(forbidden.reshape(f, width)[:, 1:], axis=1) + 1
-                )
-                colors[part] = mex
-                mc = int(mex.max())
-                if mc > max_color:
-                    max_color = mc
-            else:
-                colors[part] = 1
-                if max_color < 1:
-                    max_color = 1
+        # Every frontier vertex's predecessors are already colored, so
+        # its sequential-sweep color is exactly the mex over its
+        # predecessor sub-CSR segment.
+        colors[frontier] = be.segmented_mex(
+            colors, pdst, poff[frontier], pdeg[frontier]
+        )
         fs = sdeg[frontier]
         total = int(fs.sum())
         if not total:
@@ -163,7 +138,7 @@ def _greedy_colors_vectorized(graph: CSRGraph, order: np.ndarray) -> np.ndarray:
         )
         dec = np.bincount(sdst[starts + ramp], minlength=n)
         indeg -= dec
-        frontier = np.flatnonzero((indeg == 0) & (dec > 0))
+        frontier = be.frontier_compact((indeg == 0) & (dec > 0))
     return colors
 
 

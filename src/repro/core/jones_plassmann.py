@@ -17,6 +17,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import backend as _backend
 from .._rng import RngLike, ensure_rng, random_weights
 from ..errors import ColoringError
 from ..graph.csr import CSRGraph
@@ -27,51 +28,21 @@ __all__ = ["jones_plassmann_coloring"]
 
 def _min_available(graph: CSRGraph, colors: np.ndarray, winners: np.ndarray) -> np.ndarray:
     """Per-winner minimum positive color absent among its neighbors
-    (the "mex"), fully vectorized.
+    (the "mex").
 
     Winners form an independent set, so their choices never conflict
-    with one another within a round.  Method: collect each winner's
-    distinct neighbor colors sorted ascending; the mex is one past the
-    longest prefix matching 1, 2, 3, …
+    with one another within a round.  The segmented-mex kernel runs on
+    the execution backend; the mex is unique per neighbor-color
+    multiset, so every backend returns the same values.
     """
-    k = len(winners)
-    if k == 0:
+    winners = np.asarray(winners, dtype=np.int64)
+    if len(winners) == 0:
         return np.empty(0, dtype=np.int64)
     offsets = graph.offsets
     degs = offsets[winners + 1] - offsets[winners]
-    total = int(degs.sum())
-    if total == 0:
-        return np.ones(k, dtype=np.int64)
-    starts = np.repeat(offsets[winners], degs)
-    ramp = np.arange(total, dtype=np.int64) - np.repeat(
-        np.cumsum(degs) - degs, degs
+    return _backend.current().segmented_mex(
+        colors, graph.indices, offsets[winners], degs
     )
-    nbr_colors = colors[graph.indices[starts + ramp]]
-    owner = np.repeat(np.arange(k, dtype=np.int64), degs)
-    keep = nbr_colors > 0
-    owner, nbr_colors = owner[keep], nbr_colors[keep]
-    # Distinct (owner, color) pairs sorted by owner then color.
-    enc = owner * (int(colors.max(initial=0)) + 2) + nbr_colors
-    enc = np.unique(enc)
-    owner = enc // (int(colors.max(initial=0)) + 2)
-    col = enc % (int(colors.max(initial=0)) + 2)
-    # Rank of each entry within its owner group (1-based).
-    group_sizes = np.bincount(owner, minlength=k)
-    group_start = np.concatenate([[0], np.cumsum(group_sizes)[:-1]])
-    rank = np.arange(len(owner), dtype=np.int64) - group_start[owner] + 1
-    good = col == rank
-    # mex = 1 + length of the initial all-good run of the group.
-    out = group_sizes + 1  # default: colors form a full prefix 1..size
-    bad_pos = np.flatnonzero(~good)
-    if len(bad_pos):
-        bad_owner = owner[bad_pos]
-        # First bad position per owner (positions ascend within groups).
-        first_idx = np.full(k, -1, dtype=np.int64)
-        # Reverse iteration trick: later writes win, so write reversed.
-        first_idx[bad_owner[::-1]] = bad_pos[::-1]
-        has_bad = first_idx >= 0
-        out[has_bad] = first_idx[has_bad] - group_start[has_bad] + 1
-    return out.astype(np.int64)
 
 
 def jones_plassmann_coloring(
@@ -98,19 +69,16 @@ def jones_plassmann_coloring(
     key = prio * (n + 1) + np.arange(n, dtype=np.int64)
 
     colors = np.zeros(n, dtype=np.int64)
-    src_all = np.repeat(np.arange(n, dtype=np.int64), graph.degrees)
-    dst_all = graph.indices
     rounds = 0
     while (colors == 0).any():
         rounds += 1
         if rounds > n + 1:
             raise ColoringError("Jones-Plassmann failed to converge")
         uncolored = colors == 0
+        be = _backend.current()
         # Max key among uncolored neighbors of each vertex.
-        ok = uncolored[src_all]
-        nmax = np.full(n, np.iinfo(np.int64).min, dtype=np.int64)
-        np.maximum.at(nmax, dst_all[ok], key[src_all[ok]])
-        winners = np.flatnonzero(uncolored & (key > nmax))
+        nmax = be.active_max(graph.offsets, graph.indices, key, uncolored)
+        winners = be.frontier_compact(uncolored & (key > nmax))
         colors[winners] = _min_available(graph, colors, winners)
     return ColoringResult(
         colors=colors,

@@ -17,6 +17,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from .. import backend as _backend
 from .._rng import RngLike, ensure_rng, random_weights
 from ..errors import ColoringError
 from ..graph.csr import CSRGraph
@@ -29,14 +30,11 @@ def neighbor_max(
     graph: CSRGraph, values: np.ndarray, candidate: np.ndarray
 ) -> np.ndarray:
     """For every vertex, the max of ``values`` over *candidate* neighbors
-    (−inf-like minimum where none).  One vectorized scatter pass."""
-    n = graph.num_vertices
-    src = np.repeat(np.arange(n, dtype=np.int64), graph.degrees)
-    dst = graph.indices
-    ok = candidate[src]
-    out = np.full(n, np.iinfo(np.int64).min, dtype=np.int64)
-    np.maximum.at(out, dst[ok], values[src[ok]])
-    return out
+    (−inf-like minimum where none).  One scatter pass on the execution
+    backend."""
+    return _backend.current().active_max(
+        graph.offsets, graph.indices, values, candidate
+    )
 
 
 def luby_mis(

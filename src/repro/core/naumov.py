@@ -26,6 +26,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import backend as _backend
 from .._clock import wall_timer
 from .._rng import RngLike, ensure_rng
 from ..errors import ColoringError
@@ -48,15 +49,9 @@ def _fresh_keys(n: int, gen) -> np.ndarray:
 
 def _active_extrema(graph: CSRGraph, keys: np.ndarray, active: np.ndarray):
     """Max and min of ``keys`` over active neighbors, per vertex."""
-    n = graph.num_vertices
-    src = np.repeat(np.arange(n, dtype=np.int64), graph.degrees)
-    dst = graph.indices
-    ok = active[src]
-    nmax = np.full(n, np.iinfo(np.int64).min, dtype=np.int64)
-    nmin = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
-    np.maximum.at(nmax, dst[ok], keys[src[ok]])
-    np.minimum.at(nmin, dst[ok], keys[src[ok]])
-    return nmax, nmin
+    return _backend.current().active_extrema(
+        graph.offsets, graph.indices, keys, active
+    )
 
 
 def _active_snapshot(graph: CSRGraph, active: np.ndarray):
@@ -87,10 +82,10 @@ def _active_snapshot(graph: CSRGraph, active: np.ndarray):
 def _snapshot_extrema(keys: np.ndarray, snapshot, n: int):
     """Per-vertex max/min of ``keys`` over a compressed snapshot.
 
-    Segment reductions (``ufunc.reduceat``) over the active-neighbor
-    lists replace the per-arc ``ufunc.at`` scatter of
-    :func:`_active_extrema`; the results are element-for-element
-    identical (both reduce the same key multiset per vertex).
+    Segment reductions over the active-neighbor lists replace the
+    per-arc scatter of :func:`_active_extrema`; the results are
+    element-for-element identical (both reduce the same key multiset
+    per vertex).
     """
     sub, starts, nonempty = snapshot
     nmax = np.full(n, np.iinfo(np.int64).min, dtype=np.int64)
@@ -100,10 +95,11 @@ def _snapshot_extrema(keys: np.ndarray, snapshot, n: int):
         # Reduce over nonempty segments only: an empty row's start
         # equals its successor's, so consecutive nonempty starts are
         # exact segment boundaries and the last segment runs to the end
-        # of ``sub`` — precisely reduceat's contract.
+        # of ``sub`` — precisely the segmented-reduce contract.
         s = starts[nonempty]
-        nmax[nonempty] = np.maximum.reduceat(vals, s)
-        nmin[nonempty] = np.minimum.reduceat(vals, s)
+        be = _backend.current()
+        nmax[nonempty] = be.segmented_reduce(vals, s, "max")
+        nmin[nonempty] = be.segmented_reduce(vals, s, "min")
     return nmax, nmin
 
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
+from .. import backend as _backend
 from .. import metrics
 from .._rng import RngLike
 from ..errors import ColoringError
@@ -131,21 +132,30 @@ def run_algorithm(
     *,
     rng: RngLike = None,
     device: Optional[DeviceSpec] = None,
+    backend=None,
     **kwargs,
 ) -> ColoringResult:
     """Run a registered implementation by id.
 
-    When tracing is enabled the result's trace is labeled here with the
-    algorithm id and graph name, so exports are self-describing without
-    each implementation stamping its own.  When the metrics registry is
+    ``backend`` selects the kernel-execution backend for the run (a
+    name, a :class:`~repro.backend.Backend`, or ``None`` for the
+    ambient selection — ``REPRO_BACKEND`` or the reference backend);
+    the implementation executes with that backend installed as
+    :func:`repro.backend.current`.  When tracing is enabled the
+    result's trace is labeled here with the algorithm id, graph name,
+    and effective backend, so exports are self-describing without each
+    implementation stamping its own.  When the metrics registry is
     active the finished result is mirrored into it
     (:func:`repro.metrics.observe_result`) — strictly after the run, so
     metrics can never perturb it.
     """
-    result = get_algorithm(name)(graph, rng=rng, device=device, **kwargs)
+    be = _backend.resolve(backend) if backend is not None else _backend.current()
+    with _backend.use(be):
+        result = get_algorithm(name)(graph, rng=rng, device=device, **kwargs)
     if result.trace is not None:
         result.trace.algorithm = result.algorithm or name
         result.trace.dataset = result.graph_name or graph.name
+        result.trace.backend = be.name
     if metrics.active() is not None:
-        metrics.observe_result(result)
+        metrics.observe_result(result, backend=be.name)
     return result

@@ -21,6 +21,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import backend as _backend
 from .._clock import wall_timer
 from ..gpusim.device import CPUSpec, HOST_CPU
 from ..graph.csr import CSRGraph
@@ -63,7 +64,9 @@ def rlf_coloring(graph: CSRGraph, *, cpu: Optional[CPUSpec] = None) -> ColoringR
             )
             nbrs_flat = indices[starts + ramp]
             owners = np.repeat(ids, degs)
-            np.add.at(sub_deg, owners, uncolored[nbrs_flat].astype(np.int64))
+            _backend.current().scatter_reduce(
+                sub_deg, owners, uncolored[nbrs_flat].astype(np.int64), "sum"
+            )
         score = np.zeros(n, dtype=np.int64)
         key = sub_deg * S_ID + id_term  # first pick: by subgraph degree
         while candidate.any():
@@ -78,7 +81,10 @@ def rlf_coloring(graph: CSRGraph, *, cpu: Optional[CPUSpec] = None) -> ColoringR
             fresh = nbrs[candidate[nbrs]]
             candidate[fresh] = False
             for w in fresh:
-                np.add.at(score, neighbors_of(int(w)), 1)
+                nb = neighbors_of(int(w))
+                _backend.current().scatter_reduce(
+                    score, nb, np.ones(len(nb), dtype=np.int64), "sum"
+                )
             if len(fresh):
                 key = score * S_SCORE + sub_deg * S_ID + id_term
     wall = timer.elapsed_s()

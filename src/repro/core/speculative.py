@@ -23,6 +23,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import backend as _backend
 from .._clock import wall_timer
 from .._rng import RngLike, ensure_rng
 from ..errors import ColoringError
@@ -36,41 +37,16 @@ __all__ = ["speculative_gpu_coloring"]
 
 def _speculative_first_fit(graph: CSRGraph, colors: np.ndarray, active: np.ndarray) -> np.ndarray:
     """Smallest color unused by any neighbor (per the snapshot), for
-    every active vertex at once — vectorized mex over neighbor colors."""
-    n = graph.num_vertices
-    ids = np.flatnonzero(active)
+    every active vertex at once — the backend's segmented mex over
+    neighbor colors."""
+    ids = _backend.current().frontier_compact(active)
     if len(ids) == 0:
         return np.empty(0, dtype=np.int64)
     offsets = graph.offsets
     degs = offsets[ids + 1] - offsets[ids]
-    total = int(degs.sum())
-    out = np.ones(len(ids), dtype=np.int64)
-    if total == 0:
-        return out
-    starts = np.repeat(offsets[ids], degs)
-    ramp = np.arange(total, dtype=np.int64) - np.repeat(np.cumsum(degs) - degs, degs)
-    nbr_colors = colors[graph.indices[starts + ramp]]
-    owner = np.repeat(np.arange(len(ids), dtype=np.int64), degs)
-    keep = nbr_colors > 0
-    owner, nbr_colors = owner[keep], nbr_colors[keep]
-    if len(owner) == 0:
-        return out
-    maxc = int(nbr_colors.max())
-    enc = np.unique(owner * np.int64(maxc + 2) + nbr_colors)
-    owner = enc // np.int64(maxc + 2)
-    col = enc % np.int64(maxc + 2)
-    sizes = np.bincount(owner, minlength=len(ids))
-    group_start = np.concatenate([[0], np.cumsum(sizes)[:-1]])
-    rank = np.arange(len(owner), dtype=np.int64) - group_start[owner]
-    good = col == rank + 1
-    out = sizes + 1
-    bad = np.flatnonzero(~good)
-    if len(bad):
-        first = np.full(len(ids), -1, dtype=np.int64)
-        first[owner[bad][::-1]] = bad[::-1]
-        has = first >= 0
-        out[has] = first[has] - group_start[has] + 1
-    return out.astype(np.int64)
+    return _backend.current().segmented_mex(
+        colors, graph.indices, offsets[ids], degs
+    )
 
 
 def speculative_gpu_coloring(
@@ -108,14 +84,9 @@ def speculative_gpu_coloring(
         cost.charge_sync(name="speculate_sync")
         # Kernel 2: conflict detection over the arcs of active vertices;
         # the lower-priority endpoint of each violation reverts.
-        clash = (
-            (colors[src_all] == colors[graph.indices])
-            & active[src_all]
-            & (colors[src_all] > 0)
+        losers = _backend.current().conflict_losers(
+            src_all, graph.indices, colors, prio, active
         )
-        losers = np.where(
-            prio[src_all] < prio[graph.indices], src_all, graph.indices
-        )[clash]
         cost.charge_edge_balanced(active_arcs, name="conflict_kernel", eff=1.0)
         cost.charge_sync(name="conflict_sync")
         final |= active

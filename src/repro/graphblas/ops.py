@@ -27,6 +27,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import backend as _backend
 from ..errors import DimensionMismatch, InvalidValue
 from ..gpusim.cost_model import CostModel
 from ..trace import span_phase
@@ -247,8 +248,7 @@ def vxm(
             w.gtype.dtype, copy=False
         )
         assert monoid.op.ufunc is not None, "additive monoid needs a ufunc"
-        monoid.op.ufunc.at(out, dst, prod)
-        hit[dst] = True
+        _backend.current().scatter_hit(out, hit, dst, prod, monoid.op.ufunc)
     san = _sanitizer(cost)
     if san is not None:
         with san.kernel(name) as k:
@@ -312,8 +312,9 @@ def mxv(
                 semiring.multiply(A.values[pos][ok], u.values[cols[ok]])
             ).astype(w.gtype.dtype, copy=False)
             assert monoid.op.ufunc is not None
-            monoid.op.ufunc.at(out, row_of[ok], prod)
-            hit[row_of[ok]] = True
+            _backend.current().scatter_hit(
+                out, hit, row_of[ok], prod, monoid.op.ufunc
+            )
     san = _sanitizer(cost)
     if san is not None:
         with san.kernel(name) as k:
@@ -527,7 +528,9 @@ def mxm(
     boundaries = np.flatnonzero(run_start)
     monoid = semiring.add
     assert monoid.op.ufunc is not None
-    combined = monoid.op.ufunc.reduceat(prod, boundaries)
+    combined = _backend.current().segmented_reduce(
+        prod, boundaries, monoid.op.ufunc
+    )
     uniq = key[boundaries]
     return Matrix.from_coo(
         A.gtype,
@@ -678,7 +681,9 @@ def reduce_rows(
     if A.nvals:
         rows = np.repeat(np.arange(A.nrows, dtype=np.int64), degs)
         assert monoid.op.ufunc is not None
-        monoid.op.ufunc.at(out, rows, A.values.astype(w.gtype.dtype, copy=False))
+        _backend.current().scatter_reduce(
+            out, rows, A.values.astype(w.gtype.dtype, copy=False), monoid.op.ufunc
+        )
     san = _sanitizer(cost)
     if san is not None:
         with san.kernel(name) as k:

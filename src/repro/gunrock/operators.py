@@ -26,6 +26,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from .. import backend as _backend
 from ..errors import FrontierError, GunrockError
 from ..gpusim.cost_model import CostModel
 from ..graph.csr import CSRGraph
@@ -169,7 +170,7 @@ def neighbor_reduce(
     seg_of = np.repeat(np.arange(nseg, dtype=np.int64), np.diff(seg))
     if not arg:
         out = np.full(nseg, identity, dtype=values.dtype)
-        ufunc.at(out, seg_of, vals)
+        _backend.current().scatter_reduce(out, seg_of, vals, ufunc)
         return out
     if op not in ("max", "min"):
         raise GunrockError("arg reduction requires max or min")
@@ -203,7 +204,9 @@ def filter_frontier(
         raise FrontierError("keep mask must align with the frontier")
     with span_phase(ctx.cost.trace, f"filter:{name}"):
         ctx.cost.charge_map(len(frontier), name=name)
-    kept = frontier.ids[np.asarray(keep, dtype=bool)]
+    kept = frontier.ids[
+        _backend.current().frontier_compact(np.asarray(keep, dtype=bool))
+    ]
     san = ctx.cost.sanitizer
     if san is not None:
         with san.kernel(name) as k:

@@ -62,6 +62,10 @@ from .tables import table1_rows, table2_rows
 EXPERIMENTS = ("table1", "table2", "fig1", "fig2", "fig3")
 PROFILE_USAGE = "profile:DATASET:ALGO[,ALGO2]"
 
+#: Exit code for usage errors (argparse's convention; also used for
+#: 'bench --compare' across mismatched backends).
+EXIT_USAGE = 2
+
 #: Exit code for a run that completed with failed/invalid cells.
 EXIT_PARTIAL = 3
 
@@ -103,6 +107,23 @@ def _emit_phase_breakdown(cells, title: str, csv_path: Optional[str]) -> None:
         k for k in rows[0] if k.startswith("Sim ms")
     ]
     _emit([{k: r[k] for k in keep} for r in rows], title, csv_path)
+
+
+def _speedup_table(doc) -> str:
+    """Render a bench document's kernel_speedups as a printable table."""
+    backend = (doc.get("environment") or {}).get("backend", "?")
+    rows = [
+        {
+            "Kernel": name,
+            "reference ms": round(entry["reference_ms"], 4),
+            f"{backend} ms": round(entry["backend_ms"], 4),
+            "Speedup": f"{entry['speedup']:.1f}x",
+        }
+        for name, entry in doc["kernel_speedups"].items()
+    ]
+    return format_table(
+        rows, title=f"Hot-kernel wall clock: {backend} vs reference"
+    )
 
 
 def _write_metrics(reg, path: str) -> None:
@@ -217,11 +238,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"{BENCH_OUT_DIR})",
     )
     parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="kernel-execution backend (reference, numba, cnative; "
+        "default: $REPRO_BACKEND or reference).  All simulated "
+        "quantities are bit-identical across backends; only wall "
+        "clock changes (see docs/backends.md)",
+    )
+    parser.add_argument(
         "--compare",
         default=None,
         metavar="BASELINE",
         help="for 'bench': diff the fresh run against this baseline "
         "bench JSON and exit 5 on regression",
+    )
+    parser.add_argument(
+        "--ignore-backend",
+        action="store_true",
+        help="for 'bench --compare': allow diffing documents produced "
+        "on different backends (sim quantities stay bit-exact; wall "
+        "clock keeps its usual slack band)",
     )
     parser.add_argument(
         "--wall-tol",
@@ -260,11 +297,22 @@ def main(argv: Optional[List[str]] = None) -> int:
             "'trace' experiment takes targets (<dataset> <implementation>)"
         )
     if args.experiment != "bench" and (
-        args.compare or args.wall_tol is not None or args.write_baseline
+        args.compare
+        or args.wall_tol is not None
+        or args.write_baseline
+        or args.ignore_backend
     ):
         parser.error(
-            "--compare/--wall-tol/--write-baseline apply only to 'bench'"
+            "--compare/--wall-tol/--write-baseline/--ignore-backend "
+            "apply only to 'bench'"
         )
+    if args.backend is not None:
+        from ..backend import BackendError, resolve
+
+        try:
+            resolve(args.backend)  # fail fast on unknown names (exit 2)
+        except BackendError as exc:
+            parser.error(str(exc))
 
     with ExitStack() as stack:
         if args.log:
@@ -294,6 +342,7 @@ def _dispatch(args, parser) -> int:
         resume=args.resume,
         journal=False if args.no_journal else None,
         trace=args.trace,
+        backend=args.backend,
     )
 
     if args.experiment == "lint":
@@ -317,6 +366,7 @@ def _dispatch(args, parser) -> int:
     if args.experiment == "bench":
         from .bench import (
             DEFAULT_WALL_TOL,
+            BenchBackendMismatch,
             compare_bench,
             load_bench,
             run_bench,
@@ -330,7 +380,10 @@ def _dispatch(args, parser) -> int:
             repetitions=(
                 args.repetitions if args.repetitions is not None else 1
             ),
+            backend=args.backend,
         )
+        if doc.get("kernel_speedups"):
+            print(_speedup_table(doc))
         problems = validate_bench(doc)
         if problems:  # pragma: no cover — would be a bench.py bug
             for p in problems:
@@ -352,15 +405,20 @@ def _dispatch(args, parser) -> int:
                     file=sys.stderr,
                 )
                 return EXIT_PARTIAL
-            regressions = compare_bench(
-                doc,
-                baseline,
-                wall_tol=(
-                    args.wall_tol
-                    if args.wall_tol is not None
-                    else DEFAULT_WALL_TOL
-                ),
-            )
+            try:
+                regressions = compare_bench(
+                    doc,
+                    baseline,
+                    wall_tol=(
+                        args.wall_tol
+                        if args.wall_tol is not None
+                        else DEFAULT_WALL_TOL
+                    ),
+                    ignore_backend=args.ignore_backend,
+                )
+            except BenchBackendMismatch as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return EXIT_USAGE
             if regressions:
                 for r in regressions:
                     print(f"regression: {r}", file=sys.stderr)
@@ -394,7 +452,11 @@ def _dispatch(args, parser) -> int:
         dataset, algorithm = args.targets
         try:
             result = run_trace(
-                dataset, algorithm, scale_div=args.scale_div, seed=args.seed
+                dataset,
+                algorithm,
+                scale_div=args.scale_div,
+                seed=args.seed,
+                backend=args.backend,
             )
         except ReproError as exc:
             print(f"error: trace run failed: {exc}", file=sys.stderr)
@@ -425,6 +487,7 @@ def _dispatch(args, parser) -> int:
                 [a for a in args.algorithms.split(",") if a],
                 scale_div=args.scale_div,
                 seed=args.seed,
+                backend=args.backend,
             )
         except ReproError as exc:
             print(f"error: profile failed: {exc}", file=sys.stderr)

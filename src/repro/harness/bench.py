@@ -38,23 +38,37 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import backend as _backend
 from .. import metrics
 from .. import log as runlog
-from .._rng import DEFAULT_SEED
+from .._rng import DEFAULT_SEED, ensure_rng
+from ..errors import HarnessError
 from ..graph.generators.suitesparse import DEFAULT_SCALE_DIV
+from . import datasets as ds
 from .runner import CellResult, run_grid
 from .tables import TABLE2_LADDER
 
 __all__ = [
     "BENCH_SCHEMA",
     "BENCH_SUITE",
+    "PROFILED_KERNELS",
+    "BenchBackendMismatch",
     "run_bench",
+    "kernel_speedups",
     "write_bench",
     "load_bench",
     "validate_bench",
     "compare_bench",
+    "bench_backend",
     "git_sha",
 ]
+
+
+class BenchBackendMismatch(HarnessError):
+    """Raised by :func:`compare_bench` when the two documents were
+    produced by different kernel-execution backends.  A cross-backend
+    wall-clock diff is a usage error, not a regression — the CLI maps
+    this to the usage exit code (2), never the regression code (5)."""
 
 #: Version of the BENCH_*.json layout; bump on incompatible change.
 BENCH_SCHEMA = 1
@@ -96,7 +110,7 @@ def git_sha() -> str:
     return sha if out.returncode == 0 and sha else "nogit"
 
 
-def _environment() -> Dict:
+def _environment(backend: str = "reference") -> Dict:
     """The environment fingerprint stamped into every bench file."""
     import dataclasses
 
@@ -112,7 +126,94 @@ def _environment() -> Dict:
         "repro_version": __version__,
         "generator_version": GENERATOR_VERSION,
         "device": dataclasses.asdict(K40C),
+        "backend": backend,
     }
+
+
+#: Kernels the profiler ranks hottest across the suite — the ones the
+#: compiled backends fuse, and the ones the speedup table tracks.
+PROFILED_KERNELS: Tuple[str, ...] = (
+    "active_extrema",
+    "segmented_mex",
+    "active_max",
+    "conflict_losers",
+)
+
+
+def kernel_speedups(
+    backend,
+    *,
+    dataset: str = "G3_circuit",
+    scale_div: int = DEFAULT_SCALE_DIV,
+    seed: int = DEFAULT_SEED,
+    repeats: int = 3,
+) -> Dict[str, Dict[str, float]]:
+    """Wall-clock microbenchmark of the profiled hot kernels: the given
+    backend vs the reference backend, on the suite's largest pinned
+    dataset.
+
+    Each kernel runs on identical deterministic inputs (full-graph
+    frontier, rng-seeded keys/colors/priorities); both backends are
+    warmed once (compile/JIT caches) and then timed best-of-
+    ``repeats``.  Outputs are asserted equal before timing is trusted —
+    a backend that drifts from reference has no business in a speedup
+    table.  Returns ``{kernel: {reference_ms, backend_ms, speedup}}``.
+    """
+    be = _backend.resolve(backend)
+    ref = _backend.resolve("reference")
+    graph = ds.load(dataset, scale_div=scale_div, seed=seed)
+    rng = ensure_rng(seed)
+    n = graph.num_vertices
+    keys = rng.integers(1, np.int64(1) << 40, size=n, dtype=np.int64)
+    colors = rng.integers(0, 24, size=n, dtype=np.int64)
+    prio = np.argsort(rng.random(n)).astype(np.int64)
+    active = np.ones(n, dtype=bool)
+    degs = graph.offsets[1:] - graph.offsets[:-1]
+    starts = np.ascontiguousarray(graph.offsets[:-1])
+    src_all = np.repeat(np.arange(n, dtype=np.int64), degs)
+    calls = {
+        "active_extrema": lambda b: b.active_extrema(
+            graph.offsets, graph.indices, keys, active
+        ),
+        "segmented_mex": lambda b: b.segmented_mex(
+            colors, graph.indices, starts, degs
+        ),
+        "active_max": lambda b: b.active_max(
+            graph.offsets, graph.indices, keys, active
+        ),
+        "conflict_losers": lambda b: b.conflict_losers(
+            src_all, graph.indices, colors, prio, active
+        ),
+    }
+
+    def _best_ms(fn) -> float:
+        best = float("inf")
+        for _ in range(max(repeats, 1)):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best * 1e3
+
+    out: Dict[str, Dict[str, float]] = {}
+    for name in PROFILED_KERNELS:
+        call = calls[name]
+        got, want = call(be), call(ref)  # warm both; check identity
+        for g, w in (
+            zip(got, want) if isinstance(got, tuple) else ((got, want),)
+        ):
+            if not np.array_equal(g, w):
+                raise HarnessError(
+                    f"backend {be.name!r} disagrees with reference on "
+                    f"kernel {name!r}; refusing to benchmark it"
+                )
+        ref_ms = _best_ms(lambda: call(ref))
+        be_ms = _best_ms(lambda: call(be))
+        out[name] = {
+            "reference_ms": ref_ms,
+            "backend_ms": be_ms,
+            "speedup": ref_ms / be_ms if be_ms > 0 else float("inf"),
+        }
+    return out
 
 
 def _cell_entry(suite: str, cell: CellResult) -> Dict:
@@ -153,6 +254,8 @@ def run_bench(
     seed: int = DEFAULT_SEED,
     repetitions: int = 1,
     suite: Optional[Sequence[Tuple[str, List[str], List[str]]]] = None,
+    backend=None,
+    speedups: Optional[bool] = None,
 ) -> Dict:
     """Execute the pinned suite and return the bench document.
 
@@ -162,7 +265,18 @@ def run_bench(
     registry.  An already-active registry is joined rather than
     shadowed, so ``--metrics-out`` on the bench CLI captures the suite's
     emissions too; otherwise a fresh registry is used.
+
+    ``backend`` selects the kernel-execution backend for the suite; the
+    effective name is stamped into ``environment.backend`` so
+    :func:`compare_bench` can refuse cross-backend diffs.  On a
+    non-reference backend the document also carries a
+    ``kernel_speedups`` table (:func:`kernel_speedups`; force on/off
+    with ``speedups``) — the wall-clock evidence behind the compiled
+    hot path.  The simulated quantities are backend-invariant by
+    contract, so the *numbers* in the document never depend on this
+    choice.
     """
+    be = _backend.resolve(backend)
     grids = list(suite) if suite is not None else BENCH_SUITE
     t0 = time.perf_counter()
     cells_by_suite: List[Tuple[str, List[CellResult]]] = []
@@ -181,6 +295,7 @@ def run_bench(
                 jobs=1,
                 journal=False,
                 trace=True,
+                backend=be,
             )
             cells_by_suite.append((suite_name, cells))
     wall_total = time.perf_counter() - t0
@@ -189,6 +304,9 @@ def run_bench(
         for suite_name, cells in cells_by_suite
         for cell in cells
     ]
+    want_speedups = (
+        speedups if speedups is not None else be.name != "reference"
+    )
     doc = {
         "schema": BENCH_SCHEMA,
         "git_sha": git_sha(),
@@ -196,9 +314,14 @@ def run_bench(
         "scale_div": int(scale_div),
         "seed": int(seed),
         "repetitions": int(repetitions),
-        "environment": _environment(),
+        "environment": _environment(be.name),
         "wall_s_total": wall_total,
         "cells": cell_entries,
+        "kernel_speedups": (
+            kernel_speedups(be, scale_div=scale_div, seed=seed)
+            if want_speedups
+            else None
+        ),
         "metrics": reg.snapshot(),
     }
     runlog.emit(
@@ -294,12 +417,22 @@ def _cell_key(cell: Dict) -> Tuple[str, str]:
     return (str(cell.get("dataset")), str(cell.get("algorithm")))
 
 
+def bench_backend(doc: Dict) -> str:
+    """The backend a bench document was produced on (documents from
+    before the backend axis default to ``"reference"``)."""
+    env = doc.get("environment")
+    if isinstance(env, dict):
+        return str(env.get("backend") or "reference")
+    return "reference"
+
+
 def compare_bench(
     current: Dict,
     baseline: Dict,
     *,
     wall_tol: float = DEFAULT_WALL_TOL,
     wall_slack_s: float = WALL_SLACK_S,
+    ignore_backend: bool = False,
 ) -> List[str]:
     """Diff a fresh bench run against a baseline; returns regressions
     (empty = pass).
@@ -312,7 +445,22 @@ def compare_bench(
     meaningless and says so.  Cells present in the baseline but missing
     from the current run are regressions (a silently shrunk suite must
     not pass).
+
+    Documents produced on different backends raise
+    :class:`BenchBackendMismatch` — their wall clocks are not
+    comparable, and flagging the mismatch as a "regression" would be a
+    spurious exit 5.  ``ignore_backend=True`` overrides (the simulated
+    quantities are still compared bit-exactly, which is precisely how
+    CI proves cross-backend bit-identity; wall_s keeps its usual slack
+    band).
     """
+    cur_be, base_be = bench_backend(current), bench_backend(baseline)
+    if cur_be != base_be and not ignore_backend:
+        raise BenchBackendMismatch(
+            f"bench documents were produced on different backends "
+            f"(current {cur_be!r} vs baseline {base_be!r}); rerun on a "
+            f"matching backend or pass --ignore-backend"
+        )
     problems: List[str] = []
     for key in ("scale_div", "seed", "repetitions"):
         if current.get(key) != baseline.get(key):

@@ -60,6 +60,7 @@ def fig1_series(
     resume: bool = False,
     journal: Optional[bool] = None,
     trace: bool = False,
+    backend=None,
 ) -> Dict:
     """Figure 1: run the full real-world grid.
 
@@ -87,6 +88,7 @@ def fig1_series(
         resume=resume,
         journal=journal,
         trace=trace,
+        backend=backend,
     )
     try:
         per_algo = speedup_vs(cells, "naumov.jpl")
@@ -130,6 +132,7 @@ def fig2_series(
     resume: bool = False,
     journal: Optional[bool] = None,
     trace: bool = False,
+    backend=None,
 ) -> Dict:
     """Figure 2: time-quality scatter points.
 
@@ -158,6 +161,7 @@ def fig2_series(
             resume=resume,
             journal=journal,
             trace=trace,
+            backend=backend,
         )
         out["cells"].extend(cells)
         out[key] = [
@@ -184,6 +188,7 @@ def fig3_series(
     resume: bool = False,
     journal: Optional[bool] = None,
     trace: bool = False,
+    backend=None,
     cells_out: Optional[List[CellResult]] = None,
 ) -> List[Dict]:
     """Figure 3: RGG scaling sweep.
@@ -210,6 +215,7 @@ def fig3_series(
         resume=resume,
         journal=journal,
         trace=trace,
+        backend=backend,
     )
     if cells_out is not None:
         cells_out.extend(cells)

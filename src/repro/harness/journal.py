@@ -58,6 +58,7 @@ def config_hash(
     seed: int,
     repetitions: int,
     device=None,
+    backend: Optional[str] = None,
 ) -> str:
     """Digest of everything that determines a grid's results.
 
@@ -67,8 +68,16 @@ def config_hash(
     results.
     """
     from .. import __version__
+    from .. import backend as _backend
     from .cache import GENERATOR_VERSION
 
+    # Default to the ambient backend selection (REPRO_BACKEND /
+    # reference) — the same resolution run_grid applies — so callers
+    # that don't pass a backend land on the same journal the grid
+    # wrote.  The backend is in the hash at all because a resumed grid
+    # must never silently mix backends with the original run's label.
+    if backend is None:
+        backend = _backend.resolve(None).name
     payload = {
         "format": JOURNAL_FORMAT,
         "datasets": list(datasets),
@@ -79,6 +88,7 @@ def config_hash(
         "device": (
             dataclasses.asdict(device) if device is not None else None
         ),
+        "backend": str(backend),
         "generator_version": GENERATOR_VERSION,
         "version": __version__,
     }
@@ -110,6 +120,7 @@ class GridJournal:
         seed: int,
         repetitions: int,
         device=None,
+        backend: Optional[str] = None,
         root: Optional[Path] = None,
     ) -> "GridJournal":
         digest = config_hash(
@@ -119,6 +130,7 @@ class GridJournal:
             seed=seed,
             repetitions=repetitions,
             device=device,
+            backend=backend,
         )
         base = Path(root) if root is not None else journal_root()
         base.mkdir(parents=True, exist_ok=True)

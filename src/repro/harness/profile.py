@@ -65,9 +65,27 @@ def profile_rows(result: ColoringResult) -> List[Dict]:
 
 
 def compare_rows(a: ColoringResult, b: ColoringResult) -> List[Dict]:
-    """Merged kernel table for two runs: one ms column per algorithm."""
-    rows_a = {r["Kernel"]: r for r in profile_rows(a)}
-    rows_b = {r["Kernel"]: r for r in profile_rows(b)}
+    """Merged kernel table for two runs: one ms column per algorithm.
+
+    The kernel sets need not overlap (two implementations rarely launch
+    identical kernels): the table is the **union**, and a kernel absent
+    from one side renders as ``"—"`` — distinguishable from a genuine
+    0.0 ms entry.  A counterless side (the closed-form CPU baseline)
+    contributes no kernel rows but keeps its TOTAL column; two
+    counterless results have nothing to compare and raise
+    :class:`HarnessError`.
+    """
+    if a.counters is None and b.counters is None:
+        raise HarnessError(
+            f"neither {a.algorithm} nor {b.algorithm} carries kernel "
+            "counters; nothing to compare"
+        )
+    rows_a = {
+        r["Kernel"]: r for r in (profile_rows(a) if a.counters is not None else [])
+    }
+    rows_b = {
+        r["Kernel"]: r for r in (profile_rows(b) if b.counters is not None else [])
+    }
     kernels = sorted(
         set(rows_a) | set(rows_b),
         key=lambda k: -(rows_a.get(k, {}).get("ms", 0.0) + rows_b.get(k, {}).get("ms", 0.0)),
@@ -77,8 +95,12 @@ def compare_rows(a: ColoringResult, b: ColoringResult) -> List[Dict]:
         out.append(
             {
                 "Kernel": k,
-                f"{a.algorithm} ms": rows_a.get(k, {}).get("ms", 0.0),
-                f"{b.algorithm} ms": rows_b.get(k, {}).get("ms", 0.0),
+                f"{a.algorithm} ms": (
+                    rows_a[k]["ms"] if k in rows_a else "—"
+                ),
+                f"{b.algorithm} ms": (
+                    rows_b[k]["ms"] if k in rows_b else "—"
+                ),
             }
         )
     out.append(
@@ -98,13 +120,15 @@ def run_profile(
     scale_div: int = DEFAULT_SCALE_DIV,
     seed: int = DEFAULT_SEED,
     device: Optional[DeviceSpec] = None,
+    backend=None,
 ) -> List[Dict]:
     """Run 1–2 implementations on a dataset and build the profile table."""
     if not 1 <= len(algorithms) <= 2:
         raise HarnessError("profile takes one or two algorithm ids")
     graph = ds.load(dataset, scale_div=scale_div, seed=seed)
     results = [
-        run_algorithm(a, graph, rng=seed, device=device) for a in algorithms
+        run_algorithm(a, graph, rng=seed, device=device, backend=backend)
+        for a in algorithms
     ]
     if len(results) == 1:
         return profile_rows(results[0])
@@ -118,17 +142,21 @@ def run_trace(
     scale_div: int = DEFAULT_SCALE_DIV,
     seed: int = DEFAULT_SEED,
     device: Optional[DeviceSpec] = None,
+    backend=None,
 ) -> ColoringResult:
     """Run one repetition with span recording on; result carries ``.trace``.
 
     Tracing is enabled via :class:`repro.trace.activate`, so the
     recorded run is bit-identical (colors, ``sim_ms``, counters) to an
-    untraced one.  Raises :class:`HarnessError` for implementations that
-    never touch the cost model (the closed-form CPU baseline).
+    untraced one — on every backend.  Raises :class:`HarnessError` for
+    implementations that never touch the cost model (the closed-form
+    CPU baseline).
     """
     graph = ds.load(dataset, scale_div=scale_div, seed=seed)
     with trace_activate():
-        result = run_algorithm(algorithm, graph, rng=seed, device=device)
+        result = run_algorithm(
+            algorithm, graph, rng=seed, device=device, backend=backend
+        )
     if result.trace is None:
         raise HarnessError(
             f"{algorithm} records no trace (closed-form CPU baseline?); "

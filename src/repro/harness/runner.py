@@ -64,6 +64,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import backend as _backend
 from .. import metrics
 from .. import log as runlog
 from .._rng import DEFAULT_SEED
@@ -287,6 +288,7 @@ def _guarded_rep(
     rep: int,
     timeout: Optional[float],
     trace: bool = False,
+    backend=None,
 ) -> _RepResult:
     """One repetition with error isolation: never raises (except
     ``KeyboardInterrupt``/``SystemExit``, which must stay fatal)."""
@@ -301,6 +303,7 @@ def _guarded_rep(
                 strict=strict,
                 rep=rep,
                 trace=trace,
+                backend=backend,
             )
     except Exception as exc:
         return _failed_rep(exc)
@@ -349,6 +352,7 @@ def run_cell(
     device: Optional[DeviceSpec] = None,
     strict: bool = True,
     trace: bool = False,
+    backend=None,
     **kwargs,
 ) -> CellResult:
     """Run one implementation ``repetitions`` times and aggregate.
@@ -361,9 +365,17 @@ def run_cell(
     covers the algorithm executions only; validity checking is
     accounted separately in ``validate_s`` so speedup numbers measure
     the algorithm, not the checker.
+
+    ``backend`` selects the kernel-execution backend (name, instance,
+    or ``None`` for ``REPRO_BACKEND``/reference); results are
+    bit-identical across backends, so the choice only affects wall
+    clock.
     """
     if repetitions < 1:
         raise HarnessError("repetitions must be >= 1")
+    # Resolve once so an unavailable optional backend warns (and falls
+    # back) a single time here, not once per repetition.
+    kwargs["backend"] = _backend.resolve(backend)
     reps = [
         _run_rep(
             graph,
@@ -465,6 +477,7 @@ def run_grid(
     resume: bool = False,
     journal: Optional[bool] = None,
     trace: bool = False,
+    backend=None,
 ) -> List[CellResult]:
     """Run every algorithm on every dataset; returns one cell per pair.
 
@@ -487,6 +500,14 @@ def run_grid(
     picklable data, so parallel grids return exactly the same traces
     as sequential runs.  The journal stores scalars only: repetitions
     replayed by ``resume=True`` carry ``None`` in the trace slot.
+
+    ``backend`` selects the kernel-execution backend for every
+    repetition (name, instance, or ``None`` for
+    ``REPRO_BACKEND``/reference).  The *effective* backend — after any
+    fallback from an unavailable optional backend — is what reaches
+    workers, the journal's config hash, and the run log, so a resumed
+    grid never silently mixes backends (not that it would matter for
+    the numbers: backends are bit-identical by contract).
     """
     if jobs < 1:
         raise HarnessError("jobs must be >= 1")
@@ -494,6 +515,7 @@ def run_grid(
         raise HarnessError("repetitions must be >= 1")
     if retries < 0:
         raise HarnessError("retries must be >= 0")
+    backend_name = _backend.resolve(backend).name
     names = list(dataset_names)
     algos = list(algorithms)
     tasks = [
@@ -515,6 +537,7 @@ def run_grid(
             seed=seed,
             repetitions=repetitions,
             device=device,
+            backend=backend_name,
         )
         if resume:
             prior = jrnl.load()
@@ -537,6 +560,7 @@ def run_grid(
         seed=seed,
         repetitions=repetitions,
         jobs=jobs,
+        backend=backend_name,
         tasks=len(todo),
         replayed=len(results),
     )
@@ -563,6 +587,7 @@ def run_grid(
                 timeout=timeout,
                 retries=retries,
                 trace=trace,
+                backend=backend_name,
             )
         else:
             _run_tasks_sequential(
@@ -575,6 +600,7 @@ def run_grid(
                 timeout=timeout,
                 retries=retries,
                 trace=trace,
+                backend=backend_name,
             )
     finally:
         if jrnl is not None:
@@ -684,6 +710,7 @@ def _run_tasks_sequential(
     timeout: Optional[float],
     retries: int,
     trace: bool = False,
+    backend: Optional[str] = None,
 ) -> None:
     pending = deque(todo)
     while pending:
@@ -703,6 +730,7 @@ def _run_tasks_sequential(
             rep=task.rep,
             timeout=timeout,
             trace=trace,
+            backend=backend,
         )
         _settle(task, rep, results, jrnl, pending.appendleft, retries)
 
@@ -712,7 +740,16 @@ def _run_tasks_sequential(
 
 def _worker_rep(
     task: Tuple[
-        str, str, int, int, int, Optional[DeviceSpec], bool, Optional[float], bool
+        str,
+        str,
+        int,
+        int,
+        int,
+        Optional[DeviceSpec],
+        bool,
+        Optional[float],
+        bool,
+        Optional[str],
     ]
 ) -> _RepResult:
     """Pool task: one (dataset, algorithm, repetition) execution.
@@ -725,7 +762,18 @@ def _worker_rep(
     the task requests tracing, the captured trace (plain picklable
     data) rides back on the repetition record.
     """
-    name, algorithm, scale_div, seed, rep, device, strict, timeout, trace = task
+    (
+        name,
+        algorithm,
+        scale_div,
+        seed,
+        rep,
+        device,
+        strict,
+        timeout,
+        trace,
+        backend,
+    ) = task
     try:
         graph = ds.load(name, scale_div=scale_div, seed=seed)
     except Exception as exc:
@@ -740,6 +788,7 @@ def _worker_rep(
         rep=rep,
         timeout=timeout,
         trace=trace,
+        backend=backend,
     )
 
 
@@ -778,6 +827,7 @@ def _run_tasks_pool(
     timeout: Optional[float],
     retries: int,
     trace: bool = False,
+    backend: Optional[str] = None,
 ) -> None:
     # Warm every distinct dataset in the parent first: this fills the
     # disk cache once per graph (no worker ever generates, and
@@ -824,6 +874,7 @@ def _run_tasks_pool(
                             True,
                             timeout,
                             trace,
+                            backend,
                         ),
                     )
                 except BrokenProcessPool:

@@ -111,6 +111,7 @@ def table2_rows(
     resume: bool = False,
     journal: Optional[bool] = None,
     trace: bool = False,
+    backend=None,
     cells_out: Optional[List[CellResult]] = None,
 ) -> List[Dict]:
     """Regenerate Table II on the G3_circuit analogue.
@@ -135,6 +136,7 @@ def table2_rows(
         resume=resume,
         journal=journal,
         trace=trace,
+        backend=backend,
     )
     if cells_out is not None:
         cells_out.extend(cells)

@@ -550,17 +550,28 @@ def observe(name: str, value: float, **labels: str) -> None:
 # -- the result -> registry bridge --------------------------------------------
 
 
-def result_labels(result, *, dataset: str = "") -> Dict[str, str]:
-    """The canonical label set for one run's metrics: the algorithm id
-    and the dataset name (``"unnamed"`` for anonymous graphs) — shared
-    by :func:`observe_result` and the tests that read it back."""
+def result_labels(
+    result, *, dataset: str = "", backend: str = ""
+) -> Dict[str, str]:
+    """The canonical label set for one run's metrics: the algorithm id,
+    the dataset name (``"unnamed"`` for anonymous graphs), and the
+    kernel-execution backend that produced the run (the ambient
+    :func:`repro.backend.current` when not given) — shared by
+    :func:`observe_result` and the tests that read it back."""
+    if not backend:
+        from . import backend as _backend
+
+        backend = _backend.current().name
     return {
         "algorithm": result.algorithm or "unknown",
         "dataset": dataset or result.graph_name or "unnamed",
+        "backend": backend,
     }
 
 
-def observe_result(result, *, dataset: str = "", registry=None) -> None:
+def observe_result(
+    result, *, dataset: str = "", backend: str = "", registry=None
+) -> None:
     """Mirror one :class:`~repro.core.result.ColoringResult` into the
     registry: run/sim_ms/iteration counters, a colors histogram, the
     per-kernel totals of its :class:`~repro.gpusim.SimCounters` (via
@@ -574,7 +585,7 @@ def observe_result(result, *, dataset: str = "", registry=None) -> None:
     reg = registry if registry is not None else active()
     if reg is None:
         return
-    labels = result_labels(result, dataset=dataset)
+    labels = result_labels(result, dataset=dataset, backend=backend)
     reg.inc("repro_runs_total", 1.0, **labels)
     reg.inc("repro_sim_ms_total", result.sim_ms, **labels)
     reg.inc("repro_iterations_total", float(result.iterations), **labels)

@@ -177,6 +177,11 @@ class Trace:
     def __init__(self, *, algorithm: str = "", dataset: str = "") -> None:
         self.algorithm = algorithm
         self.dataset = dataset
+        # Kernel-execution backend label (repro.backend).  Purely
+        # informational: excluded from fingerprint() and __eq__ because
+        # backends are bit-identical — the same run on another backend
+        # IS the same trace.
+        self.backend = ""
         self.spans: List[TraceSpan] = []
         self.superstep = 0
         self.iteration = -1
@@ -357,6 +362,7 @@ class Trace:
             "otherData": {
                 "algorithm": self.algorithm,
                 "dataset": self.dataset,
+                "backend": self.backend,
                 "total_sim_ms": self.total_ms,
             },
         }

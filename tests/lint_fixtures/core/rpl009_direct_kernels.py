@@ -1,0 +1,7 @@
+import numpy as np
+
+out, idx, vals, starts = np.zeros(4), np.zeros(2, int), np.ones(2), np.zeros(1, int)
+np.add.at(out, idx, vals)
+np.maximum.at(out, idx, vals)
+seg = np.add.reduceat(vals, starts)
+np.add.at(out, idx, vals)  # repro-lint: disable=RPL009 — fixture: sanctioned direct call

@@ -74,6 +74,13 @@ class TestRuleFixtures:
             ("RPL008", 10),
         ]
 
+    def test_rpl009_direct_kernels(self):
+        assert hits("core/rpl009_direct_kernels.py") == [
+            ("RPL009", 4),
+            ("RPL009", 5),
+            ("RPL009", 6),
+        ]
+
     def test_clean_fixture_has_no_violations(self):
         assert hits("clean.py") == []
 
@@ -90,6 +97,7 @@ class TestRuleFixtures:
             "RPL006",
             "RPL007",
             "RPL008",
+            "RPL009",
         }
 
 
@@ -135,6 +143,28 @@ class TestScoping:
             "from ..trace import TraceSpan\n", tmp_path / "gpusim" / "x.py"
         )
         assert v.rule == "RPL007"
+
+    def test_rpl009_unscoped_outside_hot_paths(self, tmp_path):
+        src = (FIXTURES / "core" / "rpl009_direct_kernels.py").read_text()
+        assert lint_source(src, tmp_path / "harness" / "x.py") == []
+        assert lint_source(src, tmp_path / "gpusim" / "x.py") == []
+
+    def test_rpl009_backend_layer_exempt(self, tmp_path):
+        # repro/backend/ implements the primitives; the ufunc calls
+        # there ARE the reference kernels.
+        src = "import numpy as np\nnp.add.at(a, i, v)\n"
+        assert (
+            lint_source(src, tmp_path / "core" / "backend" / "x.py") == []
+        )
+        assert lint_source(src, tmp_path / "backend" / "reference.py") == []
+        [v] = lint_source(src, tmp_path / "core" / "x.py")
+        assert v.rule == "RPL009"
+
+    def test_rpl009_ignores_non_numpy_at(self, tmp_path):
+        # Only np/numpy ufunc methods count: .at() on arbitrary objects
+        # (pandas .at, custom APIs) is not a kernel launch.
+        src = "value = frame.at(3)\nother.reduceat(x)\n"
+        assert lint_source(src, tmp_path / "core" / "x.py") == []
 
     def test_metric_state_exempt_in_registry_and_bridge(self):
         # The registry module itself and the gpusim counter bridge are

@@ -70,6 +70,7 @@ class TestReadmeCommands:
     def test_docs_exist(self):
         for doc in (
             "docs/algorithms.md",
+            "docs/backends.md",
             "docs/cost_model.md",
             "docs/datasets.md",
             "docs/performance.md",

@@ -74,6 +74,49 @@ class TestProfileRows:
         assert "vxm_nbr" in kernels  # MIS-only kernel appears
         assert "vxm_max" in kernels
 
+    def test_compare_disjoint_kernel_sets_union_with_markers(self):
+        """Two implementations with different kernel names must produce
+        the union of rows, with ``—`` marking the side that never
+        launched a kernel (regression: disjoint sets used to mis-join)."""
+        g = grid2d(10, 10)
+        a = run_algorithm("naumov.jpl", g, rng=1)  # jpl_kernel
+        b = run_algorithm("graphblas.is", g, rng=1)  # vxm_max etc.
+        rows = compare_rows(a, b)
+        by_kernel = {r["Kernel"]: r for r in rows}
+        assert "jpl_kernel" in by_kernel
+        assert "vxm_max" in by_kernel
+        # jpl_kernel exists only on a's side; vxm_max only on b's.
+        assert by_kernel["jpl_kernel"][f"{b.algorithm} ms"] == "—"
+        assert by_kernel["jpl_kernel"][f"{a.algorithm} ms"] != "—"
+        assert by_kernel["vxm_max"][f"{a.algorithm} ms"] == "—"
+        assert by_kernel["vxm_max"][f"{b.algorithm} ms"] != "—"
+        # TOTAL keeps real numbers for both columns.
+        total = rows[-1]
+        assert total["Kernel"] == "TOTAL"
+        assert isinstance(total[f"{a.algorithm} ms"], float)
+        assert isinstance(total[f"{b.algorithm} ms"], float)
+
+    def test_compare_counterless_side_tolerated(self):
+        """cpu.greedy has no kernel counters: its column is all ``—``
+        but its TOTAL survives (regression: used to crash)."""
+        g = grid2d(10, 10)
+        a = run_algorithm("graphblas.is", g, rng=1)
+        b = run_algorithm("cpu.greedy", g, rng=1)
+        rows = compare_rows(a, b)
+        assert rows, "kernel rows from the countered side expected"
+        for row in rows[:-1]:
+            assert row[f"{b.algorithm} ms"] == "—"
+            assert row[f"{a.algorithm} ms"] != "—"
+        assert rows[-1]["Kernel"] == "TOTAL"
+        assert isinstance(rows[-1][f"{b.algorithm} ms"], float)
+
+    def test_compare_both_counterless_rejected(self):
+        g = grid2d(5, 5)
+        a = run_algorithm("cpu.greedy", g, rng=1)
+        b = run_algorithm("cpu.greedy", g, rng=2)
+        with pytest.raises(HarnessError, match="nothing to compare"):
+            compare_rows(a, b)
+
     def test_run_profile_single(self):
         rows = run_profile("ecology2", ["naumov.jpl"], scale_div=512)
         assert any(r["Kernel"] == "jpl_kernel" for r in rows)
