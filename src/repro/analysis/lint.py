@@ -61,6 +61,17 @@ RPL009    Direct numpy scatter/segmented-reduce kernel calls
           bit-identity suites.  Route the call through
           ``repro.backend.current()``; a deliberate exception takes a
           justified suppression.
+RPL010    Async-serving hygiene in the serving layer (``serve``):
+          an ``asyncio.Queue()`` (or ``PriorityQueue``/``LifoQueue``)
+          constructed without a ``maxsize`` is an unbounded admission
+          queue — overload then manifests as memory growth and
+          unbounded latency instead of an explicit shed; and a
+          statement-level ``asyncio.create_task(…)`` /
+          ``ensure_future(…)`` whose task object is discarded is
+          fire-and-forget — the task can be garbage-collected mid-run
+          and its exceptions vanish.  Bound every queue; keep a
+          reference to every task (a ``TaskGroup``-managed spawn takes
+          a justified suppression).
 RPL999    File does not parse.
 ========  ==============================================================
 
@@ -101,6 +112,7 @@ RULES: Dict[str, str] = {
     "RPL007": "manual TraceSpan construction outside repro.trace",
     "RPL008": "ad-hoc module-level metric state outside repro.metrics",
     "RPL009": "direct numpy kernel call in a hot path; use repro.backend",
+    "RPL010": "unbounded asyncio queue or fire-and-forget task in serve code",
     "RPL999": "file does not parse",
 }
 
@@ -118,6 +130,12 @@ _BACKEND_KERNEL_DIRS = frozenset({"core", "gunrock", "graphblas"})
 # The ufunc methods that constitute a kernel launch: elementwise
 # scatter-reduce and segmented reduction.
 _BACKEND_KERNEL_METHODS = frozenset({"at", "reduceat"})
+
+# RPL010 scope: the async serving layer, where admission control and
+# task lifetime are correctness properties, not style.
+_ASYNC_HYGIENE_DIRS = frozenset({"serve"})
+_ASYNC_QUEUE_NAMES = frozenset({"Queue", "PriorityQueue", "LifoQueue"})
+_ASYNC_SPAWN_NAMES = frozenset({"create_task", "ensure_future"})
 
 # np.random members that are type/class references, not stream draws.
 _RNG_TYPE_NAMES = frozenset(
@@ -300,6 +318,9 @@ class _Checker(ast.NodeVisitor):
         self.check_backend_kernels = _in_dirs(
             path, _BACKEND_KERNEL_DIRS
         ) and "backend" not in path.parts
+        self.check_async_hygiene = _in_dirs(path, _ASYNC_HYGIENE_DIRS)
+        #: names imported `from asyncio import ...` (asname -> original)
+        self._asyncio_froms: Dict[str, str] = {}
         self.check_adhoc_metrics = not (
             (
                 base == "metrics.py"
@@ -387,6 +408,9 @@ class _Checker(ast.NodeVisitor):
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
         mod = node.module or ""
+        if mod == "asyncio":
+            for alias in node.names:
+                self._asyncio_froms[alias.asname or alias.name] = alias.name
         if mod == "random" or mod.startswith("random."):
             self._hit(
                 node,
@@ -450,10 +474,58 @@ class _Checker(ast.NodeVisitor):
             return  # do not descend: the inner np.random would re-fire
         self.generic_visit(node)
 
+    # -- RPL010: async-serving hygiene ----------------------------------------
+
+    def _asyncio_leaf(self, func: ast.AST) -> Optional[str]:
+        """The asyncio member a call resolves to (``Queue``,
+        ``create_task``, …) through ``asyncio.X``, a ``from asyncio
+        import X [as y]`` alias, or — for the spawn functions only —
+        any ``<obj>.create_task``/``ensure_future`` method (an event
+        loop held under another name is still a spawn)."""
+        dotted = _dotted(func)
+        if dotted is not None and "." in dotted:
+            head, leaf = dotted.split(".", 1)[0], dotted.rsplit(".", 1)[-1]
+            if head == "asyncio":
+                return leaf
+            if leaf in _ASYNC_SPAWN_NAMES:
+                return leaf
+            return None
+        if isinstance(func, ast.Name):
+            return self._asyncio_froms.get(func.id)
+        return None
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        if self.check_async_hygiene and isinstance(node.value, ast.Call):
+            leaf = self._asyncio_leaf(node.value.func)
+            if leaf in _ASYNC_SPAWN_NAMES:
+                self._hit(
+                    node,
+                    "RPL010",
+                    f"fire-and-forget {leaf}(): the task object is "
+                    "discarded, so it can be garbage-collected mid-run "
+                    "and its exceptions vanish; keep a reference and "
+                    "await/collect it",
+                )
+        self.generic_visit(node)
+
     # -- RPL002: wall clock ---------------------------------------------------
 
     def visit_Call(self, node: ast.Call) -> None:
         dotted = _dotted(node.func)
+        if self.check_async_hygiene:
+            leaf = self._asyncio_leaf(node.func)
+            if (
+                leaf in _ASYNC_QUEUE_NAMES
+                and not node.args
+                and not any(kw.arg == "maxsize" for kw in node.keywords)
+            ):
+                self._hit(
+                    node,
+                    "RPL010",
+                    f"unbounded asyncio.{leaf}() in serving code; pass "
+                    "maxsize so overload becomes an explicit shed, not "
+                    "memory growth and unbounded latency",
+                )
         if (
             not self.is_trace_module
             and dotted is not None

@@ -144,5 +144,31 @@ class TransientFaultError(FaultError):
     """
 
 
+class WorkerKillFault(TransientFaultError):
+    """An injected fault modelling a killed service worker.
+
+    The ``serve``-scoped analogue of the grid runner's SIGKILL fault:
+    inside the long-lived service a real SIGKILL would take the whole
+    process (and every queued request) down, so the injection instead
+    models the observable effect — the executing worker dies mid-flight
+    and the request must be retried by a fresh worker.  Transient by
+    definition.
+    """
+
+
 class JournalError(HarnessError):
     """The checkpoint journal could not be read or written."""
+
+
+class ServeError(ReproError):
+    """Base class for errors raised by the :mod:`repro.serve` layer."""
+
+
+class DeadlineExceeded(ServeError):
+    """A service request ran out of its per-request deadline budget.
+
+    Raised cooperatively: compute threads check the request's cancel
+    flag before starting a kernel, and the event loop stops waiting the
+    moment the budget expires.  The request is answered with a
+    ``timeout`` response — never left hanging.
+    """

@@ -28,6 +28,16 @@ writes ``BENCH_<git-sha>.json`` (``--out DIR``, default
 a committed baseline and exits 5 on regression (see
 docs/observability.md for the workflow and ``--write-baseline``).
 
+``python -m repro.harness serve REQUESTS.jsonl`` runs a batch of
+requests (one JSON object per line: ``{"impl": ..., "dataset": ...,
+"seed": ..., "deadline_s": ...}``) through an in-process
+:mod:`repro.serve` service and writes one terminal response per line
+(``--out``); ``python -m repro.harness loadgen`` synthesizes bursty
+Zipf-over-datasets traffic instead and writes a latency/outcome
+snapshot — the chaos-CI entry point (see docs/serving.md).  Both exit
+3 when any request failed or went unanswered; shed/timed-out requests
+are legitimate terminal outcomes and reported in the summary.
+
 Any experiment accepts ``--metrics-out PATH`` (dump the session's
 metrics registry as Prometheus text or JSON, by extension) and
 ``--log PATH`` (append the structured JSONL run-log there) — the CLI
@@ -144,13 +154,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="one of %s, 'all', 'profile', 'trace', 'bench', or 'lint'"
-        % ", ".join(EXPERIMENTS),
+        help="one of %s, 'all', 'profile', 'trace', 'bench', 'serve', "
+        "'loadgen', or 'lint'" % ", ".join(EXPERIMENTS),
     )
     parser.add_argument(
         "targets",
         nargs="*",
-        help="for 'trace': the <dataset> <implementation> pair to record",
+        help="for 'trace': the <dataset> <implementation> pair to record; "
+        "for 'serve': the JSONL request file to run through the service",
     )
     parser.add_argument(
         "--dataset", default="G3_circuit", help="dataset for 'profile'"
@@ -289,12 +300,69 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="append the structured JSONL run-log to PATH "
         "(equivalent to REPRO_LOG=PATH; see docs/observability.md)",
     )
+    serve_group = parser.add_argument_group(
+        "serve/loadgen", "coloring-service options (docs/serving.md)"
+    )
+    serve_group.add_argument(
+        "--serve-workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="service worker tasks / compute threads (default: %(default)s)",
+    )
+    serve_group.add_argument(
+        "--queue-limit",
+        type=int,
+        default=16,
+        metavar="N",
+        help="bounded admission-queue depth; excess load is shed with "
+        "reason 'queue_full' (default: %(default)s)",
+    )
+    serve_group.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request deadline (default: unbounded); an expired "
+        "request is answered 'timeout', never dropped",
+    )
+    serve_group.add_argument(
+        "--requests",
+        type=int,
+        default=60,
+        metavar="N",
+        help="for 'loadgen': number of requests to synthesize "
+        "(default: %(default)s)",
+    )
+    serve_group.add_argument(
+        "--datasets",
+        default="ecology2,offshore,G3_circuit",
+        metavar="NAMES",
+        help="for 'loadgen': comma-separated dataset popularity ranking "
+        "(Zipf over this order; default: %(default)s)",
+    )
+    serve_group.add_argument(
+        "--impls",
+        default="gunrock.hash,graphblas.mis,cpu.greedy",
+        metavar="IDS",
+        help="for 'loadgen': comma-separated implementation ids drawn "
+        "uniformly (default: %(default)s)",
+    )
+    serve_group.add_argument(
+        "--zipf-s",
+        type=float,
+        default=1.2,
+        metavar="S",
+        help="for 'loadgen': Zipf exponent over --datasets "
+        "(default: %(default)s)",
+    )
     args = parser.parse_args(argv)
 
-    if args.experiment != "trace" and args.targets:
+    if args.experiment not in ("trace", "serve") and args.targets:
         parser.error(
-            f"unexpected positional arguments {args.targets!r}; only the "
-            "'trace' experiment takes targets (<dataset> <implementation>)"
+            f"unexpected positional arguments {args.targets!r}; only "
+            "'trace' (<dataset> <implementation>) and 'serve' "
+            "(<requests.jsonl>) take targets"
         )
     if args.experiment != "bench" and (
         args.compare
@@ -317,13 +385,163 @@ def main(argv: Optional[List[str]] = None) -> int:
     with ExitStack() as stack:
         if args.log:
             stack.enter_context(runlog.activate(args.log))
-        reg = None
         if args.metrics_out:
             reg = stack.enter_context(metrics.activate())
+            # Registered as a callback, not appended after _dispatch:
+            # ExitStack unwinds LIFO, so when _dispatch raises, the
+            # registry is still written *and then* deactivated — a
+            # failed command must not leak an active registry into
+            # subsequent in-process calls, nor swallow its metrics.
+            stack.callback(_write_metrics, reg, args.metrics_out)
         rc = _dispatch(args, parser)
-        if reg is not None:
-            _write_metrics(reg, args.metrics_out)
     return rc
+
+
+def _serve_config(args):
+    """Build a :class:`repro.serve.ServeConfig` from parsed CLI args."""
+    from ..serve import ServeConfig
+
+    return ServeConfig(
+        workers=args.serve_workers,
+        queue_limit=args.queue_limit,
+        retries=args.retries,
+        default_deadline_s=args.deadline,
+        scale_div=args.scale_div,
+    )
+
+
+def _parse_request_line(obj: dict):
+    """One JSONL object → a ColoringRequest.  Inline CSR graphs are
+    given as ``{"graph": {"offsets": [...], "indices": [...]}}``."""
+    from ..graph.csr import CSRGraph
+    from ..serve import ColoringRequest
+
+    graph_doc = obj.pop("graph", None)
+    if graph_doc is not None:
+        obj["graph"] = CSRGraph(
+            graph_doc["offsets"],
+            graph_doc["indices"],
+            name=graph_doc.get("name", "inline"),
+        )
+    return ColoringRequest(**obj)
+
+
+def _cmd_serve(args, parser) -> int:
+    """``serve``: run a JSONL request file through an in-process
+    service and report every response (terminal, never dropped)."""
+    import json
+
+    from ..serve import ServeClient
+
+    if len(args.targets) != 1:
+        parser.error(
+            "serve takes exactly one positional argument: a JSONL file "
+            "with one request object per line (e.g. "
+            '{"impl": "gunrock.hash", "dataset": "offshore"})'
+        )
+    path = args.targets[0]
+    requests = []
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = fh.readlines()
+    except OSError as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            requests.append(_parse_request_line(json.loads(line)))
+        except (ValueError, TypeError, KeyError) as exc:
+            print(
+                f"error: {path}:{lineno}: bad request line: {exc}",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+    if not requests:
+        print(f"error: {path}: no requests", file=sys.stderr)
+        return EXIT_USAGE
+
+    responses = []
+    with ServeClient(_serve_config(args)) as client:
+        futures = [client.submit_async(r) for r in requests]
+        for future in futures:
+            try:
+                responses.append(future.result(timeout=300.0))
+            except Exception:  # unanswered: the contract violation
+                responses.append(None)
+
+    outcomes: dict = {}
+    unanswered = 0
+    for response in responses:
+        if response is None:
+            unanswered += 1
+            continue
+        outcomes[response.status] = outcomes.get(response.status, 0) + 1
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            for response in responses:
+                doc = (
+                    response.to_json_dict()
+                    if response is not None
+                    else {"status": "unanswered"}
+                )
+                fh.write(json.dumps(doc, sort_keys=True) + "\n")
+        print(f"wrote responses to {args.out}")
+    summary = ", ".join(f"{k}={v}" for k, v in sorted(outcomes.items()))
+    print(
+        f"serve: {len(requests)} request(s): {summary or 'none'}"
+        + (f", unanswered={unanswered}" if unanswered else "")
+    )
+    if unanswered or outcomes.get("failed", 0):
+        return EXIT_PARTIAL
+    return 0
+
+
+def _cmd_loadgen(args, parser) -> int:
+    """``loadgen``: synthetic bursty Zipf traffic against a fresh
+    in-process service; writes the latency/outcome snapshot."""
+    from ..serve import LoadSpec, run_load, write_snapshot
+
+    datasets = tuple(d for d in args.datasets.split(",") if d)
+    impls = tuple(i for i in args.impls.split(",") if i)
+    if not datasets or not impls:
+        parser.error("loadgen needs --datasets and --impls (comma-separated)")
+    spec = LoadSpec(
+        requests=args.requests,
+        datasets=datasets,
+        impls=impls,
+        zipf_s=args.zipf_s,
+        seed=args.seed,
+        scale_div=args.scale_div,
+        deadline_s=args.deadline,
+    )
+    snapshot = run_load(spec, _serve_config(args))
+    outcomes = snapshot["outcomes"]
+    summary = ", ".join(f"{k}={v}" for k, v in sorted(outcomes.items()))
+    quantiles = snapshot["latency_ms"]
+    print(
+        f"loadgen: {snapshot['answered']}/{spec.requests} answered in "
+        f"{snapshot['wall_s']:.2f}s: {summary or 'none'}"
+        + (
+            f"; p50={quantiles['p50']:.1f}ms p95={quantiles['p95']:.1f}ms "
+            f"p99={quantiles['p99']:.1f}ms"
+            if quantiles
+            else ""
+        )
+    )
+    if args.out:
+        write_snapshot(snapshot, args.out)
+        print(f"wrote load snapshot to {args.out}")
+    if snapshot["unanswered"] or outcomes.get("failed", 0):
+        print(
+            f"error: {snapshot['unanswered']} unanswered, "
+            f"{outcomes.get('failed', 0)} failed request(s)",
+            file=sys.stderr,
+        )
+        return EXIT_PARTIAL
+    return 0
 
 
 def _dispatch(args, parser) -> int:
@@ -498,10 +716,14 @@ def _dispatch(args, parser) -> int:
             args.csv,
         )
         return 0
+    if args.experiment == "serve":
+        return _cmd_serve(args, parser)
+    if args.experiment == "loadgen":
+        return _cmd_loadgen(args, parser)
     if args.experiment not in EXPERIMENTS + ("all",):
         parser.error(
             f"unknown experiment {args.experiment!r}; choose from "
-            f"{', '.join(EXPERIMENTS + ('all', 'profile', 'trace', 'bench', 'lint'))}"
+            f"{', '.join(EXPERIMENTS + ('all', 'profile', 'trace', 'bench', 'serve', 'loadgen', 'lint'))}"
         )
     todo = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     bad_cells = []  # every failed/invalid cell across all experiments

@@ -35,6 +35,16 @@ top of every repetition:
      sanitizer composes with fault injection).
    * ``DATASET`` / ``ALGORITHM`` / ``REP`` — match a specific
      repetition; each may be ``*`` (any).
+   * ``site=rep|serve`` — which injection point the clause arms.  The
+     default ``rep`` is the grid runner's per-repetition site (above).
+     ``site=serve`` arms the coloring service's per-attempt site
+     instead (:func:`maybe_fire_serve`, called by
+     :class:`repro.serve.ColoringServer` at the top of every compute
+     attempt; ``ALGORITHM`` matches the implementation id and ``REP``
+     the zero-based attempt number).  Serve-site ``kill`` raises
+     :class:`~repro.errors.WorkerKillFault` — modelling a dead service
+     worker — instead of SIGKILLing the process, which would take every
+     queued request down with it (see docs/serving.md).
    * ``times=N`` — fire at most N times *across all processes*
      (counted through lock-free tick files under
      ``REPRO_FAULTS_STATE``, or in-process when unset).  A killed
@@ -61,7 +71,12 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
 from .. import metrics
-from ..errors import FaultError, HarnessError, TransientFaultError
+from ..errors import (
+    FaultError,
+    HarnessError,
+    TransientFaultError,
+    WorkerKillFault,
+)
 
 __all__ = [
     "ENV_VAR",
@@ -70,6 +85,7 @@ __all__ = [
     "FaultSpec",
     "parse_faults",
     "maybe_fire",
+    "maybe_fire_serve",
     "install",
     "uninstall",
     "injected",
@@ -80,16 +96,24 @@ ENV_VAR = "REPRO_FAULTS"
 STATE_ENV_VAR = "REPRO_FAULTS_STATE"
 
 _MODES = ("raise", "kill", "delay", "race")
+_SITES = ("rep", "serve")
 
 
 @dataclass(frozen=True)
 class FaultSite:
-    """Where a repetition is about to run (passed to injector hooks)."""
+    """Where a repetition is about to run (passed to injector hooks).
+
+    ``site`` distinguishes the grid runner's per-repetition injection
+    point (``"rep"``, where ``rep`` is the repetition number) from the
+    coloring service's per-attempt point (``"serve"``, where ``rep``
+    is the attempt number and ``algorithm`` the implementation id).
+    """
 
     dataset: str
     algorithm: str
     rep: int
     pid: int
+    site: str = "rep"
 
 
 @dataclass(frozen=True)
@@ -103,10 +127,12 @@ class FaultSpec:
     times: Optional[int] = None  # None = unlimited
     seconds: float = 30.0  # delay duration
     kind: str = "transient"  # raise flavour: transient | fatal
+    site: str = "rep"  # injection point: rep | serve
 
     def matches(self, site: FaultSite) -> bool:
         return (
-            self.dataset in ("*", site.dataset)
+            self.site == site.site
+            and self.dataset in ("*", site.dataset)
             and self.algorithm in ("*", site.algorithm)
             and self.rep in ("*", str(site.rep))
         )
@@ -115,7 +141,7 @@ class FaultSpec:
         """Stable identity for cross-process firing counters."""
         return (
             f"{self.mode}@{self.dataset}:{self.algorithm}:{self.rep}"
-            f":{self.kind}"
+            f":{self.kind}:{self.site}"
         ).replace("/", "_").replace("*", "ANY")
 
 
@@ -147,6 +173,7 @@ def parse_faults(spec: Optional[str] = None) -> List[FaultSpec]:
         times: Optional[int] = None
         seconds = 30.0
         kind = "transient"
+        site = "rep"
         for kv in fields[3:]:
             key, _, value = kv.partition("=")
             key = key.strip().lower()
@@ -159,6 +186,13 @@ def parse_faults(spec: Optional[str] = None) -> List[FaultSpec]:
                 if kind not in ("transient", "fatal"):
                     raise HarnessError(
                         f"unknown raise kind {kind!r} in {clause!r}"
+                    )
+            elif key == "site":
+                site = value.strip().lower()
+                if site not in _SITES:
+                    raise HarnessError(
+                        f"unknown fault site {site!r} in {clause!r}; "
+                        f"choose from {', '.join(_SITES)}"
                     )
             else:
                 raise HarnessError(
@@ -173,6 +207,7 @@ def parse_faults(spec: Optional[str] = None) -> List[FaultSpec]:
                 times=times,
                 seconds=seconds,
                 kind=kind,
+                site=site,
             )
         )
     return out
@@ -268,6 +303,15 @@ def _fire(spec: FaultSpec, site: FaultSite) -> None:
         _fire_race(site)
         return
     if spec.mode == "kill":
+        if site.site == "serve":
+            # Inside the long-lived service a SIGKILL would take the
+            # whole process — and every queued request — down.  Model
+            # the observable effect instead: this worker dies and the
+            # attempt must be retried by a fresh one.
+            raise WorkerKillFault(
+                f"injected worker kill at {site.dataset}:{site.algorithm}"
+                f":attempt{site.rep}"
+            )
         os.kill(os.getpid(), signal.SIGKILL)
         return  # pragma: no cover — unreachable
     if spec.kind == "fatal":
@@ -304,14 +348,7 @@ def _fire_race(site: FaultSite) -> None:
         k.write("injected", np.array([0, 0], dtype=np.int64))
 
 
-def maybe_fire(dataset: str, algorithm: str, rep: int) -> None:
-    """Fire any matching fault for this repetition (called by the
-    runner at the top of every repetition, in every process)."""
-    if not _hooks and ENV_VAR not in os.environ:
-        return  # fast path: fault injection inactive
-    site = FaultSite(
-        dataset=dataset, algorithm=algorithm, rep=rep, pid=os.getpid()
-    )
+def _maybe_fire_at(site: FaultSite) -> None:
     for hook in list(_hooks):
         hook(site)
     for spec in _env_specs():
@@ -321,10 +358,46 @@ def maybe_fire(dataset: str, algorithm: str, rep: int) -> None:
             metrics.inc(
                 "repro_faults_fired_total",
                 mode=spec.mode,
-                dataset=dataset,
-                algorithm=algorithm,
+                dataset=site.dataset,
+                algorithm=site.algorithm,
             )
             _fire(spec, site)
+
+
+def maybe_fire(dataset: str, algorithm: str, rep: int) -> None:
+    """Fire any matching fault for this repetition (called by the
+    runner at the top of every repetition, in every process)."""
+    if not _hooks and ENV_VAR not in os.environ:
+        return  # fast path: fault injection inactive
+    _maybe_fire_at(
+        FaultSite(
+            dataset=dataset, algorithm=algorithm, rep=rep, pid=os.getpid()
+        )
+    )
+
+
+def maybe_fire_serve(dataset: str, impl: str, attempt: int) -> None:
+    """Fire any matching ``site=serve`` fault for a service compute
+    attempt (called by :class:`repro.serve.ColoringServer` at the top
+    of every attempt, inside the compute thread).
+
+    The site's ``algorithm`` field carries the implementation id and
+    ``rep`` the zero-based attempt number, so clauses can target e.g.
+    only the first attempt (``raise@*:gunrock.hash:0:site=serve``).
+    Programmatic hooks installed via :func:`install` fire here too and
+    can discriminate on ``FaultSite.site``.
+    """
+    if not _hooks and ENV_VAR not in os.environ:
+        return  # fast path: fault injection inactive
+    _maybe_fire_at(
+        FaultSite(
+            dataset=dataset,
+            algorithm=impl,
+            rep=attempt,
+            pid=os.getpid(),
+            site="serve",
+        )
+    )
 
 
 def corrupt_cache_entry(

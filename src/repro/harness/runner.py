@@ -545,11 +545,24 @@ def run_grid(
                 rec = prior.get((t.dataset, t.algorithm, t.rep))
                 if rec is not None:
                     results[t.index] = _rep_from_record(rec)
+                    # One event per replayed cell, mirroring rep_ok's
+                    # granularity, so a log consumer can tell exactly
+                    # which cells were served from the journal.  Note
+                    # rep_ok is deliberately NOT emitted and the rep
+                    # counters NOT bumped for replays: a --resume +
+                    # --metrics-out run must not double-count work the
+                    # interrupted run already settled.
+                    runlog.emit(
+                        "journal_replay",
+                        dataset=t.dataset,
+                        algorithm=t.algorithm,
+                        rep=t.rep,
+                        status=rec.get("status", "ok"),
+                    )
             if results:
                 metrics.inc(
                     "repro_journal_replayed_total", float(len(results))
                 )
-                runlog.emit("journal_replay", replayed=len(results))
         jrnl.open(resume=resume)
     todo = [t for t in tasks if t.index not in results]
     runlog.emit(

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from typing import IO, List, Optional, Union
 
@@ -88,19 +89,24 @@ class RunLog:
             self._owns = True
         self.run_id = run_id if run_id is not None else _make_run_id()
         self._seq = 0
+        # The serving layer emits from its event-loop thread while the
+        # submitting thread may emit too; seq assignment + write must
+        # be atomic to keep the total order the seq field promises.
+        self._lock = threading.Lock()
 
     def emit(self, event: str, **fields) -> dict:
         """Write one record; returns the dict that was serialized."""
-        record = {
-            "ts": time.time(),
-            "run": self.run_id,
-            "seq": self._seq,
-            "event": event,
-        }
-        record.update(fields)
-        self._seq += 1
-        self._fh.write(json.dumps(record, sort_keys=False) + "\n")
-        self._fh.flush()
+        with self._lock:
+            record = {
+                "ts": time.time(),
+                "run": self.run_id,
+                "seq": self._seq,
+                "event": event,
+            }
+            record.update(fields)
+            self._seq += 1
+            self._fh.write(json.dumps(record, sort_keys=False) + "\n")
+            self._fh.flush()
         return record
 
     def close(self) -> None:

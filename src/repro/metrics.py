@@ -60,6 +60,7 @@ import json
 import math
 import os
 import re
+import threading
 from typing import Dict, Iterable, List, Optional, Tuple
 
 __all__ = [
@@ -190,6 +191,11 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._families: Dict[str, _Family] = {}
+        # Emissions may arrive from several threads at once (the
+        # serving layer computes in a thread pool while its event loop
+        # emits lifecycle metrics); read-modify-write on the series
+        # dicts must be atomic.
+        self._lock = threading.RLock()
 
     # -- declaration ---------------------------------------------------------
 
@@ -242,23 +248,26 @@ class MetricsRegistry:
             raise MetricsError(
                 f"counter {name!r} cannot decrease (inc by {value})"
             )
-        fam = self._family(name, "counter")
-        key = _label_key(labels)
-        fam.values[key] = fam.values.get(key, 0.0) + value
+        with self._lock:
+            fam = self._family(name, "counter")
+            key = _label_key(labels)
+            fam.values[key] = fam.values.get(key, 0.0) + value
 
     def set_gauge(self, name: str, value: float, **labels: str) -> None:
         """Set a gauge series to ``value`` (any float, last write wins)."""
-        fam = self._family(name, "gauge")
-        fam.values[_label_key(labels)] = float(value)
+        with self._lock:
+            fam = self._family(name, "gauge")
+            fam.values[_label_key(labels)] = float(value)
 
     def observe(self, name: str, value: float, **labels: str) -> None:
         """Record one observation into a histogram series."""
-        fam = self._family(name, "histogram")
-        key = _label_key(labels)
-        hist = fam.histograms.get(key)
-        if hist is None:
-            hist = fam.histograms[key] = _Histogram(fam.buckets)
-        hist.observe(float(value))
+        with self._lock:
+            fam = self._family(name, "histogram")
+            key = _label_key(labels)
+            hist = fam.histograms.get(key)
+            if hist is None:
+                hist = fam.histograms[key] = _Histogram(fam.buckets)
+            hist.observe(float(value))
 
     # -- reading -------------------------------------------------------------
 
@@ -310,25 +319,26 @@ class MetricsRegistry:
         """The full registry as a JSON-safe dict — the form embedded in
         ``BENCH_<sha>.json`` and rendered by :meth:`to_json`."""
         out: Dict[str, Dict] = {}
-        for fam in self._families.values():
-            entry: Dict = {"kind": fam.kind, "help": fam.help}
-            if fam.kind == "histogram":
-                entry["buckets"] = list(fam.buckets)
-                entry["series"] = [
-                    {
-                        "labels": dict(key),
-                        "sum": h.sum,
-                        "count": h.count,
-                        "bucket_counts": h.cumulative(),
-                    }
-                    for key, h in sorted(fam.histograms.items())
-                ]
-            else:
-                entry["series"] = [
-                    {"labels": dict(key), "value": v}
-                    for key, v in sorted(fam.values.items())
-                ]
-            out[fam.name] = entry
+        with self._lock:
+            for fam in self._families.values():
+                entry: Dict = {"kind": fam.kind, "help": fam.help}
+                if fam.kind == "histogram":
+                    entry["buckets"] = list(fam.buckets)
+                    entry["series"] = [
+                        {
+                            "labels": dict(key),
+                            "sum": h.sum,
+                            "count": h.count,
+                            "bucket_counts": h.cumulative(),
+                        }
+                        for key, h in sorted(fam.histograms.items())
+                    ]
+                else:
+                    entry["series"] = [
+                        {"labels": dict(key), "value": v}
+                        for key, v in sorted(fam.values.items())
+                    ]
+                out[fam.name] = entry
         return out
 
     def to_json(self, path=None) -> str:
@@ -348,7 +358,9 @@ class MetricsRegistry:
         round-trips through :func:`parse_prometheus`.
         """
         lines: List[str] = []
-        for fam in self._families.values():
+        with self._lock:
+            families = list(self._families.values())
+        for fam in families:
             if fam.help:
                 lines.append(f"# HELP {fam.name} {fam.help}")
             lines.append(f"# TYPE {fam.name} {fam.kind}")

@@ -1,0 +1,57 @@
+"""Coloring-as-a-service: the resilient async serving layer.
+
+The ROADMAP's north star is a production-scale service, not a batch
+harness; this package is that serving layer over the deterministic
+reproduction.  A long-lived asyncio :class:`ColoringServer` accepts
+:class:`ColoringRequest`\\ s (a harness dataset name or an inline CSR
+graph, an implementation id, a backend, a per-request deadline) and
+guarantees every one a terminal :class:`ColoringResponse` — computed,
+served from cache, degraded to a cheaper implementation, load-shed
+with a reason, or timed out.  Never a silent drop, never a hung
+future, and every non-degraded result bit-identical to a direct
+:func:`repro.core.registry.run_algorithm` call.
+
+Layers (one module each, composed by the server):
+
+* :mod:`~repro.serve.request` — request/response types and statuses.
+* :mod:`~repro.serve.cache` — result cache keyed by a content hash of
+  the CSR arrays (:func:`graph_fingerprint`).
+* :mod:`~repro.serve.breaker` — per-(dataset, backend) circuit
+  breakers.
+* :mod:`~repro.serve.degrade` — the quality/latency fallback ladder.
+* :mod:`~repro.serve.server` — admission queue, deadline enforcement,
+  retry-with-backoff, worker pool.
+* :mod:`~repro.serve.client` — synchronous in-process client.
+* :mod:`~repro.serve.loadgen` — bursty Zipf traffic for chaos tests.
+
+See docs/serving.md for the architecture and the CLI
+(``python -m repro.harness serve`` / ``loadgen``).
+"""
+
+from .breaker import BreakerBoard, CircuitBreaker
+from .cache import CachedResult, ResultCache, graph_fingerprint
+from .client import ServeClient
+from .degrade import FALLBACKS, ladder
+from .loadgen import LoadSpec, build_schedule, run_load, write_snapshot
+from .request import TERMINAL_STATUSES, ColoringRequest, ColoringResponse
+from .server import ColoringServer, ServeConfig
+
+__all__ = [
+    "BreakerBoard",
+    "CircuitBreaker",
+    "CachedResult",
+    "ResultCache",
+    "graph_fingerprint",
+    "ServeClient",
+    "FALLBACKS",
+    "ladder",
+    "LoadSpec",
+    "build_schedule",
+    "run_load",
+    "write_snapshot",
+    "TERMINAL_STATUSES",
+    "ColoringRequest",
+    "ColoringResponse",
+    "ColoringServer",
+    "ServeConfig",
+]

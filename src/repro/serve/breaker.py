@@ -1,0 +1,143 @@
+"""Per-(dataset, backend) circuit breakers for the coloring service.
+
+A dataset/backend pair that keeps failing — a poisoned cache entry, a
+generator bug, an injected fault storm — should stop consuming worker
+attempts and retry budgets.  Each pair gets the classic three-state
+breaker:
+
+``closed``
+    Normal operation.  Consecutive failures are counted; reaching
+    ``threshold`` opens the breaker.
+``open``
+    Primary compute is skipped (requests go straight to the
+    degradation ladder) until ``cooldown_s`` has elapsed.
+``half_open``
+    After the cooldown one probe request is let through.  Success
+    closes the breaker; failure re-opens it and restarts the cooldown.
+
+The clock is injectable (monotonic seconds) so tests can drive the
+state machine without sleeping.  State transitions are counted into
+:mod:`repro.metrics` (``repro_serve_breaker_transitions_total``) and
+emitted to the run log by the server.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+from .. import metrics
+
+__all__ = ["CircuitBreaker", "BreakerBoard"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """One breaker: consecutive-failure threshold + cooldown probe."""
+
+    def __init__(
+        self,
+        *,
+        threshold: int = 3,
+        cooldown_s: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if threshold < 1:
+            raise ValueError("breaker threshold must be >= 1")
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self.state = CLOSED
+        self.failures = 0  # consecutive failures while closed
+        self._opened_at: Optional[float] = None
+
+    def allow(self) -> bool:
+        """Whether a primary compute attempt may proceed right now.
+
+        In ``open`` state, returns True exactly once per elapsed
+        cooldown — the half-open probe; further calls return False
+        until that probe settles via :meth:`record_success` /
+        :meth:`record_failure`.
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            assert self._opened_at is not None
+            if self._clock() - self._opened_at >= self.cooldown_s:
+                self.state = HALF_OPEN
+                return True  # the probe
+            return False
+        return False  # half-open: probe already in flight
+
+    def record_success(self) -> Optional[str]:
+        """Note a successful primary attempt; returns the transition
+        (``"close"``) if one happened."""
+        transition = None
+        if self.state != CLOSED:
+            transition = "close"
+        self.state = CLOSED
+        self.failures = 0
+        self._opened_at = None
+        return transition
+
+    def record_failure(self) -> Optional[str]:
+        """Note a failed primary attempt; returns the transition
+        (``"open"`` / ``"reopen"``) if one happened."""
+        if self.state == HALF_OPEN:
+            self.state = OPEN
+            self._opened_at = self._clock()
+            return "reopen"
+        self.failures += 1
+        if self.state == CLOSED and self.failures >= self.threshold:
+            self.state = OPEN
+            self._opened_at = self._clock()
+            return "open"
+        return None
+
+
+class BreakerBoard:
+    """The service's breakers, one per (dataset, backend) pair."""
+
+    def __init__(
+        self,
+        *,
+        threshold: int = 3,
+        cooldown_s: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self._threshold = threshold
+        self._cooldown_s = cooldown_s
+        self._clock = clock
+        self._breakers: Dict[Tuple[str, str], CircuitBreaker] = {}
+
+    def get(self, dataset: str, backend: str) -> CircuitBreaker:
+        key = (dataset, backend)
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            breaker = self._breakers[key] = CircuitBreaker(
+                threshold=self._threshold,
+                cooldown_s=self._cooldown_s,
+                clock=self._clock,
+            )
+        return breaker
+
+    def record(
+        self, dataset: str, backend: str, *, ok: bool
+    ) -> Optional[str]:
+        """Feed one primary-attempt outcome; publishes any transition
+        to metrics and returns it for the server's log event."""
+        breaker = self.get(dataset, backend)
+        transition = (
+            breaker.record_success() if ok else breaker.record_failure()
+        )
+        if transition is not None:
+            metrics.inc(
+                "repro_serve_breaker_transitions_total",
+                transition=transition,
+                dataset=dataset,
+                backend=backend,
+            )
+        return transition

@@ -1,0 +1,116 @@
+"""Result cache and graph fingerprinting for the coloring service.
+
+The first rung of the degradation ladder: when the service has already
+colored the *same* graph with the same implementation and seed, it
+answers from memory instead of spending a worker.  Because the
+reproduction is deterministic — same (graph, impl, backend, seed) ⇒
+bit-identical colors, ``sim_ms``, iterations — a cache hit is
+indistinguishable from a fresh run, so cached responses keep status
+``ok`` (``source="cache"``) and the bit-exactness contract.
+
+The cache key starts from :func:`graph_fingerprint`, a content hash of
+the CSR arrays in the style of :meth:`repro.trace.Trace.fingerprint`:
+a 16-hex-digit SHA-256 prefix over the vertex/edge counts and the raw
+``offsets``/``indices`` bytes.  It depends on nothing but the graph's
+structure — not its name, not the backend, not whether tracing or
+metrics are on, not which worker computes it — which is exactly the
+stability property the hypothesis suite locks down
+(``tests/test_serve_cache.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .. import metrics
+
+__all__ = ["graph_fingerprint", "CachedResult", "ResultCache"]
+
+
+def graph_fingerprint(graph) -> str:
+    """A 16-hex-digit content hash of a CSR graph's structure.
+
+    Two graphs with identical ``offsets``/``indices`` arrays (and hence
+    identical vertex/edge counts) share a fingerprint regardless of
+    name, construction path, or ambient observability state; any
+    structural mutation — one edge added, removed, or rewired —
+    changes it.
+    """
+    h = hashlib.sha256()
+    h.update(f"{graph.num_vertices}\x1f{graph.num_edges}\x1e".encode())
+    h.update(np.ascontiguousarray(graph.offsets).tobytes())
+    h.update(np.ascontiguousarray(graph.indices).tobytes())
+    return h.hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class CachedResult:
+    """The bit-exact scalars (plus the color array) of one ``ok`` run."""
+
+    impl: str
+    backend: str
+    colors: np.ndarray
+    num_colors: int
+    coloring_sha256: str
+    sim_ms: float
+    iterations: int
+
+
+class ResultCache:
+    """A bounded LRU cache of completed colorings.
+
+    Keyed by ``(graph_fingerprint, impl, backend, seed)`` — everything
+    the deterministic contract says the result depends on.  Only
+    non-degraded primary results are stored, so a hit can always be
+    served as ``ok``.
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple[str, str, str, int], CachedResult]" = (
+            OrderedDict()
+        )
+
+    @staticmethod
+    def key(
+        fingerprint: str, impl: str, backend: str, seed: int
+    ) -> Tuple[str, str, str, int]:
+        return (fingerprint, impl, backend, int(seed))
+
+    def get(
+        self, fingerprint: str, impl: str, backend: str, seed: int
+    ) -> Optional[CachedResult]:
+        key = self.key(fingerprint, impl, backend, seed)
+        entry = self._entries.get(key)
+        if entry is None:
+            metrics.inc("repro_serve_cache_misses_total")
+            return None
+        self._entries.move_to_end(key)
+        metrics.inc("repro_serve_cache_hits_total")
+        return entry
+
+    def put(
+        self,
+        fingerprint: str,
+        seed: int,
+        entry: CachedResult,
+    ) -> None:
+        key = self.key(fingerprint, entry.impl, entry.backend, seed)
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        metrics.set_gauge("repro_serve_cache_size", float(len(self._entries)))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()

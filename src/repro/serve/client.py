@@ -1,0 +1,118 @@
+"""Synchronous in-process client for the coloring service.
+
+Tests, the CLI, and the load generator are synchronous; the server is
+an asyncio object.  :class:`ServeClient` bridges the two by running a
+private event loop on a daemon thread and proxying submissions with
+:func:`asyncio.run_coroutine_threadsafe` — the "in-process client" the
+service contract promises, with no sockets involved.
+
+Usage::
+
+    from repro.serve import ColoringRequest, ServeClient, ServeConfig
+
+    with ServeClient(ServeConfig(workers=2, queue_limit=8)) as client:
+        response = client.submit(
+            ColoringRequest(impl="gunrock.hash", dataset="ecology2")
+        )
+    assert response.status == "ok"
+
+``submit`` blocks for the terminal response; ``submit_async`` returns
+a :class:`concurrent.futures.Future` so callers can keep many requests
+in flight (that is how the load generator saturates the admission
+queue).  Call :meth:`stop` (or leave the ``with`` block) only after
+collecting outstanding ``submit_async`` futures — a stopped loop can
+no longer resolve them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import threading
+from typing import Optional
+
+from .request import ColoringRequest, ColoringResponse
+from .server import ColoringServer, ServeConfig
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """A synchronous facade over one in-process :class:`ColoringServer`."""
+
+    def __init__(self, config: Optional[ServeConfig] = None):
+        self._config = config or ServeConfig()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._server: Optional[ColoringServer] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "ServeClient":
+        if self._loop is not None:
+            return self
+        self._loop = asyncio.new_event_loop()
+        started = threading.Event()
+
+        def _run() -> None:
+            assert self._loop is not None
+            asyncio.set_event_loop(self._loop)
+            started.set()
+            self._loop.run_forever()
+
+        self._thread = threading.Thread(
+            target=_run, name="repro-serve-loop", daemon=True
+        )
+        self._thread.start()
+        started.wait()
+        self._server = ColoringServer(self._config)
+        self._call(self._server.start())
+        return self
+
+    def stop(self, *, drain: bool = True) -> None:
+        """Stop the server (resolving every admitted request) and tear
+        down the loop thread."""
+        if self._loop is None:
+            return
+        assert self._server is not None and self._thread is not None
+        self._call(self._server.stop(drain=drain))
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=30)
+        self._loop.close()
+        self._loop = None
+        self._thread = None
+        self._server = None
+
+    def __enter__(self) -> "ServeClient":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- submission ----------------------------------------------------------
+
+    @property
+    def server(self) -> ColoringServer:
+        """The underlying server (tests poke its cache and breakers)."""
+        if self._server is None:
+            raise RuntimeError("ServeClient is not started")
+        return self._server
+
+    def submit(self, request: ColoringRequest) -> ColoringResponse:
+        """Submit one request; blocks for its terminal response."""
+        return self.submit_async(request).result()
+
+    def submit_async(
+        self, request: ColoringRequest
+    ) -> "concurrent.futures.Future[ColoringResponse]":
+        """Submit without blocking; the returned future resolves to the
+        terminal response."""
+        if self._loop is None or self._server is None:
+            raise RuntimeError("ServeClient is not started")
+        return asyncio.run_coroutine_threadsafe(
+            self._server.submit(request), self._loop
+        )
+
+    def _call(self, coro):
+        assert self._loop is not None
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result()

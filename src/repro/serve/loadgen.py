@@ -1,0 +1,209 @@
+"""Bursty Zipf-over-datasets load generation for the coloring service.
+
+Production traffic is not uniform: a few datasets are hot, most are
+cold, and arrivals come in bursts.  :func:`build_schedule` synthesizes
+that shape deterministically from one seed — dataset popularity follows
+a Zipf law over the configured list (rank ``r`` drawn with probability
+``∝ r^-s``), implementations are drawn uniformly, seeds rotate through
+a small pool (so the result cache sees both hits and misses), and
+arrival times alternate tight bursts with exponential idle gaps.
+
+:func:`run_load` replays a schedule through a fresh in-process
+:class:`~repro.serve.client.ServeClient`, keeping requests in flight
+concurrently (saturation is the point — chaos tests need to see the
+admission queue shed), then summarizes the terminal responses into a
+snapshot dict: outcome counts, shed reasons, degraded/cache tallies,
+exact p50/p95/p99 latencies, and — the invariant the chaos CI job
+asserts — the number of **unanswered** requests, which must be zero.
+The quantiles are also published to :mod:`repro.metrics` as
+``repro_serve_latency_quantile_ms{q=...}`` gauges next to the server's
+own histogram.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .. import metrics
+from .._rng import DEFAULT_SEED, ensure_rng
+from .client import ServeClient
+from .request import ColoringRequest, ColoringResponse
+from .server import ServeConfig
+
+__all__ = ["LoadSpec", "ScheduledRequest", "build_schedule", "run_load", "write_snapshot"]
+
+#: Seed stride between the rotating request seeds (the grid runner's
+#: repetition stride, reused so serve seeds land on familiar values).
+_SEED_STRIDE = 7919
+
+
+@dataclass
+class LoadSpec:
+    """Shape of one synthetic traffic run."""
+
+    requests: int = 60
+    datasets: Sequence[str] = ("ecology2", "offshore", "G3_circuit")
+    impls: Sequence[str] = ("gunrock.hash", "graphblas.mis", "cpu.greedy")
+    zipf_s: float = 1.2  # Zipf exponent over the dataset list
+    seed: int = DEFAULT_SEED  # schedule AND request-seed base
+    scale_div: int = 512  # small graphs: load tests stress the service
+    deadline_s: Optional[float] = None  # per-request deadline
+    unique_seeds: int = 4  # rotating request-seed pool size
+    burst: int = 8  # mean requests per burst
+    burst_gap_s: float = 0.05  # mean idle gap between bursts
+    within_burst_gap_s: float = 0.0  # arrival spacing inside a burst
+
+
+@dataclass
+class ScheduledRequest:
+    """One arrival: when (seconds from start) and what to ask."""
+
+    at_s: float
+    request: ColoringRequest
+
+
+def _zipf_probs(n: int, s: float) -> np.ndarray:
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks ** (-float(s))
+    return weights / weights.sum()
+
+
+def build_schedule(spec: LoadSpec) -> List[ScheduledRequest]:
+    """The deterministic arrival schedule for one :class:`LoadSpec`.
+
+    Same spec ⇒ same schedule, bit for bit: every draw comes from one
+    :func:`repro._rng.ensure_rng` generator seeded by ``spec.seed``.
+    """
+    if spec.requests < 1:
+        raise ValueError("loadgen requests must be >= 1")
+    if not spec.datasets or not spec.impls:
+        raise ValueError("loadgen needs at least one dataset and impl")
+    rng = ensure_rng(spec.seed)
+    probs = _zipf_probs(len(spec.datasets), spec.zipf_s)
+    schedule: List[ScheduledRequest] = []
+    t = 0.0
+    burst_left = int(rng.integers(1, 2 * spec.burst + 1))
+    for i in range(spec.requests):
+        if burst_left == 0:
+            t += spec.burst_gap_s * float(rng.exponential(1.0))
+            burst_left = int(rng.integers(1, 2 * spec.burst + 1))
+        else:
+            t += spec.within_burst_gap_s
+        burst_left -= 1
+        dataset = spec.datasets[int(rng.choice(len(spec.datasets), p=probs))]
+        impl = spec.impls[int(rng.integers(0, len(spec.impls)))]
+        seed = spec.seed + _SEED_STRIDE * int(
+            rng.integers(0, spec.unique_seeds)
+        )
+        schedule.append(
+            ScheduledRequest(
+                at_s=t,
+                request=ColoringRequest(
+                    impl=impl,
+                    dataset=dataset,
+                    seed=seed,
+                    deadline_s=spec.deadline_s,
+                    scale_div=spec.scale_div,
+                    request_id=f"load-{i:05d}",
+                ),
+            )
+        )
+    return schedule
+
+
+def _percentile(latencies_ms: List[float], q: float) -> float:
+    return float(np.percentile(np.asarray(latencies_ms, dtype=np.float64), q))
+
+
+def run_load(
+    spec: LoadSpec,
+    config: Optional[ServeConfig] = None,
+    *,
+    response_timeout_s: float = 120.0,
+) -> Dict:
+    """Replay a schedule through a fresh in-process service.
+
+    Every scheduled request is submitted (concurrently, honoring the
+    arrival times) and every future is collected with a generous
+    timeout — a future that fails to resolve is counted as
+    ``unanswered`` instead of hanging the generator, so the no-silent-
+    drops contract is *measured*, not assumed.
+    """
+    schedule = build_schedule(spec)
+    responses: List[Optional[ColoringResponse]] = [None] * len(schedule)
+    started = time.monotonic()
+    with ServeClient(config) as client:
+        futures = []
+        for item in schedule:
+            delay = item.at_s - (time.monotonic() - started)
+            if delay > 0:
+                time.sleep(delay)
+            futures.append(client.submit_async(item.request))
+        for i, future in enumerate(futures):
+            try:
+                responses[i] = future.result(timeout=response_timeout_s)
+            except Exception:
+                responses[i] = None  # unanswered: the failure we measure
+    wall_s = time.monotonic() - started
+
+    outcomes: Dict[str, int] = {}
+    shed_reasons: Dict[str, int] = {}
+    latencies_ms: List[float] = []
+    cache_hits = 0
+    attempts_total = 0
+    for response in responses:
+        if response is None:
+            continue
+        outcomes[response.status] = outcomes.get(response.status, 0) + 1
+        latencies_ms.append(response.latency_s * 1000.0)
+        attempts_total += response.attempts
+        if response.status == "rejected":
+            reason = response.reason.split(":", 1)[0]
+            shed_reasons[reason] = shed_reasons.get(reason, 0) + 1
+        if response.source == "cache":
+            cache_hits += 1
+    unanswered = sum(1 for r in responses if r is None)
+    quantiles = (
+        {
+            "p50": _percentile(latencies_ms, 50),
+            "p95": _percentile(latencies_ms, 95),
+            "p99": _percentile(latencies_ms, 99),
+        }
+        if latencies_ms
+        else {}
+    )
+    for q, value in quantiles.items():
+        metrics.set_gauge("repro_serve_latency_quantile_ms", value, q=q)
+    snapshot = {
+        "spec": {
+            "requests": spec.requests,
+            "datasets": list(spec.datasets),
+            "impls": list(spec.impls),
+            "zipf_s": spec.zipf_s,
+            "seed": spec.seed,
+            "scale_div": spec.scale_div,
+            "deadline_s": spec.deadline_s,
+        },
+        "wall_s": wall_s,
+        "answered": len(schedule) - unanswered,
+        "unanswered": unanswered,
+        "outcomes": outcomes,
+        "shed_reasons": shed_reasons,
+        "degraded": outcomes.get("degraded", 0),
+        "cache_hits": cache_hits,
+        "attempts_total": attempts_total,
+        "latency_ms": quantiles,
+    }
+    return snapshot
+
+
+def write_snapshot(snapshot: Dict, path) -> None:
+    """Write a :func:`run_load` snapshot as pretty JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(snapshot, fh, indent=2, sort_keys=True)
+        fh.write("\n")

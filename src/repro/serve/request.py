@@ -1,0 +1,147 @@
+"""Request and response types for the coloring service.
+
+A :class:`ColoringRequest` names either a harness dataset (generated
+and cached exactly as the grid runner would) or carries an inline
+:class:`~repro.graph.csr.CSRGraph`, plus the implementation id, the
+kernel-execution backend, the RNG seed, and an optional per-request
+deadline.  A :class:`ColoringResponse` is the *terminal* answer every
+submitted request is guaranteed to receive — one of the five statuses
+below, never a silent drop.
+
+Statuses
+--------
+
+``ok``
+    Colored with the requested implementation (or served from the
+    result cache, which stores exactly those runs).  Bit-identical to
+    a direct :func:`repro.core.registry.run_algorithm` call with the
+    same (graph, impl, backend, seed).
+``degraded``
+    Colored by a cheaper fallback implementation from the degradation
+    ladder (:mod:`repro.serve.degrade`); ``impl_used`` names it and
+    ``degrade_reason`` says why the requested one was abandoned.
+``rejected``
+    Load-shed with a reason before any compute happened (queue full,
+    service shutting down, unknown dataset/implementation, or the
+    degradation ladder itself was exhausted).
+``timeout``
+    The per-request deadline expired before a result was produced.
+``failed``
+    A deterministic (non-retryable) error with no fallback available
+    and degradation disabled; ``reason`` carries the error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from .._rng import DEFAULT_SEED
+from ..graph.csr import CSRGraph
+
+__all__ = [
+    "TERMINAL_STATUSES",
+    "ColoringRequest",
+    "ColoringResponse",
+]
+
+#: Every response carries exactly one of these.
+TERMINAL_STATUSES = frozenset(
+    {"ok", "degraded", "rejected", "timeout", "failed"}
+)
+
+
+@dataclass
+class ColoringRequest:
+    """One coloring job submitted to the service.
+
+    Exactly one of ``dataset`` (a harness dataset name, generated via
+    :func:`repro.harness.datasets.load` with ``scale_div``/``seed``) or
+    ``graph`` (an inline CSR) must be given.  ``seed`` feeds both the
+    dataset generator and the algorithm RNG, mirroring the grid
+    runner's rep-0 seeding, so a direct
+    ``run_algorithm(impl, ds.load(dataset, scale_div, seed), rng=seed)``
+    reproduces a non-degraded response bit for bit.
+    """
+
+    impl: str
+    dataset: Optional[str] = None
+    graph: Optional[CSRGraph] = None
+    seed: int = DEFAULT_SEED
+    backend: Optional[str] = None
+    deadline_s: Optional[float] = None
+    scale_div: Optional[int] = None
+    request_id: str = ""
+
+    @property
+    def dataset_label(self) -> str:
+        """The dataset name used in metrics labels, log events, and
+        fault-clause matching (``"inline"`` for inline graphs)."""
+        if self.dataset:
+            return self.dataset
+        if self.graph is not None and self.graph.name:
+            return self.graph.name
+        return "inline"
+
+
+@dataclass
+class ColoringResponse:
+    """The terminal answer to one :class:`ColoringRequest`."""
+
+    request_id: str
+    status: str  # ok | degraded | rejected | timeout | failed
+    impl: str = ""  # the implementation the request asked for
+    dataset: str = ""
+    backend: str = ""
+    reason: str = ""  # why rejected / timed out / failed / degraded
+    degraded: bool = False
+    impl_used: str = ""  # implementation that produced colors ("" = none)
+    source: str = ""  # computed | cache | "" (no result)
+    colors: Optional[np.ndarray] = field(default=None, repr=False)
+    num_colors: Optional[int] = None
+    coloring_sha256: Optional[str] = None
+    sim_ms: Optional[float] = None
+    iterations: Optional[int] = None
+    attempts: int = 0  # compute attempts consumed (retries + 1)
+    latency_s: float = 0.0  # submission -> response wall clock
+
+    def __post_init__(self) -> None:
+        if self.status not in TERMINAL_STATUSES:
+            raise ValueError(
+                f"non-terminal response status {self.status!r}; "
+                f"expected one of {sorted(TERMINAL_STATUSES)}"
+            )
+
+    @property
+    def has_result(self) -> bool:
+        """Whether the response carries a coloring."""
+        return self.colors is not None
+
+    def to_json_dict(self) -> dict:
+        """JSONL-safe form (the raw color array is summarized by its
+        SHA-256, already present) — what the ``serve`` CLI writes."""
+        return {
+            "request_id": self.request_id,
+            "status": self.status,
+            "impl": self.impl,
+            "dataset": self.dataset,
+            "backend": self.backend,
+            "reason": self.reason,
+            "degraded": self.degraded,
+            "impl_used": self.impl_used,
+            "source": self.source,
+            "num_colors": self.num_colors,
+            "coloring_sha256": self.coloring_sha256,
+            "sim_ms": self.sim_ms,
+            "iterations": self.iterations,
+            "attempts": self.attempts,
+            "latency_s": self.latency_s,
+        }
+
+
+def coloring_sha256(colors: np.ndarray) -> str:
+    """The golden suite's digest of a raw color array."""
+    return hashlib.sha256(colors.tobytes()).hexdigest()

@@ -1,0 +1,12 @@
+import asyncio
+from asyncio import Queue as AQueue
+q1 = asyncio.Queue()
+q2 = asyncio.PriorityQueue()
+q3 = AQueue()
+asyncio.create_task(main())
+asyncio.ensure_future(main())
+loop.create_task(main())
+ok1 = asyncio.Queue(maxsize=16)
+ok2 = asyncio.Queue(16)
+task = asyncio.create_task(main())
+tasks.append(loop.create_task(main()))

@@ -1,0 +1,4 @@
+import asyncio
+q = asyncio.Queue(maxsize=8)
+async def run(tg):
+    tg.create_task(tick())  # repro-lint: disable=RPL010 — TaskGroup owns and awaits this task

@@ -81,6 +81,19 @@ class TestRuleFixtures:
             ("RPL009", 6),
         ]
 
+    def test_rpl010_async_hygiene(self):
+        assert hits("serve/rpl010_async.py") == [
+            ("RPL010", 3),
+            ("RPL010", 4),
+            ("RPL010", 5),
+            ("RPL010", 6),
+            ("RPL010", 7),
+            ("RPL010", 8),
+        ]
+
+    def test_rpl010_taskgroup_suppression_is_clean(self):
+        assert hits("serve/suppressed_spawn.py") == []
+
     def test_clean_fixture_has_no_violations(self):
         assert hits("clean.py") == []
 
@@ -98,6 +111,7 @@ class TestRuleFixtures:
             "RPL007",
             "RPL008",
             "RPL009",
+            "RPL010",
         }
 
 
@@ -148,6 +162,18 @@ class TestScoping:
         src = (FIXTURES / "core" / "rpl009_direct_kernels.py").read_text()
         assert lint_source(src, tmp_path / "harness" / "x.py") == []
         assert lint_source(src, tmp_path / "gpusim" / "x.py") == []
+
+    def test_rpl010_unscoped_outside_serve(self, tmp_path):
+        # The same source outside serve/ is legal: the harness may use
+        # unbounded queues for internal plumbing where backpressure is
+        # managed elsewhere.
+        src = (FIXTURES / "serve" / "rpl010_async.py").read_text()
+        assert lint_source(src, tmp_path / "harness" / "x.py") == []
+
+    def test_rpl010_scoped_by_any_serve_component(self, tmp_path):
+        src = "import asyncio\nq = asyncio.Queue()\n"
+        [v] = lint_source(src, tmp_path / "serve" / "x.py")
+        assert v.rule == "RPL010"
 
     def test_rpl009_backend_layer_exempt(self, tmp_path):
         # repro/backend/ implements the primitives; the ufunc calls

@@ -239,3 +239,43 @@ class TestHarnessTraceCommand:
         )
         assert rc == 0
         assert "Sim ms [superstep]" in capsys.readouterr().out
+
+
+class TestMetricsOnErrorPaths:
+    """--metrics-out must write and deactivate the registry even when
+    the command raises: a crashed run's partial counters are exactly
+    the ones worth having."""
+
+    def test_metrics_written_and_deactivated_on_crash(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        import repro.harness.__main__ as cli
+        from repro import metrics
+
+        def explode(args, parser):
+            metrics.inc("repro_test_crash_total")
+            raise RuntimeError("boom mid-command")
+
+        monkeypatch.setattr(cli, "_dispatch", explode)
+        out = tmp_path / "m.json"
+        with pytest.raises(RuntimeError, match="boom mid-command"):
+            harness_main(
+                ["table2", "--metrics-out", str(out), "--no-journal"]
+            )
+        # The registry was deactivated (no leak into later commands) …
+        assert metrics.active() is None
+        # … and the partial counters still reached disk.
+        snap = json.loads(out.read_text())
+        assert "repro_test_crash_total" in snap
+
+    def test_metrics_written_on_usage_error(self, capsys, tmp_path, monkeypatch):
+        from repro import metrics
+
+        out = tmp_path / "m.json"
+        with pytest.raises(SystemExit):
+            harness_main(
+                ["definitely-not-an-experiment", "--metrics-out", str(out)]
+            )
+        assert metrics.active() is None
+        assert out.exists()  # empty registry, but written and valid
+        json.loads(out.read_text())

@@ -74,6 +74,10 @@ class TestReadmeCommands:
             "docs/cost_model.md",
             "docs/datasets.md",
             "docs/performance.md",
+            "docs/robustness.md",
+            "docs/serving.md",
+            "docs/static-analysis.md",
+            "docs/observability.md",
         ):
             assert (ROOT / doc).exists(), doc
 
@@ -105,6 +109,7 @@ class TestDocstringCoverage:
             "repro.gpusim",
             "repro.core",
             "repro.harness",
+            "repro.serve",
             "repro.apps",
         ],
     )

@@ -211,3 +211,55 @@ class TestResume:
                 ["ecology2"], ["cpu.greedy"], seed=32, resume=True, **CONFIG
             )
         assert len(executed) == 3  # nothing replayed across seeds
+
+
+class TestReplayObservability:
+    """Journal replays must be visible (one run-log event per replayed
+    cell) without being double-counted (replays bypass the rep
+    lifecycle counters)."""
+
+    def _events(self, stream):
+        return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+    def test_replay_emits_one_event_per_cell(self):
+        import io
+
+        from repro import log as runlog
+        from repro import metrics
+
+        run_grid(["ecology2"], ["cpu.greedy"], seed=37, **CONFIG)
+        stream = io.StringIO()
+        # Deliberately NO metrics registry active: the run-log events
+        # must not depend on metrics being on.
+        assert metrics.active() is None
+        with runlog.activate(stream):
+            run_grid(
+                ["ecology2"], ["cpu.greedy"], seed=37, resume=True, **CONFIG
+            )
+        replays = [
+            e for e in self._events(stream) if e["event"] == "journal_replay"
+        ]
+        assert len(replays) == 3  # one per replayed cell, not one total
+        assert {e["rep"] for e in replays} == {0, 1, 2}
+        for e in replays:
+            assert e["dataset"] == "ecology2"
+            assert e["algorithm"] == "cpu.greedy"
+            assert e["status"] == "ok"
+
+    def test_resume_does_not_double_count_rep_metrics(self):
+        from repro import metrics
+
+        labels = dict(dataset="ecology2", algorithm="cpu.greedy")
+        with metrics.activate() as first:
+            run_grid(["ecology2"], ["cpu.greedy"], seed=41, **CONFIG)
+        assert first.get("repro_reps_completed_total", **labels) == 3.0
+
+        with metrics.activate() as resumed:
+            run_grid(
+                ["ecology2"], ["cpu.greedy"], seed=41, resume=True, **CONFIG
+            )
+        # Pure replay: the replayed counter moves, the rep counter
+        # does not — a --resume --metrics-out run never re-reports
+        # work the interrupted run already settled.
+        assert resumed.get("repro_journal_replayed_total") == 3.0
+        assert resumed.get("repro_reps_completed_total", **labels) == 0.0

@@ -1,0 +1,165 @@
+"""Cache-key soundness for the serving layer (satellite of the serve PR).
+
+The result cache's correctness rests entirely on one claim: the graph
+fingerprint is a pure function of CSR *structure*.  If anything else
+leaked into it (backend, tracing, metrics, prior algorithm runs,
+pickling across a pool boundary) a cache hit could return a result for
+the wrong graph — silently, since the response would still be a valid
+coloring of *some* graph.  These are property tests because the claim
+is universally quantified over graphs.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import backend as backend_mod
+from repro import metrics, trace
+from repro.core.registry import run_algorithm
+from repro.graph.csr import CSRGraph
+from repro.serve import CachedResult, ResultCache, graph_fingerprint
+
+from _strategies import TRACED_ALGORITHMS, graphs
+
+
+class TestFingerprintStability:
+    @settings(max_examples=40, deadline=None)
+    @given(graph=graphs())
+    def test_recompute_is_stable(self, graph):
+        assert graph_fingerprint(graph) == graph_fingerprint(graph)
+
+    @settings(max_examples=20, deadline=None)
+    @given(graph=graphs(), seed=st.integers(0, 2**31 - 1))
+    def test_stable_across_observability_and_backends(self, graph, seed):
+        """The fingerprint must not care *how* the graph is used:
+        tracing on/off, metrics on/off, any available backend, before
+        or after algorithm runs — same bytes, same key."""
+        base = graph_fingerprint(graph)
+        with trace.activate():
+            assert graph_fingerprint(graph) == base
+        with metrics.activate():
+            assert graph_fingerprint(graph) == base
+        for name in backend_mod.available_backends():
+            run_algorithm("gunrock.hash", graph, rng=seed, backend=name)
+            assert graph_fingerprint(graph) == base
+
+    @settings(max_examples=20, deadline=None)
+    @given(graph=graphs(), algo=st.sampled_from(TRACED_ALGORITHMS))
+    def test_stable_after_algorithm_run(self, graph, algo):
+        before = graph_fingerprint(graph)
+        run_algorithm(algo, graph, rng=7)
+        assert graph_fingerprint(graph) == before
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph=graphs())
+    def test_stable_across_pickle_round_trip(self, graph):
+        """Worker pools ship graphs by pickle; the copy must hit the
+        same cache entries as the original."""
+        clone = pickle.loads(pickle.dumps(graph))
+        assert graph_fingerprint(clone) == graph_fingerprint(graph)
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph=graphs())
+    def test_name_does_not_matter(self, graph):
+        """Two structurally identical graphs under different labels are
+        the *same* cache entry — datasets get renamed, bytes do not."""
+        renamed = CSRGraph(
+            np.asarray(graph.offsets),
+            np.asarray(graph.indices),
+            undirected=graph.undirected,
+            name="something-else",
+            validate=False,
+        )
+        assert graph_fingerprint(renamed) == graph_fingerprint(graph)
+
+
+class TestFingerprintSensitivity:
+    @settings(max_examples=30, deadline=None)
+    @given(graph=graphs(max_vertices=16, max_edges=40))
+    def test_mutated_graph_changes_key(self, graph):
+        """Adding one edge (or one isolated vertex) must change the
+        fingerprint — otherwise a cache hit serves a stale coloring."""
+        n = graph.num_vertices
+        # Grow by one isolated vertex: offsets gain one entry.
+        grown = CSRGraph(
+            np.concatenate(
+                [np.asarray(graph.offsets), [graph.offsets[-1]]]
+            ),
+            np.asarray(graph.indices),
+            undirected=graph.undirected,
+            validate=False,
+        )
+        assert graph_fingerprint(grown) != graph_fingerprint(graph)
+        # Add a self-distinct edge where one is missing (skip complete
+        # graphs / single vertices: nothing to add).
+        missing = None
+        for u in range(n):
+            row = set(graph.neighbors(u).tolist())
+            for v in range(n):
+                if v != u and v not in row:
+                    missing = (u, v)
+                    break
+            if missing:
+                break
+        if missing is None:
+            return
+        u, v = missing
+        from repro.graph.build import from_edges
+
+        edges = graph.edge_list()
+        mutated = from_edges(
+            np.concatenate([edges, [[u, v]]]), num_vertices=n
+        )
+        assert graph_fingerprint(mutated) != graph_fingerprint(graph)
+
+    def test_vertex_count_in_prefix_prevents_aliasing(self):
+        """The n/m prefix means an empty 1-vertex and empty 2-vertex
+        graph cannot collide even though both have empty indices."""
+        g1 = CSRGraph(np.array([0, 0]), np.array([], dtype=np.int64))
+        g2 = CSRGraph(np.array([0, 0, 0]), np.array([], dtype=np.int64))
+        assert graph_fingerprint(g1) != graph_fingerprint(g2)
+
+
+class TestResultCache:
+    def _entry(self, impl="cpu.greedy", backend="reference"):
+        return CachedResult(
+            impl=impl,
+            backend=backend,
+            colors=np.array([1, 2, 1]),
+            num_colors=2,
+            coloring_sha256="ab" * 32,
+            sim_ms=1.0,
+            iterations=1,
+        )
+
+    def test_key_includes_every_dimension(self):
+        cache = ResultCache(capacity=8)
+        cache.put("fp1", 0, self._entry())
+        assert cache.get("fp1", "cpu.greedy", "reference", 0) is not None
+        assert cache.get("fp2", "cpu.greedy", "reference", 0) is None
+        assert cache.get("fp1", "gunrock.hash", "reference", 0) is None
+        assert cache.get("fp1", "cpu.greedy", "compiled", 0) is None
+        assert cache.get("fp1", "cpu.greedy", "reference", 1) is None
+
+    def test_lru_eviction(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", 0, self._entry())
+        cache.put("b", 0, self._entry())
+        assert cache.get("a", "cpu.greedy", "reference", 0) is not None
+        cache.put("c", 0, self._entry())  # evicts "b": least recent
+        assert cache.get("b", "cpu.greedy", "reference", 0) is None
+        assert cache.get("a", "cpu.greedy", "reference", 0) is not None
+        assert cache.get("c", "cpu.greedy", "reference", 0) is not None
+
+    def test_hit_miss_metrics(self):
+        with metrics.activate() as reg:
+            cache = ResultCache(capacity=2)
+            cache.put("a", 0, self._entry())
+            cache.get("a", "cpu.greedy", "reference", 0)
+            cache.get("zz", "cpu.greedy", "reference", 0)
+        assert reg.get("repro_serve_cache_hits_total") == 1.0
+        assert reg.get("repro_serve_cache_misses_total") == 1.0
+        assert reg.get("repro_serve_cache_size") == 1.0

@@ -1,0 +1,196 @@
+"""Chaos tests for the serving layer: bursty load plus injected faults.
+
+The service's one non-negotiable contract is **no silent drops**: under
+saturation, injected kills, delays, and transient raises, every request
+still gets a terminal response.  These tests drive the Zipf load
+generator against an in-process service with ``site=serve`` fault
+clauses armed and assert the contract the CI ``serve-chaos`` job also
+checks — zero unanswered requests, all statuses terminal, and a
+populated latency snapshot.
+"""
+
+import pytest
+
+from repro.errors import WorkerKillFault
+from repro.harness import faults
+from repro.serve import (
+    TERMINAL_STATUSES,
+    LoadSpec,
+    ServeConfig,
+    build_schedule,
+    run_load,
+)
+from repro import metrics
+
+
+@pytest.fixture
+def fault_state(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_FAULTS_STATE", str(tmp_path / "fault-state"))
+    return tmp_path
+
+
+SPEC = LoadSpec(
+    requests=40,
+    datasets=("ecology2", "offshore", "G3_circuit"),
+    impls=("gunrock.hash", "graphblas.mis", "cpu.greedy"),
+    scale_div=1024,
+    seed=99,
+)
+
+
+class TestSchedule:
+    def test_deterministic(self):
+        a, b = build_schedule(SPEC), build_schedule(SPEC)
+        assert [s.at_s for s in a] == [s.at_s for s in b]
+        assert [s.request.dataset for s in a] == [
+            s.request.dataset for s in b
+        ]
+        assert [s.request.seed for s in a] == [s.request.seed for s in b]
+
+    def test_zipf_skews_toward_head_dataset(self):
+        counts = {}
+        for item in build_schedule(
+            LoadSpec(requests=300, zipf_s=1.2, seed=7)
+        ):
+            counts[item.request.dataset] = (
+                counts.get(item.request.dataset, 0) + 1
+            )
+        ranked = sorted(counts.values(), reverse=True)
+        assert counts["ecology2"] == ranked[0]  # rank-1 dataset is hottest
+
+    def test_arrival_times_monotonic(self):
+        times = [s.at_s for s in build_schedule(SPEC)]
+        assert times == sorted(times)
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(ValueError):
+            build_schedule(LoadSpec(requests=0))
+        with pytest.raises(ValueError):
+            build_schedule(LoadSpec(datasets=()))
+
+
+class TestChaosLoad:
+    def _assert_contract(self, snapshot):
+        assert snapshot["unanswered"] == 0
+        assert snapshot["answered"] == snapshot["spec"]["requests"]
+        assert set(snapshot["outcomes"]) <= TERMINAL_STATUSES
+        assert snapshot["latency_ms"], "no latencies collected"
+        assert snapshot["outcomes"].get("failed", 0) == 0
+
+    def test_clean_burst_all_answered(self):
+        snapshot = run_load(
+            SPEC, ServeConfig(workers=2, queue_limit=64, scale_div=1024)
+        )
+        self._assert_contract(snapshot)
+        assert snapshot["outcomes"]["ok"] == 40  # no faults: everything ok
+        assert snapshot["cache_hits"] > 0  # rotating seeds revisit keys
+
+    def test_saturation_sheds_but_answers(self):
+        snapshot = run_load(
+            SPEC, ServeConfig(workers=1, queue_limit=2, scale_div=1024)
+        )
+        self._assert_contract(snapshot)
+        assert snapshot["shed_reasons"].get("queue_full", 0) > 0
+        assert snapshot["outcomes"]["ok"] > 0
+
+    def test_kill_delay_raise_chaos(self, fault_state, monkeypatch):
+        """The CI job's clause mix: kills on the hot dataset's primary,
+        a transient raise on another, and a delay long enough to trip
+        per-request deadlines."""
+        monkeypatch.setenv(
+            "REPRO_FAULTS",
+            "kill@ecology2:gunrock.hash:*:site=serve:times=4;"
+            "raise@offshore:graphblas.mis:0:site=serve:times=3;"
+            "delay@G3_circuit:*:0:site=serve:s=0.4:times=2",
+        )
+        spec = LoadSpec(
+            requests=40,
+            datasets=("ecology2", "offshore", "G3_circuit"),
+            impls=("gunrock.hash", "graphblas.mis", "cpu.greedy"),
+            scale_div=1024,
+            seed=99,
+            deadline_s=5.0,
+        )
+        with metrics.activate() as reg:
+            snapshot = run_load(
+                spec,
+                ServeConfig(
+                    workers=2, queue_limit=64, retries=1, scale_div=1024
+                ),
+            )
+        self._assert_contract(snapshot)
+        # The injected faults visibly exercised the recovery paths.
+        outcomes = snapshot["outcomes"]
+        assert outcomes["ok"] > 0
+        assert (
+            snapshot["degraded"] > 0 or snapshot["attempts_total"] > 40
+        ), "faults armed but neither retries nor degradation observed"
+        # Loadgen published its latency quantiles as gauges.
+        for q in ("p50", "p95", "p99"):
+            assert reg.get("repro_serve_latency_quantile_ms", q=q) > 0.0
+
+    def test_tight_deadlines_time_out_not_hang(self, fault_state, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_FAULTS", "delay@*:*:*:site=serve:s=0.5"
+        )
+        spec = LoadSpec(
+            requests=8,
+            datasets=("ecology2",),
+            impls=("cpu.greedy",),
+            scale_div=1024,
+            seed=3,
+            deadline_s=0.15,
+        )
+        snapshot = run_load(
+            spec, ServeConfig(workers=2, queue_limit=16, scale_div=1024)
+        )
+        assert snapshot["unanswered"] == 0
+        assert snapshot["outcomes"].get("timeout", 0) > 0
+
+
+class TestServeFaultSite:
+    """site= plumbing: serve clauses arm only the serve injection
+    point, and serve-site kills model a dead worker instead of
+    SIGKILLing the host process."""
+
+    def test_parse_site_round_trip(self):
+        spec = faults.parse_faults("raise@a:b:0:site=serve:times=1")[0]
+        assert spec.site == "serve"
+        assert ":serve" in spec.key()
+        rep = faults.parse_faults("raise@a:b:0")[0]
+        assert rep.site == "rep"
+        assert spec.key() != rep.key()  # budgets never cross sites
+
+    def test_bad_site_rejected(self):
+        from repro.errors import HarnessError
+
+        with pytest.raises(HarnessError):
+            faults.parse_faults("raise@a:b:0:site=grid")
+
+    def test_serve_clause_does_not_fire_at_rep_site(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "raise@a:b:*:site=serve")
+        faults.maybe_fire("a", "b", 0)  # no raise: wrong site
+
+    def test_rep_clause_does_not_fire_at_serve_site(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "raise@a:b:*")
+        faults.maybe_fire_serve("a", "b", 0)  # no raise: wrong site
+
+    def test_serve_kill_raises_worker_kill_fault(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "kill@a:b:*:site=serve")
+        with pytest.raises(WorkerKillFault):
+            faults.maybe_fire_serve("a", "b", 0)
+        # ... and the process demonstrably survived to assert this.
+
+    def test_attempt_number_matching(self, monkeypatch):
+        from repro.errors import TransientFaultError
+
+        monkeypatch.setenv("REPRO_FAULTS", "raise@a:b:1:site=serve")
+        faults.maybe_fire_serve("a", "b", 0)  # attempt 0: no match
+        with pytest.raises(TransientFaultError):
+            faults.maybe_fire_serve("a", "b", 1)
+
+    def test_hooks_see_serve_site(self):
+        seen = []
+        with faults.injected(lambda s: seen.append((s.site, s.rep))):
+            faults.maybe_fire_serve("a", "b", 2)
+        assert seen == [("serve", 2)]

@@ -1,0 +1,57 @@
+"""Golden-trajectory coverage through the *service* path.
+
+The golden suite (test_golden.py) pins every Figure 1 implementation's
+trajectory on three checked-in graphs.  This module replays the same
+(graph, impl) matrix through an in-process :class:`ServeClient` and
+compares against the very same golden files: a non-degraded service
+response must carry the golden's distinct-color count, coloring
+SHA-256, ``sim_ms``, and iteration count bit for bit — whether it was
+computed on demand or served from the result cache.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import FIGURE1_ALGORITHMS
+from repro.serve import ColoringRequest, ServeClient, ServeConfig
+
+from test_golden import ALGO_SEED, GRAPHS, _load_graph, _read_golden
+
+
+@pytest.fixture(scope="module")
+def served():
+    """One service shared by the whole matrix: the second pass over a
+    (graph, impl) pair exercises the cache path against the golden."""
+    with ServeClient(ServeConfig(workers=2, queue_limit=64)) as client:
+        responses = {}
+        for graph_name in sorted(GRAPHS):
+            graph = _load_graph(graph_name)
+            for impl in FIGURE1_ALGORITHMS:
+                req = dict(impl=impl, graph=graph, seed=ALGO_SEED)
+                first = client.submit(ColoringRequest(**req))
+                second = client.submit(ColoringRequest(**req))
+                responses[(graph_name, impl)] = (first, second)
+    return responses
+
+
+@pytest.mark.parametrize("impl", FIGURE1_ALGORITHMS)
+@pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+def test_served_trajectory_matches_golden(graph_name, impl, served):
+    first, second = served[(graph_name, impl)]
+    golden = _read_golden(graph_name)[impl]
+    for label, response in (("computed", first), ("cache", second)):
+        assert response.status == "ok", (
+            f"{impl} on {graph_name} ({label}): {response.status} "
+            f"({response.reason})"
+        )
+        assert response.source == label
+        assert not response.degraded
+        assert response.num_colors == golden["colors"], label
+        assert response.coloring_sha256 == golden["coloring_sha256"], label
+        assert response.sim_ms == golden["sim_ms"], label
+        assert response.iterations == golden["iterations"], label
+
+
+def test_matrix_is_complete(served):
+    assert len(served) == len(GRAPHS) * len(FIGURE1_ALGORITHMS)
