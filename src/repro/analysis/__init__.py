@@ -1,10 +1,31 @@
 """Static analysis for the reproduction: the repro-lint rule engine.
 
 ``python -m repro.analysis lint [paths]`` checks the determinism and
-simulation invariants documented in :mod:`repro.analysis.lint` (rules
-RPL000–RPL006).  See ``docs/static-analysis.md`` for the catalogue.
+simulation invariants documented in :mod:`repro.analysis.lint` (single
+file rules RPL0xx), the interprocedural nondeterminism-taint rules
+(RPL1xx, :mod:`repro.analysis.rules.determinism`), and the
+async/concurrency rules (RPL2xx,
+:mod:`repro.analysis.rules.concurrency`).  ``python -m repro.analysis
+certify`` runs the static kernel access analyzer
+(:mod:`repro.analysis.rules.kernels`) and emits the race certificates
+the runtime sanitizer consumes.  See ``docs/static-analysis.md`` for
+the full catalogue.
 """
 
+from .engine import AnalysisReport, analyze_paths
 from .lint import RULES, Violation, lint_file, lint_paths, lint_source
+from .rules import CATALOG, RuleMeta, all_rule_ids, rule_meta
 
-__all__ = ["RULES", "Violation", "lint_file", "lint_paths", "lint_source"]
+__all__ = [
+    "RULES",
+    "CATALOG",
+    "RuleMeta",
+    "AnalysisReport",
+    "Violation",
+    "all_rule_ids",
+    "analyze_paths",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "rule_meta",
+]

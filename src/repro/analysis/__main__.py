@@ -2,27 +2,50 @@
 
 Usage::
 
-    python -m repro.analysis lint [PATH ...] [--format=text|json]
+    python -m repro.analysis lint [PATH ...] [--format=text|json|sarif]
+    python -m repro.analysis lint --baseline FILE [--write-baseline]
     python -m repro.analysis lint --list-rules
+    python -m repro.analysis certify [PATH ...] [--output FILE]
 
-With no paths the installed ``repro`` package itself is linted.
+With no paths the installed ``repro`` package itself is analyzed.
 
-Exit codes: 0 — clean; 1 — violations found; 2 — usage error.
+``lint`` runs the full suite: the single-file rules (RPL0xx), the
+interprocedural nondeterminism-taint rules (RPL1xx), and the
+async/concurrency rules (RPL2xx).  ``--baseline`` subtracts a committed
+baseline (see :mod:`repro.analysis.baseline`); ``--write-baseline``
+regenerates it from the current findings instead of gating.
+
+``certify`` runs the static kernel access analyzer and writes the race
+certificates the runtime sanitizer consumes (see
+:mod:`repro.analysis.rules.kernels`).
+
+Exit codes: 0 — clean; 4 — violations found (matching
+``python -m repro.harness lint``); 2 — usage error.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
-from .lint import RULES, lint_paths
+from .engine import analyze_paths
+from .lint import RULES
+from .rules import rule_meta
 
 EXIT_CLEAN = 0
-EXIT_VIOLATIONS = 1
+#: Matches repro.harness.__main__.EXIT_LINT so every lint surface
+#: reports debt with one number.
+EXIT_VIOLATIONS = 4
 EXIT_USAGE = 2
+
+
+def _default_cert_path() -> Path:
+    cache_dir = os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
+    return Path(cache_dir) / "race-certs.json"
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -41,51 +64,143 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="subtract the committed baseline before gating",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="regenerate the --baseline file from the current findings",
     )
     lint.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalogue and exit",
     )
+    certify = sub.add_parser(
+        "certify",
+        help="statically classify gpusim kernels and write race certificates",
+    )
+    certify.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to analyze (default: the repro package)",
+    )
+    certify.add_argument(
+        "--output",
+        metavar="FILE",
+        help="certificate path (default: $REPRO_CACHE_DIR/race-certs.json)",
+    )
     return parser
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = _build_parser().parse_args(argv)
-    if args.command != "lint":  # pragma: no cover — argparse enforces this
-        return EXIT_USAGE
-
+def _cmd_lint(args) -> int:
     if args.list_rules:
         for rule_id in sorted(RULES):
-            print(f"{rule_id}  {RULES[rule_id]}")
+            meta = rule_meta(rule_id)
+            print(
+                f"{rule_id}  [{meta.category}/{meta.severity}]  {meta.summary}"
+            )
         return EXIT_CLEAN
 
     paths = args.paths or [Path(__file__).resolve().parents[1]]
+
+    if args.write_baseline:
+        if not args.baseline:
+            print("error: --write-baseline requires --baseline", file=sys.stderr)
+            return EXIT_USAGE
+        from .baseline import write_baseline
+
+        report = analyze_paths(paths)
+        n = write_baseline(report.violations, args.baseline)
+        print(
+            f"baseline: wrote {n} entr{'y' if n == 1 else 'ies'} "
+            f"({len(report.violations)} finding(s)) to {args.baseline}"
+        )
+        return EXIT_CLEAN
+
+    baseline = None
+    if args.baseline:
+        from .baseline import load_baseline
+
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: cannot read baseline: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+
     try:
-        violations = lint_paths(paths)
+        report = analyze_paths(paths, baseline=baseline)
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_USAGE
 
+    violations = report.violations
     if args.format == "json":
-        print(
-            json.dumps(
-                {
-                    "violations": [v.to_dict() for v in violations],
-                    "count": len(violations),
-                },
-                indent=2,
-            )
-        )
+        payload = {
+            "violations": [v.to_dict() for v in violations],
+            "count": len(violations),
+        }
+        if baseline is not None:
+            payload["absorbed"] = len(report.absorbed)
+        print(json.dumps(payload, indent=2))
+    elif args.format == "sarif":
+        from .sarif import to_sarif
+
+        print(json.dumps(to_sarif(violations), indent=2))
     else:
         for v in violations:
             print(v.render())
         if violations:
             print(f"{len(violations)} violation(s)", file=sys.stderr)
+        if report.absorbed:
+            print(
+                f"{len(report.absorbed)} baseline-absorbed finding(s)",
+                file=sys.stderr,
+            )
     return EXIT_VIOLATIONS if violations else EXIT_CLEAN
+
+
+def _cmd_certify(args) -> int:
+    from .rules.kernels import certify_tree, write_certificates
+
+    paths = args.paths or [Path(__file__).resolve().parents[1]]
+    try:
+        payload = certify_tree(paths)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    out = Path(args.output) if args.output else _default_cert_path()
+    write_certificates(payload, out)
+    kernels = payload["kernels"]
+    by_verdict: dict = {}
+    for entry in kernels.values():
+        by_verdict[entry["verdict"]] = by_verdict.get(entry["verdict"], 0) + 1
+    summary = ", ".join(
+        f"{count} {verdict}" for verdict, count in sorted(by_verdict.items())
+    )
+    print(
+        f"certified {len(kernels)} kernel name(s) -> {out}"
+        + (f" ({summary})" if summary else "")
+    )
+    for name in sorted(kernels):
+        print(f"  {name}: {kernels[name]['verdict']}")
+    return EXIT_CLEAN
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "lint":
+        return _cmd_lint(args)
+    if args.command == "certify":
+        return _cmd_certify(args)
+    return EXIT_USAGE  # pragma: no cover — argparse enforces this
 
 
 if __name__ == "__main__":

@@ -1,0 +1,90 @@
+"""Committed-baseline mechanism for widening the lint gate.
+
+Turning new rules (or new directories) on over an existing tree means
+pre-existing findings.  Rather than weakening the rules or littering
+the tree with suppressions, CI commits a *baseline*: a multiset of
+known findings keyed by ``(file, rule, message)``.  The gate then fails
+only on findings **not** absorbed by the baseline — new debt fails CI,
+old debt is visible (the file is in review) but not blocking.
+
+Line numbers are deliberately not part of the key: unrelated edits
+shift lines constantly, and a baseline that churns on every edit gets
+rubber-stamped.  The multiset count still caps each entry, so *adding*
+a second identical finding in the same file is caught.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+__all__ = [
+    "BASELINE_VERSION",
+    "baseline_key",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+]
+
+BASELINE_VERSION = 1
+
+Key = Tuple[str, str, str]
+
+
+def baseline_key(violation) -> Key:
+    return (
+        str(violation.file).replace("\\", "/"),
+        violation.rule,
+        violation.message,
+    )
+
+
+def load_baseline(path) -> Counter:
+    """Read a baseline file into a Counter of keys."""
+    raw = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(raw, dict) or "entries" not in raw:
+        raise ValueError(f"{path}: not a repro-lint baseline file")
+    counts: Counter = Counter()
+    for entry in raw["entries"]:
+        counts[(entry["file"], entry["rule"], entry["message"])] += int(
+            entry.get("count", 1)
+        )
+    return counts
+
+
+def write_baseline(violations: Iterable, path) -> int:
+    """Write the baseline absorbing every given violation; returns the
+    number of distinct entries."""
+    counts = Counter(baseline_key(v) for v in violations)
+    entries = [
+        {"file": f, "rule": r, "message": m, "count": c}
+        for (f, r, m), c in sorted(counts.items())
+    ]
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return len(entries)
+
+
+def apply_baseline(violations: Iterable, baseline: Counter):
+    """Split violations into ``(kept, absorbed)`` against the baseline.
+
+    Each baseline entry absorbs up to ``count`` matching findings;
+    extras beyond the recorded count are kept (they are *new* debt).
+    """
+    budget = Counter(baseline)
+    kept: List = []
+    absorbed: List = []
+    for v in violations:
+        key = baseline_key(v)
+        if budget[key] > 0:
+            budget[key] -= 1
+            absorbed.append(v)
+        else:
+            kept.append(v)
+    return kept, absorbed

@@ -1,0 +1,248 @@
+"""Module index and best-effort call graph for the analysis engine.
+
+The interprocedural passes (:mod:`repro.analysis.dataflow`, the RPL2xx
+rules) need two things the single-file lint never did: a *project* view
+of every module being analyzed, and a way to resolve a call expression
+to the function definition it lands on.  Resolution is deliberately
+best-effort — Python's dynamism makes a sound call graph impossible —
+and errs on the side of *unresolved* (the dataflow layer treats an
+unresolved call conservatively rather than guessing).
+
+Resolved call shapes:
+
+* ``f(...)`` — a function defined earlier or later in the same module,
+  or imported via ``from mod import f [as g]`` (absolute or relative);
+* ``mod.f(...)`` — where ``mod`` comes from ``import package.mod as
+  mod`` / ``import mod``;
+* ``self.m(...)`` / ``cls.m(...)`` — a method of the lexically
+  enclosing class.
+
+Everything else (attribute chains on objects, calls through variables,
+``getattr``) is unresolved.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path, PurePath
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "FunctionInfo",
+    "ModuleInfo",
+    "Project",
+    "build_project",
+    "dotted_name",
+]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for pure Name/Attribute chains, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition inside a module."""
+
+    module: "ModuleInfo"
+    qualname: str  # "f" or "Class.f"
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    enclosing_class: Optional[str] = None
+
+    @property
+    def is_async(self) -> bool:
+        return isinstance(self.node, ast.AsyncFunctionDef)
+
+    @property
+    def params(self) -> List[str]:
+        a = self.node.args
+        names = [p.arg for p in a.posonlyargs + a.args]
+        if self.enclosing_class and names and names[0] in ("self", "cls"):
+            names = names[1:]
+        names.extend(p.arg for p in a.kwonlyargs)
+        return names
+
+    def key(self) -> Tuple[str, str]:
+        return (self.module.key, self.qualname)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file plus its import environment."""
+
+    key: str  # normalized posix path, the project-wide identity
+    path: PurePath
+    tree: ast.Module
+    #: dotted module name guess ("repro.core.gr_is"), or None.
+    modname: Optional[str] = None
+    #: ``import numpy as np`` -> {"np": "numpy"}
+    imports: Dict[str, str] = field(default_factory=dict)
+    #: ``from mod import f as g`` -> {"g": ("mod", "f")} (module resolved
+    #: to a dotted absolute name when the relative level can be applied).
+    from_imports: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+
+    def top_level_names(self) -> List[str]:
+        """Names bound by module-level assignments (shared-state roots)."""
+        out: List[str] = []
+        for stmt in self.tree.body:
+            targets: List[ast.AST] = []
+            if isinstance(stmt, ast.Assign):
+                targets = list(stmt.targets)
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets = [stmt.target]
+            for t in targets:
+                if isinstance(t, ast.Name):
+                    out.append(t.id)
+        return out
+
+
+def _guess_modname(path: PurePath) -> Optional[str]:
+    """Dotted module name from a path, anchored at the last package root
+    we recognize (a ``repro`` component, or ``src``'s first child)."""
+    parts = list(path.parts)
+    stem = path.stem
+    anchors = [i for i, p in enumerate(parts) if p == "repro"]
+    if anchors:
+        rel = parts[anchors[-1]:-1] + ([] if stem == "__init__" else [stem])
+        return ".".join(rel)
+    return stem if stem != "__init__" else None
+
+
+class Project:
+    """The set of modules under analysis, with call resolution."""
+
+    def __init__(self, modules: Sequence[ModuleInfo]):
+        self.modules: Dict[str, ModuleInfo] = {m.key: m for m in modules}
+        self.by_modname: Dict[str, ModuleInfo] = {}
+        for m in modules:
+            if m.modname:
+                # First writer wins so duplicate stems in fixture trees
+                # stay deterministic (modules arrive key-sorted).
+                self.by_modname.setdefault(m.modname, m)
+
+    def sorted_modules(self) -> List[ModuleInfo]:
+        return [self.modules[k] for k in sorted(self.modules)]
+
+    def function(self, modname: str, name: str) -> Optional[FunctionInfo]:
+        mod = self.by_modname.get(modname)
+        if mod is None:
+            return None
+        return mod.functions.get(name)
+
+    def resolve_call(
+        self,
+        module: ModuleInfo,
+        call: ast.Call,
+        *,
+        enclosing_class: Optional[str] = None,
+    ) -> Optional[FunctionInfo]:
+        """The FunctionInfo a call lands on, or None when unknown."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            name = func.id
+            fn = module.functions.get(name)
+            if fn is not None and fn.enclosing_class is None:
+                return fn
+            target = module.from_imports.get(name)
+            if target is not None:
+                return self.function(target[0], target[1])
+            return None
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            if isinstance(base, ast.Name):
+                if base.id in ("self", "cls") and enclosing_class:
+                    return module.functions.get(
+                        f"{enclosing_class}.{func.attr}"
+                    )
+                target_mod = module.imports.get(base.id)
+                if target_mod is not None:
+                    return self.function(target_mod, func.attr)
+                # ``from pkg import mod`` then ``mod.f()``
+                from_target = module.from_imports.get(base.id)
+                if from_target is not None:
+                    dotted = ".".join(p for p in from_target if p)
+                    return self.function(dotted, func.attr)
+        return None
+
+
+def _absolute_module(modname: Optional[str], node: ast.ImportFrom) -> str:
+    """Resolve a (possibly relative) ``from … import`` to a dotted name."""
+    target = node.module or ""
+    if node.level == 0:
+        return target
+    if not modname:
+        return target
+    base = modname.split(".")
+    # level=1 strips the module's own name; each extra level one package.
+    base = base[: max(len(base) - node.level, 0)]
+    return ".".join(base + ([target] if target else []))
+
+
+def index_module(key: str, path: PurePath, tree: ast.Module) -> ModuleInfo:
+    """Build the import table and function index for one parsed file."""
+    mod = ModuleInfo(key=key, path=path, tree=tree, modname=_guess_modname(path))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                mod.imports[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+                if alias.asname:
+                    mod.imports[alias.asname] = alias.name
+        elif isinstance(node, ast.ImportFrom):
+            absolute = _absolute_module(mod.modname, node)
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                mod.from_imports[alias.asname or alias.name] = (
+                    absolute,
+                    alias.name,
+                )
+
+    def index_functions(body, cls: Optional[str]) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{cls}.{stmt.name}" if cls else stmt.name
+                mod.functions[qual] = FunctionInfo(
+                    module=mod,
+                    qualname=qual,
+                    node=stmt,
+                    enclosing_class=cls,
+                )
+            elif isinstance(stmt, ast.ClassDef) and cls is None:
+                index_functions(stmt.body, stmt.name)
+
+    index_functions(tree.body, None)
+    return mod
+
+
+def build_project(sources: Dict[str, Tuple[PurePath, ast.Module]]) -> Project:
+    """Assemble a Project from ``{key: (path, parsed tree)}``."""
+    modules = [
+        index_module(key, path, tree)
+        for key, (path, tree) in sorted(sources.items())
+    ]
+    return Project(modules)
+
+
+def load_project(paths: Sequence) -> Project:
+    """Parse the given files into a Project, skipping unparsable ones."""
+    sources: Dict[str, Tuple[PurePath, ast.Module]] = {}
+    for raw in paths:
+        p = Path(raw)
+        try:
+            tree = ast.parse(p.read_text(encoding="utf-8"), filename=str(p))
+        except (SyntaxError, OSError, UnicodeDecodeError):
+            continue
+        sources[p.as_posix()] = (PurePath(p), tree)
+    return build_project(sources)

@@ -1,0 +1,553 @@
+"""Forward dataflow / taint framework over the project call graph.
+
+The RPL1xx rules need to answer a question the single-file lint
+structurally cannot: *does a value born nondeterministic ever reach a
+simulated quantity?* — where birth and death may be several function
+calls apart.  This module provides the generic machinery:
+
+* a per-function forward taint walker (environment of
+  ``name -> {taint tokens}``, strong updates on plain assignments,
+  loop bodies iterated to a small fixpoint);
+* function **summaries** — which taints a function returns, which of
+  its parameters flow to its return, and which parameters flow into a
+  sink inside it — computed to fixpoint over the whole project so taint
+  crosses call boundaries in both directions;
+* a pluggable :class:`TaintPolicy` that defines what counts as a
+  *source* (taint origin), a *sink*, and which calls sanitize the
+  ordering-based taints (``sorted`` et al.).
+
+Taint tokens are either an **origin** string (``"wall-clock"``,
+``"rng"``, ``"set-order"``, ``"id-hash"``, ``"env"``) or a **param**
+token ``("param", i)`` used while computing summaries.  Implicit flows
+(taint through branch conditions) are deliberately not tracked — they
+would flag virtually everything downstream of ``sanitize_enabled()``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from .callgraph import FunctionInfo, ModuleInfo, Project, dotted_name
+
+__all__ = [
+    "ORIGINS",
+    "TaintPolicy",
+    "TaintFinding",
+    "Summary",
+    "TaintAnalysis",
+]
+
+#: The taint origins the determinism rules recognize.
+ORIGINS = ("wall-clock", "rng", "set-order", "id-hash", "env")
+
+#: Upper bound on whole-project summary iterations; deep call chains
+#: converge in `depth` passes, and real code is shallow.
+_MAX_PROJECT_PASSES = 6
+#: Per-function statement-walk repetitions (loop-carried taint).
+_FN_PASSES = 2
+
+Token = object  # str origin | ("param", int)
+
+
+def _is_origin(token: Token) -> bool:
+    return isinstance(token, str)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """What a function does with taint, as seen from a call site."""
+
+    returns: FrozenSet[str] = frozenset()
+    param_returns: FrozenSet[int] = frozenset()
+    #: ``(param index, sink kind)`` — the param flows into a sink inside.
+    param_sinks: FrozenSet[Tuple[int, str]] = frozenset()
+    #: Return value is a set (its iteration order is unstable).
+    returns_set: bool = False
+
+
+@dataclass(frozen=True)
+class TaintFinding:
+    """One origin reaching one sink."""
+
+    module_key: str
+    line: int
+    col: int
+    origin: str
+    sink: str
+    #: Callee carrying the flow when it crossed a call boundary.
+    via: Optional[str] = None
+
+
+class TaintPolicy:
+    """Hook points a rule family implements.  The defaults are inert so
+    subclasses only override what they use."""
+
+    #: Call leaves that erase ``"set-order"`` taint (canonicalizers).
+    ORDER_SANITIZERS: FrozenSet[str] = frozenset(
+        {"sorted", "len", "min", "max", "sum", "set", "frozenset", "sort", "unique"}
+    )
+    #: Dict-literal keys that make the dict a sim-visible payload.
+    PAYLOAD_KEYS: FrozenSet[str] = frozenset()
+
+    def call_origins(
+        self, call: ast.Call, module: ModuleInfo
+    ) -> Set[str]:  # pragma: no cover - interface
+        """Origins a call expression gives birth to."""
+        return set()
+
+    def subscript_origins(
+        self, node: ast.Subscript, module: ModuleInfo
+    ) -> Set[str]:  # pragma: no cover - interface
+        """Origins a subscript *read* gives birth to (``os.environ[…]``)."""
+        return set()
+
+    def assign_sink(self, target: ast.AST, module: ModuleInfo) -> Optional[str]:
+        """Sink kind for a store target, or None."""
+        return None
+
+    def call_sinks(
+        self, call: ast.Call, module: ModuleInfo
+    ) -> List[Tuple[ast.AST, str]]:
+        """``(argument expression, sink kind)`` pairs for a call."""
+        return []
+
+
+class _FunctionTaint:
+    """One forward walk of one function body."""
+
+    def __init__(
+        self,
+        analysis: "TaintAnalysis",
+        fn: FunctionInfo,
+    ) -> None:
+        self.analysis = analysis
+        self.policy = analysis.policy
+        self.project = analysis.project
+        self.fn = fn
+        self.module = fn.module
+        self.env: Dict[str, Set[Token]] = {}
+        self.settyped: Set[str] = set()
+        self.ret_tokens: Set[Token] = set()
+        self.returns_set = False
+        self.param_sink_hits: Set[Tuple[int, str]] = set()
+        self.params = fn.params
+        for i, name in enumerate(self.params):
+            self.env[name] = {("param", i)}
+
+    # -- driving ------------------------------------------------------------
+
+    def run(self) -> Summary:
+        body = getattr(self.fn.node, "body", [])
+        for _ in range(_FN_PASSES):
+            self._walk_body(body)
+        returns = frozenset(t for t in self.ret_tokens if _is_origin(t))
+        param_returns = frozenset(
+            t[1] for t in self.ret_tokens if not _is_origin(t)
+        )
+        return Summary(
+            returns=returns,
+            param_returns=param_returns,
+            param_sinks=frozenset(self.param_sink_hits),
+            returns_set=self.returns_set,
+        )
+
+    # -- statements ---------------------------------------------------------
+
+    def _walk_body(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self._stmt(stmt)
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested scopes analyzed as their own functions
+        if isinstance(stmt, ast.Assign):
+            tokens, is_set = self._eval(stmt.value)
+            for target in stmt.targets:
+                self._store(target, tokens, is_set, stmt)
+            return
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                tokens, is_set = self._eval(stmt.value)
+                self._store(stmt.target, tokens, is_set, stmt)
+            return
+        if isinstance(stmt, ast.AugAssign):
+            tokens, _ = self._eval(stmt.value)
+            tokens = set(tokens) | self._load_target(stmt.target)
+            self._store(stmt.target, tokens, False, stmt, augment=True)
+            return
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                tokens, is_set = self._eval(stmt.value)
+                self.ret_tokens |= tokens
+                self.returns_set = self.returns_set or is_set
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            tokens, is_set = self._eval(stmt.iter)
+            if is_set:
+                tokens = set(tokens) | {"set-order"}
+            self._bind_loop_target(stmt.target, tokens)
+            self._walk_body(stmt.body)
+            self._walk_body(stmt.orelse)
+            return
+        if isinstance(stmt, ast.While):
+            self._eval(stmt.test)
+            self._walk_body(stmt.body)
+            self._walk_body(stmt.orelse)
+            return
+        if isinstance(stmt, ast.If):
+            self._eval(stmt.test)
+            # Both arms walked over one environment: the result is the
+            # union over-approximation, which is what we want.
+            self._walk_body(stmt.body)
+            self._walk_body(stmt.orelse)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                tokens, is_set = self._eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._store(item.optional_vars, tokens, is_set, stmt)
+            self._walk_body(stmt.body)
+            return
+        if isinstance(stmt, ast.Try):
+            self._walk_body(stmt.body)
+            for handler in stmt.handlers:
+                self._walk_body(handler.body)
+            self._walk_body(stmt.orelse)
+            self._walk_body(stmt.finalbody)
+            return
+        if isinstance(stmt, ast.Expr):
+            self._eval(stmt.value)
+            return
+        # Everything else (imports, pass, global, raise, assert, del):
+        # evaluate child expressions for their side effects on findings.
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self._eval(child)
+
+    # -- stores and sinks ---------------------------------------------------
+
+    def _store(
+        self,
+        target: ast.AST,
+        tokens: Set[Token],
+        is_set: bool,
+        stmt: ast.stmt,
+        *,
+        augment: bool = False,
+    ) -> None:
+        sink = self.policy.assign_sink(target, self.module)
+        if sink is not None:
+            self._report(tokens, sink, stmt)
+        if isinstance(target, ast.Name):
+            if augment:
+                self.env[target.id] = self.env.get(target.id, set()) | tokens
+            else:
+                self.env[target.id] = set(tokens)
+                if is_set:
+                    self.settyped.add(target.id)
+                else:
+                    self.settyped.discard(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._store(elt, tokens, False, stmt, augment=augment)
+        elif isinstance(target, ast.Starred):
+            self._store(target.value, tokens, False, stmt, augment=augment)
+        elif isinstance(target, ast.Attribute) and isinstance(
+            target.value, ast.Name
+        ):
+            key = f"{target.value.id}.{target.attr}"
+            self.env[key] = self.env.get(key, set()) | tokens
+        elif isinstance(target, ast.Subscript):
+            base = target.value
+            if isinstance(base, ast.Name):
+                self.env[base.id] = self.env.get(base.id, set()) | tokens
+
+    def _load_target(self, target: ast.AST) -> Set[Token]:
+        if isinstance(target, ast.Name):
+            return set(self.env.get(target.id, set()))
+        if isinstance(target, ast.Attribute) and isinstance(
+            target.value, ast.Name
+        ):
+            return set(self.env.get(f"{target.value.id}.{target.attr}", set()))
+        return set()
+
+    def _bind_loop_target(self, target: ast.AST, tokens: Set[Token]) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = set(tokens)
+            self.settyped.discard(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind_loop_target(elt, tokens)
+
+    def _report(
+        self,
+        tokens: Set[Token],
+        sink: str,
+        node: ast.AST,
+        *,
+        via: Optional[str] = None,
+    ) -> None:
+        for token in sorted(t for t in tokens if _is_origin(t)):
+            self.analysis.findings.add(
+                TaintFinding(
+                    module_key=self.module.key,
+                    line=getattr(node, "lineno", 1),
+                    col=getattr(node, "col_offset", 0),
+                    origin=token,
+                    sink=sink,
+                    via=via,
+                )
+            )
+        for token in tokens:
+            if not _is_origin(token):
+                self.param_sink_hits.add((token[1], sink))
+
+    # -- expressions --------------------------------------------------------
+
+    def _eval(self, node: ast.AST) -> Tuple[Set[Token], bool]:
+        """Taint tokens and set-typedness of an expression."""
+        if isinstance(node, ast.Name):
+            return set(self.env.get(node.id, set())), node.id in self.settyped
+        if isinstance(node, ast.Constant):
+            return set(), False
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.Attribute):
+            if isinstance(node.value, ast.Name):
+                key = f"{node.value.id}.{node.attr}"
+                if key in self.env:
+                    return set(self.env[key]), False
+            tokens, _ = self._eval(node.value)
+            return tokens, False
+        if isinstance(node, ast.Subscript):
+            tokens, _ = self._eval(node.value)
+            extra = self.policy.subscript_origins(node, self.module)
+            idx_tokens, _ = self._eval(node.slice)
+            return tokens | extra | idx_tokens, False
+        if isinstance(node, (ast.BinOp,)):
+            lt, _ = self._eval(node.left)
+            rt, _ = self._eval(node.right)
+            return lt | rt, False
+        if isinstance(node, ast.UnaryOp):
+            return self._eval(node.operand)
+        if isinstance(node, ast.BoolOp):
+            out: Set[Token] = set()
+            for v in node.values:
+                t, _ = self._eval(v)
+                out |= t
+            return out, False
+        if isinstance(node, ast.Compare):
+            out, _ = self._eval(node.left)
+            for comp in node.comparators:
+                t, _ = self._eval(comp)
+                out |= t
+            return out, False
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test)
+            bt, bs = self._eval(node.body)
+            ot, os_ = self._eval(node.orelse)
+            return bt | ot, bs or os_
+        if isinstance(node, (ast.List, ast.Tuple)):
+            out = set()
+            for elt in node.elts:
+                t, _ = self._eval(elt)
+                out |= t
+            return out, False
+        if isinstance(node, ast.Set):
+            out = set()
+            for elt in node.elts:
+                t, _ = self._eval(elt)
+                out |= t
+            return out, True
+        if isinstance(node, ast.Dict):
+            out = set()
+            payload_hits: List[Tuple[ast.AST, Set[Token]]] = []
+            for key, value in zip(node.keys, node.values):
+                vt, _ = self._eval(value)
+                out |= vt
+                if (
+                    key is not None
+                    and isinstance(key, ast.Constant)
+                    and key.value in self.policy.PAYLOAD_KEYS
+                    and vt
+                ):
+                    payload_hits.append((value, vt))
+            for value, vt in payload_hits:
+                self._report(vt, "payload", value)
+            return out, False
+        if isinstance(node, ast.SetComp):
+            tokens = self._eval_comprehension(node.generators, node.elt)
+            return tokens, True
+        if isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+            return self._eval_comprehension(node.generators, node.elt), False
+        if isinstance(node, ast.DictComp):
+            tokens = self._eval_comprehension(node.generators, node.value)
+            return tokens, False
+        if isinstance(node, ast.JoinedStr):
+            out = set()
+            for v in node.values:
+                t, _ = self._eval(v)
+                out |= t
+            return out, False
+        if isinstance(node, ast.FormattedValue):
+            return self._eval(node.value)
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value)
+        if isinstance(node, (ast.Await, ast.YieldFrom)):
+            return self._eval(node.value)
+        if isinstance(node, ast.Yield):
+            if node.value is not None:
+                return self._eval(node.value)
+            return set(), False
+        if isinstance(node, ast.NamedExpr):
+            tokens, is_set = self._eval(node.value)
+            self._store(node.target, tokens, is_set, node)
+            return tokens, is_set
+        if isinstance(node, ast.Lambda):
+            return set(), False
+        # Fallback: union over child expressions.
+        out = set()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                t, _ = self._eval(child)
+                out |= t
+        return out, False
+
+    def _eval_comprehension(self, generators, elt) -> Set[Token]:
+        out: Set[Token] = set()
+        for gen in generators:
+            t, is_set = self._eval(gen.iter)
+            out |= t
+            if is_set:
+                out.add("set-order")
+            self._bind_loop_target(gen.target, set(out))
+            for cond in gen.ifs:
+                t, _ = self._eval(cond)
+                out |= t
+        t, _ = self._eval(elt)
+        return out | t
+
+    def _eval_call(self, call: ast.Call) -> Tuple[Set[Token], bool]:
+        arg_tokens: List[Set[Token]] = []
+        any_set = False
+        for arg in call.args:
+            t, is_set = self._eval(arg)
+            arg_tokens.append(t)
+            any_set = any_set or is_set
+        kw_tokens: Dict[str, Set[Token]] = {}
+        for kw in call.keywords:
+            t, _ = self._eval(kw.value)
+            kw_tokens[kw.arg or "**"] = t
+
+        tokens: Set[Token] = set()
+        # 1. Is the call itself a source?
+        tokens |= self.policy.call_origins(call, self.module)
+
+        leaf = self._call_leaf(call)
+
+        # 2. Explicit sinks on arguments (charge_*, result payloads, …).
+        for arg_node, sink in self.policy.call_sinks(call, self.module):
+            t, _ = self._eval(arg_node)
+            if t:
+                self._report(t, sink, arg_node)
+
+        # 3. Resolved callee: flow through its summary.
+        callee = self.project.resolve_call(
+            self.module, call, enclosing_class=self.fn.enclosing_class
+        )
+        if callee is not None:
+            summary = self.analysis.summaries.get(callee.key(), Summary())
+            tokens |= set(summary.returns)
+            mapped = self._map_args(callee, call, arg_tokens, kw_tokens)
+            for i in summary.param_returns:
+                tokens |= mapped.get(i, set())
+            for i, sink in sorted(summary.param_sinks):
+                t = mapped.get(i, set())
+                if t:
+                    self._report(t, sink, call, via=callee.qualname)
+            return tokens, summary.returns_set
+
+        # 4. Unresolved call: propagate argument taint conservatively.
+        for t in arg_tokens:
+            tokens |= t
+        for t in kw_tokens.values():
+            tokens |= t
+        if leaf in self.policy.ORDER_SANITIZERS:
+            tokens = {t for t in tokens if t != "set-order"}
+        elif any_set and leaf in ("list", "tuple", "iter", "enumerate", "pop", "next"):
+            tokens = tokens | {"set-order"}
+        elif leaf == "pop" and self._receiver_settyped(call):
+            tokens = tokens | {"set-order"}
+        is_set = leaf in ("set", "frozenset")
+        return tokens, is_set
+
+    def _receiver_settyped(self, call: ast.Call) -> bool:
+        func = call.func
+        return (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self.settyped
+        )
+
+    @staticmethod
+    def _call_leaf(call: ast.Call) -> Optional[str]:
+        func = call.func
+        if isinstance(func, ast.Name):
+            return func.id
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        return None
+
+    def _map_args(
+        self,
+        callee: FunctionInfo,
+        call: ast.Call,
+        arg_tokens: List[Set[Token]],
+        kw_tokens: Dict[str, Set[Token]],
+    ) -> Dict[int, Set[Token]]:
+        """Map call-site argument taints onto callee parameter indices."""
+        mapped: Dict[int, Set[Token]] = {}
+        params = callee.params
+        for i, t in enumerate(arg_tokens):
+            if i < len(params):
+                mapped[i] = t
+        for name, t in kw_tokens.items():
+            if name in params:
+                mapped[params.index(name)] = t
+        return mapped
+
+
+class TaintAnalysis:
+    """Project-wide taint fixpoint."""
+
+    def __init__(self, project: Project, policy: TaintPolicy) -> None:
+        self.project = project
+        self.policy = policy
+        self.summaries: Dict[Tuple[str, str], Summary] = {}
+        self.findings: Set[TaintFinding] = set()
+
+    def run(self) -> List[TaintFinding]:
+        functions: List[FunctionInfo] = []
+        for mod in self.project.sorted_modules():
+            for qual in sorted(mod.functions):
+                functions.append(mod.functions[qual])
+        for fn in functions:
+            self.summaries[fn.key()] = Summary()
+        for _ in range(_MAX_PROJECT_PASSES):
+            # Findings accumulate only on the final stable pass so call
+            # sites report against converged summaries.
+            self.findings.clear()
+            changed = False
+            for fn in functions:
+                summary = _FunctionTaint(self, fn).run()
+                if summary != self.summaries[fn.key()]:
+                    self.summaries[fn.key()] = summary
+                    changed = True
+            if not changed:
+                break
+        return sorted(
+            self.findings,
+            key=lambda f: (f.module_key, f.line, f.col, f.origin, f.sink),
+        )

@@ -1,0 +1,152 @@
+"""Analysis engine: single-file lint + interprocedural passes, one report.
+
+:func:`analyze_paths` is the one entry point every surface (the
+``python -m repro.analysis`` CLI, ``python -m repro.harness lint``,
+tests) goes through.  It
+
+1. discovers ``.py`` files under the given paths (skipping
+   ``lint_fixtures`` trees unless a given root explicitly points into
+   one — the fixtures are *deliberate* violations);
+2. runs the single-file pass (:func:`repro.analysis.lint.raw_lint_source`);
+3. builds the project view and runs the interprocedural rule families
+   (RPL1xx nondeterminism taint, RPL2xx async/concurrency);
+4. applies same-line suppressions **once, centrally**, so one comment
+   waives file-local and interprocedural findings alike, and emits
+   RPL000/RPL011 suppression hygiene;
+5. optionally subtracts a committed baseline
+   (:mod:`repro.analysis.baseline`).
+
+The report is deterministic: same file set → byte-identical output,
+independent of argument order or filesystem enumeration order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .callgraph import load_project
+from .lint import (
+    Violation,
+    apply_suppressions,
+    collect_suppressions,
+    raw_lint_source,
+)
+from .rules.concurrency import run_concurrency_rules
+from .rules.determinism import run_determinism_rules
+
+__all__ = ["AnalysisReport", "analyze_paths", "discover_files"]
+
+#: Directory name whose contents are deliberate rule violations.
+_FIXTURE_DIR = "lint_fixtures"
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one analysis run produced."""
+
+    #: Findings that gate (post-suppression, post-baseline).
+    violations: List[Violation] = field(default_factory=list)
+    #: Findings matched and absorbed by the baseline.
+    absorbed: List[Violation] = field(default_factory=list)
+    #: Posix paths of every file analyzed.
+    files: List[str] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[Violation]:
+        return [v for v in self.violations if v.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Violation]:
+        return [v for v in self.violations if v.severity == "warning"]
+
+
+def discover_files(paths: Sequence) -> List[Path]:
+    """Every ``.py`` file under ``paths``, deduplicated and sorted.
+
+    Directory traversal skips ``lint_fixtures`` components; passing a
+    path *inside* a fixture tree analyzes it anyway (tests do).
+    """
+    seen: Dict[str, Path] = {}
+    for raw in paths:
+        root = Path(raw)
+        explicit_fixture = _FIXTURE_DIR in root.parts
+        if root.is_dir():
+            for p in sorted(root.rglob("*.py")):
+                if not explicit_fixture and _FIXTURE_DIR in p.parts:
+                    continue
+                seen.setdefault(p.as_posix(), p)
+        elif root.is_file():
+            seen.setdefault(root.as_posix(), root)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {root}")
+    return [seen[k] for k in sorted(seen)]
+
+
+def analyze_paths(
+    paths: Sequence,
+    *,
+    baseline=None,
+    interprocedural: bool = True,
+) -> AnalysisReport:
+    """Run the full analysis over ``paths``.
+
+    ``baseline`` is a Counter from
+    :func:`repro.analysis.baseline.load_baseline`; matching findings
+    move to ``report.absorbed`` instead of gating.
+    """
+    files = discover_files(paths)
+
+    sources: Dict[str, str] = {}
+    for p in files:
+        try:
+            sources[p.as_posix()] = p.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            sources[p.as_posix()] = ""
+
+    # Project-wide passes (parse failures simply drop out of the
+    # project; the per-file pass reports their RPL999).
+    project_findings: Dict[str, List[Tuple[int, int, str, str]]] = {}
+    if interprocedural:
+        project = load_project(files)
+        for key, line, col, rule, message in run_determinism_rules(
+            project
+        ) + run_concurrency_rules(project):
+            project_findings.setdefault(key, []).append(
+                (line, col, rule, message)
+            )
+
+    all_violations: List[Violation] = []
+    for p in files:
+        key = p.as_posix()
+        source = sources[key]
+        raw = raw_lint_source(source, p)
+        if any(v.rule == "RPL999" for v in raw):
+            all_violations.extend(raw)
+            continue
+        for line, col, rule, message in project_findings.get(key, []):
+            raw.append(
+                Violation(
+                    file=key, line=line, col=col, rule=rule, message=message
+                )
+            )
+        all_violations.extend(
+            apply_suppressions(raw, collect_suppressions(source), p)
+        )
+
+    all_violations.sort(key=lambda v: (v.file, v.line, v.col, v.rule))
+
+    report = AnalysisReport(files=[p.as_posix() for p in files])
+    if baseline:
+        kept, absorbed = _apply(all_violations, baseline)
+        report.violations, report.absorbed = kept, absorbed
+    else:
+        report.violations = all_violations
+    return report
+
+
+def _apply(violations, baseline):
+    from .baseline import apply_baseline
+
+    return apply_baseline(violations, baseline)

@@ -84,7 +84,14 @@ A violation is waived with a same-line comment::
 
 Multiple ids separate with commas (``disable=RPL004,RPL002``).  The
 text after the rule list is the justification; leaving it empty raises
-RPL000, which is itself never suppressible.
+RPL000, which is itself never suppressible.  ``repl:`` is accepted as a
+short alias for ``repro-lint:``, and the *blanket* form ::
+
+    risky_line()  # repl: justified — why this line is exempt
+
+suppresses every rule on its line exactly once.  A suppression that
+matches no violation raises the RPL011 "unused suppression" warning so
+stale waivers cannot accumulate.
 """
 
 from __future__ import annotations
@@ -97,24 +104,23 @@ from dataclasses import dataclass
 from pathlib import Path, PurePath
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
-__all__ = ["Violation", "RULES", "lint_file", "lint_paths", "lint_source"]
+from .rules import CATALOG, rule_meta
+
+__all__ = [
+    "Violation",
+    "RULES",
+    "collect_suppressions",
+    "raw_lint_source",
+    "apply_suppressions",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]
 
 
 #: rule id -> one-line summary (the catalogue ``--list-rules`` prints).
-RULES: Dict[str, str] = {
-    "RPL000": "suppression comment is malformed or lacks a justification",
-    "RPL001": "global/unseeded randomness outside repro._rng",
-    "RPL002": "wall-clock read inside simulation code (use the cost model)",
-    "RPL003": "hand-rolled sim_ms arithmetic bypassing CostModel",
-    "RPL004": "silent int64->int32 narrowing in CSR/frontier code",
-    "RPL005": "bare except:",
-    "RPL006": "swallowed exception (except Exception: pass)",
-    "RPL007": "manual TraceSpan construction outside repro.trace",
-    "RPL008": "ad-hoc module-level metric state outside repro.metrics",
-    "RPL009": "direct numpy kernel call in a hot path; use repro.backend",
-    "RPL010": "unbounded asyncio queue or fire-and-forget task in serve code",
-    "RPL999": "file does not parse",
-}
+#: Derived from the package-wide catalogue so the two never diverge.
+RULES: Dict[str, str] = {m.id: m.summary for m in CATALOG.values()}
 
 # Directory scopes (matched against any path component, so the rules
 # apply equally to src/repro/<dir>/ and to fixture trees mirroring it).
@@ -210,9 +216,10 @@ _METRIC_EXEMPT_DENY_DIRS = frozenset(
     {"core", "harness", "graph", "gunrock", "graphblas", "apps", "analysis"}
 )
 
-_SUPPRESS_MARK = "repro-lint:"
+_SUPPRESS_MARKS = ("repro-lint:", "repl:")
 _SUPPRESS_RE = re.compile(
-    r"#\s*repro-lint:\s*disable=([A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)(.*)$"
+    r"#\s*(?:repro-lint|repl):\s*"
+    r"(?:disable=([A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)|(justified)\b)(.*)$"
 )
 
 
@@ -226,6 +233,14 @@ class Violation:
     rule: str
     message: str
 
+    @property
+    def severity(self) -> str:
+        return rule_meta(self.rule).severity
+
+    @property
+    def category(self) -> str:
+        return rule_meta(self.rule).category
+
     def render(self) -> str:
         return f"{self.file}:{self.line}:{self.col}: {self.rule} {self.message}"
 
@@ -236,6 +251,8 @@ class Violation:
             "col": self.col,
             "rule": self.rule,
             "message": self.message,
+            "severity": self.severity,
+            "category": self.category,
         }
 
 
@@ -246,6 +263,18 @@ class _Suppression:
     rules: frozenset
     justified: bool
     malformed: bool = False
+    #: The blanket ``justified`` form — waives every rule on the line.
+    blanket: bool = False
+
+    def matches(self, rule: str) -> bool:
+        """Whether this suppression waives ``rule`` on its line.
+
+        RPL000 (suppression hygiene) and RPL011 (unused suppression)
+        police the suppressions themselves and are never waivable.
+        """
+        if self.malformed or rule in ("RPL000", "RPL011"):
+            return False
+        return self.blanket or rule in self.rules
 
 
 def _in_dirs(path: PurePath, dirs: frozenset) -> bool:
@@ -270,12 +299,15 @@ def _is_int32(node: ast.AST) -> bool:
     return _dotted(node) in ("np.int32", "numpy.int32")
 
 
-def _collect_suppressions(source: str) -> List[_Suppression]:
+def collect_suppressions(source: str) -> List[_Suppression]:
+    """All suppression comments in ``source`` (both marker spellings)."""
     found: List[_Suppression] = []
     try:
         tokens = tokenize.generate_tokens(io.StringIO(source).readline)
         for tok in tokens:
-            if tok.type != tokenize.COMMENT or _SUPPRESS_MARK not in tok.string:
+            if tok.type != tokenize.COMMENT or not any(
+                mark in tok.string for mark in _SUPPRESS_MARKS
+            ):
                 continue
             m = _SUPPRESS_RE.search(tok.string)
             if m is None:
@@ -289,8 +321,19 @@ def _collect_suppressions(source: str) -> List[_Suppression]:
                     )
                 )
                 continue
+            if m.group(2):  # the blanket ``justified`` form
+                found.append(
+                    _Suppression(
+                        line=tok.start[0],
+                        col=tok.start[1],
+                        rules=frozenset(),
+                        justified=True,
+                        blanket=True,
+                    )
+                )
+                continue
             rules = frozenset(r.strip() for r in m.group(1).split(","))
-            justification = m.group(2).strip().lstrip("—–-:").strip()
+            justification = m.group(3).strip().lstrip("—–-:").strip()
             found.append(
                 _Suppression(
                     line=tok.start[0],
@@ -302,6 +345,10 @@ def _collect_suppressions(source: str) -> List[_Suppression]:
     except tokenize.TokenError:
         pass  # the AST pass will report RPL999 for truncated sources
     return found
+
+
+#: Backwards-compatible private alias.
+_collect_suppressions = collect_suppressions
 
 
 class _Checker(ast.NodeVisitor):
@@ -650,10 +697,14 @@ class _Checker(ast.NodeVisitor):
         self.generic_visit(node)
 
 
-def lint_source(source: str, path) -> List[Violation]:
-    """Lint one source string; ``path`` scopes the directory rules."""
+def raw_lint_source(source: str, path) -> List[Violation]:
+    """The single-file pass with **no** suppression handling.
+
+    The engine layers project-wide findings on top of this and applies
+    suppressions once, centrally, so one ``# repl: justified`` comment
+    covers file-local and interprocedural rules alike.
+    """
     path = PurePath(path)
-    suppressions = _collect_suppressions(source)
     try:
         tree = ast.parse(source, filename=str(path))
     except SyntaxError as exc:
@@ -668,13 +719,35 @@ def lint_source(source: str, path) -> List[Violation]:
         ]
     checker = _Checker(path)
     checker.visit(tree)
+    return checker.violations
 
+
+def apply_suppressions(
+    violations: Iterable[Violation],
+    suppressions: Sequence[_Suppression],
+    path,
+    *,
+    warn_unused: bool = True,
+) -> List[Violation]:
+    """Filter ``violations`` through same-line suppressions.
+
+    Adds RPL000 for malformed/unjustified suppression comments and the
+    RPL011 warning for well-formed suppressions that waived nothing
+    (stale waivers must not accumulate).  Each suppression comment is
+    applied exactly once per line — duplicates of one finding are all
+    covered by the single comment, never double-counted.  Returns the
+    surviving violations sorted ``(file, line, col, rule)``.
+    """
+    path = PurePath(path)
     by_line: Dict[int, _Suppression] = {s.line: s for s in suppressions}
-    kept = [
-        v
-        for v in checker.violations
-        if not (v.line in by_line and v.rule in by_line[v.line].rules)
-    ]
+    used: Set[int] = set()
+    kept: List[Violation] = []
+    for v in violations:
+        s = by_line.get(v.line)
+        if s is not None and s.matches(v.rule):
+            used.add(s.line)
+            continue
+        kept.append(v)
     for s in suppressions:
         if s.malformed:
             kept.append(
@@ -684,7 +757,8 @@ def lint_source(source: str, path) -> List[Violation]:
                     col=s.col,
                     rule="RPL000",
                     message="malformed repro-lint suppression; expected "
-                    "'# repro-lint: disable=RPLxxx — justification'",
+                    "'# repro-lint: disable=RPLxxx — justification' or "
+                    "'# repl: justified — reason'",
                 )
             )
         elif not s.justified:
@@ -698,8 +772,35 @@ def lint_source(source: str, path) -> List[Violation]:
                     "after the rule list",
                 )
             )
+        elif warn_unused and s.line not in used:
+            kept.append(
+                Violation(
+                    file=str(path),
+                    line=s.line,
+                    col=s.col,
+                    rule="RPL011",
+                    message="unused suppression: no violation on this line "
+                    "matches it; remove the stale waiver",
+                )
+            )
     kept.sort(key=lambda v: (v.file, v.line, v.col, v.rule))
     return kept
+
+
+def lint_source(source: str, path) -> List[Violation]:
+    """Lint one source string; ``path`` scopes the directory rules.
+
+    This is the *single-file* surface: interprocedural rules do not run
+    here, so unused-suppression warnings (RPL011) are left to the
+    engine, which sees every rule family before judging a suppression
+    stale.
+    """
+    raw = raw_lint_source(source, path)
+    if any(v.rule == "RPL999" for v in raw):
+        return raw
+    return apply_suppressions(
+        raw, collect_suppressions(source), path, warn_unused=False
+    )
 
 
 def lint_file(path) -> List[Violation]:

@@ -1,0 +1,90 @@
+"""Rule catalogue metadata for the repro static-analysis suite.
+
+Every rule the engine can emit is registered here with a category and
+a severity, so every reporting surface (text, JSON, SARIF, docs) draws
+from one source of truth.  This module is deliberately dependency-free:
+:mod:`repro.analysis.lint` imports it, and the rule-family modules in
+this package import :mod:`repro.analysis.lint` — keeping the metadata
+standalone breaks the cycle.
+
+Rule-id bands
+-------------
+
+========  ====================================================
+RPL0xx    Single-file syntactic rules (the original lint pass).
+RPL1xx    Interprocedural nondeterminism-taint rules.
+RPL2xx    Async/concurrency rules (``serve/``, ``harness/``).
+RPL999    File does not parse.
+========  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["RuleMeta", "CATALOG", "rule_meta", "all_rule_ids"]
+
+#: Where the human-readable catalogue lives (used as the SARIF helpUri).
+DOCS_URI = "https://example.invalid/repro/docs/static-analysis.md"
+
+
+@dataclass(frozen=True)
+class RuleMeta:
+    """Identity card for one rule."""
+
+    id: str
+    summary: str
+    #: Coarse family used by reports and the SARIF ``properties`` bag.
+    category: str
+    #: ``"error"`` violations gate CI; ``"warning"`` findings inform.
+    severity: str = "error"
+
+
+def _r(rule_id: str, summary: str, category: str, severity: str = "error") -> RuleMeta:
+    return RuleMeta(id=rule_id, summary=summary, category=category, severity=severity)
+
+
+CATALOG: Dict[str, RuleMeta] = {
+    m.id: m
+    for m in (
+        # -- RPL0xx: the original single-file pass ---------------------------
+        _r("RPL000", "suppression comment is malformed or lacks a justification", "suppression-hygiene"),
+        _r("RPL001", "global/unseeded randomness outside repro._rng", "determinism"),
+        _r("RPL002", "wall-clock read inside simulation code (use the cost model)", "simulation"),
+        _r("RPL003", "hand-rolled sim_ms arithmetic bypassing CostModel", "simulation"),
+        _r("RPL004", "silent int64->int32 narrowing in CSR/frontier code", "correctness"),
+        _r("RPL005", "bare except:", "error-hygiene"),
+        _r("RPL006", "swallowed exception (except Exception: pass)", "error-hygiene"),
+        _r("RPL007", "manual TraceSpan construction outside repro.trace", "observability"),
+        _r("RPL008", "ad-hoc module-level metric state outside repro.metrics", "observability"),
+        _r("RPL009", "direct numpy kernel call in a hot path; use repro.backend", "performance"),
+        _r("RPL010", "unbounded asyncio queue or fire-and-forget task in serve code", "concurrency"),
+        _r("RPL011", "unused suppression: no violation on the line matches it", "suppression-hygiene", "warning"),
+        # -- RPL1xx: interprocedural nondeterminism taint --------------------
+        _r("RPL100", "wall-clock-derived value flows into a sim-visible sink", "determinism"),
+        _r("RPL101", "unseeded-randomness-derived value flows into a sim-visible sink", "determinism"),
+        _r("RPL102", "set-iteration-order-dependent value flows into a sim-visible sink", "determinism"),
+        _r("RPL103", "id()/hash-ordering-dependent value flows into a sim-visible sink", "determinism"),
+        _r("RPL104", "environment-lookup value flows into a sim-visible sink", "determinism"),
+        # -- RPL2xx: async/concurrency --------------------------------------
+        _r("RPL200", "blocking call inside async def (serve/harness)", "concurrency"),
+        _r("RPL201", "await while holding a synchronous lock", "concurrency"),
+        _r("RPL202", "shared mutable state touched from coroutine and executor contexts", "concurrency"),
+        # -- parse ----------------------------------------------------------
+        _r("RPL999", "file does not parse", "parse"),
+    )
+}
+
+
+def rule_meta(rule_id: str) -> RuleMeta:
+    """Metadata for ``rule_id``; unknown ids get a generic error card."""
+    try:
+        return CATALOG[rule_id]
+    except KeyError:
+        return RuleMeta(id=rule_id, summary="unknown rule", category="unknown")
+
+
+def all_rule_ids():
+    """Every registered rule id, sorted."""
+    return sorted(CATALOG)

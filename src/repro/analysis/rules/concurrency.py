@@ -1,0 +1,271 @@
+"""RPL2xx: async/concurrency rules for the serving and harness layers.
+
+The event loop in ``repro.serve`` owns deadlines, admission, and
+degradation; the harness owns process pools.  Both die quietly when
+sync and async worlds are mixed carelessly, so these rules are scoped
+to files with a ``serve`` or ``harness`` path component:
+
+==========  ==========================================================
+RPL200      A blocking call inside ``async def``: ``time.sleep``,
+            synchronous file I/O (``open``, ``Path.read_text`` and
+            friends), ``subprocess.*``, or a direct ``run_algorithm``
+            — each stalls the whole event loop for its duration.
+            Route the work through ``run_in_executor`` (or use
+            ``asyncio.sleep``).
+RPL201      ``await`` while holding a *synchronous* lock
+            (``threading.Lock``/``RLock``/…, or any ``with`` on a
+            lock-named object): the coroutine parks with the lock
+            held, and any other task — or the executor thread the
+            lock exists to coordinate with — deadlocks against it.
+            ``async with asyncio.Lock()`` is the sanctioned form and
+            is not matched.
+RPL202      Module-level mutable state mutated both from a coroutine
+            and from a function handed to ``run_in_executor`` /
+            ``asyncio.to_thread``: the executor side runs on a worker
+            thread, so the mutation is a data race invisible to the
+            event loop's cooperative scheduling.
+==========  ==========================================================
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePath
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..callgraph import ModuleInfo, Project, dotted_name
+
+__all__ = ["CONCURRENCY_DIRS", "run_concurrency_rules"]
+
+#: Path components that opt a file into the RPL2xx rules.
+CONCURRENCY_DIRS = frozenset({"serve", "harness"})
+
+_BLOCKING_DOTTED = frozenset(
+    {
+        "time.sleep",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "socket.create_connection",
+    }
+)
+_BLOCKING_LEAVES = frozenset(
+    {"run_algorithm", "read_text", "write_text", "read_bytes", "write_bytes"}
+)
+_LOCK_FACTORY_LEAVES = frozenset(
+    {"Lock", "RLock", "Semaphore", "BoundedSemaphore", "Condition"}
+)
+_EXECUTOR_SPAWNS = {"run_in_executor": 1, "to_thread": 0}
+
+
+def _in_scope(path: PurePath) -> bool:
+    return any(part in CONCURRENCY_DIRS for part in path.parts[:-1])
+
+
+def _direct_children_skipping_defs(node: ast.AST) -> Iterable[ast.AST]:
+    """Walk a function body without descending into nested scopes."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        if isinstance(
+            child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+        ):
+            continue
+        yield child
+        stack.extend(ast.iter_child_nodes(child))
+
+
+def _is_lockish(expr: ast.AST) -> bool:
+    """A ``with`` context that reads as a synchronous lock."""
+    if isinstance(expr, ast.Call):
+        dotted = dotted_name(expr.func) or ""
+        leaf = dotted.rsplit(".", 1)[-1]
+        if leaf in _LOCK_FACTORY_LEAVES:
+            return True
+        expr = expr.func
+    dotted = dotted_name(expr)
+    if dotted is None:
+        return False
+    leaf = dotted.rsplit(".", 1)[-1]
+    return "lock" in leaf.lower()
+
+
+def _blocking_call(call: ast.Call, module: ModuleInfo) -> Optional[str]:
+    dotted = dotted_name(call.func)
+    if dotted is None:
+        return None
+    head, _, _rest = dotted.partition(".")
+    target = module.from_imports.get(head)
+    if target is not None:
+        resolved = ".".join(p for p in target if p)
+        dotted = dotted.replace(head, resolved, 1)
+    if dotted in _BLOCKING_DOTTED:
+        return dotted
+    leaf = dotted.rsplit(".", 1)[-1]
+    if leaf in _BLOCKING_LEAVES:
+        return leaf
+    if dotted == "open":
+        return "open"
+    # ``from time import sleep`` / aliased imports.
+    if leaf == "sleep" and dotted in ("sleep", "time.sleep"):
+        return "time.sleep"
+    return None
+
+
+def _mutated_names(fn_node: ast.AST, shared: Set[str]) -> Dict[str, ast.AST]:
+    """Shared names this function mutates (store/augstore/mutator call),
+    mapped to the first mutation site."""
+    out: Dict[str, ast.AST] = {}
+
+    def base_name(node: ast.AST) -> Optional[str]:
+        while isinstance(node, (ast.Subscript, ast.Attribute)):
+            node = node.value
+        if isinstance(node, ast.Name):
+            return node.id
+        return None
+
+    declared_global: Set[str] = set()
+    for node in _direct_children_skipping_defs(fn_node):
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+    for node in _direct_children_skipping_defs(fn_node):
+        targets: List[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in (
+                "append",
+                "add",
+                "update",
+                "setdefault",
+                "pop",
+                "clear",
+                "extend",
+                "remove",
+                "discard",
+            ):
+                targets = [func.value]
+        for t in targets:
+            name = base_name(t)
+            if name is None:
+                continue
+            # A plain ``x = …`` rebinai local unless declared global;
+            # subscript/attribute stores mutate the shared object.
+            plain_rebind = isinstance(t, ast.Name)
+            if name in shared and (not plain_rebind or name in declared_global):
+                out.setdefault(name, node)
+    return out
+
+
+def _executor_targets(module: ModuleInfo) -> Set[str]:
+    """Function names handed to run_in_executor/to_thread in this module."""
+    out: Set[str] = set()
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        arg_index = _EXECUTOR_SPAWNS.get(func.attr)
+        if arg_index is None or len(node.args) <= arg_index:
+            continue
+        fn_arg = node.args[arg_index]
+        if isinstance(fn_arg, ast.Name):
+            out.add(fn_arg.id)
+        elif isinstance(fn_arg, ast.Attribute):
+            out.add(fn_arg.attr)
+    return out
+
+
+def run_concurrency_rules(project: Project):
+    """Yield ``(module_key, line, col, rule, message)`` tuples."""
+    findings: List[Tuple[str, int, int, str, str]] = []
+    for module in project.sorted_modules():
+        if not _in_scope(module.path):
+            continue
+        _check_module(module, findings)
+    findings.sort()
+    return findings
+
+
+def _check_module(module: ModuleInfo, findings: List) -> None:
+    shared = set(module.top_level_names())
+    executor_fns = _executor_targets(module)
+    async_mutations: Dict[str, Tuple[str, ast.AST]] = {}
+    executor_mutations: List[Tuple[str, str, ast.AST]] = []
+
+    for qual in sorted(module.functions):
+        fn = module.functions[qual]
+        plain_name = qual.rsplit(".", 1)[-1]
+        if fn.is_async:
+            _check_async_body(module, fn, findings)
+            for name, site in _mutated_names(fn.node, shared).items():
+                async_mutations.setdefault(name, (qual, site))
+        elif plain_name in executor_fns or qual in executor_fns:
+            for name, site in _mutated_names(fn.node, shared).items():
+                executor_mutations.append((name, qual, site))
+
+    for name, qual, site in executor_mutations:
+        hit = async_mutations.get(name)
+        if hit is None:
+            continue
+        async_qual, _async_site = hit
+        findings.append(
+            (
+                module.key,
+                getattr(site, "lineno", 1),
+                getattr(site, "col_offset", 0),
+                "RPL202",
+                f"module-level {name!r} is mutated here in executor-run "
+                f"{qual}() and also from coroutine {async_qual}(); the "
+                "executor side runs on a worker thread, so this is a data "
+                "race — marshal the update back onto the event loop or "
+                "guard both sides with one lock",
+            )
+        )
+
+
+def _check_async_body(module: ModuleInfo, fn, findings: List) -> None:
+    node = fn.node
+    for child in _direct_children_skipping_defs(node):
+        if isinstance(child, ast.Call):
+            blocked = _blocking_call(child, module)
+            if blocked is not None:
+                findings.append(
+                    (
+                        module.key,
+                        child.lineno,
+                        child.col_offset,
+                        "RPL200",
+                        f"blocking call {blocked}() inside async "
+                        f"{fn.qualname}() stalls the event loop for every "
+                        "in-flight request; hand it to run_in_executor "
+                        "(or asyncio.sleep for delays)",
+                    )
+                )
+        elif isinstance(child, ast.With):
+            lock_items = [
+                item for item in child.items if _is_lockish(item.context_expr)
+            ]
+            if not lock_items:
+                continue
+            for inner in _direct_children_skipping_defs(child):
+                if isinstance(inner, ast.Await):
+                    findings.append(
+                        (
+                            module.key,
+                            inner.lineno,
+                            inner.col_offset,
+                            "RPL201",
+                            "await while holding a synchronous lock in "
+                            f"{fn.qualname}(): the coroutine parks with "
+                            "the lock held and other tasks or executor "
+                            "threads deadlock against it; release before "
+                            "awaiting or use asyncio.Lock with async with",
+                        )
+                    )
+                    break

@@ -1,0 +1,232 @@
+"""RPL1xx: interprocedural nondeterminism-taint rules.
+
+The reproduction's headline invariant — simulated quantities are
+bit-exact across reruns, ``jobs>1``, resume, tracing, and backends —
+dies the moment a nondeterministic value leaks into one of them.  The
+single-file rules (RPL001/RPL002) ban the *call sites*; these rules
+track the *values* through assignments, arithmetic, containers, and
+function calls, and fire only where a tainted value actually reaches a
+sim-visible sink:
+
+==========  ==========================================================
+RPL100      wall-clock origin (``time.perf_counter()``, …)
+RPL101      unseeded randomness (``np.random.*`` draws, stdlib
+            ``random``, ``os.urandom``, ``uuid.uuid4``, ``secrets``,
+            argument-less ``default_rng()``)
+RPL102      ``set`` iteration order (iterating/materializing a set
+            without ``sorted()``)
+RPL103      ``id()`` / ``hash()`` ordering (CPython address- and
+            PYTHONHASHSEED-dependent)
+RPL104      environment lookups (``os.environ[…]``, ``os.getenv``)
+==========  ==========================================================
+
+Sim-visible sinks: stores to ``sim_ms`` / ``colors`` / ``coloring`` /
+``counters``, arguments of cost-model ``charge_*`` calls,
+``ColoringResult(...)`` result fields, and journal/bench payload dicts
+keyed by those names.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..callgraph import ModuleInfo, Project, dotted_name
+from ..dataflow import TaintAnalysis, TaintFinding, TaintPolicy
+
+__all__ = ["ORIGIN_RULES", "DeterminismPolicy", "run_determinism_rules"]
+
+#: origin tag -> rule id
+ORIGIN_RULES: Dict[str, str] = {
+    "wall-clock": "RPL100",
+    "rng": "RPL101",
+    "set-order": "RPL102",
+    "id-hash": "RPL103",
+    "env": "RPL104",
+}
+
+_ORIGIN_LABEL = {
+    "wall-clock": "wall-clock",
+    "rng": "unseeded-randomness",
+    "set-order": "set-iteration-order",
+    "id-hash": "id()/hash()-ordering",
+    "env": "environment-lookup",
+}
+
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+    }
+)
+
+# np.random members that are type references, not stream draws (kept in
+# sync with the RPL001 list in repro.analysis.lint).
+_RNG_TYPES = frozenset(
+    {
+        "Generator",
+        "BitGenerator",
+        "SeedSequence",
+        "RandomState",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+_RNG_CALLS = frozenset(
+    {"os.urandom", "uuid.uuid4", "uuid.uuid1", "secrets.token_bytes",
+     "secrets.token_hex", "secrets.token_urlsafe", "secrets.randbelow",
+     "secrets.choice", "secrets.randbits"}
+)
+
+_ENV_CALLS = frozenset({"os.getenv", "os.environ.get", "environ.get"})
+
+_RESULT_FIELD_SINKS = frozenset(
+    {"sim_ms", "colors", "coloring", "counters", "iterations"}
+)
+
+
+def _resolved_dotted(node: ast.AST, module: ModuleInfo) -> Optional[str]:
+    """Dotted call-target name with ``from``-import aliases expanded."""
+    dotted = dotted_name(node)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    target = module.from_imports.get(head)
+    if target is not None:
+        origin = ".".join(p for p in target if p)
+        return f"{origin}.{rest}" if rest else origin
+    alias = module.imports.get(head)
+    if alias is not None and alias != head:
+        return f"{alias}.{rest}" if rest else alias
+    return dotted
+
+
+class DeterminismPolicy(TaintPolicy):
+    """Sources and sinks for the RPL1xx family."""
+
+    PAYLOAD_KEYS = frozenset(_RESULT_FIELD_SINKS)
+
+    # -- sources ------------------------------------------------------------
+
+    def call_origins(self, call: ast.Call, module: ModuleInfo) -> Set[str]:
+        dotted = _resolved_dotted(call.func, module)
+        out: Set[str] = set()
+        if dotted is None:
+            return out
+        leaf = dotted.rsplit(".", 1)[-1]
+        if dotted in _WALL_CLOCK:
+            out.add("wall-clock")
+        if dotted in _RNG_CALLS:
+            out.add("rng")
+        if (
+            dotted.startswith(("np.random.", "numpy.random.", "random."))
+            and leaf not in _RNG_TYPES
+            and leaf != "default_rng"
+        ):
+            out.add("rng")
+        if leaf == "default_rng" and not call.args and not call.keywords:
+            out.add("rng")  # argument-less: seeded from the OS
+        if dotted in ("id", "hash"):
+            out.add("id-hash")
+        if leaf in ("sorted", "sort"):
+            for kw in call.keywords:
+                if (
+                    kw.arg == "key"
+                    and isinstance(kw.value, ast.Name)
+                    and kw.value.id in ("id", "hash")
+                ):
+                    out.add("id-hash")
+        if dotted in _ENV_CALLS or dotted.endswith(".environ.get"):
+            out.add("env")
+        return out
+
+    def subscript_origins(
+        self, node: ast.Subscript, module: ModuleInfo
+    ) -> Set[str]:
+        dotted = dotted_name(node.value)
+        if dotted in ("os.environ", "environ"):
+            return {"env"}
+        return set()
+
+    # -- sinks --------------------------------------------------------------
+
+    def assign_sink(self, target: ast.AST, module: ModuleInfo) -> Optional[str]:
+        if isinstance(target, ast.Name):
+            if target.id == "sim_ms":
+                return "sim_ms"
+            if target.id in ("colors", "coloring"):
+                return "coloring"
+            return None
+        if isinstance(target, ast.Attribute):
+            if target.attr == "sim_ms":
+                return "sim_ms"
+            if target.attr in ("colors", "coloring"):
+                return "coloring"
+            return None
+        if isinstance(target, ast.Subscript):
+            base = target.value
+            name = None
+            if isinstance(base, ast.Name):
+                name = base.id
+            elif isinstance(base, ast.Attribute):
+                name = base.attr
+            if name in ("colors", "coloring"):
+                return "coloring"
+            if name == "counters":
+                return "counters"
+        return None
+
+    def call_sinks(
+        self, call: ast.Call, module: ModuleInfo
+    ) -> List[Tuple[ast.AST, str]]:
+        out: List[Tuple[ast.AST, str]] = []
+        func = call.func
+        if isinstance(func, ast.Attribute) and func.attr.startswith("charge_"):
+            for arg in call.args:
+                out.append((arg, "cost-charge"))
+            for kw in call.keywords:
+                # ``name=`` is the kernel label, not a charged quantity.
+                if kw.arg not in ("name", None):
+                    out.append((kw.value, "cost-charge"))
+        leaf = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if leaf == "ColoringResult":
+            for kw in call.keywords:
+                if kw.arg in _RESULT_FIELD_SINKS:
+                    out.append((kw.value, kw.arg))
+        return out
+
+
+def run_determinism_rules(project: Project):
+    """Run the taint fixpoint; yields ``(module_key, line, col, rule,
+    message)`` tuples sorted deterministically."""
+    findings = TaintAnalysis(project, DeterminismPolicy()).run()
+    out = []
+    for f in findings:
+        rule = ORIGIN_RULES[f.origin]
+        label = _ORIGIN_LABEL[f.origin]
+        via = f" (flows through {f.via}())" if f.via else ""
+        message = (
+            f"{label}-derived value flows into the sim-visible "
+            f"{f.sink!r} sink{via}; simulated quantities must be "
+            "deterministic functions of the seed"
+        )
+        out.append((f.module_key, f.line, f.col, rule, message))
+    return out

@@ -1,0 +1,398 @@
+"""Static kernel access analyzer: race certificates for gpusim kernels.
+
+The runtime :class:`~repro.gpusim.sanitizer.SuperstepSanitizer` replays
+every instrumented kernel launch's access sets and checks them for
+write–write and read–write races.  Most of our kernels cannot race *by
+construction* — every plain write is to the thread's own slot — so the
+runtime check is pure overhead for them.  This module proves that
+statically, from the instrumentation calls themselves, and emits a
+certificate file the sanitizer consults to skip recording for proven
+kernels.
+
+Verdicts (per kernel *site*, then folded per kernel *name*):
+
+``race-free``
+    Every plain write is **own-slot** (the ``idx`` expression is
+    syntactically identical to the ``lane`` expression, so element
+    ``e`` is only ever written by lane ``e`` — duplicates collapse to
+    one lane), or anonymous over a **provably-unique** index
+    (``np.arange`` / ``np.flatnonzero`` / ``np.unique``) on an array
+    that is never read in the scope; and every read of a plainly
+    written array is itself own-slot.  No declared writes.
+
+``atomic-or-reduction``
+    As above, except at least one write carries ``atomic=True`` or
+    ``reduction=True`` — the declaration is the safety argument, and
+    the runtime exempts declared writes anyway.
+
+``needs-runtime-check``
+    Anything the prover cannot discharge: dynamic kernel or array
+    names (f-strings — e.g. the gunrock operators and the injected
+    fault kernels), mixed plain+declared writes to one array,
+    cross-lane plain writes.  These keep full runtime checking.
+
+A kernel name is certified only when **every** site bearing that name
+agrees; the certificate embeds a sha256 of each contributing source
+file (relative to the ``repro`` package root) so a stale certificate
+is detected and ignored at load time rather than silently trusted.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..callgraph import ModuleInfo, Project, dotted_name, load_project
+
+__all__ = [
+    "CERT_VERSION",
+    "RACE_FREE",
+    "DECLARED",
+    "RUNTIME",
+    "KernelSite",
+    "find_kernel_sites",
+    "classify_site",
+    "build_certificates",
+    "write_certificates",
+    "certify_tree",
+]
+
+CERT_VERSION = 1
+
+RACE_FREE = "race-free"
+DECLARED = "atomic-or-reduction"
+RUNTIME = "needs-runtime-check"
+
+_VERDICT_RANK = {RACE_FREE: 0, DECLARED: 1, RUNTIME: 2}
+
+_UNIQUE_INDEX_LEAVES = frozenset({"arange", "flatnonzero", "unique"})
+
+
+@dataclass(frozen=True)
+class KernelAccess:
+    """One ``k.read`` / ``k.write`` call inside a kernel scope."""
+
+    kind: str  # "read" | "write"
+    array: Optional[str]  # constant array name, None when dynamic
+    idx: ast.AST
+    lane: Optional[ast.AST]
+    atomic: bool
+    reduction: bool
+    line: int
+
+    @property
+    def declared(self) -> bool:
+        return self.atomic or self.reduction
+
+    @property
+    def own_slot(self) -> bool:
+        """``idx`` and ``lane`` are the same expression, syntactically."""
+        if self.lane is None:
+            return False
+        return ast.dump(self.idx) == ast.dump(self.lane)
+
+
+@dataclass
+class KernelSite:
+    """One ``with san.kernel(...) as k:`` block."""
+
+    module_key: str
+    line: int
+    name: Optional[str]  # constant kernel name, None when dynamic
+    accesses: List[KernelAccess] = field(default_factory=list)
+    #: True when the scope contains accesses the parser couldn't model
+    #: (starred args, non-keyword lanes, aliased scope variable, ...).
+    opaque: bool = False
+
+    @property
+    def dynamic_name(self) -> bool:
+        return self.name is None
+
+
+def _const_str(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+class _AssignIndex:
+    """Single-assignment resolution inside one function (or module) body.
+
+    ``lanes = np.arange(n); k.write("keys", lanes, ...)`` — resolving
+    ``lanes`` to the ``np.arange`` call lets the uniqueness prover see
+    through the local variable.  Names assigned more than once resolve
+    to nothing (conservative).
+    """
+
+    def __init__(self, scope: ast.AST) -> None:
+        self._values: Dict[str, Optional[ast.AST]] = {}
+        for node in ast.walk(scope):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                t = node.targets[0]
+                if isinstance(t, ast.Name):
+                    if t.id in self._values:
+                        self._values[t.id] = None  # reassigned: unknown
+                    else:
+                        self._values[t.id] = node.value
+
+    def resolve(self, node: ast.AST) -> ast.AST:
+        if isinstance(node, ast.Name):
+            value = self._values.get(node.id)
+            if value is not None:
+                return value
+        return node
+
+
+def _provably_unique(node: ast.AST, assigns: _AssignIndex) -> bool:
+    """Index expressions whose elements are pairwise distinct."""
+    node = assigns.resolve(node)
+    if isinstance(node, ast.Call):
+        dotted = dotted_name(node.func)
+        if dotted is not None:
+            leaf = dotted.rsplit(".", 1)[-1]
+            if leaf in _UNIQUE_INDEX_LEAVES:
+                return True
+    return False
+
+
+class _SiteFinder(ast.NodeVisitor):
+    def __init__(self, module: ModuleInfo) -> None:
+        self.module = module
+        self.sites: List[KernelSite] = []
+        self._scope_stack: List[ast.AST] = [module.tree]
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._scope_stack.append(node)
+        self.generic_visit(node)
+        self._scope_stack.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_With(self, node: ast.With) -> None:
+        for item in node.items:
+            ctx = item.context_expr
+            if (
+                isinstance(ctx, ast.Call)
+                and isinstance(ctx.func, ast.Attribute)
+                and ctx.func.attr == "kernel"
+                and ctx.args
+                and isinstance(item.optional_vars, ast.Name)
+            ):
+                self.sites.append(
+                    self._parse_site(node, ctx, item.optional_vars.id)
+                )
+        self.generic_visit(node)
+
+    def _parse_site(
+        self, node: ast.With, ctx: ast.Call, scope_var: str
+    ) -> KernelSite:
+        site = KernelSite(
+            module_key=self.module.key,
+            line=node.lineno,
+            name=_const_str(ctx.args[0]),
+        )
+        for inner in ast.walk(node):
+            if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                site.opaque = True  # a nested def could smuggle accesses
+                continue
+            if not isinstance(inner, ast.Call):
+                continue
+            func = inner.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == scope_var
+                and func.attr in ("read", "write")
+            ):
+                continue
+            access = self._parse_access(func.attr, inner)
+            if access is None:
+                site.opaque = True
+            else:
+                site.accesses.append(access)
+        return site
+
+    def _parse_access(self, kind: str, call: ast.Call) -> Optional[KernelAccess]:
+        if len(call.args) != 2 or any(
+            isinstance(a, ast.Starred) for a in call.args
+        ):
+            return None
+        lane: Optional[ast.AST] = None
+        atomic = reduction = False
+        for kw in call.keywords:
+            if kw.arg == "lane":
+                if not (
+                    isinstance(kw.value, ast.Constant) and kw.value.value is None
+                ):
+                    lane = kw.value
+            elif kw.arg == "atomic":
+                if not isinstance(kw.value, ast.Constant):
+                    return None
+                atomic = bool(kw.value.value)
+            elif kw.arg == "reduction":
+                if not isinstance(kw.value, ast.Constant):
+                    return None
+                reduction = bool(kw.value.value)
+            else:
+                return None  # **kwargs or unknown keyword: can't model
+        return KernelAccess(
+            kind=kind,
+            array=_const_str(call.args[0]),
+            idx=call.args[1],
+            lane=lane,
+            atomic=atomic,
+            reduction=reduction,
+            line=call.lineno,
+        )
+
+
+def find_kernel_sites(project: Project) -> List[KernelSite]:
+    """Every ``with <x>.kernel(...) as k`` block in the project."""
+    sites: List[KernelSite] = []
+    for module in project.sorted_modules():
+        finder = _SiteFinder(module)
+        finder.visit(module.tree)
+        sites.extend(finder.sites)
+    sites.sort(key=lambda s: (s.module_key, s.line))
+    return sites
+
+
+def classify_site(site: KernelSite, module: ModuleInfo) -> str:
+    """Static verdict for one kernel scope."""
+    if site.dynamic_name or site.opaque:
+        return RUNTIME
+
+    assigns = _AssignIndex(_enclosing_scope(module, site.line))
+
+    reads: Dict[str, List[KernelAccess]] = {}
+    writes: Dict[str, List[KernelAccess]] = {}
+    for acc in site.accesses:
+        if acc.array is None:
+            return RUNTIME
+        (reads if acc.kind == "read" else writes).setdefault(
+            acc.array, []
+        ).append(acc)
+
+    declared_any = False
+    for array, ws in writes.items():
+        plain = [w for w in ws if not w.declared]
+        decl = [w for w in ws if w.declared]
+        if decl:
+            declared_any = True
+        if plain and decl:
+            # One array, two safety regimes: the runtime must arbitrate.
+            return RUNTIME
+        for w in plain:
+            if w.own_slot:
+                continue
+            if (
+                w.lane is None
+                and _provably_unique(w.idx, assigns)
+                and array not in reads
+            ):
+                # Anonymous lanes over pairwise-distinct indices: each
+                # element gets exactly one (fresh) writer lane, and no
+                # read can observe it from another lane.
+                continue
+            return RUNTIME
+        if plain:
+            # Own-slot writes pin element e to lane e; a read is safe
+            # only if it is own-slot too (reader lane == element).
+            for r in reads.get(array, []):
+                if not r.own_slot:
+                    return RUNTIME
+    return DECLARED if declared_any else RACE_FREE
+
+
+def _enclosing_scope(module: ModuleInfo, line: int) -> ast.AST:
+    """The innermost function containing ``line``, else the module."""
+    best: ast.AST = module.tree
+    best_span = float("inf")
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            end = getattr(node, "end_lineno", None)
+            if end is None:
+                continue
+            if node.lineno <= line <= end and (end - node.lineno) < best_span:
+                best, best_span = node, end - node.lineno
+    return best
+
+
+def _package_relative(module_key: str) -> Optional[str]:
+    """Path relative to the ``repro`` package root, or None."""
+    parts = Path(module_key).parts
+    anchors = [i for i, p in enumerate(parts) if p == "repro"]
+    if not anchors:
+        return None
+    rel = parts[anchors[-1] + 1 :]
+    return "/".join(rel) if rel else None
+
+
+def _sha256(path: Path) -> str:
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+def build_certificates(project: Project) -> Dict:
+    """Fold per-site verdicts into the certificate payload.
+
+    Only constant-named kernels appear; a name's verdict is the weakest
+    verdict among its sites, and ``needs-runtime-check`` names are kept
+    in the payload for the report but never skipped by the runtime.
+    """
+    per_name: Dict[str, Dict] = {}
+    files_used: Dict[str, str] = {}  # package-relative -> module_key
+    for site in find_kernel_sites(project):
+        if site.name is None:
+            continue
+        module = project.modules[site.module_key]
+        verdict = classify_site(site, module)
+        rel = _package_relative(site.module_key)
+        entry = per_name.setdefault(
+            site.name, {"verdict": verdict, "sites": []}
+        )
+        if _VERDICT_RANK[verdict] > _VERDICT_RANK[entry["verdict"]]:
+            entry["verdict"] = verdict
+        entry["sites"].append([rel or site.module_key, site.line])
+        if rel is not None:
+            files_used[rel] = site.module_key
+
+    file_hashes = {
+        rel: _sha256(Path(project.modules[key].path))
+        for rel, key in sorted(files_used.items())
+    }
+    return {
+        "version": CERT_VERSION,
+        "generated_by": "repro.analysis",
+        "files": file_hashes,
+        "kernels": {
+            name: {
+                "verdict": entry["verdict"],
+                "sites": sorted(entry["sites"]),
+            }
+            for name, entry in sorted(per_name.items())
+        },
+    }
+
+
+def write_certificates(payload: Dict, path) -> None:
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def certify_tree(paths: Sequence) -> Dict:
+    """Convenience: parse ``paths`` and build the certificate payload."""
+    files: List[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        elif p.suffix == ".py":
+            files.append(p)
+    return build_certificates(load_project(files))

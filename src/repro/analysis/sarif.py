@@ -1,0 +1,157 @@
+"""SARIF 2.1.0 export for repro-lint findings.
+
+SARIF (Static Analysis Results Interchange Format) is the OASIS
+standard code scanners speak to CI dashboards.  We emit the minimal
+valid profile: one ``run``, a ``tool.driver`` carrying the full rule
+catalogue, and one ``result`` per violation with a physical location.
+Columns are 1-based in SARIF while the linter records 0-based offsets,
+so ``startColumn = col + 1``.
+
+:func:`validate_sarif` is a structural self-check (used by tests and
+the CI artifact step) — it verifies the invariants this module
+promises, not the full OASIS schema.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from .rules import CATALOG, DOCS_URI, rule_meta
+
+__all__ = ["SARIF_VERSION", "SARIF_SCHEMA", "to_sarif", "validate_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def _rule_descriptor(meta) -> Dict:
+    return {
+        "id": meta.id,
+        "name": meta.id,
+        "shortDescription": {"text": meta.summary},
+        "helpUri": DOCS_URI,
+        "defaultConfiguration": {
+            "level": _LEVELS.get(meta.severity, "error")
+        },
+        "properties": {"category": meta.category},
+    }
+
+
+def to_sarif(violations: Iterable) -> Dict:
+    """Build the SARIF 2.1.0 document for an iterable of Violations.
+
+    Only rules that actually fired are listed in the driver (plus
+    nothing else), keeping the document small and the ``ruleIndex``
+    references exact.
+    """
+    violations = list(violations)
+    fired = sorted({v.rule for v in violations})
+    rule_index = {rule_id: i for i, rule_id in enumerate(fired)}
+    results: List[Dict] = []
+    for v in violations:
+        meta = rule_meta(v.rule)
+        results.append(
+            {
+                "ruleId": v.rule,
+                "ruleIndex": rule_index[v.rule],
+                "level": _LEVELS.get(meta.severity, "error"),
+                "message": {"text": v.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": str(v.file).replace("\\", "/"),
+                            },
+                            "region": {
+                                "startLine": max(v.line, 1),
+                                "startColumn": v.col + 1,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": DOCS_URI,
+                        "rules": [
+                            _rule_descriptor(rule_meta(rule_id))
+                            for rule_id in fired
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def validate_sarif(doc: Dict) -> List[str]:
+    """Structural validation; returns a list of problems (empty = valid)."""
+    problems: List[str] = []
+
+    def need(cond: bool, msg: str) -> None:
+        if not cond:
+            problems.append(msg)
+
+    need(isinstance(doc, dict), "document is not an object")
+    if not isinstance(doc, dict):
+        return problems
+    need(doc.get("version") == SARIF_VERSION, "version != 2.1.0")
+    need(doc.get("$schema") == SARIF_SCHEMA, "$schema missing or wrong")
+    runs = doc.get("runs")
+    need(isinstance(runs, list) and len(runs) == 1, "expected exactly one run")
+    if not (isinstance(runs, list) and runs):
+        return problems
+    run = runs[0]
+    driver = run.get("tool", {}).get("driver", {})
+    need(driver.get("name") == "repro-lint", "driver.name != repro-lint")
+    rules = driver.get("rules", [])
+    need(isinstance(rules, list), "driver.rules is not a list")
+    ids = [r.get("id") for r in rules]
+    need(len(ids) == len(set(ids)), "duplicate rule ids in driver")
+    results = run.get("results", [])
+    need(isinstance(results, list), "run.results is not a list")
+    for i, res in enumerate(results):
+        rid = res.get("ruleId")
+        need(isinstance(rid, str), f"results[{i}].ruleId missing")
+        idx = res.get("ruleIndex")
+        ok_idx = (
+            isinstance(idx, int) and 0 <= idx < len(ids) and ids[idx] == rid
+        )
+        need(ok_idx, f"results[{i}].ruleIndex does not point at its rule")
+        need(res.get("level") in ("error", "warning", "note"),
+             f"results[{i}].level invalid")
+        need(
+            isinstance(res.get("message", {}).get("text"), str),
+            f"results[{i}].message.text missing",
+        )
+        locs = res.get("locations", [])
+        need(
+            isinstance(locs, list) and len(locs) == 1,
+            f"results[{i}] needs exactly one location",
+        )
+        if locs:
+            region = locs[0].get("physicalLocation", {}).get("region", {})
+            need(
+                isinstance(region.get("startLine"), int)
+                and region["startLine"] >= 1,
+                f"results[{i}].startLine must be >= 1",
+            )
+            need(
+                isinstance(region.get("startColumn"), int)
+                and region["startColumn"] >= 1,
+                f"results[{i}].startColumn must be >= 1",
+            )
+    return problems

@@ -50,9 +50,13 @@ every kernel of an algorithm was checked race-free or atomic-declared.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -60,7 +64,10 @@ from ..errors import RaceError
 
 __all__ = [
     "ENV_VAR",
+    "RACE_CERTS_ENV",
     "sanitize_enabled",
+    "load_static_certs",
+    "clear_cert_cache",
     "SuperstepSanitizer",
     "KernelScope",
     "KernelCertificate",
@@ -69,6 +76,11 @@ __all__ = [
 ]
 
 ENV_VAR = "REPRO_SANITIZE"
+
+#: Where the sanitizer looks for static race certificates (produced by
+#: ``python -m repro.analysis certify``).  Unset → the default cache
+#: location; a path → that file; ``0``/``off``/``none`` → disabled.
+RACE_CERTS_ENV = "REPRO_RACE_CERTS"
 
 
 def sanitize_enabled() -> bool:
@@ -91,6 +103,95 @@ class KernelCertificate:
     arrays: Set[str] = field(default_factory=set)
     #: ``(array, "atomic" | "reduction")`` declarations the kernel made.
     declared: Set[Tuple[str, str]] = field(default_factory=set)
+    #: True when the launch was vouched for by a static race certificate
+    #: (``python -m repro.analysis certify``) and recording was skipped.
+    static: bool = False
+
+
+# -- static race certificates -------------------------------------------------
+
+_DISABLE_VALUES = frozenset({"0", "off", "none", "disable", "disabled", "no"})
+
+#: path -> frozenset of certified-race-free kernel names (None: invalid).
+_cert_cache: Dict[str, Optional[FrozenSet[str]]] = {}
+
+
+def clear_cert_cache() -> None:
+    """Forget loaded/validated certificate files (test isolation)."""
+    _cert_cache.clear()
+
+
+def _certs_path() -> Optional[Path]:
+    raw = os.environ.get(RACE_CERTS_ENV, "").strip()
+    if raw.lower() in _DISABLE_VALUES:
+        return None
+    if raw:
+        return Path(raw)
+    cache_dir = os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
+    return Path(cache_dir) / "race-certs.json"
+
+
+def _validate_certs(path: Path) -> Optional[FrozenSet[str]]:
+    """Race-free kernel names from ``path``, or None when unusable.
+
+    The certificate embeds a sha256 per contributing source file,
+    relative to the installed ``repro`` package root.  Any mismatch —
+    edited kernels, moved files, a cert built from another checkout —
+    invalidates the whole file: a stale proof is worse than no proof.
+    """
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    if not isinstance(payload, dict) or payload.get("version") != 1:
+        return None
+    files = payload.get("files")
+    kernels = payload.get("kernels")
+    if not isinstance(files, dict) or not isinstance(kernels, dict):
+        return None
+    package_root = Path(__file__).resolve().parent.parent
+    for rel, expected in files.items():
+        src = package_root / rel
+        try:
+            actual = hashlib.sha256(src.read_bytes()).hexdigest()
+        except OSError:
+            return None
+        if actual != expected:
+            return None
+    return frozenset(
+        name
+        for name, entry in kernels.items()
+        if isinstance(entry, dict) and entry.get("verdict") == "race-free"
+    )
+
+
+def load_static_certs() -> FrozenSet[str]:
+    """Kernel names statically proven race-free (empty set when no
+    certificate applies).  Validation results are cached per path;
+    invalid certificates warn once and are ignored."""
+    path = _certs_path()
+    if path is None:
+        return frozenset()
+    key = str(path)
+    if key not in _cert_cache:
+        if not path.exists():
+            # No cert file is the common case (certify was never run);
+            # stay silent and check everything at runtime.
+            _cert_cache[key] = frozenset()
+        else:
+            certs = _validate_certs(path)
+            if certs is None:
+                warnings.warn(
+                    f"ignoring race certificates at {path}: file is "
+                    "malformed or stale (source hashes do not match the "
+                    "installed package); re-run "
+                    "'python -m repro.analysis certify'",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                certs = frozenset()
+            _cert_cache[key] = certs
+    return _cert_cache[key] or frozenset()
 
 
 class KernelScope:
@@ -247,6 +348,50 @@ class _ScopeContext:
             self._scope._close()
 
 
+class _StaticScope:
+    """No-op recording scope for a statically certified kernel.
+
+    Accepts the same ``read``/``write`` calls as :class:`KernelScope`
+    but records nothing — the static proof already covers every launch
+    shape — and files a ``static=True`` certificate at clean exit so
+    certification summaries (``kernels_checked``) still see the kernel.
+    """
+
+    def __init__(self, sanitizer: "SuperstepSanitizer", name: str) -> None:
+        self._san = sanitizer
+        self.name = name
+
+    def read(self, array: str, idx, *, lane=None) -> None:
+        pass
+
+    def write(
+        self,
+        array: str,
+        idx,
+        *,
+        lane=None,
+        atomic: bool = False,
+        reduction: bool = False,
+    ) -> None:
+        pass
+
+    def __enter__(self) -> "_StaticScope":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self._san.certificates.append(
+                KernelCertificate(
+                    kernel=self.name,
+                    superstep=self._san.superstep,
+                    static=True,
+                )
+            )
+            self._san.static_skips[self.name] = (
+                self._san.static_skips.get(self.name, 0) + 1
+            )
+
+
 class SuperstepSanitizer:
     """Per-run race checker owned by a :class:`CostModel` when
     ``REPRO_SANITIZE=1`` (``cost.sanitizer`` is ``None`` otherwise, so
@@ -255,15 +400,27 @@ class SuperstepSanitizer:
     def __init__(self) -> None:
         self.superstep = 0
         self.certificates: List[KernelCertificate] = []
+        #: kernel name -> launches skipped under a static certificate.
+        self.static_skips: Dict[str, int] = {}
+        self._static_certs = load_static_certs()
         _reports.append(self)
 
     def advance_superstep(self) -> None:
         """Called at every global sync (kernel-stream barrier)."""
         self.superstep += 1
 
-    def kernel(self, name: str) -> _ScopeContext:
+    def kernel(self, name: str):
         """Open an access-recording scope for one kernel launch; checks
-        run when the ``with`` block exits cleanly."""
+        run when the ``with`` block exits cleanly.
+
+        Kernels statically proven race-free (``python -m
+        repro.analysis certify``, validated via source hashes) get a
+        no-op scope instead: the proof covers every launch shape, so
+        recording and checking are skipped — that is the
+        ``REPRO_SANITIZE=1`` fast path.
+        """
+        if name in self._static_certs:
+            return _StaticScope(self, name)
         return _ScopeContext(KernelScope(self, name))
 
     # -- certification summaries -------------------------------------------

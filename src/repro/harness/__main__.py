@@ -566,10 +566,10 @@ def _dispatch(args, parser) -> int:
     if args.experiment == "lint":
         from pathlib import Path
 
-        from ..analysis.lint import lint_paths
+        from ..analysis.engine import analyze_paths
 
         package_root = Path(__file__).resolve().parents[1]
-        violations = lint_paths([package_root])
+        violations = analyze_paths([package_root]).violations
         for v in violations:
             print(v.render())
         if violations:

@@ -1,0 +1,3 @@
+import numpy as np
+
+a = np.random.rand(np.int32(3))  # repl: justified — fixture: one blanket comment waives every rule on the line

@@ -1,0 +1,1 @@
+x = 1  # repl: justified — fixture: nothing to waive on this line

@@ -1,0 +1,8 @@
+"""Negative fixture: the sanctioned async idioms raise nothing."""
+
+import asyncio
+
+
+async def handler(loop, payload):
+    await asyncio.sleep(0.01)
+    return await loop.run_in_executor(None, len, payload)

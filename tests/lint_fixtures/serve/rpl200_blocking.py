@@ -1,0 +1,7 @@
+import time
+
+
+async def handler(request):
+    time.sleep(0.1)
+    data = open("payload.bin").read()
+    return data

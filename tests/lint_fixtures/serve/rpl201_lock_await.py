@@ -1,0 +1,8 @@
+import threading
+
+state_lock = threading.Lock()
+
+
+async def update(value):
+    with state_lock:
+        await publish(value)

@@ -1,0 +1,10 @@
+stats = {}
+
+
+def worker(item):
+    stats["done"] = item
+
+
+async def dispatch(loop, item):
+    stats["active"] = item
+    await loop.run_in_executor(None, worker, item)

@@ -1,0 +1,16 @@
+"""Negative fixture: nondeterministic values that never reach a sink,
+and a set iteration sanitized by ``sorted()``."""
+
+import os
+import time
+
+
+def measure():
+    t0 = time.perf_counter()
+    return time.perf_counter() - t0
+
+
+def run(result, log, nodes):
+    log["wall_s"] = measure()
+    log["cache"] = os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
+    result.colors = sorted(set(nodes))

@@ -1,0 +1,10 @@
+import time
+
+
+def measure():
+    t0 = time.perf_counter()
+    return time.perf_counter() - t0
+
+
+def finish(result):
+    result.sim_ms = measure()

@@ -1,0 +1,6 @@
+def order(nodes):
+    return list(set(nodes))
+
+
+def run(result, nodes):
+    result.colors = order(nodes)

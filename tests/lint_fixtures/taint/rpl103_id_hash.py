@@ -1,0 +1,6 @@
+def key(obj):
+    return id(obj)
+
+
+def store(colors, node, obj):
+    colors[node] = key(obj)

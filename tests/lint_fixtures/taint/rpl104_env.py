@@ -1,0 +1,9 @@
+import os
+
+
+def lookup():
+    return int(os.environ["REPRO_FAKE_KNOB"])
+
+
+def apply(model):
+    model.charge_compute(lookup(), name="kernel")

@@ -1,0 +1,297 @@
+"""Interprocedural analysis engine: taint and concurrency rule
+fixtures, central suppression semantics, SARIF export, the committed
+baseline, and the determinism of the report itself.
+
+Every RPL1xx/RPL2xx rule is pinned to a positive fixture under
+``tests/lint_fixtures/`` plus a negative (clean-flow) and a suppressed
+variant; a hypothesis test proves the report is byte-stable under any
+ordering or duplication of the input paths.
+"""
+
+import json
+from collections import Counter
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import analyze_paths, lint_source
+from repro.analysis.__main__ import (
+    EXIT_CLEAN,
+    EXIT_USAGE,
+    EXIT_VIOLATIONS,
+    main as analysis_main,
+)
+from repro.analysis.baseline import (
+    apply_baseline,
+    baseline_key,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.sarif import SARIF_VERSION, to_sarif, validate_sarif
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+SRC_REPRO = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+
+def hits(relpath):
+    rep = analyze_paths([FIXTURES / relpath])
+    return [(v.rule, v.line) for v in rep.violations]
+
+
+class TestTaintFixtures:
+    """RPL1xx: one positive fixture per origin, firing at the sink."""
+
+    def test_rpl100_wall_clock_through_helper(self):
+        assert hits("taint/rpl100_wall_clock.py") == [("RPL100", 10)]
+
+    def test_rpl101_rng_into_counters(self):
+        assert hits("taint/rpl101_rng.py") == [("RPL101", 9)]
+
+    def test_rpl102_set_order_into_colors(self):
+        assert hits("taint/rpl102_set_order.py") == [("RPL102", 6)]
+
+    def test_rpl103_id_hash_into_coloring(self):
+        assert hits("taint/rpl103_id_hash.py") == [("RPL103", 6)]
+
+    def test_rpl104_env_into_cost_charge(self):
+        assert hits("taint/rpl104_env.py") == [("RPL104", 9)]
+
+    def test_clean_flow_is_negative(self):
+        # Wall/env values parked in non-sim payload keys, and a set
+        # materialized through sorted(), never fire.
+        assert hits("taint/clean_flow.py") == []
+
+    def test_suppressed_sink_is_clean(self):
+        assert hits("taint/suppressed_sink.py") == []
+
+    def test_cross_module_flow(self, tmp_path):
+        (tmp_path / "jittermod.py").write_text(
+            "import time\n\n\ndef jitter():\n"
+            "    return time.perf_counter()\n"
+        )
+        (tmp_path / "consumer.py").write_text(
+            "from jittermod import jitter\n\n\ndef f(result):\n"
+            "    result.sim_ms = jitter()\n"
+        )
+        rep = analyze_paths([tmp_path])
+        assert [(v.rule, Path(v.file).name, v.line) for v in rep.violations] == [
+            ("RPL100", "consumer.py", 5)
+        ]
+
+    def test_legacy_single_file_pass_misses_taint(self):
+        # The taint rules need the project view: the same source through
+        # the single-file path raises nothing (and must not emit a
+        # spurious unused-suppression for it either).
+        src = (FIXTURES / "taint" / "rpl100_wall_clock.py").read_text()
+        assert lint_source(src, FIXTURES / "taint" / "x.py") == []
+
+
+class TestConcurrencyFixtures:
+    """RPL2xx: scoped to serve/ and harness/ path components."""
+
+    def test_rpl200_blocking_in_async(self):
+        assert hits("serve/rpl200_blocking.py") == [
+            ("RPL200", 5),
+            ("RPL200", 6),
+        ]
+
+    def test_rpl201_await_under_sync_lock(self):
+        assert hits("serve/rpl201_lock_await.py") == [("RPL201", 8)]
+
+    def test_rpl202_shared_state_race(self):
+        assert hits("serve/rpl202_shared_mutation.py") == [("RPL202", 5)]
+
+    def test_async_clean_is_negative(self):
+        assert hits("serve/async_clean.py") == []
+
+    def test_rpl2xx_unscoped_outside_serve_harness(self, tmp_path):
+        src = (FIXTURES / "serve" / "rpl200_blocking.py").read_text()
+        (tmp_path / "core").mkdir()
+        (tmp_path / "core" / "x.py").write_text(src)
+        assert analyze_paths([tmp_path]).violations == []
+
+    def test_rpl2xx_scoped_by_harness_too(self, tmp_path):
+        src = (FIXTURES / "serve" / "rpl200_blocking.py").read_text()
+        (tmp_path / "harness").mkdir()
+        (tmp_path / "harness" / "x.py").write_text(src)
+        rules = {v.rule for v in analyze_paths([tmp_path]).violations}
+        assert rules == {"RPL200"}
+
+
+class TestSuppressionSemantics:
+    def test_blanket_justified_waives_every_rule_once(self):
+        # One `# repl: justified` comment covers RPL001 + RPL004 on the
+        # same line — no duplicate suppression needed, no RPL011.
+        assert hits("graph/blanket_justified.py") == []
+
+    def test_repl_alias_equivalent_to_repro_lint(self, tmp_path):
+        src = (
+            "import numpy as np\n"
+            "a = np.random.rand(3)  # repl: disable=RPL001 — fixture\n"
+        )
+        (tmp_path / "x.py").write_text(src)
+        assert analyze_paths([tmp_path]).violations == []
+
+    def test_unused_suppression_warns_rpl011(self):
+        assert hits("rpl011_unused.py") == [("RPL011", 1)]
+
+    def test_rpl011_is_warning_severity(self):
+        rep = analyze_paths([FIXTURES / "rpl011_unused.py"])
+        [v] = rep.violations
+        assert v.severity == "warning"
+        assert rep.warnings == [v]
+        assert rep.errors == []
+
+    def test_suppression_covers_interprocedural_finding(self, tmp_path):
+        # A waiver on the sink line silences the taint finding AND
+        # counts as used (no RPL011).
+        (tmp_path / "x.py").write_text(
+            "import time\n\n\ndef f(result):\n"
+            "    result.sim_ms = time.perf_counter()"
+            "  # repl: justified — fixture\n"
+        )
+        assert analyze_paths([tmp_path]).violations == []
+
+
+class TestSarifExport:
+    def corpus(self):
+        return analyze_paths([FIXTURES]).violations
+
+    def test_sarif_is_valid(self):
+        doc = to_sarif(self.corpus())
+        assert validate_sarif(doc) == []
+        assert doc["version"] == SARIF_VERSION
+
+    def test_rule_indices_are_exact(self):
+        doc = to_sarif(self.corpus())
+        rules = doc["runs"][0]["tool"]["driver"]["rules"]
+        for res in doc["runs"][0]["results"]:
+            assert rules[res["ruleIndex"]]["id"] == res["ruleId"]
+
+    def test_only_fired_rules_are_listed(self):
+        violations = self.corpus()
+        doc = to_sarif(violations)
+        listed = {r["id"] for r in doc["runs"][0]["tool"]["driver"]["rules"]}
+        assert listed == {v.rule for v in violations}
+
+    def test_columns_are_one_based(self):
+        violations = [v for v in self.corpus() if v.col == 0]
+        assert violations, "corpus should have a col-0 finding"
+        doc = to_sarif(violations)
+        region = doc["runs"][0]["results"][0]["locations"][0][
+            "physicalLocation"
+        ]["region"]
+        assert region["startColumn"] == 1
+
+    def test_clean_tree_sarif_still_valid(self):
+        doc = to_sarif([])
+        assert validate_sarif(doc) == []
+        assert doc["runs"][0]["results"] == []
+
+    def test_cli_sarif_output(self, capsys):
+        rc = analysis_main(
+            ["lint", str(FIXTURES / "rpl005_bare_except.py"), "--format", "sarif"]
+        )
+        assert rc == EXIT_VIOLATIONS
+        doc = json.loads(capsys.readouterr().out)
+        assert validate_sarif(doc) == []
+        [res] = doc["runs"][0]["results"]
+        assert res["ruleId"] == "RPL005"
+
+
+class TestBaseline:
+    def test_round_trip_absorbs_everything(self, tmp_path):
+        rep = analyze_paths([FIXTURES])
+        assert rep.violations
+        path = tmp_path / "baseline.json"
+        write_baseline(rep.violations, path)
+        baseline = load_baseline(path)
+        kept, absorbed = apply_baseline(rep.violations, baseline)
+        assert kept == []
+        assert len(absorbed) == len(rep.violations)
+
+    def test_new_finding_escapes_baseline(self, tmp_path):
+        rep = analyze_paths([FIXTURES / "rpl005_bare_except.py"])
+        path = tmp_path / "baseline.json"
+        write_baseline(rep.violations, path)
+        full = analyze_paths(
+            [FIXTURES / "rpl005_bare_except.py", FIXTURES / "rpl006_swallowed.py"],
+            baseline=load_baseline(path),
+        )
+        assert [v.rule for v in full.violations] == ["RPL006"]
+        assert [v.rule for v in full.absorbed] == ["RPL005"]
+
+    def test_key_ignores_line_numbers(self):
+        # Shifting a file must not invalidate the whole baseline.
+        rep = analyze_paths([FIXTURES / "rpl005_bare_except.py"])
+        [v] = rep.violations
+        assert v.line not in baseline_key(v)
+
+    def test_multiset_budget(self, tmp_path):
+        rep = analyze_paths([FIXTURES / "gpusim" / "rpl002_wall_clock.py"])
+        # Two RPL002 findings with distinct messages -> two entries; a
+        # baseline holding only one absorbs only one.
+        baseline = Counter([baseline_key(rep.violations[0])])
+        kept, absorbed = apply_baseline(rep.violations, baseline)
+        assert len(absorbed) == 1 and len(kept) == 1
+
+    def test_cli_baseline_gates_to_zero(self, tmp_path, capsys):
+        path = tmp_path / "baseline.json"
+        rc = analysis_main(
+            [
+                "lint",
+                str(FIXTURES),
+                "--baseline",
+                str(path),
+                "--write-baseline",
+            ]
+        )
+        assert rc == EXIT_CLEAN
+        rc = analysis_main(["lint", str(FIXTURES), "--baseline", str(path)])
+        assert rc == EXIT_CLEAN
+        capsys.readouterr()
+
+    def test_cli_rejects_corrupt_baseline(self, tmp_path, capsys):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"not": "a baseline"}')
+        rc = analysis_main(["lint", str(FIXTURES), "--baseline", str(path)])
+        assert rc == EXIT_USAGE
+        capsys.readouterr()
+
+
+class TestExitCodeContract:
+    def test_lint_surfaces_share_exit_code(self):
+        from repro.harness.__main__ import EXIT_LINT
+
+        assert EXIT_VIOLATIONS == EXIT_LINT == 4
+
+    def test_json_envelope_has_severity_and_category(self, capsys):
+        rc = analysis_main(
+            ["lint", str(FIXTURES / "rpl006_swallowed.py"), "--format", "json"]
+        )
+        assert rc == EXIT_VIOLATIONS
+        [v] = json.loads(capsys.readouterr().out)["violations"]
+        assert v["severity"] == "error"
+        assert v["category"]
+        assert isinstance(v["col"], int)
+
+
+class TestReportDeterminism:
+    CORPUS = sorted(
+        p.as_posix()
+        for p in FIXTURES.rglob("*.py")
+    )
+
+    @settings(max_examples=20, deadline=None)
+    @given(order=st.permutations(CORPUS), dupes=st.integers(0, 3))
+    def test_byte_stable_across_path_orderings(self, order, dupes):
+        paths = list(order) + list(order[:dupes])
+        rep = analyze_paths(paths)
+        payload = json.dumps([v.to_dict() for v in rep.violations])
+        canonical = analyze_paths([FIXTURES])
+        assert payload == json.dumps(
+            [v.to_dict() for v in canonical.violations]
+        )
+        assert rep.files == canonical.files

@@ -349,4 +349,11 @@ class TestViolationRendering:
             "col": 7,
             "rule": "RPL001",
             "message": "m",
+            "severity": "error",
+            "category": "determinism",
         }
+
+    def test_warning_severity_from_catalog(self):
+        v = Violation(file="a.py", line=1, col=0, rule="RPL011", message="m")
+        assert v.severity == "warning"
+        assert v.category == "suppression-hygiene"

@@ -163,13 +163,18 @@ class TestHarnessTraceCommand:
         assert "records no trace" in capsys.readouterr().err
 
     def test_lint_exit_code_contract(self, capsys, monkeypatch):
+        from repro.analysis.engine import AnalysisReport
         from repro.analysis.lint import Violation
 
         monkeypatch.setattr(
-            "repro.analysis.lint.lint_paths",
-            lambda paths: [
-                Violation(file="x.py", line=1, col=0, rule="RPL007", message="m")
-            ],
+            "repro.analysis.engine.analyze_paths",
+            lambda paths: AnalysisReport(
+                violations=[
+                    Violation(
+                        file="x.py", line=1, col=0, rule="RPL007", message="m"
+                    )
+                ]
+            ),
         )
         assert harness_main(["lint"]) == EXIT_LINT == 4
         assert "RPL007" in capsys.readouterr().out

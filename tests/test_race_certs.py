@@ -1,0 +1,266 @@
+"""Static race certificates: the kernel-access analyzer's verdicts,
+certificate integrity (hash pinning, tamper rejection, disable knob),
+the sanitizer's certified fast path, and the static-vs-runtime
+cross-check.
+
+The cross-check is the load-bearing test: for every paper algorithm it
+runs the *full* runtime sanitizer (certificates disabled) and asserts
+the static verdicts never contradict what the runtime observed —
+statically race-free kernels pass with zero declarations, and
+atomic-or-reduction kernels declare at least one collision class.
+"""
+
+import json
+import warnings
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis.rules.kernels import (
+    CERT_VERSION,
+    DECLARED,
+    RACE_FREE,
+    certify_tree,
+    write_certificates,
+)
+from repro.errors import RaceError
+from repro.gpusim import sanitizer as S
+from repro.graph.generators import erdos_renyi
+from repro.harness import faults
+from tests.test_sanitizer import ALGORITHMS
+
+SRC_REPRO = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+#: Ground truth for the shipped simulator kernels.  A kernel moving
+#: between buckets is a real behavioral change — update deliberately.
+EXPECTED_RACE_FREE = {
+    "cc_kernel",
+    "color_op",
+    "color_removed_op",
+    "jpl_kernel",
+    "rand_kernel",
+}
+EXPECTED_DECLARED = {
+    "check_op",
+    "check_reduce",
+    "conflict_op",
+    "hash_color_op",
+    "hash_gen_op",
+    "jpl_scatter",
+    "vxm_max",
+    "vxm_nbr",
+}
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return certify_tree([SRC_REPRO])
+
+
+@pytest.fixture
+def cert_file(payload, tmp_path):
+    path = tmp_path / "race-certs.json"
+    write_certificates(payload, path)
+    return path
+
+
+@pytest.fixture(autouse=True)
+def _isolated(monkeypatch):
+    monkeypatch.delenv(S.RACE_CERTS_ENV, raising=False)
+    S.clear_cert_cache()
+    S.reset_reports()
+    yield
+    S.clear_cert_cache()
+    S.reset_reports()
+
+
+class TestStaticVerdicts:
+    def test_at_least_five_kernels_certified_race_free(self, payload):
+        free = {
+            name
+            for name, entry in payload["kernels"].items()
+            if entry["verdict"] == RACE_FREE
+        }
+        assert free == EXPECTED_RACE_FREE
+        assert len(free) >= 5
+
+    def test_atomic_reduction_kernels(self, payload):
+        declared = {
+            name
+            for name, entry in payload["kernels"].items()
+            if entry["verdict"] == DECLARED
+        }
+        assert declared == EXPECTED_DECLARED
+
+    def test_payload_pins_source_hashes(self, payload):
+        assert payload["version"] == CERT_VERSION
+        assert payload["files"], "certificate must pin contributing files"
+        for rel, digest in payload["files"].items():
+            assert len(digest) == 64, rel
+
+    def test_dynamic_kernel_names_are_not_certified(self, payload):
+        # faults.py's injected race and the f-string-named operator
+        # kernels must stay under runtime checking.
+        assert not any("injected" in k for k in payload["kernels"])
+
+
+class TestCertificateLoading:
+    def test_round_trip(self, cert_file, monkeypatch):
+        monkeypatch.setenv(S.RACE_CERTS_ENV, str(cert_file))
+        S.clear_cert_cache()
+        assert S.load_static_certs() == frozenset(EXPECTED_RACE_FREE)
+
+    def test_missing_file_is_silent_empty(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(S.RACE_CERTS_ENV, str(tmp_path / "nope.json"))
+        S.clear_cert_cache()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert S.load_static_certs() == frozenset()
+
+    def test_disable_values(self, cert_file, monkeypatch):
+        for value in ("0", "off", "none"):
+            monkeypatch.setenv(S.RACE_CERTS_ENV, value)
+            S.clear_cert_cache()
+            assert S.load_static_certs() == frozenset()
+
+    def test_tampered_source_hash_rejects_whole_cert(
+        self, payload, tmp_path, monkeypatch
+    ):
+        doc = json.loads(json.dumps(payload))
+        rel = sorted(doc["files"])[0]
+        doc["files"][rel] = "0" * 64
+        path = tmp_path / "stale.json"
+        path.write_text(json.dumps(doc))
+        monkeypatch.setenv(S.RACE_CERTS_ENV, str(path))
+        S.clear_cert_cache()
+        with pytest.warns(RuntimeWarning, match="race certificate"):
+            assert S.load_static_certs() == frozenset()
+
+    def test_wrong_version_rejected(self, payload, tmp_path, monkeypatch):
+        doc = json.loads(json.dumps(payload))
+        doc["version"] = CERT_VERSION + 1
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps(doc))
+        monkeypatch.setenv(S.RACE_CERTS_ENV, str(path))
+        S.clear_cert_cache()
+        with pytest.warns(RuntimeWarning):
+            assert S.load_static_certs() == frozenset()
+
+    def test_garbage_json_rejected(self, tmp_path, monkeypatch):
+        path = tmp_path / "garbage.json"
+        path.write_text("{nope")
+        monkeypatch.setenv(S.RACE_CERTS_ENV, str(path))
+        S.clear_cert_cache()
+        with pytest.warns(RuntimeWarning):
+            assert S.load_static_certs() == frozenset()
+
+
+class TestSanitizerFastPath:
+    @pytest.fixture(autouse=True)
+    def _sanitized(self, monkeypatch):
+        monkeypatch.setenv(S.ENV_VAR, "1")
+
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return erdos_renyi(200, p=0.05, rng=17)
+
+    def _run_all(self, graph):
+        out = {}
+        for name, run in ALGORITHMS:
+            S.reset_reports()
+            result = run(graph)
+            reports = S.take_reports()
+            checked = set().union(*(r.kernels_checked() for r in reports))
+            skips = {}
+            for r in reports:
+                for k, v in r.static_skips.items():
+                    skips[k] = skips.get(k, 0) + v
+            out[name] = (result, checked, skips)
+        return out
+
+    def test_certified_skip_is_bit_identical(
+        self, graph, cert_file, monkeypatch
+    ):
+        monkeypatch.setenv(S.RACE_CERTS_ENV, str(cert_file))
+        S.clear_cert_cache()
+        fast = self._run_all(graph)
+        monkeypatch.setenv(S.RACE_CERTS_ENV, "0")
+        S.clear_cert_cache()
+        slow = self._run_all(graph)
+        for name in fast:
+            fr, fchecked, fskips = fast[name]
+            sr, schecked, sskips = slow[name]
+            assert np.array_equal(fr.colors, sr.colors), name
+            assert fr.sim_ms == sr.sim_ms, name
+            assert fr.counters == sr.counters, name
+            # Skipped kernels still appear in the certification summary.
+            assert fchecked == schecked, name
+            assert sskips == {}, name
+        skipped_anywhere = set().union(*(f[2] for f in fast.values()))
+        assert skipped_anywhere, "fast path must actually skip something"
+        assert skipped_anywhere <= EXPECTED_RACE_FREE
+
+    def test_static_certificates_are_flagged(self, graph, cert_file, monkeypatch):
+        monkeypatch.setenv(S.RACE_CERTS_ENV, str(cert_file))
+        S.clear_cert_cache()
+        S.reset_reports()
+        ALGORITHMS[0][1](graph)
+        static = {
+            c.kernel
+            for r in S.take_reports()
+            for c in r.certificates
+            if c.static
+        }
+        assert static and static <= EXPECTED_RACE_FREE
+
+    def test_injected_race_still_caught_with_certs(
+        self, cert_file, monkeypatch
+    ):
+        # The injected-race kernel is dynamically named, so no static
+        # certificate can exist for it; the sanitizer must still catch.
+        monkeypatch.setenv(S.RACE_CERTS_ENV, str(cert_file))
+        S.clear_cert_cache()
+        monkeypatch.setenv(faults.ENV_VAR, "race@*:*:*")
+        with pytest.raises(RaceError):
+            faults.maybe_fire("ecology2", "gunrock.is", 0)
+
+
+class TestStaticRuntimeCrossCheck:
+    """Static verdicts must never contradict the runtime sanitizer."""
+
+    @pytest.fixture(autouse=True)
+    def _runtime_only(self, monkeypatch):
+        monkeypatch.setenv(S.ENV_VAR, "1")
+        monkeypatch.setenv(S.RACE_CERTS_ENV, "0")
+        S.clear_cert_cache()
+
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return erdos_renyi(250, p=0.05, rng=11)
+
+    @pytest.mark.parametrize(
+        "name,run", ALGORITHMS, ids=[a[0] for a in ALGORITHMS]
+    )
+    def test_no_contradictions(self, graph, name, run, payload):
+        S.reset_reports()
+        run(graph)  # statically race-free kernels must not RaceError
+        per_kernel = {}
+        for rep in S.take_reports():
+            for cert in rep.certificates:
+                assert not cert.static
+                per_kernel.setdefault(cert.kernel, set()).update(
+                    cert.declared
+                )
+        verdicts = payload["kernels"]
+        for kernel, declared in per_kernel.items():
+            verdict = verdicts.get(kernel, {}).get("verdict")
+            if verdict == RACE_FREE:
+                assert declared == set(), (
+                    f"{kernel} certified race-free but declared {declared}"
+                )
+            elif verdict == DECLARED:
+                assert declared, (
+                    f"{kernel} certified atomic-or-reduction but made no "
+                    "declarations at runtime"
+                )
