@@ -8,6 +8,10 @@ all returning :class:`ColoringResult` and validated by
 """
 
 from .balance import rebalance_coloring
+from .dist import (
+    distributed_jpl_coloring,
+    distributed_speculative_coloring,
+)
 from .distance2 import distance2_coloring, partial_distance2_coloring
 from .exact import chromatic_number, exact_coloring
 from .gb_coloring import (
@@ -71,6 +75,8 @@ __all__ = [
     "ColoringMetrics",
     "coloring_metrics",
     "speculative_gpu_coloring",
+    "distributed_jpl_coloring",
+    "distributed_speculative_coloring",
     "ORDERINGS",
     "get_ordering",
     "ALGORITHMS",

@@ -14,10 +14,14 @@ from typing import Callable, Dict, List, Optional
 
 from .. import backend as _backend
 from .. import metrics
+import functools
+import re
+
 from .._rng import RngLike
 from ..errors import ColoringError
 from ..gpusim.device import DeviceSpec
 from ..graph.csr import CSRGraph
+from .dist import distributed_jpl_coloring, distributed_speculative_coloring
 from .gb_coloring import (
     graphblas_is_coloring,
     graphblas_jpl_coloring,
@@ -95,7 +99,17 @@ ALGORITHMS: Dict[str, Callable[..., ColoringResult]] = {
     "gpu.speculative": speculative_gpu_coloring,
     "reference.luby": _cpu(luby_coloring),
     "reference.jp": _cpu(jones_plassmann_coloring),
+    # -- distributed (multi-device) variants ----------------------------------
+    # Device counts are selected per call (``num_devices=...``) or via
+    # the parameterized id form ``dist.jpl@d4`` (see get_algorithm).
+    "dist.jpl": distributed_jpl_coloring,
+    "dist.speculative": distributed_speculative_coloring,
 }
+
+#: ``dist.jpl@d4`` — a registered distributed id with a device count
+#: baked in, so string-only surfaces (run_grid, bench suites, the
+#: scale harness) can sweep device counts without new plumbing.
+_DIST_ID_RE = re.compile(r"^(?P<base>[\w.]+)@d(?P<devices>[1-9]\d*)$")
 
 #: The eight GPU implementations + CPU baseline shown in Figure 1.
 FIGURE1_ALGORITHMS: List[str] = [
@@ -117,13 +131,24 @@ def algorithm_names() -> List[str]:
 
 
 def get_algorithm(name: str) -> Callable[..., ColoringResult]:
-    """Look up an implementation; raises :class:`ColoringError`."""
+    """Look up an implementation; raises :class:`ColoringError`.
+
+    Accepts the parameterized form ``<dist-id>@d<N>`` (e.g.
+    ``"dist.jpl@d4"``), which resolves to the distributed
+    implementation with ``num_devices=N`` bound.
+    """
     try:
         return ALGORITHMS[name]
     except KeyError:
-        raise ColoringError(
-            f"unknown algorithm {name!r}; known: {', '.join(ALGORITHMS)}"
-        ) from None
+        pass
+    m = _DIST_ID_RE.match(name)
+    if m and m.group("base") in ALGORITHMS and m.group("base").startswith("dist."):
+        fn = ALGORITHMS[m.group("base")]
+        return functools.partial(fn, num_devices=int(m.group("devices")))
+    raise ColoringError(
+        f"unknown algorithm {name!r}; known: {', '.join(ALGORITHMS)} "
+        "(distributed ids also accept a '@d<N>' device-count suffix)"
+    ) from None
 
 
 def run_algorithm(

@@ -6,6 +6,7 @@ copies) is charged to a :class:`CostModel` parameterized by a
 :class:`DeviceSpec` calibrated against the paper's Table II.
 """
 
+from .cluster import ClusterCostModel, ClusterSpec, InterconnectSpec, NVLINK
 from .cost_model import CostModel
 from .counters import KernelRecord, SimCounters
 from .device import CPUSpec, DeviceSpec, HOST_CPU, K40C
@@ -18,6 +19,10 @@ from .warp import warp_imbalance_factor, warp_lockstep_work
 
 __all__ = [
     "CostModel",
+    "ClusterCostModel",
+    "ClusterSpec",
+    "InterconnectSpec",
+    "NVLINK",
     "KernelRecord",
     "SimCounters",
     "DeviceSpec",

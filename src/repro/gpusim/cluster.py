@@ -1,0 +1,247 @@
+"""Multi-device extension of the bulk-synchronous GPU cost model.
+
+The paper's experiments run on one K40c, but the graphs the ROADMAP
+targets do not fit one device.  Following Bogle & Slota ("Parallel
+Graph Coloring Algorithms for Distributed GPU Environments"), a
+distributed coloring run is modeled as N per-device
+:class:`~repro.gpusim.cost_model.CostModel` instances advancing in
+*cluster supersteps*: every device executes its local kernels against
+its own cost model, then all devices meet at a :meth:`barrier` where
+boundary (halo) colors cross the interconnect and early devices stall
+for the slowest one.
+
+The accounting is exact, not averaged:
+
+* every kernel record and trace span carries the ``device=<id>`` it was
+  charged to (see :class:`~repro.gpusim.counters.KernelRecord` and
+  :class:`~repro.trace.TraceSpan`);
+* a halo exchange costs ``latency_ms + nbytes / (gbps * 1e6)`` per
+  participating device — the same latency + per-byte shape as the PCIe
+  model, parameterized by the :class:`InterconnectSpec`;
+* the cluster clock (:attr:`ClusterCostModel.total_ms`) is the
+  *makespan*: at each barrier the step costs the maximum of the
+  per-device elapsed times, and the gap is charged to the faster
+  devices as explicit ``kind="wait"`` stall records, so per-device
+  timelines tile and remain auditable.
+
+Bit-exactness invariant (load-bearing for the golden suite): a
+1-device cluster is the single-device model.  ``barrier()`` is a no-op
+at ``num_devices == 1`` — no halo or stall records — and ``total_ms``
+returns ``devices[0].total_ms`` directly, so the float-accumulation
+sequence is *identical* to a plain :class:`CostModel` run and the
+existing golden trajectories extend rather than fork.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import SimulationError
+from ..trace import Trace
+from .cost_model import CostModel
+from .counters import SimCounters
+from .device import K40C, DeviceSpec
+
+__all__ = [
+    "InterconnectSpec",
+    "ClusterSpec",
+    "ClusterCostModel",
+    "NVLINK",
+]
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Cost constants of the device-to-device interconnect.
+
+    A halo message of ``nbytes`` costs ``latency_ms + nbytes / (gbps *
+    1e6)`` milliseconds on each device that sends/receives it — the
+    same two-term shape as the host PCIe model, with its own constants
+    because device-to-device links (NVLink, IB + GPUDirect) have very
+    different latency/bandwidth points than host PCIe.
+    """
+
+    name: str = "nvlink-sim"
+    latency_ms: float = 0.002
+    gbps: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.latency_ms < 0:
+            raise SimulationError(
+                f"interconnect {self.name!r}: negative latency"
+            )
+        if self.gbps <= 0:
+            raise SimulationError(
+                f"interconnect {self.name!r}: non-positive bandwidth"
+            )
+
+    def transfer_ms(self, nbytes: int) -> float:
+        """Simulated ms for one ``nbytes`` halo message."""
+        return self.latency_ms + nbytes / (self.gbps * 1e6)
+
+
+#: Default device-to-device link used by :meth:`ClusterSpec.homogeneous`.
+NVLINK = InterconnectSpec()
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """N device specs plus the interconnect joining them."""
+
+    devices: Tuple[DeviceSpec, ...]
+    interconnect: InterconnectSpec = NVLINK
+
+    def __post_init__(self) -> None:
+        if not self.devices:
+            raise SimulationError("a cluster needs at least one device")
+
+    @classmethod
+    def homogeneous(
+        cls,
+        num_devices: int,
+        device: DeviceSpec = K40C,
+        interconnect: InterconnectSpec = NVLINK,
+    ) -> "ClusterSpec":
+        """``num_devices`` copies of one device spec — the Fig.3-style
+        scaling-study configuration."""
+        if num_devices < 1:
+            raise SimulationError(
+                f"num_devices must be >= 1, got {num_devices}"
+            )
+        return cls(devices=(device,) * int(num_devices), interconnect=interconnect)
+
+    @property
+    def num_devices(self) -> int:
+        """Number of devices in the cluster."""
+        return len(self.devices)
+
+
+class ClusterCostModel:
+    """Per-device cost models advancing in lock-step cluster supersteps.
+
+    Algorithms charge local kernels to ``cluster.device(d)`` exactly as
+    they would to a single-device model, then call :meth:`barrier` at
+    each superstep boundary.  The barrier charges the halo exchange to
+    every device, stalls the fast devices to the slowest one (explicit
+    ``kind="wait"`` records), and advances the cluster makespan.
+    """
+
+    def __init__(self, spec: Optional[ClusterSpec] = None) -> None:
+        self.spec = spec if spec is not None else ClusterSpec.homogeneous(1)
+        self.devices: List[CostModel] = [
+            CostModel(dspec, device_id=d)
+            for d, dspec in enumerate(self.spec.devices)
+        ]
+        # Per-device clock value at the last barrier, and the cluster
+        # clock (sum of per-barrier step maxima) up to that barrier.
+        self._bases = [0.0] * self.num_devices
+        self._makespan = 0.0
+        self.barriers = 0
+
+    @property
+    def num_devices(self) -> int:
+        """Number of devices in the cluster."""
+        return len(self.devices)
+
+    def device(self, d: int) -> CostModel:
+        """The cost model of device ``d``."""
+        return self.devices[d]
+
+    # -- cluster supersteps --------------------------------------------------
+
+    def charge_halo_exchange(
+        self, device: int, nbytes: int, *, name: str = "halo_exchange"
+    ) -> float:
+        """Charge one halo message of ``nbytes`` to ``device``."""
+        ic = self.spec.interconnect
+        return self.devices[device].charge_halo_exchange(
+            int(nbytes), latency_ms=ic.latency_ms, gbps=ic.gbps, name=name
+        )
+
+    def barrier(
+        self,
+        halo_bytes: Optional[Sequence[int]] = None,
+        *,
+        name: str = "halo_exchange",
+    ) -> float:
+        """Close one cluster superstep; returns the step's makespan ms.
+
+        ``halo_bytes`` gives the boundary-color payload each device
+        exchanges (one entry per device; ``None`` for a pure
+        synchronization barrier).  Each device pays the interconnect
+        latency plus its per-byte cost, then every device faster than
+        the slowest is charged an explicit ``barrier_stall`` wait for
+        the gap, so all per-device timelines advance together.
+
+        On a 1-device cluster this is a no-op (no halo, no stall, no
+        records): the single-device charge stream stays bit-identical
+        to the plain :class:`CostModel` path.
+        """
+        if self.num_devices == 1:
+            self.barriers += 1
+            return 0.0
+        if halo_bytes is not None and len(halo_bytes) != self.num_devices:
+            raise SimulationError(
+                f"halo_bytes has {len(halo_bytes)} entries for "
+                f"{self.num_devices} devices"
+            )
+        if halo_bytes is not None:
+            for d, nbytes in enumerate(halo_bytes):
+                self.charge_halo_exchange(d, nbytes, name=name)
+        arrivals = [
+            dev.total_ms - base for dev, base in zip(self.devices, self._bases)
+        ]
+        step = max(arrivals)
+        for d, arrived in enumerate(arrivals):
+            if arrived < step:
+                self.devices[d].charge_wait(step - arrived)
+        self._makespan += step
+        self._bases = [dev.total_ms for dev in self.devices]
+        self.barriers += 1
+        return step
+
+    # -- views ---------------------------------------------------------------
+
+    @property
+    def total_ms(self) -> float:
+        """The cluster clock: the single device's clock at N=1 (bit-
+        identical to a plain :class:`CostModel`), else the barrier
+        makespan plus the slowest device's unbarriered tail."""
+        if self.num_devices == 1:
+            return self.devices[0].total_ms
+        tail = max(
+            dev.total_ms - base
+            for dev, base in zip(self.devices, self._bases)
+        )
+        return self._makespan + tail
+
+    def merged_counters(self) -> SimCounters:
+        """All devices' kernel records, concatenated in device order
+        (each record carries its ``device`` id)."""
+        merged = SimCounters()
+        for dev in self.devices:
+            merged.merge(dev.counters)
+        return merged
+
+    def merged_trace(
+        self, *, algorithm: str = "", dataset: str = ""
+    ) -> Optional[Trace]:
+        """Per-device traces merged into one cluster trace (``None``
+        when tracing is off)."""
+        traces = [dev.trace for dev in self.devices]
+        if any(t is None for t in traces):
+            return None
+        return Trace.merge_devices(
+            traces,
+            algorithm=algorithm,
+            dataset=dataset,
+            total_ms=self.total_ms,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusterCostModel({self.num_devices}x"
+            f"{self.spec.devices[0].name} over "
+            f"{self.spec.interconnect.name}: {self.total_ms:.4f} sim-ms)"
+        )

@@ -65,20 +65,38 @@ class CostModel:
     and recorded, so tracing cannot perturb ``sim_ms`` or counters.
     """
 
-    def __init__(self, device: Optional[DeviceSpec] = None) -> None:
+    def __init__(
+        self, device: Optional[DeviceSpec] = None, *, device_id: int = 0
+    ) -> None:
         self.device = device if device is not None else K40C
+        #: Cluster rank of this model (0 outside a cluster).  Stamped
+        #: on every kernel record, trace span, and race certificate so
+        #: multi-device accounting stays attributable per device.
+        self.device_id = int(device_id)
         self.counters = SimCounters()
         self.sanitizer: Optional[SuperstepSanitizer] = (
-            SuperstepSanitizer() if sanitize_enabled() else None
+            SuperstepSanitizer(device=self.device_id)
+            if sanitize_enabled()
+            else None
         )
-        self.trace: Optional[Trace] = Trace() if trace_enabled() else None
+        self.trace: Optional[Trace] = (
+            Trace(device=self.device_id) if trace_enabled() else None
+        )
 
     # -- generic helpers ----------------------------------------------------
 
     def _record(self, name: str, kind: str, work: int, ms: float) -> float:
         if ms < 0:
             raise SimulationError(f"negative cost for kernel {name!r}")
-        self.counters.add(KernelRecord(name=name, kind=kind, work=int(work), ms=ms))
+        self.counters.add(
+            KernelRecord(
+                name=name,
+                kind=kind,
+                work=int(work),
+                ms=ms,
+                device=self.device_id,
+            )
+        )
         if self.trace is not None:
             self.trace.emit(name, kind, int(work), ms)
         return ms
@@ -188,3 +206,32 @@ class CostModel:
         d = self.device
         ms = d.pcie_latency_ms + nbytes / (d.pcie_gbps * 1e6)
         return self._record(name, "transfer", nbytes, ms)
+
+    def charge_halo_exchange(
+        self,
+        nbytes: int,
+        *,
+        latency_ms: float,
+        gbps: float,
+        name: str = "halo_exchange",
+    ) -> float:
+        """A device↔device interconnect message of ``nbytes`` bytes.
+
+        Latency plus per-byte cost, same shape as
+        :meth:`charge_host_transfer` but parameterized by the cluster's
+        :class:`~repro.gpusim.cluster.InterconnectSpec` rather than the
+        device's PCIe constants.  Charged to *this* device — the
+        cluster model invokes it once per participating device at each
+        halo exchange.
+        """
+        ms = latency_ms + nbytes / (gbps * 1e6)
+        return self._record(name, "halo", nbytes, ms)
+
+    def charge_wait(self, ms: float, *, name: str = "barrier_stall") -> float:
+        """Idle time spent waiting at a cluster barrier.
+
+        Devices that reach a superstep barrier early stall until the
+        slowest device arrives; the cluster model charges the gap here
+        so every device's clock reads the same value after the barrier.
+        """
+        return self._record(name, "wait", 0, ms)

@@ -38,6 +38,7 @@ class KernelRecord:
     kind: str  # charge kind, e.g. "serial_loop", "edge_balanced"
     work: int  # work items (edges, vertices, atomics, bytes…)
     ms: float  # simulated milliseconds charged
+    device: int = 0  # owning device id (0 in single-device runs)
 
 
 @dataclass
@@ -68,7 +69,7 @@ class SimCounters:
         """Fold one record into the memo, in record order — the same
         left-to-right float accumulation a full recompute performs."""
         self._memo_total_ms += r.ms
-        if r.kind not in ("sync", "transfer"):
+        if r.kind not in ("sync", "transfer", "halo", "wait"):
             self._memo_kernels += 1
         if r.kind == "sync":
             self._memo_syncs += 1
@@ -142,6 +143,19 @@ class SimCounters:
     def merge(self, other: "SimCounters") -> None:
         """Append another counter set's records (e.g. sub-phase merge)."""
         self.records.extend(other.records)
+
+    def ms_by_device(self) -> Dict[int, Dict[str, float]]:
+        """Per-device per-kernel simulated ms (device → name → ms).
+
+        Single-device runs collapse to ``{0: ms_by_name()}``; cluster
+        runs expose the per-device kernel totals the distributed golden
+        suite pins.
+        """
+        out: Dict[int, Dict[str, float]] = {}
+        for r in self.records:
+            per = out.setdefault(r.device, {})
+            per[r.name] = per.get(r.name, 0.0) + r.ms
+        return out
 
     def publish(self, registry, **labels: str) -> None:
         """Mirror the aggregates into a metrics registry.

@@ -106,6 +106,8 @@ class KernelCertificate:
     #: True when the launch was vouched for by a static race certificate
     #: (``python -m repro.analysis certify``) and recording was skipped.
     static: bool = False
+    #: Device the launch ran on (0 outside a cluster).
+    device: int = 0
 
 
 # -- static race certificates -------------------------------------------------
@@ -331,6 +333,7 @@ class KernelScope:
             superstep=superstep,
             arrays=set(self._writes) | set(self._reads),
             declared=set(self._declared),
+            device=self._san.device,
         )
         self._san.certificates.append(cert)
         return cert
@@ -385,6 +388,7 @@ class _StaticScope:
                     kernel=self.name,
                     superstep=self._san.superstep,
                     static=True,
+                    device=self._san.device,
                 )
             )
             self._san.static_skips[self.name] = (
@@ -397,8 +401,10 @@ class SuperstepSanitizer:
     ``REPRO_SANITIZE=1`` (``cost.sanitizer`` is ``None`` otherwise, so
     instrumentation sites cost one attribute load when disabled)."""
 
-    def __init__(self) -> None:
+    def __init__(self, *, device: int = 0) -> None:
         self.superstep = 0
+        #: Device id stamped on certificates (0 outside a cluster).
+        self.device = int(device)
         self.certificates: List[KernelCertificate] = []
         #: kernel name -> launches skipped under a static certificate.
         self.static_skips: Dict[str, int] = {}

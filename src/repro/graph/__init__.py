@@ -19,6 +19,13 @@ from .build import (
     star_graph,
 )
 from .csr import CSRGraph
+from .partition import (
+    DevicePartition,
+    GraphPartition,
+    block_partition,
+    edge_cut_partition,
+    partition_graph,
+)
 from .stats import GraphStats, degree_histogram, graph_stats
 from .traversal import (
     bfs_levels,
@@ -40,6 +47,11 @@ __all__ = [
     "cycle_graph",
     "star_graph",
     "induced_subgraph",
+    "DevicePartition",
+    "GraphPartition",
+    "block_partition",
+    "edge_cut_partition",
+    "partition_graph",
     "GraphStats",
     "graph_stats",
     "degree_histogram",

@@ -28,6 +28,13 @@ writes ``BENCH_<git-sha>.json`` (``--out DIR``, default
 a committed baseline and exits 5 on regression (see
 docs/observability.md for the workflow and ``--write-baseline``).
 
+``python -m repro.harness scale`` runs the multi-device strong/weak
+scaling study over the distributed implementations (``--devices
+1,2,4,8,16``, ``--quick`` for CI-sized graphs, ``--json`` for the
+artifact); the 1-device cells are cross-checked bit-identical against
+the single-device implementations and a mismatch exits 3 (see
+docs/distributed.md).
+
 ``python -m repro.harness serve REQUESTS.jsonl`` runs a batch of
 requests (one JSON object per line: ``{"impl": ..., "dataset": ...,
 "seed": ..., "deadline_s": ...}``) through an in-process
@@ -154,8 +161,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="one of %s, 'all', 'profile', 'trace', 'bench', 'serve', "
-        "'loadgen', or 'lint'" % ", ".join(EXPERIMENTS),
+        help="one of %s, 'all', 'profile', 'trace', 'bench', 'scale', "
+        "'serve', 'loadgen', or 'lint'" % ", ".join(EXPERIMENTS),
     )
     parser.add_argument(
         "targets",
@@ -280,6 +287,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(default 10; sim_ms/colors are always bit-exact)",
     )
     parser.add_argument(
+        "--devices",
+        default=None,
+        metavar="COUNTS",
+        help="for 'scale': comma-separated device counts to sweep "
+        "(default: 1,2,4,8,16)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="for 'scale': CI-sized graphs (the scale-smoke lane)",
+    )
+    parser.add_argument(
         "--write-baseline",
         default=None,
         metavar="PATH",
@@ -374,6 +393,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             "--compare/--wall-tol/--write-baseline/--ignore-backend "
             "apply only to 'bench'"
         )
+    if args.experiment != "scale" and (args.devices or args.quick):
+        parser.error("--devices/--quick apply only to 'scale'")
     if args.backend is not None:
         from ..backend import BackendError, resolve
 
@@ -544,6 +565,87 @@ def _cmd_loadgen(args, parser) -> int:
     return 0
 
 
+def _cmd_scale(args, parser, grid_kwargs) -> int:
+    """``scale``: the multi-device strong/weak scaling study
+    (docs/distributed.md).  Exit 3 on failed cells or when a 1-device
+    cell is not bit-identical to its single-device baseline."""
+    from ..errors import HarnessError
+    from .scale import DEFAULT_DEVICES, scale_rows, scale_series, write_scale
+
+    if args.devices:
+        try:
+            devices = tuple(int(d) for d in args.devices.split(",") if d)
+        except ValueError:
+            parser.error(
+                f"--devices must be comma-separated integers, got "
+                f"{args.devices!r}"
+            )
+        if not devices or min(devices) < 1:
+            parser.error("--devices counts must be >= 1")
+    else:
+        devices = DEFAULT_DEVICES
+    cells = []
+    try:
+        doc = scale_series(
+            devices=devices,
+            seed=args.seed,
+            repetitions=(
+                args.repetitions if args.repetitions is not None else 1
+            ),
+            quick=args.quick,
+            jobs=args.jobs,
+            cells_out=cells,
+            **grid_kwargs,
+        )
+    except HarnessError as exc:
+        print(f"error: scale study failed: {exc}", file=sys.stderr)
+        return EXIT_PARTIAL
+    _emit(
+        scale_rows(doc, "strong"),
+        "Scaling (strong): fixed graph, 1..N simulated devices",
+        args.csv,
+    )
+    _emit(
+        scale_rows(doc, "weak"),
+        "Scaling (weak): graph grows with device count",
+        args.csv,
+    )
+    if args.trace:
+        _emit_phase_breakdown(
+            cells, "Scaling: per-phase sim_ms (traced)", args.csv
+        )
+    if args.json:
+        path = write_scale(doc, args.json)
+        print(f"wrote scale study to {path}")
+    singledev = doc["singledev"]
+    bad_cells = [c for c in cells if not c.ok or not c.valid]
+    if bad_cells:
+        print(failure_summary(bad_cells), file=sys.stderr)
+        print(
+            f"error: {len(bad_cells)} scale cell(s) failed or produced "
+            "invalid colorings",
+            file=sys.stderr,
+        )
+        return EXIT_PARTIAL
+    if singledev["checked"]:
+        mismatched = sorted(
+            label for label, ok in singledev["matches"].items() if not ok
+        )
+        if mismatched:
+            for label in mismatched:
+                print(
+                    f"error: 1-device cell {label} is not bit-identical "
+                    "to its single-device baseline",
+                    file=sys.stderr,
+                )
+            return EXIT_PARTIAL
+        print(
+            f"singledev anchor: {len(singledev['matches'])} 1-device "
+            "cell(s) bit-identical to their single-device baselines"
+        )
+    return 0
+
+
 def _dispatch(args, parser) -> int:
     """Execute the parsed command; returns the process exit code."""
     if args.jobs > 1 and _fork_context() is None:
@@ -657,6 +759,8 @@ def _dispatch(args, parser) -> int:
                 )
             return EXIT_PARTIAL
         return 0
+    if args.experiment == "scale":
+        return _cmd_scale(args, parser, grid_kwargs)
     if args.experiment == "trace":
         from ..errors import ReproError
         from .profile import run_trace, trace_phase_rows, trace_rows
@@ -723,7 +827,7 @@ def _dispatch(args, parser) -> int:
     if args.experiment not in EXPERIMENTS + ("all",):
         parser.error(
             f"unknown experiment {args.experiment!r}; choose from "
-            f"{', '.join(EXPERIMENTS + ('all', 'profile', 'trace', 'bench', 'serve', 'loadgen', 'lint'))}"
+            f"{', '.join(EXPERIMENTS + ('all', 'profile', 'trace', 'bench', 'scale', 'serve', 'loadgen', 'lint'))}"
         )
     todo = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     bad_cells = []  # every failed/invalid cell across all experiments

@@ -76,13 +76,22 @@ BENCH_SCHEMA = 1
 #: The pinned suite: (suite name, datasets, algorithms).  Table 2's
 #: optimization ladder on the G3_circuit analogue, plus a Fig. 1 slice
 #: spanning the framework families (CPU baseline, Gunrock, GraphBLAS,
-#: Naumov comparator) on two structurally different datasets.
+#: Naumov comparator) on two structurally different datasets, plus a
+#: multi-device slice (the parameterized ``@d<N>`` registry ids) so the
+#: cluster cost model's numbers — halo charges, barrier stalls, merged
+#: per-device kernel totals — are pinned bit-exactly by the baseline
+#: too (docs/distributed.md).
 BENCH_SUITE: List[Tuple[str, List[str], List[str]]] = [
     ("table2", ["G3_circuit"], [algo for _, algo in TABLE2_LADDER]),
     (
         "fig1",
         ["ecology2", "offshore"],
         ["cpu.greedy", "gunrock.is", "graphblas.mis", "naumov.jpl"],
+    ),
+    (
+        "scale",
+        ["rgg_n_2_10_s0"],
+        ["dist.jpl@d2", "dist.speculative@d2"],
     ),
 ]
 

@@ -77,6 +77,14 @@ def generate(
         except (IndexError, ValueError):
             raise DatasetError(f"malformed rgg dataset name {name!r}") from None
         return rgg_scale(scale, rng=seed)
+    if name.startswith("rmat_n_2_"):
+        from ..graph.generators.powerlaw import rmat
+
+        try:
+            scale = int(name.split("_")[3])
+        except (IndexError, ValueError):
+            raise DatasetError(f"malformed rmat dataset name {name!r}") from None
+        return rmat(scale, rng=seed)
     spec = SUITESPARSE_ANALOGUES.get(name)
     if spec is None:
         raise DatasetError(

@@ -1,0 +1,329 @@
+"""Fig. 3-style multi-device scaling study (``repro.harness scale``).
+
+The paper's Fig. 3 sweeps problem size on one GPU; this module sweeps
+**device counts** on the cluster cost model (docs/distributed.md):
+
+* **Strong scaling** — a fixed RGG and a fixed RMAT graph colored by
+  every distributed implementation at every requested device count.
+  Ideal is runtime ∝ 1/devices; halo latency and barrier stalls bend
+  the curve exactly the way Fig. 3's fixed-size lines flatten.
+* **Weak scaling** — the graph grows with the device count (scale
+  exponent + log2(devices), so vertices-per-device stays ~constant).
+  Ideal is a flat line; the reported efficiency is t(1)/t(d).
+
+The 1-device column doubles as the study's correctness anchor: a
+1-device cluster run is required to be **bit-identical** — colors,
+``sim_ms``, iterations — to the plain single-device implementation it
+generalizes (``dist.jpl`` vs ``naumov.jpl``, ``dist.speculative`` vs
+``gpu.speculative``; see docs/distributed.md).  The study re-runs those
+baselines and records the cross-check under ``singledev`` in its JSON
+artifact; the CLI exits 3 when any cell failed *or* the anchor drifted
+— CI's ``scale-smoke`` job polices exactly this.
+
+Everything runs through :func:`repro.harness.runner.run_grid` using the
+parameterized registry ids (``dist.jpl@d4``), so the study inherits the
+grid's determinism, journaling/resume, ``--jobs`` parallelism, and
+backend selection for free.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .._rng import DEFAULT_SEED
+from ..errors import HarnessError
+from .runner import CellResult, run_grid
+
+__all__ = [
+    "SCALE_SCHEMA",
+    "DEFAULT_DEVICES",
+    "SCALE_ALGORITHMS",
+    "SINGLE_DEVICE_BASELINES",
+    "STRONG_SCALES",
+    "WEAK_BASE_SCALES",
+    "QUICK_STRONG_SCALES",
+    "QUICK_WEAK_BASE_SCALES",
+    "dataset_name",
+    "scale_series",
+    "scale_rows",
+    "write_scale",
+]
+
+#: Version of the scale-study JSON artifact; bump on incompatible change.
+SCALE_SCHEMA = 1
+
+#: Device counts swept by default (the paper-style 1→16 sweep).
+DEFAULT_DEVICES: Tuple[int, ...] = (1, 2, 4, 8, 16)
+
+#: The distributed implementations under study.
+SCALE_ALGORITHMS: Tuple[str, ...] = ("dist.jpl", "dist.speculative")
+
+#: dist id -> the single-device implementation its 1-device cluster run
+#: must reproduce bit-for-bit (the study's correctness anchor).
+SINGLE_DEVICE_BASELINES: Dict[str, str] = {
+    "dist.jpl": "naumov.jpl",
+    "dist.speculative": "gpu.speculative",
+}
+
+#: Strong-scaling fixed graphs: family -> scale exponent (2**s vertices).
+STRONG_SCALES: Dict[str, int] = {"rgg": 13, "rmat": 10}
+
+#: Weak-scaling base exponents (the 1-device graph; +log2(d) per count).
+WEAK_BASE_SCALES: Dict[str, int] = {"rgg": 10, "rmat": 8}
+
+#: ``--quick`` variants: small enough for a CI smoke lane.
+QUICK_STRONG_SCALES: Dict[str, int] = {"rgg": 10, "rmat": 8}
+QUICK_WEAK_BASE_SCALES: Dict[str, int] = {"rgg": 8, "rmat": 6}
+
+
+def dataset_name(family: str, scale: int) -> str:
+    """The registry dataset name for a family at a scale exponent."""
+    if family == "rgg":
+        return f"rgg_n_2_{scale}_s0"
+    if family == "rmat":
+        return f"rmat_n_2_{scale}"
+    raise HarnessError(f"unknown scaling family {family!r}")
+
+
+def _dist_id(algorithm: str, devices: int) -> str:
+    return f"{algorithm}@d{devices}"
+
+
+def _cell_doc(cell: CellResult, *, mode: str, devices: int, base: str) -> Dict:
+    """One JSON-safe study cell (NaN-free: failed cells store None)."""
+    return {
+        "mode": mode,
+        "dataset": cell.dataset,
+        "algorithm": base,
+        "devices": int(devices),
+        "num_vertices": int(cell.num_vertices),
+        "num_edges": int(cell.num_edges),
+        "colors": float(cell.colors) if cell.ok else None,
+        "sim_ms": float(cell.sim_ms) if cell.ok else None,
+        "iterations": float(cell.iterations) if cell.ok else None,
+        "status": cell.status,
+        "valid": bool(cell.valid),
+        "error": cell.error,
+    }
+
+
+def _attach_ratios(cells: List[Dict], *, mode: str) -> None:
+    """Fill per-cell ``speedup``/``efficiency`` against the smallest
+    device count of the same (dataset-family, algorithm) line.  Strong
+    lines report speedup t(ref)/t(d) and efficiency speedup/(d/ref);
+    weak lines report efficiency t(ref)/t(d) (ideal 1.0 — the graph
+    grew with d, so flat runtime is perfect scaling)."""
+    lines: Dict[Tuple[str, str], List[Dict]] = {}
+    for c in cells:
+        key = (c["family"], c["algorithm"])
+        lines.setdefault(key, []).append(c)
+    for line in lines.values():
+        line.sort(key=lambda c: c["devices"])
+        ref = next((c for c in line if c["sim_ms"] is not None), None)
+        for c in line:
+            c["speedup"] = None
+            c["efficiency"] = None
+            if ref is None or c["sim_ms"] in (None, 0.0):
+                continue
+            ratio = ref["sim_ms"] / c["sim_ms"]
+            scale_up = c["devices"] / ref["devices"]
+            if mode == "strong":
+                c["speedup"] = ratio
+                c["efficiency"] = ratio / scale_up
+            else:
+                c["efficiency"] = ratio
+
+
+def _singledev_check(
+    dist_cells: List[Dict],
+    *,
+    seed: int,
+    repetitions: int,
+    jobs: int,
+    **grid_kwargs,
+) -> Dict:
+    """Re-run the single-device baselines on every dataset that has a
+    1-device distributed cell and compare bit-exactly."""
+    anchors = [c for c in dist_cells if c["devices"] == 1]
+    if not anchors:
+        return {"checked": False, "matches": {}, "all_match": None}
+    datasets = sorted({c["dataset"] for c in anchors})
+    baselines = sorted(
+        {SINGLE_DEVICE_BASELINES[c["algorithm"]] for c in anchors}
+    )
+    cells = run_grid(
+        datasets,
+        baselines,
+        scale_div=1,
+        repetitions=repetitions,
+        seed=seed,
+        jobs=jobs,
+        **grid_kwargs,
+    )
+    ref = {(c.dataset, c.algorithm): c for c in cells}
+    matches: Dict[str, bool] = {}
+    for c in anchors:
+        base = ref.get((c["dataset"], SINGLE_DEVICE_BASELINES[c["algorithm"]]))
+        label = f"{c['dataset']}:{c['algorithm']}"
+        if base is None or not base.ok or c["sim_ms"] is None:
+            matches[label] = False
+            continue
+        matches[label] = (
+            c["colors"] == float(base.colors)
+            and c["sim_ms"] == float(base.sim_ms)
+            and c["iterations"] == float(base.iterations)
+        )
+    return {
+        "checked": True,
+        "matches": matches,
+        "all_match": all(matches.values()),
+    }
+
+
+def scale_series(
+    *,
+    devices: Sequence[int] = DEFAULT_DEVICES,
+    seed: int = DEFAULT_SEED,
+    repetitions: int = 1,
+    quick: bool = False,
+    jobs: int = 1,
+    algorithms: Sequence[str] = SCALE_ALGORITHMS,
+    cells_out: Optional[List[CellResult]] = None,
+    **grid_kwargs,
+) -> Dict:
+    """Run the full study; returns the JSON-ready scale document.
+
+    ``devices`` is the device-count sweep (deduplicated, sorted);
+    ``quick=True`` swaps in the CI-sized graphs.  ``grid_kwargs`` pass
+    straight through to :func:`run_grid` (timeout/retries/resume/
+    journal/trace/backend), so the study is journal-resumable and
+    backend-selectable like every other experiment.  Raw
+    :class:`CellResult` objects are appended to ``cells_out`` when
+    given (the CLI uses them for failure summaries and the traced
+    per-phase breakdown).
+    """
+    counts = sorted(set(int(d) for d in devices))
+    if not counts or counts[0] < 1:
+        raise HarnessError("device counts must be positive integers")
+    strong_scales = QUICK_STRONG_SCALES if quick else STRONG_SCALES
+    weak_bases = QUICK_WEAK_BASE_SCALES if quick else WEAK_BASE_SCALES
+    base_algos = list(algorithms)
+
+    # Strong scaling: one grid — fixed datasets, every dist.<algo>@d<N>.
+    strong_ids = [_dist_id(a, d) for d in counts for a in base_algos]
+    strong_datasets = {
+        family: dataset_name(family, s) for family, s in strong_scales.items()
+    }
+    strong_cells = run_grid(
+        list(strong_datasets.values()),
+        strong_ids,
+        scale_div=1,
+        repetitions=repetitions,
+        seed=seed,
+        jobs=jobs,
+        **grid_kwargs,
+    )
+    if cells_out is not None:
+        cells_out.extend(strong_cells)
+    by_key = {(c.dataset, c.algorithm): c for c in strong_cells}
+    strong: List[Dict] = []
+    for family, name in strong_datasets.items():
+        for a in base_algos:
+            for d in counts:
+                cell = by_key[(name, _dist_id(a, d))]
+                doc = _cell_doc(cell, mode="strong", devices=d, base=a)
+                doc["family"] = family
+                strong.append(doc)
+    _attach_ratios(strong, mode="strong")
+
+    # Weak scaling: the dataset grows with the device count, so each
+    # count is its own (tiny) grid.
+    weak: List[Dict] = []
+    for d in counts:
+        step = int(round(math.log2(d)))
+        datasets = {
+            family: dataset_name(family, base + step)
+            for family, base in weak_bases.items()
+        }
+        ids = [_dist_id(a, d) for a in base_algos]
+        cells = run_grid(
+            list(datasets.values()),
+            ids,
+            scale_div=1,
+            repetitions=repetitions,
+            seed=seed,
+            jobs=jobs,
+            **grid_kwargs,
+        )
+        if cells_out is not None:
+            cells_out.extend(cells)
+        lookup = {(c.dataset, c.algorithm): c for c in cells}
+        for family, name in datasets.items():
+            for a in base_algos:
+                doc = _cell_doc(
+                    lookup[(name, _dist_id(a, d))],
+                    mode="weak",
+                    devices=d,
+                    base=a,
+                )
+                doc["family"] = family
+                weak.append(doc)
+    _attach_ratios(weak, mode="weak")
+
+    singledev = _singledev_check(
+        strong + weak,
+        seed=seed,
+        repetitions=repetitions,
+        jobs=jobs,
+        **grid_kwargs,
+    )
+    return {
+        "schema": SCALE_SCHEMA,
+        "seed": int(seed),
+        "repetitions": int(repetitions),
+        "devices": counts,
+        "quick": bool(quick),
+        "algorithms": base_algos,
+        "strong": strong,
+        "weak": weak,
+        "singledev": singledev,
+    }
+
+
+def scale_rows(doc: Dict, mode: str) -> List[Dict]:
+    """Flatten one mode of the study into printable table rows."""
+    rows = []
+    for c in doc[mode]:
+        row = {
+            "Dataset": c["dataset"],
+            "Algorithm": c["algorithm"],
+            "Devices": c["devices"],
+            "Vertices": c["num_vertices"],
+            "Colors": c["colors"] if c["colors"] is not None else "failed",
+            "Sim ms": (
+                round(c["sim_ms"], 4) if c["sim_ms"] is not None else "failed"
+            ),
+        }
+        if mode == "strong":
+            row["Speedup"] = (
+                round(c["speedup"], 3) if c["speedup"] is not None else ""
+            )
+        row["Efficiency"] = (
+            round(c["efficiency"], 3) if c["efficiency"] is not None else ""
+        )
+        rows.append(row)
+    return rows
+
+
+def write_scale(doc: Dict, path) -> Path:
+    """Write the study artifact as JSON; returns the path."""
+    out = Path(path)
+    if out.parent != Path(""):
+        out.parent.mkdir(parents=True, exist_ok=True)
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return out

@@ -37,6 +37,11 @@ FALLBACKS: Dict[str, str] = {
     "naumov.jpl": "cpu.greedy",
     "naumov.cc": "cpu.greedy",
     "gpu.speculative": "cpu.greedy",
+    # Distributed variants degrade to their single-device counterpart
+    # first (drops the interconnect, keeps the algorithm), then follow
+    # its ladder down to greedy.
+    "dist.jpl": "naumov.jpl",
+    "dist.speculative": "gpu.speculative",
     "reference.jp": "cpu.greedy",
     "reference.luby": "cpu.greedy",
     # CPU ordering variants: the quality orderings cost extra passes;

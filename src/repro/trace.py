@@ -129,6 +129,7 @@ class TraceSpan:
     superstep: int  # superstep counter at emission
     phase: str  # "/"-joined enclosing phase path ("" at top level)
     iteration: int  # algorithm iteration tag (-1 before the first)
+    device: int = 0  # owning device id (0 in single-device runs)
 
 
 class _PhaseScope:
@@ -174,9 +175,16 @@ class Trace:
     term.
     """
 
-    def __init__(self, *, algorithm: str = "", dataset: str = "") -> None:
+    def __init__(
+        self, *, algorithm: str = "", dataset: str = "", device: int = 0
+    ) -> None:
         self.algorithm = algorithm
         self.dataset = dataset
+        #: Device id stamped on every span this trace emits.  0 for
+        #: single-device runs; cluster runs give each per-device
+        #: CostModel a trace with its own id and merge afterwards
+        #: (:meth:`merge_devices`).
+        self.device = int(device)
         # Kernel-execution backend label (repro.backend).  Purely
         # informational: excluded from fingerprint() and __eq__ because
         # backends are bit-identical — the same run on another backend
@@ -205,6 +213,7 @@ class Trace:
                 superstep=self.superstep,
                 phase="/".join(s[0] for s in self._phase_stack),
                 iteration=self.iteration,
+                device=self.device,
             )
         )
         self._cursor_ms = end
@@ -233,6 +242,7 @@ class Trace:
                 superstep=start_step,
                 phase="/".join(s[0] for s in self._phase_stack),
                 iteration=start_iter,
+                device=self.device,
             )
         )
 
@@ -243,6 +253,36 @@ class Trace:
     def set_iteration(self, iteration: int) -> None:
         """Tag subsequent spans with the algorithm's outer iteration."""
         self.iteration = int(iteration)
+
+    @classmethod
+    def merge_devices(
+        cls,
+        traces: List["Trace"],
+        *,
+        algorithm: str = "",
+        dataset: str = "",
+        total_ms: Optional[float] = None,
+    ) -> "Trace":
+        """Combine per-device traces into one cluster trace.
+
+        Spans are concatenated in device order (each span already
+        carries its ``device`` id), so the merge is deterministic; the
+        merged clock is the caller-supplied cluster makespan when
+        given, else the slowest device's clock.  Lives here because
+        only this module may handle :class:`TraceSpan` construction
+        and internals (rule ``RPL007``).
+        """
+        merged = cls(algorithm=algorithm, dataset=dataset)
+        for t in traces:
+            merged.spans.extend(t.spans)
+            merged.superstep = max(merged.superstep, t.superstep)
+            merged.iteration = max(merged.iteration, t.iteration)
+        merged._cursor_ms = (
+            float(total_ms)
+            if total_ms is not None
+            else max((t.total_ms for t in traces), default=0.0)
+        )
+        return merged
 
     # -- views --------------------------------------------------------------
 
@@ -302,11 +342,15 @@ class Trace:
         h = hashlib.sha256()
         h.update(f"{self.algorithm}\x1f{self.dataset}\x1e".encode())
         for s in self.spans:
+            # Device 0 hashes exactly as before the multi-device
+            # extension, so every pre-existing single-device trace_id
+            # is preserved byte for byte.
+            dev = f"\x1fd{s.device}" if s.device else ""
             h.update(
                 (
                     f"{s.name}\x1f{s.kind}\x1f{s.work}\x1f{s.ms!r}\x1f"
                     f"{s.ts_ms!r}\x1f{s.end_ms!r}\x1f{s.superstep}\x1f"
-                    f"{s.phase}\x1f{s.iteration}\x1e"
+                    f"{s.phase}\x1f{s.iteration}{dev}\x1e"
                 ).encode()
             )
         return h.hexdigest()[:16]
@@ -322,6 +366,8 @@ class Trace:
         *is* the simulated execution.  Metadata events name the process
         after the algorithm and the thread after the dataset.
         """
+        devices = sorted({s.device for s in self.spans} or {0})
+        multi = devices != [0]
         events: List[Dict] = [
             {
                 "ph": "M",
@@ -338,22 +384,37 @@ class Trace:
                 "args": {"name": self.dataset or "sim-stream"},
             },
         ]
+        if multi:
+            # One track per device: device d renders as tid d+1.
+            for d in devices:
+                events.append(
+                    {
+                        "ph": "M",
+                        "name": "thread_name",
+                        "pid": 1,
+                        "tid": d + 1,
+                        "args": {"name": f"device {d}"},
+                    }
+                )
         for s in self.spans:
+            args = {
+                "work": s.work,
+                "superstep": s.superstep,
+                "phase": s.phase,
+                "iteration": s.iteration,
+            }
+            if multi:
+                args["device"] = s.device
             events.append(
                 {
                     "ph": "X",
                     "name": s.name,
                     "cat": s.kind,
                     "pid": 1,
-                    "tid": 1,
+                    "tid": s.device + 1,
                     "ts": s.ts_ms * 1000.0,
                     "dur": s.ms * 1000.0,
-                    "args": {
-                        "work": s.work,
-                        "superstep": s.superstep,
-                        "phase": s.phase,
-                        "iteration": s.iteration,
-                    },
+                    "args": args,
                 }
             )
         return {

@@ -1,0 +1,10 @@
+"""Declared-safety certification fixture: a kernel whose only
+collision class carries ``atomic=True``, so the prover's verdict is
+``atomic-or-reduction`` (tests/test_race_certs.py)."""
+
+
+def atomic_histogram(san, bins, ids):
+    with san.kernel("fixture_atomic_histogram_kernel") as k:
+        k.read("bins", ids, lane=ids)
+        k.write("counts", bins, atomic=True)
+    return bins

@@ -1,0 +1,25 @@
+"""Positive certification fixtures: kernels the static race prover
+must certify ``race-free`` (tests/test_race_certs.py).
+
+These modules are never imported — :func:`certify_tree` parses them —
+so the kernel bodies only need to *look like* instrumented simulator
+kernels (``with san.kernel(...) as k:`` scopes).
+"""
+
+import numpy as np
+
+
+def ownslot_scatter(san, mask):
+    """Every plain write lands in the writing lane's own slot."""
+    with san.kernel("fixture_ownslot_kernel") as k:
+        ids = np.flatnonzero(mask)
+        k.read("mask", ids, lane=ids)
+        k.write("out", ids, lane=ids)
+    return ids
+
+
+def anonymous_unique_fill(san, n):
+    """Anonymous lanes over a provably-unique index, never read back."""
+    with san.kernel("fixture_unique_fill_kernel") as k:
+        k.write("slots", np.arange(n))
+    return n

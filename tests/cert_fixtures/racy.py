@@ -1,0 +1,39 @@
+"""Negative certification fixtures: kernels the static race prover
+must refuse to certify (verdict ``needs-runtime-check``) or must not
+certify at all (tests/test_race_certs.py).
+
+Each function isolates one reason the proof obligation fails.
+"""
+
+import numpy as np
+
+
+def cross_lane_scatter(san, perm, lanes):
+    """Plain write through a permutation: lane i writes slot perm[i]."""
+    with san.kernel("fixture_racy_scatter_kernel") as k:
+        k.write("out", perm, lane=lanes)
+    return perm
+
+
+def mixed_write_regimes(san, ids):
+    """One array, plain and declared writers: runtime must arbitrate."""
+    with san.kernel("fixture_mixed_regime_kernel") as k:
+        k.write("out", ids, lane=ids)
+        k.write("out", ids, atomic=True)
+    return ids
+
+
+def unique_index_but_read_back(san, mask, probe):
+    """Unique writer lanes, but a cross-lane read observes the array."""
+    with san.kernel("fixture_readback_kernel") as k:
+        ids = np.flatnonzero(mask)
+        k.write("out", ids)
+        k.read("out", probe, lane=probe)
+    return ids
+
+
+def dynamic_name(san, tag, ids):
+    """f-string kernel names can never be certified by name."""
+    with san.kernel(f"fixture_dynamic_{tag}_kernel") as k:
+        k.write("out", ids, lane=ids)
+    return ids

@@ -100,10 +100,14 @@ class TestBenchDocument:
 
     def test_pinned_suite_covers_table2_and_fig1(self):
         names = [name for name, _, _ in BENCH_SUITE]
-        assert names == ["table2", "fig1"]
+        assert names == ["table2", "fig1", "scale"]
         table2 = BENCH_SUITE[0]
         assert table2[1] == ["G3_circuit"]
         assert "gunrock.is" in table2[2]
+        # The multi-device slice pins the cluster cost model via the
+        # parameterized ids (docs/distributed.md).
+        scale = BENCH_SUITE[2]
+        assert all("@d" in algo for algo in scale[2])
 
 
 class TestValidateBench:
@@ -230,8 +234,9 @@ class TestBenchCli:
         doc = load_bench(bench_path)
         assert validate_bench(doc) == []
         assert load_bench("baseline.json") == doc
-        # the full pinned suite ran: table2 ladder + fig1 slice
-        assert {c["suite"] for c in doc["cells"]} == {"table2", "fig1"}
+        # the full pinned suite ran: table2 ladder + fig1 slice +
+        # the 2-device cluster cells
+        assert {c["suite"] for c in doc["cells"]} == {"table2", "fig1", "scale"}
         assert len(doc["cells"]) == sum(
             len(ds) * len(algos) for _, ds, algos in BENCH_SUITE
         )

@@ -1,0 +1,171 @@
+"""Unit tests for :mod:`repro.gpusim.cluster` — the multi-device cost
+model (docs/distributed.md).
+
+The load-bearing invariant is pinned here directly: a 1-device cluster
+charged with an arbitrary kernel sequence produces the *same record
+stream and the same clock*, float for float, as a plain
+:class:`~repro.gpusim.cost_model.CostModel` — barriers add nothing.
+The multi-device semantics (halo charges, barrier stalls, makespan,
+device-tagged merged counters/traces) are then checked against
+hand-computed values on tiny charge sequences.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpusim import (
+    ClusterCostModel,
+    ClusterSpec,
+    CostModel,
+    InterconnectSpec,
+    NVLINK,
+)
+from repro.gpusim.device import K40C
+from repro.trace import activate as trace_activate
+
+
+class TestInterconnectSpec:
+    def test_transfer_cost_shape(self):
+        ic = InterconnectSpec(latency_ms=0.01, gbps=10.0)
+        # latency + nbytes / (gbps * 1e6) ms
+        assert ic.transfer_ms(0) == 0.01
+        assert ic.transfer_ms(10_000_000) == 0.01 + 1.0
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(SimulationError):
+            InterconnectSpec(latency_ms=-0.1)
+
+    def test_rejects_non_positive_bandwidth(self):
+        for gbps in (0.0, -5.0):
+            with pytest.raises(SimulationError):
+                InterconnectSpec(gbps=gbps)
+
+
+class TestClusterSpec:
+    def test_homogeneous(self):
+        spec = ClusterSpec.homogeneous(4)
+        assert spec.num_devices == 4
+        assert all(d is K40C for d in spec.devices)
+        assert spec.interconnect is NVLINK
+
+    def test_rejects_empty_cluster(self):
+        with pytest.raises(SimulationError):
+            ClusterSpec(devices=())
+        with pytest.raises(SimulationError):
+            ClusterSpec.homogeneous(0)
+
+
+def _charge_sequence(cm: CostModel) -> None:
+    """An arbitrary but fixed kernel mix (all major charge kinds)."""
+    cm.charge_map(1000, name="rand_kernel")
+    cm.charge_edge_balanced(5000, name="jpl_kernel", eff=1.85)
+    cm.charge_reduce(1000, name="done_check")
+    cm.charge_sync(name="iter_sync")
+
+
+class TestSingleDeviceBitIdentity:
+    def test_records_and_clock_identical_to_plain_model(self):
+        plain = CostModel(K40C)
+        _charge_sequence(plain)
+        cluster = ClusterCostModel(ClusterSpec.homogeneous(1))
+        _charge_sequence(cluster.device(0))
+        cluster.barrier()  # must add no records and no time
+        cluster.barrier(halo_bytes=[4096])
+        assert cluster.total_ms == plain.total_ms
+        assert cluster.merged_counters().records == plain.counters.records
+        assert cluster.barriers == 2
+
+    def test_barrier_returns_zero_step(self):
+        cluster = ClusterCostModel()
+        cluster.device(0).charge_map(100, name="k")
+        assert cluster.barrier() == 0.0
+
+
+class TestMultiDeviceSemantics:
+    def test_barrier_stalls_fast_devices_to_slowest(self):
+        cluster = ClusterCostModel(ClusterSpec.homogeneous(2))
+        cluster.device(0).charge_map(10_000, name="k")
+        cluster.device(1).charge_map(100, name="k")
+        slow = cluster.device(0).total_ms
+        fast = cluster.device(1).total_ms
+        assert slow > fast
+        step = cluster.barrier()
+        assert step == slow
+        # The fast device was charged an explicit wait for the gap and
+        # both timelines now tile to the same clock.
+        assert cluster.device(0).total_ms == cluster.device(1).total_ms == slow
+        waits = [
+            r for r in cluster.device(1).counters.records if r.kind == "wait"
+        ]
+        assert len(waits) == 1 and waits[0].name == "barrier_stall"
+        assert waits[0].ms == slow - fast
+        assert not any(
+            r.kind == "wait" for r in cluster.device(0).counters.records
+        )
+        assert cluster.total_ms == slow
+
+    def test_halo_bytes_charged_per_device(self):
+        ic = InterconnectSpec(latency_ms=0.5, gbps=1.0)
+        cluster = ClusterCostModel(
+            ClusterSpec(devices=(K40C, K40C), interconnect=ic)
+        )
+        cluster.barrier(halo_bytes=[1_000_000, 0])
+        halos = {
+            d: [r for r in cluster.device(d).counters.records if r.kind == "halo"]
+            for d in (0, 1)
+        }
+        assert len(halos[0]) == 1 and len(halos[1]) == 1
+        assert halos[0][0].ms == ic.transfer_ms(1_000_000) == 1.5
+        assert halos[1][0].ms == ic.transfer_ms(0) == 0.5
+        assert halos[0][0].work == 1_000_000
+
+    def test_halo_bytes_length_mismatch_raises(self):
+        cluster = ClusterCostModel(ClusterSpec.homogeneous(3))
+        with pytest.raises(SimulationError):
+            cluster.barrier(halo_bytes=[16, 16])
+
+    def test_makespan_sums_per_step_maxima(self):
+        cluster = ClusterCostModel(ClusterSpec.homogeneous(2))
+        # Step 1: device 0 slow; step 2: device 1 slow.  The makespan
+        # is max(step1) + max(step2), not max of the per-device sums.
+        cluster.device(0).charge_map(10_000, name="a")
+        cluster.device(1).charge_map(100, name="a")
+        s1 = cluster.barrier()
+        cluster.device(0).charge_map(100, name="b")
+        cluster.device(1).charge_map(10_000, name="b")
+        s2 = cluster.barrier()
+        assert cluster.total_ms == s1 + s2
+        # Unbarriered tail extends the clock.
+        cluster.device(1).charge_map(50_000, name="tail")
+        assert cluster.total_ms > s1 + s2
+
+    def test_merged_counters_keep_device_tags_in_order(self):
+        cluster = ClusterCostModel(ClusterSpec.homogeneous(2))
+        cluster.device(0).charge_map(10, name="k0")
+        cluster.device(1).charge_map(10, name="k1")
+        merged = cluster.merged_counters()
+        assert [r.device for r in merged.records] == [0, 1]
+        assert [r.name for r in merged.records] == ["k0", "k1"]
+        per_device = merged.ms_by_device()
+        assert set(per_device) == {0, 1}
+        assert "k0" in per_device[0] and "k1" in per_device[1]
+
+    def test_merged_trace_none_without_tracing(self):
+        cluster = ClusterCostModel(ClusterSpec.homogeneous(2))
+        assert cluster.merged_trace() is None
+
+    def test_merged_trace_tags_devices(self):
+        with trace_activate():
+            cluster = ClusterCostModel(ClusterSpec.homogeneous(2))
+            cluster.device(0).charge_map(10, name="k0")
+            cluster.device(1).charge_map(10, name="k1")
+            cluster.barrier(halo_bytes=[16, 16])
+            trace = cluster.merged_trace(algorithm="t", dataset="d")
+        assert trace is not None
+        devices = {s.device for s in trace.spans}
+        assert devices == {0, 1}
+        names = {s.name for s in trace.spans}
+        assert {"k0", "k1", "halo_exchange"} <= names
+        assert trace.total_ms == cluster.total_ms

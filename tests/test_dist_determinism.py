@@ -1,0 +1,166 @@
+"""Cross-device determinism for the distributed implementations
+(docs/distributed.md).
+
+The distributed contract under test, end to end:
+
+* every device count produces a **proper, complete** coloring (zero
+  conflicts), and the coloring is **invariant in the device count** —
+  partitioning changes where cost is charged, never what is computed;
+* the grid runner reproduces distributed cells **bit-identically**
+  under ``jobs>1`` and under journaled ``resume=True``;
+* activating metrics or tracing does not move a single bit;
+* every loadable kernel-execution backend agrees with reference.
+
+The golden wall (``test_golden_dist.py``) pins three fixed graphs; this
+suite quantifies the same guarantees over hypothesis-generated graphs
+and the harness surfaces the goldens cannot reach.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backend import available_backends, resolve, use
+from repro.core.registry import run_algorithm
+from repro.core.validate import is_valid_coloring
+from repro.harness import faults
+from repro.harness.runner import run_grid
+from repro.metrics import activate as metrics_activate
+from repro.trace import activate as trace_activate
+
+from _strategies import graphs
+
+OPTIONAL_BACKENDS = [b for b in available_backends() if b != "reference"]
+
+DIST_ALGORITHMS = ("dist.jpl", "dist.speculative")
+
+#: Tiny all-dist grid reused by the runner-level tests.
+GRID_DATASETS = ["rgg_n_2_8_s0", "rmat_n_2_6"]
+GRID_ALGOS = ["dist.jpl@d1", "dist.jpl@d2", "dist.speculative@d4"]
+
+
+def _fingerprint(impl, graph, *, num_devices, rng=77):
+    result = run_algorithm(impl, graph, rng=rng, num_devices=num_devices)
+    assert result.is_complete
+    assert is_valid_coloring(graph, result.colors)
+    return (
+        result.colors.tobytes(),
+        result.sim_ms,
+        result.iterations,
+        tuple(result.counters.records),
+    )
+
+
+class TestDeviceCountInvariance:
+    @pytest.mark.parametrize("impl", DIST_ALGORITHMS)
+    @settings(max_examples=25, deadline=None)
+    @given(
+        g=graphs(max_vertices=20, max_edges=60),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_colors_invariant_and_proper_at_every_count(self, impl, g, seed):
+        counts = [k for k in (1, 2, 3, 4, 7) if k <= g.num_vertices]
+        outs = []
+        for k in counts:
+            result = run_algorithm(impl, g, rng=seed, num_devices=k)
+            assert result.is_complete, (impl, k)
+            assert is_valid_coloring(g, result.colors), (impl, k)
+            outs.append(result.colors.tobytes())
+        assert len(set(outs)) == 1, f"{impl}: colors vary with device count"
+
+    @pytest.mark.parametrize("impl", DIST_ALGORITHMS)
+    def test_repeat_runs_are_bit_identical(self, petersen, impl):
+        a = _fingerprint(impl, petersen, num_devices=3)
+        b = _fingerprint(impl, petersen, num_devices=3)
+        assert a == b
+
+
+class TestObservabilityNonPerturbation:
+    @pytest.mark.parametrize("impl", DIST_ALGORITHMS)
+    def test_metrics_activation_changes_nothing(self, petersen, impl):
+        plain = _fingerprint(impl, petersen, num_devices=2)
+        with metrics_activate():
+            observed = _fingerprint(impl, petersen, num_devices=2)
+        assert observed == plain
+
+    @pytest.mark.parametrize("impl", DIST_ALGORITHMS)
+    def test_trace_activation_changes_nothing(self, petersen, impl):
+        plain = _fingerprint(impl, petersen, num_devices=2)
+        with trace_activate():
+            observed = _fingerprint(impl, petersen, num_devices=2)
+        assert observed == plain
+
+    @pytest.mark.parametrize("impl", DIST_ALGORITHMS)
+    def test_merged_trace_spans_every_device(self, petersen, impl):
+        with trace_activate():
+            result = run_algorithm(impl, petersen, rng=5, num_devices=3)
+        assert result.trace is not None
+        assert {s.device for s in result.trace.spans} == {0, 1, 2}
+
+
+@pytest.mark.parametrize("backend_name", OPTIONAL_BACKENDS)
+@pytest.mark.parametrize("impl", DIST_ALGORITHMS)
+def test_backends_bit_identical(petersen, impl, backend_name):
+    ref = _fingerprint(impl, petersen, num_devices=4)
+    with use(resolve(backend_name)):
+        other = _fingerprint(impl, petersen, num_devices=4)
+    assert other == ref
+
+
+def _identity_fields(cell):
+    return (
+        cell.dataset,
+        cell.algorithm,
+        cell.colors,
+        cell.sim_ms,
+        cell.iterations,
+        cell.valid,
+        cell.status,
+    )
+
+
+class TestGridDeterminism:
+    CFG = dict(scale_div=1, repetitions=2, seed=31)
+
+    def test_parallel_grid_matches_sequential(self):
+        seq = run_grid(
+            GRID_DATASETS, GRID_ALGOS, jobs=1, journal=False, **self.CFG
+        )
+        par = run_grid(
+            GRID_DATASETS, GRID_ALGOS, jobs=3, journal=False, **self.CFG
+        )
+        assert all(c.ok for c in seq)
+        assert [_identity_fields(c) for c in seq] == [
+            _identity_fields(c) for c in par
+        ]
+
+    def test_interrupted_then_resumed_grid_is_bit_identical(
+        self, tmp_path, monkeypatch
+    ):
+        # Journals live under the cache dir; keep them test-private.
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        ref = run_grid(
+            GRID_DATASETS, GRID_ALGOS, jobs=1, journal=False, **self.CFG
+        )
+        fired = {"n": 0}
+
+        def interrupt(site):
+            fired["n"] += 1
+            if fired["n"] == 5:
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            with faults.injected(interrupt):
+                run_grid(GRID_DATASETS, GRID_ALGOS, jobs=1, **self.CFG)
+        executed = []
+        with faults.injected(lambda s: executed.append(s)):
+            resumed = run_grid(
+                GRID_DATASETS, GRID_ALGOS, jobs=1, resume=True, **self.CFG
+            )
+        assert executed, "resume re-ran nothing; the interrupt fired too late"
+        assert [_identity_fields(c) for c in resumed] == [
+            _identity_fields(c) for c in ref
+        ]

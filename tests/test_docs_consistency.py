@@ -78,6 +78,7 @@ class TestReadmeCommands:
             "docs/serving.md",
             "docs/static-analysis.md",
             "docs/observability.md",
+            "docs/distributed.md",
         ):
             assert (ROOT / doc).exists(), doc
 

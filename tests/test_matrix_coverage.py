@@ -64,6 +64,7 @@ def test_algorithm_family_cell(algorithm, family):
         "graphblas.jpl",
         "naumov.jpl",
         "naumov.cc",
+        "dist.jpl",
         "reference.luby",
         "graphblas.mis",
     ), (algorithm, family, result.num_colors)

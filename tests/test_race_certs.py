@@ -21,6 +21,7 @@ from repro.analysis.rules.kernels import (
     CERT_VERSION,
     DECLARED,
     RACE_FREE,
+    RUNTIME,
     certify_tree,
     write_certificates,
 )
@@ -38,10 +39,14 @@ EXPECTED_RACE_FREE = {
     "cc_kernel",
     "color_op",
     "color_removed_op",
+    "dist_jpl_kernel",
+    "dist_speculate_kernel",
+    "halo_exchange_kernel",
     "jpl_kernel",
     "rand_kernel",
 }
 EXPECTED_DECLARED = {
+    "boundary_resolve_kernel",
     "check_op",
     "check_reduce",
     "conflict_op",
@@ -264,3 +269,56 @@ class TestStaticRuntimeCrossCheck:
                     f"{kernel} certified atomic-or-reduction but made no "
                     "declarations at runtime"
                 )
+
+
+class TestFixtureCertification:
+    """Positive/negative proof fixtures under ``tests/cert_fixtures``.
+
+    The shipped-kernel expectations above pin *which* verdict each real
+    kernel gets; these fixtures pin *why* — one minimal kernel per
+    prover rule, so a rule regression fails here with an exact name
+    even if the shipped kernels happen to keep their buckets.
+    """
+
+    FIXTURES = Path(__file__).parent / "cert_fixtures"
+
+    @pytest.fixture(scope="class")
+    def fixture_payload(self):
+        return certify_tree([self.FIXTURES])
+
+    def test_positive_fixtures_are_race_free(self, fixture_payload):
+        verdicts = {
+            name: entry["verdict"]
+            for name, entry in fixture_payload["kernels"].items()
+        }
+        assert verdicts["fixture_ownslot_kernel"] == RACE_FREE
+        assert verdicts["fixture_unique_fill_kernel"] == RACE_FREE
+
+    def test_declared_fixture_is_atomic_or_reduction(self, fixture_payload):
+        entry = fixture_payload["kernels"]["fixture_atomic_histogram_kernel"]
+        assert entry["verdict"] == DECLARED
+
+    def test_negative_fixtures_need_runtime_checks(self, fixture_payload):
+        for name in (
+            "fixture_racy_scatter_kernel",
+            "fixture_mixed_regime_kernel",
+            "fixture_readback_kernel",
+        ):
+            assert fixture_payload["kernels"][name]["verdict"] == RUNTIME, name
+
+    def test_dynamic_fixture_name_is_never_certified(self, fixture_payload):
+        assert not any(
+            "dynamic" in name for name in fixture_payload["kernels"]
+        )
+
+    def test_single_file_paths_certify_too(self):
+        payload = certify_tree([self.FIXTURES / "racy.py"])
+        assert set(payload["kernels"]) == {
+            "fixture_racy_scatter_kernel",
+            "fixture_mixed_regime_kernel",
+            "fixture_readback_kernel",
+        }
+        assert all(
+            entry["verdict"] == RUNTIME
+            for entry in payload["kernels"].values()
+        )

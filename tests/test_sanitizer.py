@@ -20,6 +20,10 @@ from repro.core.gb_coloring import (
 from repro.core.gr_ar import gunrock_ar_coloring
 from repro.core.gr_hash import gunrock_hash_coloring
 from repro.core.gr_is import gunrock_is_coloring
+from repro.core.dist import (
+    distributed_jpl_coloring,
+    distributed_speculative_coloring,
+)
 from repro.core.naumov import naumov_cc_coloring, naumov_jpl_coloring
 from repro.core.validate import assert_valid_coloring
 from repro.errors import RaceError, SimulationError
@@ -218,6 +222,11 @@ ALGORITHMS = [
     ("graphblas.jpl", lambda g: graphblas_jpl_coloring(g, rng=6)),
     ("naumov.jpl", lambda g: naumov_jpl_coloring(g, rng=7)),
     ("naumov.cc", lambda g: naumov_cc_coloring(g, rng=8)),
+    ("dist.jpl", lambda g: distributed_jpl_coloring(g, rng=9, num_devices=2)),
+    (
+        "dist.speculative",
+        lambda g: distributed_speculative_coloring(g, rng=10, num_devices=2),
+    ),
 ]
 
 # Kernels each algorithm must have had checked at least once.
@@ -242,6 +251,8 @@ EXPECTED_KERNELS = {
     "graphblas.jpl": {"vxm_max", "jpl_scatter"},
     "naumov.jpl": {"jpl_kernel"},
     "naumov.cc": {"cc_kernel"},
+    "dist.jpl": {"dist_jpl_kernel", "halo_exchange_kernel"},
+    "dist.speculative": {"dist_speculate_kernel", "boundary_resolve_kernel"},
 }
 
 # Declarations each algorithm is expected to make (subset check).
@@ -249,6 +260,7 @@ EXPECTED_DECLARED = {
     "gunrock.is": {("colored_count", "reduction")},
     "gunrock.hash": {("colors", "atomic"), ("table", "atomic")},
     "graphblas.jpl": {("colors_arr@jpl_scatter", "atomic")},
+    "dist.speculative": {("colors", "atomic")},
 }
 
 

@@ -1,0 +1,159 @@
+"""The multi-device scaling study (``repro.harness scale``): document
+shape, ratio semantics, the 1-device bit-identity anchor, and the CLI
+contract (docs/distributed.md).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import HarnessError
+from repro.harness.__main__ import main as harness_main
+from repro.harness.scale import (
+    SCALE_SCHEMA,
+    SINGLE_DEVICE_BASELINES,
+    dataset_name,
+    scale_rows,
+    scale_series,
+    write_scale,
+)
+
+
+@pytest.fixture(scope="module")
+def study():
+    """One quick 2-count study shared by the document tests."""
+    return scale_series(
+        devices=(1, 2), seed=9, repetitions=1, quick=True, journal=False
+    )
+
+
+class TestScaleDocument:
+    def test_schema_and_params(self, study):
+        assert study["schema"] == SCALE_SCHEMA
+        assert study["devices"] == [1, 2]
+        assert study["quick"] is True
+        assert study["algorithms"] == ["dist.jpl", "dist.speculative"]
+
+    def test_strong_covers_both_families_and_counts(self, study):
+        keys = {
+            (c["family"], c["algorithm"], c["devices"])
+            for c in study["strong"]
+        }
+        assert keys == {
+            (f, a, d)
+            for f in ("rgg", "rmat")
+            for a in ("dist.jpl", "dist.speculative")
+            for d in (1, 2)
+        }
+        assert all(c["status"] == "ok" and c["valid"] for c in study["strong"])
+
+    def test_weak_datasets_grow_with_devices(self, study):
+        by_count = {}
+        for c in study["weak"]:
+            by_count.setdefault(c["devices"], set()).add(c["num_vertices"])
+        # Doubling the device count doubles every weak graph.
+        assert {2 * n for n in by_count[1]} == by_count[2]
+
+    def test_ratio_semantics(self, study):
+        for c in study["strong"]:
+            if c["devices"] == 1:
+                assert c["speedup"] == 1.0 and c["efficiency"] == 1.0
+            else:
+                assert c["speedup"] == pytest.approx(
+                    c["efficiency"] * c["devices"]
+                )
+        for c in study["weak"]:
+            assert "speedup" in c and c["efficiency"] is not None
+
+    def test_colors_invariant_across_device_counts(self, study):
+        lines = {}
+        for c in study["strong"]:
+            lines.setdefault((c["dataset"], c["algorithm"]), set()).add(
+                c["colors"]
+            )
+        assert all(len(colors) == 1 for colors in lines.values())
+
+    def test_singledev_anchor_checked_and_matching(self, study):
+        anchor = study["singledev"]
+        assert anchor["checked"] is True
+        assert anchor["all_match"] is True
+        # One entry per (dataset, algorithm) with a 1-device cell:
+        # 2 strong datasets × 2 algos + 2 weak d=1 datasets × 2 algos.
+        assert len(anchor["matches"]) == 8
+        assert set(SINGLE_DEVICE_BASELINES) == {
+            "dist.jpl",
+            "dist.speculative",
+        }
+
+    def test_document_is_json_clean(self, study, tmp_path):
+        json.dumps(study, allow_nan=False)
+        path = write_scale(study, tmp_path / "deep" / "scale.json")
+        assert json.loads(path.read_text()) == json.loads(
+            json.dumps(study)
+        )
+
+    def test_rows_render(self, study):
+        strong = scale_rows(study, "strong")
+        assert len(strong) == len(study["strong"])
+        assert {"Dataset", "Devices", "Sim ms", "Speedup", "Efficiency"} <= set(
+            strong[0]
+        )
+        weak = scale_rows(study, "weak")
+        assert "Speedup" not in weak[0] and "Efficiency" in weak[0]
+
+
+class TestScaleSeriesValidation:
+    def test_rejects_bad_device_counts(self):
+        for devices in ((), (0,), (-2, 1)):
+            with pytest.raises(HarnessError):
+                scale_series(devices=devices, journal=False)
+
+    def test_dataset_name_families(self):
+        assert dataset_name("rgg", 11) == "rgg_n_2_11_s0"
+        assert dataset_name("rmat", 9) == "rmat_n_2_9"
+        with pytest.raises(HarnessError):
+            dataset_name("torus", 9)
+
+
+class TestScaleCLI:
+    def test_quick_run_writes_artifact_and_exits_zero(
+        self, tmp_path, capsys
+    ):
+        out = tmp_path / "scale.json"
+        rc = harness_main(
+            [
+                "scale",
+                "--devices",
+                "1,2",
+                "--quick",
+                "--json",
+                str(out),
+                "--no-journal",
+            ]
+        )
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "Scaling (strong)" in printed
+        assert "Scaling (weak)" in printed
+        assert "bit-identical to their single-device baselines" in printed
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == SCALE_SCHEMA
+        assert doc["singledev"]["all_match"] is True
+
+    def test_bad_devices_is_usage_error(self):
+        with pytest.raises(SystemExit) as exc:
+            harness_main(["scale", "--devices", "two"])
+        assert exc.value.code == 2
+        with pytest.raises(SystemExit) as exc:
+            harness_main(["scale", "--devices", "0,2"])
+        assert exc.value.code == 2
+
+    def test_scale_flags_rejected_elsewhere(self):
+        with pytest.raises(SystemExit) as exc:
+            harness_main(["table2", "--devices", "1,2"])
+        assert exc.value.code == 2
+        with pytest.raises(SystemExit) as exc:
+            harness_main(["fig1", "--quick"])
+        assert exc.value.code == 2
